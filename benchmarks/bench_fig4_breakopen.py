@@ -1,0 +1,110 @@
+"""Figure 4: the clock-edge graph and minimum break selection.
+
+Reproduces the paper's worked example: eight clock edges in cyclic order
+(A..H); the requirement "edge E occurs before edge C" is satisfied by
+removing the original arc D->E, giving the order E F G H A B C D.  Also
+benches the exhaustive pass-minimisation on graphs of growing size
+("the graphs are usually small and very seldom is it necessary to remove
+more than two arcs").
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.breakopen import (
+    BreakOpenPlan,
+    ClockEdgeGraph,
+    RequirementArc,
+    minimum_breaks,
+)
+
+from benchmarks.conftest import emit
+
+T = Fraction(80)
+EDGE = {name: Fraction(10 * i) for i, name in enumerate("ABCDEFGH")}
+TIMES = sorted(EDGE.values())
+
+
+def test_fig4_worked_example(benchmark):
+    arcs = [RequirementArc(EDGE["E"], EDGE["C"])]  # "E before C"
+    breaks = benchmark(lambda: minimum_breaks(T, TIMES, arcs))
+    graph = ClockEdgeGraph(period=T, times=tuple(TIMES), arcs=tuple(arcs))
+
+    assert len(breaks) == 1
+    # Removing D->E (break at E) is among the valid choices the paper
+    # names; verify it handles the requirement and yields the published
+    # edge order.
+    assert arcs[0].handled_by(graph.break_for_removed_arc((EDGE["D"], EDGE["E"])), T)
+    plan = BreakOpenPlan(period=T, breaks=(EDGE["E"],))
+    order = "".join(
+        sorted("ABCDEFGH", key=lambda n: plan.position_assertion(EDGE[n], 0))
+    )
+    emit(
+        "Figure 4: break-open worked example",
+        [
+            f"requirement: E before C",
+            f"break chosen by search: {breaks[0]} (edge "
+            f"{'ABCDEFGH'[TIMES.index(breaks[0])]})",
+            f"removing arc D->E gives edge order: {order}",
+        ],
+    )
+    assert order == "EFGHABCD"
+
+
+@pytest.mark.parametrize("n_edges", [8, 16, 32])
+def test_pass_selection_scaling(benchmark, n_edges):
+    """Exhaustive search stays fast on realistic clock graphs."""
+    period = Fraction(10 * n_edges)
+    times = [Fraction(10 * i) for i in range(n_edges)]
+    # A two-pass-forcing arc set plus consistent arcs.
+    arcs = [
+        RequirementArc(times[0], times[n_edges // 2 - 1]),
+        RequirementArc(times[n_edges // 2], times[n_edges // 2 - 1]),
+        RequirementArc(times[0], times[-1]),
+        RequirementArc(times[n_edges // 2], times[-1]),
+    ] + [
+        RequirementArc(times[i], times[(i + 2) % n_edges])
+        for i in range(0, n_edges, 4)
+    ]
+    breaks = benchmark(lambda: minimum_breaks(period, times, arcs))
+    for arc in arcs:
+        assert any(arc.handled_by(b, period) for b in breaks)
+    assert len(breaks) <= 3
+
+
+def test_seldom_more_than_two(benchmark):
+    """Across a sweep of random-ish arc sets, the minimum break count is
+    almost always one or two, as the paper observes."""
+    import random
+
+    rng = random.Random(1989)
+    sizes = []
+
+    def sweep():
+        sizes.clear()
+        for __ in range(100):
+            arcs = [
+                RequirementArc(
+                    TIMES[rng.randrange(8)], TIMES[rng.randrange(8)]
+                )
+                for __ in range(rng.randint(1, 6))
+            ]
+            sizes.append(len(minimum_breaks(T, TIMES, arcs)))
+        return sizes
+
+    benchmark(sweep)
+    at_most_two = sum(1 for s in sizes if s <= 2) / len(sizes)
+    emit(
+        "Pass-count distribution over 100 random requirement sets",
+        [
+            f"1 pass:  {sizes.count(1)}",
+            f"2 passes: {sizes.count(2)}",
+            f">2 passes: {sum(1 for s in sizes if s > 2)}",
+            f"fraction <= 2 passes: {at_most_two:.2f} "
+            "(paper: 'very seldom ... more than two')",
+        ],
+    )
+    assert at_most_two >= 0.9

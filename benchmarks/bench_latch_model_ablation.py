@@ -1,0 +1,89 @@
+"""Ablation B (Section 2 motivation): transparent latch modelling.
+
+McWilliams-style analysis [5] "can not model the behaviour of transparent
+latches": degrading every latch to edge-triggered forfeits cycle
+borrowing, under-estimating the maximum clock frequency of latch-based
+pipelines.  This bench measures the frequency gap on pipelines with
+increasingly unbalanced stages -- the more borrowing matters, the larger
+Hummingbird's advantage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.mcwilliams import mcwilliams_max_frequency
+from repro.core.frequency import find_max_frequency
+from repro.delay import estimate_delays
+from repro.generators import latch_pipeline
+
+from benchmarks.conftest import emit
+
+#: (label, stage lengths): progressively more unbalanced pipelines whose
+#: long stage follows a latch (where borrowing pays).
+CASES = [
+    ("balanced", [8, 8]),
+    ("mild", [4, 12]),
+    ("skewed", [2, 20]),
+    ("extreme", [2, 30]),
+]
+
+_rows = {}
+
+
+@pytest.fixture(scope="module", params=[label for label, __ in CASES])
+def case(request, lib):
+    lengths = dict(CASES)[request.param]
+    network, schedule = latch_pipeline(
+        stages=len(lengths), stage_lengths=lengths, period=100, library=lib
+    )
+    return request.param, network, schedule, estimate_delays(network)
+
+
+def test_hummingbird_max_frequency(benchmark, case):
+    label, network, schedule, delays = case
+    result = benchmark.pedantic(
+        lambda: find_max_frequency(network, schedule, delays),
+        rounds=3,
+        iterations=1,
+    )
+    _rows.setdefault(label, {})["ours"] = result.min_period
+
+
+def test_mcwilliams_max_frequency(benchmark, case):
+    label, network, schedule, delays = case
+    result = benchmark.pedantic(
+        lambda: mcwilliams_max_frequency(network, schedule, delays),
+        rounds=3,
+        iterations=1,
+    )
+    _rows.setdefault(label, {})["theirs"] = result.min_period
+
+
+def test_latch_model_report(benchmark):
+    benchmark(lambda: None)
+    header = (
+        f"{'pipeline':<10} {'Hummingbird T*':>15} {'edge-only T*':>14} "
+        f"{'penalty':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    penalties = {}
+    for label, __ in CASES:
+        row = _rows.get(label, {})
+        ours, theirs = row.get("ours"), row.get("theirs")
+        if ours is None or theirs is None:
+            continue
+        penalty = theirs / ours
+        penalties[label] = penalty
+        lines.append(
+            f"{label:<10} {ours:>15.3f} {theirs:>14.3f} {penalty:>7.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        "T* = minimum feasible overall period; penalty = edge-only / ours"
+    )
+    emit("Ablation B: transparent-latch model vs edge-triggered", lines)
+    if {"balanced", "extreme"} <= set(penalties):
+        # Borrowing matters more as the pipeline skews.
+        assert penalties["extreme"] > penalties["balanced"]
+        assert penalties["extreme"] > 1.2

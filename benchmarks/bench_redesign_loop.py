@@ -1,0 +1,73 @@
+"""Algorithm 3: the analysis-redesign loop (Section 8).
+
+Pushes a design 15% past its maximum frequency and lets the loop trade
+area for speed until all paths are fast enough, reporting rounds, chosen
+modules and area cost -- the closed-loop workflow the paper proposes
+(with Singh et al.'s optimiser substituted by a delay/area model).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frequency import find_max_frequency
+from repro.core.resynthesis import SpeedupModel, run_redesign_loop
+from repro.delay import estimate_delays
+from repro.generators import random_design
+
+from benchmarks.conftest import emit
+
+_outcome = {}
+
+
+@pytest.fixture(scope="module")
+def overclocked():
+    network, schedule = random_design(
+        seed=303, n_banks=3, gates_per_bank=40, bits=6, style="latch"
+    )
+    delays = estimate_delays(network)
+    search = find_max_frequency(network, schedule, delays)
+    assert search.min_period is not None
+    too_fast = search.schedule.scaled("0.85")
+    return network, too_fast, delays
+
+
+def test_redesign_loop(benchmark, overclocked):
+    network, schedule, delays = overclocked
+    result = benchmark.pedantic(
+        lambda: run_redesign_loop(
+            network,
+            schedule,
+            delays,
+            speedup=SpeedupModel(speedup_factor=0.7, min_scale=0.2),
+            max_rounds=300,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    _outcome["loop"] = result
+    assert result.success
+
+
+def test_redesign_report(benchmark, overclocked):
+    benchmark(lambda: None)
+    result = _outcome.get("loop")
+    if result is None:
+        pytest.skip("loop bench did not run")
+    modules = [r.chosen_module for r in result.rounds if r.chosen_module]
+    lines = [
+        f"rounds:                {result.num_rounds}",
+        f"distinct modules sped up: {len(set(modules))}",
+        f"total speed-up applications: {len(modules)}",
+        f"area cost (relative): {result.area_cost:.2f}",
+        f"worst slack trajectory: "
+        + " -> ".join(f"{r.worst_slack:.2f}" for r in result.rounds[:8])
+        + (" ..." if result.num_rounds > 8 else ""),
+    ]
+    emit("Algorithm 3: analysis-redesign loop", lines)
+    # With warm-started (incremental) rounds each analysis may settle at
+    # a different-but-valid fixed point, so per-round slack values can
+    # wobble; the guarantees are convergence and overall improvement.
+    slacks = [r.worst_slack for r in result.rounds]
+    assert slacks[-1] > slacks[0]
+    assert slacks[-1] > 0

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index) and prints the reproduced rows; the pytest-benchmark
+table provides the timing statistics.  Measured-vs-paper numbers are
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, lines) -> None:
+    """Print a reproduced table (visible with -s or on failures)."""
+    banner = "=" * len(title)
+    print(f"\n{banner}\n{title}\n{banner}")
+    for line in lines:
+        print(line)
+
+
+@pytest.fixture(scope="session")
+def lib():
+    from repro.cells import standard_library
+
+    return standard_library()

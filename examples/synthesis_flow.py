@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""The full logic-synthesis-environment loop, end to end.
+
+This is the workflow the paper's title describes:
+
+1. specify a machine's combinational logic as boolean equations,
+2. synthesise and technology-map it (NAND/INV style) around a register,
+3. run Hummingbird; discover the design misses timing at the target clock,
+4. fix it with the Singh-style optimiser (gate sizing driven by the
+   analysis), paying area for speed,
+5. confirm statically (Algorithm 1) and dynamically (event simulation
+   against the ideal, delays-to-zero reference system).
+
+Run:  python examples/synthesis_flow.py
+"""
+
+from repro import (
+    ClockSchedule,
+    Hummingbird,
+    NetworkBuilder,
+    dynamic_intended_check,
+    size_for_timing,
+    standard_library,
+    synthesize_into,
+)
+from repro.delay import estimate_delays
+from repro.synth.sizing import add_drive_variants, total_gate_area
+
+#: A 4-bit Gray-code counter with parity and range-detect outputs.
+EQUATIONS = {
+    "n0": "s0 ^ (s1 & ~s2 | en)",
+    "n1": "s1 ^ (s0 & en)",
+    "n2": "s2 ^ (s1 & s0 & en)",
+    "n3": "s3 ^ (s2 & s1 & s0 & en) | (mode & ~s3)",
+    "parity": "s0 ^ s1 ^ s2 ^ s3",
+    "in_range": "(s3 | s2) & ~(s1 & s0) & mode",
+}
+
+TARGET_PERIOD = 7.8  # ns -- met only after sizing the critical cones
+
+
+def build(library):
+    b = NetworkBuilder(library, name="gray_counter")
+    b.clock("clk")
+    b.input("en_pad", "w_en", clock="clk")
+    b.input("mode_pad", "w_mode", clock="clk")
+    state_nets = {f"s{k}": f"q{k}" for k in range(4)}
+    bindings = {"en": "w_en", "mode": "w_mode", **state_nets}
+    outs = synthesize_into(b, EQUATIONS, bindings, prefix="ns", style="nand")
+    for k in range(4):
+        b.latch(f"reg{k}", "DFF", D=outs[f"n{k}"], CK="clk", Q=f"q{k}")
+    b.latch("regp", "DFF", D=outs["parity"], CK="clk", Q="qp")
+    b.latch("regr", "DFF", D=outs["in_range"], CK="clk", Q="qr")
+    b.output("o_parity", "qp", clock="clk")
+    b.output("o_range", "qr", clock="clk")
+    return b.build()
+
+
+def main():
+    library = add_drive_variants(standard_library())
+    network = build(library)
+    schedule = ClockSchedule.single("clk", TARGET_PERIOD)
+    print(
+        f"synthesised {len(network.combinational_cells)} gates "
+        f"(NAND/INV mapping), area {total_gate_area(network):.0f}"
+    )
+
+    result = Hummingbird(network, schedule).analyze()
+    print(f"\nat {TARGET_PERIOD} ns:")
+    print(result.report(limit=3))
+
+    if not result.intended:
+        print("\nrunning the gate sizer on the slow paths...")
+        sizing = size_for_timing(network, schedule, library)
+        print(
+            f"  {len(sizing.resized)} cells resized in {sizing.passes} "
+            f"passes; area {sizing.area_before:.0f} -> "
+            f"{sizing.area_after:.0f}"
+        )
+        for cell, variant in sorted(sizing.resized.items()):
+            print(f"    {cell:<10} -> {variant}")
+        result = Hummingbird(network, schedule).analyze()
+        print(f"  after sizing: {result.summary()}")
+
+    print("\ndynamic validation against the ideal system:")
+    delays = estimate_delays(network)
+    check = dynamic_intended_check(
+        network, schedule, delays, cycles=12, seed=42
+    )
+    print(
+        f"  {check.captures_compared} captures compared, "
+        f"{len(check.mismatches)} mismatches, "
+        f"{len(check.setup_violations)} setup violations -> "
+        f"{'INTENDED' if check.intended else 'NOT INTENDED'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

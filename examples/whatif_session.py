@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Interactive mode (Section 8): clock-shape and delay what-ifs.
+
+"Hummingbird has an interactive mode in which, for example, changes may
+be made to the shapes of the clock waveforms to determine the effect on
+system timing.  Adjustments may also be made to component delays."
+
+Run:  python examples/whatif_session.py
+"""
+
+from repro.generators import latch_pipeline
+from repro.interactive import WhatIfSession
+from repro.viz import render_schedule
+
+
+def show(session, label):
+    result = session.analyze()
+    verdict = "OK" if result.intended else "TOO SLOW"
+    print(f"{label:<44} worst slack {result.worst_slack:8.3f}  [{verdict}]")
+
+
+def main():
+    network, schedule = latch_pipeline(
+        stages=4, stage_lengths=[10, 4, 10, 4], period=40
+    )
+    session = WhatIfSession(network, schedule)
+
+    print("initial clocks:")
+    print(render_schedule(session.schedule))
+    print()
+
+    show(session, "baseline (period 40)")
+
+    session.scale_clocks("1/2")
+    show(session, "after scale_clocks(1/2) (period 20)")
+
+    session.set_pulse_width("phi1", 2)
+    show(session, "after narrowing phi1's pulse to 2 ns")
+
+    print(f"undo: {session.undo()}")
+    show(session, "phi1 width restored")
+
+    session.shift_clock("phi2", 2)
+    show(session, "after shifting phi2 later by 2 ns")
+    print(f"undo: {session.undo()}")
+
+    session.scale_cell_delay("s1_i0", 6.0)
+    show(session, "after slowing gate s1_i0 by 6x")
+    print(f"undo: {session.undo()}")
+
+    show(session, "back to the scaled clocks")
+    print()
+    print("final session report:")
+    print(session.report(limit=3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""Hummingbird reproduction: system-level timing analysis for logic synthesis.
+
+A faithful Python implementation of N. Weiner and A. Sangiovanni-
+Vincentelli, "Timing Analysis in a Logic Synthesis Environment",
+26th Design Automation Conference (DAC), 1989.
+
+Quickstart
+----------
+>>> from repro import (
+...     ClockSchedule, Hummingbird, NetworkBuilder, standard_library,
+... )
+>>> lib = standard_library()
+>>> b = NetworkBuilder(lib)
+>>> _ = b.clock("phi1"); _ = b.clock("phi2")
+>>> _ = b.input("din", "n0", clock="phi1")
+>>> _ = b.gate("u1", "INV", A="n0", Z="n1")
+>>> _ = b.latch("l1", "DLATCH", D="n1", G="phi2", Q="n2")
+>>> _ = b.output("dout", "n2", clock="phi2")
+>>> hb = Hummingbird(b.build(), ClockSchedule.two_phase(100))
+>>> hb.analyze().intended
+True
+
+Public surface
+--------------
+* network construction: :class:`NetworkBuilder`, :func:`standard_library`,
+  :class:`Network`, :class:`ModuleDefinition`, :class:`ModuleSpec`,
+  :func:`flatten`, :func:`save_network`, :func:`load_network`;
+* clocks: :class:`ClockWaveform`, :class:`ClockSchedule`;
+* delays: :func:`estimate_delays`, :class:`DelayParameters`,
+  :class:`DelayMap`;
+* analysis: :class:`Hummingbird`, :class:`TimingResult`,
+  :func:`run_algorithm1`, :func:`run_algorithm2`,
+  :func:`check_min_delays`, :func:`find_max_frequency`,
+  :func:`run_redesign_loop`.
+"""
+
+from repro.cells import CellLibrary, standard_library
+from repro.clocks import ClockSchedule, ClockWaveform
+from repro.core.algorithm1 import Algorithm1Result, run_algorithm1
+from repro.core.algorithm2 import (
+    Algorithm2Result,
+    TimingConstraints,
+    run_algorithm2,
+)
+from repro.core.analyzer import Hummingbird, TimingResult
+from repro.core.corners import Corner, MultiCornerResult, analyze_corners
+from repro.core.domains import domain_crossings, render_domain_crossings
+from repro.core.enable_paths import (
+    EnablePathCheck,
+    check_enable_paths,
+    enable_path_checks,
+)
+from repro.core.frequency import FrequencySearchResult, find_max_frequency
+from repro.core.mindelay import (
+    HoldViolation,
+    MinDelayViolation,
+    check_hold,
+    check_min_delays,
+)
+from repro.core.export import result_to_dict, save_result, statistics_to_dict
+from repro.core.incremental import IncrementalAnalyzer
+from repro.core.model import AnalysisModel, build_model
+from repro.core.resynthesis import (
+    RedesignResult,
+    SpeedupModel,
+    run_redesign_loop,
+)
+from repro.core.slack import SlackEngine
+from repro.core.statistics import TimingStatistics, timing_statistics
+from repro.delay import DelayMap, DelayParameters, estimate_delays
+from repro.netlist import (
+    ModuleDefinition,
+    ModuleSpec,
+    Network,
+    NetworkBuilder,
+    flatten,
+    load_network,
+    save_network,
+    validate_network,
+)
+from repro.rftime import RiseFall
+from repro.sim import EventSimulator, dynamic_intended_check
+from repro.synth import (
+    parse_expr,
+    size_for_timing,
+    synthesize_into,
+    synthesize_module,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm1Result",
+    "Algorithm2Result",
+    "AnalysisModel",
+    "CellLibrary",
+    "ClockSchedule",
+    "Corner",
+    "ClockWaveform",
+    "DelayMap",
+    "DelayParameters",
+    "EnablePathCheck",
+    "EventSimulator",
+    "FrequencySearchResult",
+    "HoldViolation",
+    "Hummingbird",
+    "IncrementalAnalyzer",
+    "MinDelayViolation",
+    "ModuleDefinition",
+    "MultiCornerResult",
+    "ModuleSpec",
+    "Network",
+    "NetworkBuilder",
+    "RedesignResult",
+    "RiseFall",
+    "SlackEngine",
+    "SpeedupModel",
+    "TimingConstraints",
+    "TimingResult",
+    "TimingStatistics",
+    "analyze_corners",
+    "build_model",
+    "check_enable_paths",
+    "check_hold",
+    "check_min_delays",
+    "domain_crossings",
+    "dynamic_intended_check",
+    "enable_path_checks",
+    "estimate_delays",
+    "find_max_frequency",
+    "flatten",
+    "load_network",
+    "parse_expr",
+    "render_domain_crossings",
+    "result_to_dict",
+    "run_algorithm1",
+    "run_algorithm2",
+    "run_redesign_loop",
+    "save_network",
+    "save_result",
+    "statistics_to_dict",
+    "size_for_timing",
+    "standard_library",
+    "synthesize_into",
+    "synthesize_module",
+    "timing_statistics",
+    "validate_network",
+]

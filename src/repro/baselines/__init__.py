@@ -1,0 +1,32 @@
+"""Baseline analysers from the paper's related-work section.
+
+* :mod:`repro.baselines.path_enumeration` -- exact per-path slack
+  evaluation; the expensive alternative to the block method that
+  Section 7 argues against,
+* :mod:`repro.baselines.mcwilliams` -- McWilliams-style analysis [5]:
+  complicated clocking supported but transparent latches degraded to
+  edge-triggered elements (no cycle borrowing),
+* :mod:`repro.baselines.per_edge` -- Wallace/Szymanski-style settling-time
+  attribution [8, 9]: one settling time per clock edge per node instead
+  of the Section 7 minimum.
+"""
+
+from repro.baselines.mcwilliams import mcwilliams_analysis
+from repro.baselines.path_enumeration import (
+    PathEnumerationResult,
+    enumerate_port_slacks,
+)
+from repro.baselines.per_edge import (
+    SettlingComparison,
+    per_edge_analysis,
+    settling_comparison,
+)
+
+__all__ = [
+    "PathEnumerationResult",
+    "SettlingComparison",
+    "enumerate_port_slacks",
+    "mcwilliams_analysis",
+    "per_edge_analysis",
+    "settling_comparison",
+]

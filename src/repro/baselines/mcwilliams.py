@@ -1,0 +1,80 @@
+"""McWilliams-style analysis: transparent latches as hard edges.
+
+The 1980 approach [5] "can handle complicated clocking schemes, but it
+can not model the behaviour of transparent latches": every latch is
+assumed to capture *and* launch on the trailing edge of its control
+pulse, so no time can be borrowed through a transparency window.  The
+resulting verdicts are pessimistic -- a latch-based design that is fast
+enough under Hummingbird's model may be reported too slow here, and its
+maximum clock frequency under-estimated.  The ablation bench quantifies
+exactly that gap.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.clocks.schedule import ClockSchedule
+from repro.core.algorithm1 import Algorithm1Result, run_algorithm1
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay.estimator import DelayMap
+from repro.netlist.network import Network
+
+
+def mcwilliams_analysis(
+    network: Network,
+    schedule: ClockSchedule,
+    delays: DelayMap,
+) -> Tuple[Algorithm1Result, AnalysisModel]:
+    """Analyse ``network`` with every latch degraded to edge-triggered."""
+    model = AnalysisModel(network, schedule, delays, latch_model="edge")
+    result = run_algorithm1(model, SlackEngine(model))
+    return result, model
+
+
+def mcwilliams_max_frequency(
+    network: Network,
+    base_schedule: ClockSchedule,
+    delays: DelayMap,
+    **search_kwargs,
+):
+    """Maximum-frequency search under the edge-triggered approximation."""
+    from fractions import Fraction
+
+    from repro.core.frequency import FrequencySearchResult
+
+    evaluations = 0
+
+    def feasible(scale: float) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        scaled = base_schedule.scaled(
+            Fraction(scale).limit_denominator(10**6)
+        )
+        model = AnalysisModel(network, scaled, delays, latch_model="edge")
+        return run_algorithm1(model, SlackEngine(model)).intended
+
+    lower = search_kwargs.get("lower_scale", 0.01)
+    upper = search_kwargs.get("upper_scale", 100.0)
+    tolerance = search_kwargs.get("tolerance", 1e-3)
+    max_evaluations = search_kwargs.get("max_evaluations", 64)
+
+    low, high = lower, upper
+    if feasible(low):
+        high = low
+    elif not feasible(high):
+        return FrequencySearchResult(None, None, evaluations)
+    else:
+        while (high - low) > tolerance * high and evaluations < max_evaluations:
+            mid = (low + high) / 2.0
+            if feasible(mid):
+                high = mid
+            else:
+                low = mid
+    best = base_schedule.scaled(Fraction(high).limit_denominator(10**6))
+    return FrequencySearchResult(
+        min_period=float(best.overall_period),
+        schedule=best,
+        evaluations=evaluations,
+    )

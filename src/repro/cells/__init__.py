@@ -1,0 +1,32 @@
+"""Standard-cell library with empirical, load-dependent delay models.
+
+The paper separates *component propagation-delay estimation* from *system
+timing analysis* and notes that "for standard cells, empirical delay
+estimation formulae are often used".  This package provides that substrate:
+
+* :mod:`repro.cells.delay` -- the linear ``intrinsic + resistance * load``
+  arc delay model with separate rise/fall coefficients,
+* :mod:`repro.cells.combinational` -- gate specs (INV, NAND, NOR, AOI, ...),
+* :mod:`repro.cells.sequential` -- synchroniser specs (transparent D latch,
+  trailing-edge D flip-flop, clocked tristate driver),
+* :mod:`repro.cells.library` -- the :class:`CellLibrary` registry and the
+  default :func:`standard_library`.
+"""
+
+from repro.cells.combinational import GateSpec
+from repro.cells.delay import GateArc, LinearDelay
+from repro.cells.library import CellLibrary, standard_library
+from repro.cells.sequential import SyncSpec
+from repro.cells.tables import TableArc, TableDelay, table_from_linear
+
+__all__ = [
+    "CellLibrary",
+    "GateArc",
+    "GateSpec",
+    "LinearDelay",
+    "SyncSpec",
+    "TableArc",
+    "TableDelay",
+    "standard_library",
+    "table_from_linear",
+]

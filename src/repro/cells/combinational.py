@@ -1,0 +1,162 @@
+"""Combinational gate specs.
+
+A :class:`GateSpec` implements the netlist's ``CellSpecLike`` protocol for
+ordinary logic gates: named input pins, one output pin ``Z``, per-pin input
+capacitance and one :class:`~repro.cells.delay.GateArc` per input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.cells.delay import GateArc, symmetric_arc
+from repro.netlist.kinds import CellRole, SyncStyle, Unateness
+
+#: A gate's boolean function: pin values in, output value out.
+LogicFunction = Callable[[Mapping[str, bool]], bool]
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Spec of a combinational standard cell."""
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...] = ("Z",)
+    arcs: Dict[Tuple[str, str], GateArc] = field(default_factory=dict)
+    input_caps: Dict[str, float] = field(default_factory=dict)
+    #: Estimated area in gate-equivalents; used by the re-synthesis model.
+    area: float = 1.0
+    #: Boolean function (None when only timing matters, e.g. modules).
+    function: Optional[LogicFunction] = None
+
+    @property
+    def role(self) -> CellRole:
+        return CellRole.COMBINATIONAL
+
+    @property
+    def control(self) -> Optional[str]:
+        return None
+
+    @property
+    def sync_style(self) -> Optional[SyncStyle]:
+        return None
+
+    def input_cap(self, pin: str) -> float:
+        return self.input_caps.get(pin, 1.0)
+
+    def __post_init__(self) -> None:
+        for (in_pin, out_pin) in self.arcs:
+            if in_pin not in self.inputs or out_pin not in self.outputs:
+                raise ValueError(
+                    f"{self.name}: arc {in_pin}->{out_pin} uses unknown pins"
+                )
+
+
+_INPUT_NAMES = ("A", "B", "C", "D", "E", "F", "G", "H")
+
+
+def _all(values: Mapping[str, bool]) -> bool:
+    return all(values.values())
+
+
+def _any(values: Mapping[str, bool]) -> bool:
+    return any(values.values())
+
+
+#: Boolean functions by family (applied to however many inputs a variant
+#: has).  AOI21/AOI22/OAI21/OAI22 follow the standard pin conventions:
+#: AOI21 = ~((A & B) | C), AOI22 = ~((A & B) | (C & D)), etc.
+_FAMILY_FUNCTIONS: Dict[str, LogicFunction] = {
+    "INV": lambda v: not v["A"],
+    "BUF": lambda v: v["A"],
+    "NAND": lambda v: not _all(v),
+    "NOR": lambda v: not _any(v),
+    "AND": _all,
+    "OR": _any,
+    "XOR": lambda v: (sum(bool(x) for x in v.values()) % 2) == 1,
+    "XNOR": lambda v: (sum(bool(x) for x in v.values()) % 2) == 0,
+    "AOI21": lambda v: not ((v["A"] and v["B"]) or v["C"]),
+    "AOI22": lambda v: not ((v["A"] and v["B"]) or (v["C"] and v["D"])),
+    "OAI21": lambda v: not ((v["A"] or v["B"]) and v["C"]),
+    "OAI22": lambda v: not ((v["A"] or v["B"]) and (v["C"] or v["D"])),
+}
+
+
+def function_for(name: str) -> Optional[LogicFunction]:
+    """The boolean function of a default-library gate family, by name
+    prefix (``NAND3`` -> the NAND family), or ``None`` if unknown."""
+    for prefix in sorted(_FAMILY_FUNCTIONS, key=len, reverse=True):
+        if name.startswith(prefix):
+            return _FAMILY_FUNCTIONS[prefix]
+    return None
+
+
+def simple_gate(
+    name: str,
+    n_inputs: int,
+    unateness: Unateness,
+    intrinsic: float,
+    resistance: float,
+    input_cap: float = 1.0,
+    skew: float = 0.0,
+    area: Optional[float] = None,
+    function: Optional[LogicFunction] = None,
+) -> GateSpec:
+    """A gate whose every input->Z arc shares one delay model."""
+    if not 1 <= n_inputs <= len(_INPUT_NAMES):
+        raise ValueError(f"{name}: unsupported input count {n_inputs}")
+    inputs = _INPUT_NAMES[:n_inputs]
+    arc = symmetric_arc(unateness, intrinsic, resistance, skew)
+    return GateSpec(
+        name=name,
+        inputs=inputs,
+        arcs={(pin, "Z"): arc for pin in inputs},
+        input_caps={pin: input_cap for pin in inputs},
+        area=area if area is not None else float(n_inputs),
+        function=function if function is not None else function_for(name),
+    )
+
+
+def default_gates() -> Tuple[GateSpec, ...]:
+    """The default combinational cell set.
+
+    Delay coefficients are representative of a ~2um CMOS standard-cell
+    family (the technology of the paper's era): inverters are fastest,
+    series stacks add intrinsic delay and resistance, and complex AOI/OAI
+    gates trade one stage of logic for a slower single stage.
+    """
+    return (
+        simple_gate("INV", 1, Unateness.NEGATIVE, 0.35, 0.10, 1.0, 0.05, 1.0),
+        simple_gate("BUF", 1, Unateness.POSITIVE, 0.70, 0.08, 1.0, 0.05, 2.0),
+        simple_gate("NAND2", 2, Unateness.NEGATIVE, 0.50, 0.13, 1.1, 0.08),
+        simple_gate("NAND3", 3, Unateness.NEGATIVE, 0.65, 0.16, 1.2, 0.10),
+        simple_gate("NAND4", 4, Unateness.NEGATIVE, 0.85, 0.20, 1.3, 0.12),
+        simple_gate("NOR2", 2, Unateness.NEGATIVE, 0.55, 0.15, 1.1, -0.08),
+        simple_gate("NOR3", 3, Unateness.NEGATIVE, 0.75, 0.19, 1.2, -0.10),
+        simple_gate("NOR4", 4, Unateness.NEGATIVE, 1.00, 0.24, 1.3, -0.12),
+        simple_gate("AND2", 2, Unateness.POSITIVE, 0.80, 0.11, 1.1, 0.05, 3.0),
+        simple_gate("OR2", 2, Unateness.POSITIVE, 0.85, 0.12, 1.1, 0.05, 3.0),
+        simple_gate("XOR2", 2, Unateness.NON_UNATE, 1.10, 0.16, 1.6, 0.0, 5.0),
+        simple_gate("XNOR2", 2, Unateness.NON_UNATE, 1.10, 0.16, 1.6, 0.0, 5.0),
+        simple_gate("AOI21", 3, Unateness.NEGATIVE, 0.70, 0.17, 1.2, 0.06, 3.0),
+        simple_gate("AOI22", 4, Unateness.NEGATIVE, 0.80, 0.19, 1.3, 0.06, 4.0),
+        simple_gate("OAI21", 3, Unateness.NEGATIVE, 0.72, 0.17, 1.2, -0.06, 3.0),
+        simple_gate("OAI22", 4, Unateness.NEGATIVE, 0.82, 0.19, 1.3, -0.06, 4.0),
+        mux2_spec(),
+    )
+
+
+def mux2_spec() -> GateSpec:
+    """A 2:1 multiplexer: data pins are non-unate via the select."""
+    data_arc = symmetric_arc(Unateness.POSITIVE, 0.95, 0.14)
+    select_arc = symmetric_arc(Unateness.NON_UNATE, 1.05, 0.15)
+    return GateSpec(
+        name="MUX2",
+        inputs=("A", "B", "S"),
+        arcs={("A", "Z"): data_arc, ("B", "Z"): data_arc, ("S", "Z"): select_arc},
+        input_caps={"A": 1.2, "B": 1.2, "S": 1.5},
+        area=4.0,
+        function=lambda v: v["B"] if v["S"] else v["A"],
+    )

@@ -1,0 +1,69 @@
+"""Empirical delay model for standard cells.
+
+Delays follow the classic linear form used by standard-cell delay
+"evaluation expressions that take into account the connected loads"
+(paper, Section 8)::
+
+    delay = intrinsic + resistance * C_load
+
+with separate coefficients for the rising and falling output transition.
+Units are arbitrary but consistent: we use nanoseconds for times and
+picofarad-like load units for capacitance, so ``resistance`` is ns per load
+unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.kinds import TimingArc, Unateness
+from repro.rftime import RiseFall
+
+
+@dataclass(frozen=True)
+class LinearDelay:
+    """One transition's ``intrinsic + resistance * load`` delay."""
+
+    intrinsic: float
+    resistance: float
+
+    def at_load(self, load: float) -> float:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        return self.intrinsic + self.resistance * load
+
+
+@dataclass(frozen=True)
+class GateArc(TimingArc):
+    """A combinational arc with rise/fall linear delay models.
+
+    ``rise``/``fall`` describe the *output* transition; for a
+    negative-unate arc the rise delay is measured from the input's falling
+    transition.
+    """
+
+    rise: LinearDelay = LinearDelay(0.0, 0.0)
+    fall: LinearDelay = LinearDelay(0.0, 0.0)
+
+    def delay_at(self, load: float) -> RiseFall:
+        """Arc delay pair at the given output load."""
+        return RiseFall(self.rise.at_load(load), self.fall.at_load(load))
+
+
+def symmetric_arc(
+    unateness: Unateness,
+    intrinsic: float,
+    resistance: float,
+    skew: float = 0.0,
+) -> GateArc:
+    """A GateArc whose rise/fall models differ only by ``skew``.
+
+    ``skew`` adds to the rise intrinsic and subtracts from the fall
+    intrinsic, reflecting the usual PMOS/NMOS drive asymmetry of static
+    CMOS gates.
+    """
+    return GateArc(
+        unateness=unateness,
+        rise=LinearDelay(intrinsic + skew, resistance),
+        fall=LinearDelay(max(0.0, intrinsic - skew), resistance),
+    )

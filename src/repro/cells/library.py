@@ -1,0 +1,78 @@
+"""Cell library registry."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.cells.combinational import GateSpec, default_gates
+from repro.cells.sequential import SyncSpec, default_synchronisers
+from repro.netlist.kinds import CellSpecLike
+
+
+class CellLibrary:
+    """A named collection of cell specs, resolvable by name.
+
+    Satisfies the netlist builder's ``SpecSource`` protocol.
+    """
+
+    def __init__(
+        self, name: str = "library", specs: Iterable[CellSpecLike] = ()
+    ) -> None:
+        self.name = name
+        self._specs: Dict[str, CellSpecLike] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: CellSpecLike) -> CellSpecLike:
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate spec name {spec.name!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def spec(self, name: str) -> CellSpecLike:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"library {self.name!r} has no cell {name!r}; available: "
+                f"{sorted(self._specs)}"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        return name in self._specs
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._specs))
+
+    def gates(self) -> Iterator[GateSpec]:
+        for spec in self._specs.values():
+            if isinstance(spec, GateSpec):
+                yield spec
+
+    def synchronisers(self) -> Iterator[SyncSpec]:
+        for spec in self._specs.values():
+            if isinstance(spec, SyncSpec):
+                yield spec
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __repr__(self) -> str:
+        return f"CellLibrary({self.name!r}, {len(self)} cells)"
+
+
+def standard_library() -> CellLibrary:
+    """The default static-CMOS standard-cell library.
+
+    Contains the combinational set of
+    :func:`repro.cells.combinational.default_gates` plus the synchronisers
+    of :func:`repro.cells.sequential.default_synchronisers`.
+    """
+    return CellLibrary(
+        "std-cmos",
+        tuple(default_gates()) + tuple(default_synchronisers()),
+    )

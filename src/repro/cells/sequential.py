@@ -1,0 +1,110 @@
+"""Synchronising element specs.
+
+A :class:`SyncSpec` describes one of the paper's Section 5 element styles:
+
+* ``DFF``  -- trailing-edge triggered latch (edge-triggered flip-flop),
+* ``DLATCH`` -- level-sensitive transparent latch,
+* ``TRIBUF`` -- clocked tristate driver (modelled like a transparent latch).
+
+Timing parameters map onto the paper's symbols: ``setup`` is ``D_setup``,
+``d_to_q`` is ``D_dz`` (data input to output delay, meaningful for
+transparent elements), ``c_to_q`` is ``D_cz`` (control input to output
+delay).  They are scalars -- the offset model of Section 4 is scalar; the
+rise/fall refinement applies to combinational settling only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.netlist.kinds import CellRole, SyncStyle
+
+
+@dataclass(frozen=True)
+class SyncSpec:
+    """Spec of a synchronising element."""
+
+    name: str
+    style: SyncStyle
+    setup: float = 0.0
+    d_to_q: float = 0.0
+    c_to_q: float = 0.0
+    #: Minimum-delay counterparts used by the supplementary-constraint
+    #: extension; default to a conservative fraction of the max delays.
+    hold: float = 0.0
+    input_caps: Dict[str, float] = field(default_factory=dict)
+    area: float = 6.0
+    data_pin: str = "D"
+    control_pin: str = "G"
+    output_pin: str = "Q"
+
+    def __post_init__(self) -> None:
+        if self.setup < 0 or self.d_to_q < 0 or self.c_to_q < 0:
+            raise ValueError(f"{self.name}: delays must be non-negative")
+        if self.style is SyncStyle.EDGE_TRIGGERED and self.d_to_q:
+            raise ValueError(
+                f"{self.name}: edge-triggered elements have no data-to-output "
+                "arc; output timing is control driven (D_cz)"
+            )
+
+    @property
+    def role(self) -> CellRole:
+        return CellRole.SYNCHRONISER
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        return (self.data_pin,)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return (self.output_pin,)
+
+    @property
+    def control(self) -> Optional[str]:
+        return self.control_pin
+
+    @property
+    def sync_style(self) -> Optional[SyncStyle]:
+        return self.style
+
+    def input_cap(self, pin: str) -> float:
+        return self.input_caps.get(pin, 1.2)
+
+
+def default_synchronisers() -> Tuple[SyncSpec, ...]:
+    """The default sequential cell set (delays in ns)."""
+    return (
+        SyncSpec(
+            name="DFF",
+            style=SyncStyle.EDGE_TRIGGERED,
+            setup=0.8,
+            d_to_q=0.0,
+            c_to_q=1.2,
+            hold=0.3,
+            input_caps={"D": 1.2, "CK": 1.5},
+            area=8.0,
+            control_pin="CK",
+        ),
+        SyncSpec(
+            name="DLATCH",
+            style=SyncStyle.TRANSPARENT,
+            setup=0.6,
+            d_to_q=0.9,
+            c_to_q=1.0,
+            hold=0.25,
+            input_caps={"D": 1.1, "G": 1.3},
+            area=6.0,
+        ),
+        SyncSpec(
+            name="TRIBUF",
+            style=SyncStyle.TRISTATE,
+            setup=0.3,
+            d_to_q=0.7,
+            c_to_q=0.8,
+            hold=0.1,
+            input_caps={"D": 1.0, "EN": 1.2},
+            area=4.0,
+            control_pin="EN",
+        ),
+    )

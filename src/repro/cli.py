@@ -1,0 +1,253 @@
+"""Command-line interface: ``repro-sta``.
+
+Mirrors the original Hummingbird's batch usage -- read a design and its
+clock description, run the analysis, print the report::
+
+    repro-sta analyze design.json --clocks clocks.json
+    repro-sta analyze design.blif --clocks clocks.json --min-delay
+    repro-sta constraints design.json --clocks clocks.json --net n42
+    repro-sta maxfreq design.json --clocks clocks.json
+    repro-sta stats design.json --clocks clocks.json
+    repro-sta simulate design.json --clocks clocks.json --cycles 16
+    repro-sta waveforms --clocks clocks.json
+
+(Equivalently ``python -m repro.cli ...``.)  Netlist format is selected
+by extension: ``.json`` (:mod:`repro.netlist.persistence`) or ``.blif``
+(:mod:`repro.netlist.blif`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cells import standard_library
+from repro.clocks.serialize import load_schedule
+from repro.core.analyzer import Hummingbird
+from repro.core.enable_paths import check_enable_paths
+from repro.core.frequency import find_max_frequency
+from repro.core.mindelay import check_min_delays
+from repro.netlist.blif import load_blif
+from repro.netlist.persistence import load_network
+from repro.netlist.verilog import load_verilog
+from repro.viz import render_constraints, render_schedule
+
+
+def _read_network(path: str, default_clock: Optional[str]):
+    library = standard_library()
+    suffix = Path(path).suffix.lower()
+    if suffix == ".blif":
+        return load_blif(path, library, default_clock)
+    if suffix == ".json":
+        return load_network(path, library)
+    if suffix == ".v":
+        return load_verilog(path, library, default_clock)
+    raise SystemExit(
+        f"unknown netlist format {suffix!r} (use .json, .blif or .v)"
+    )
+
+
+def _common_arguments(parser: argparse.ArgumentParser, with_netlist=True):
+    if with_netlist:
+        parser.add_argument("netlist", help="design file (.json or .blif)")
+        parser.add_argument(
+            "--default-clock",
+            help="reference clock for BLIF pads without pragmas",
+        )
+    parser.add_argument(
+        "--clocks", required=True, help="clock schedule JSON file"
+    )
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    network = _read_network(args.netlist, args.default_clock)
+    schedule = load_schedule(args.clocks)
+    analyzer = Hummingbird(network, schedule)
+    result = analyzer.analyze(slow_path_limit=args.limit)
+    print(result.report(limit=args.limit or 20))
+    status = 0 if result.intended else 1
+    if args.min_delay:
+        violations = check_min_delays(analyzer.model, analyzer.engine)
+        print(f"\nsupplementary (min-delay) violations: {len(violations)}")
+        for violation in violations[: args.limit or 20]:
+            print(
+                f"  {violation.capture_instance} on {violation.capture_net}: "
+                f"earliest arrival {violation.earliest_arrival:.3f} < "
+                f"allowed {violation.earliest_allowed:.3f}"
+            )
+        if violations:
+            status = 1
+    enable_violations = check_enable_paths(analyzer.model)
+    if enable_violations:
+        print(f"\nenable-path violations: {len(enable_violations)}")
+        for violation in enable_violations:
+            print(
+                f"  {violation.source_terminal} -> "
+                f"{violation.controlled_cell}: slack {violation.slack:.3f}"
+            )
+        status = 1
+    return status
+
+
+def cmd_constraints(args: argparse.Namespace) -> int:
+    network = _read_network(args.netlist, args.default_clock)
+    schedule = load_schedule(args.clocks)
+    analyzer = Hummingbird(network, schedule)
+    outcome = analyzer.generate_constraints()
+    print(
+        render_constraints(
+            outcome.constraints,
+            network,
+            nets=args.net or (),
+            limit=args.limit or 40,
+        )
+    )
+    return 0
+
+
+def cmd_maxfreq(args: argparse.Namespace) -> int:
+    network = _read_network(args.netlist, args.default_clock)
+    schedule = load_schedule(args.clocks)
+    analyzer = Hummingbird(network, schedule)
+    result = find_max_frequency(network, schedule, analyzer.delays)
+    if result.min_period is None:
+        print("no feasible clock scale found in the search window")
+        return 1
+    print(f"minimum feasible overall period: {result.min_period:.4f}")
+    print(f"evaluations: {result.evaluations}")
+    assert result.schedule is not None
+    print(render_schedule(result.schedule))
+    return 0
+
+
+def cmd_corners(args: argparse.Namespace) -> int:
+    from repro.core.corners import analyze_corners
+
+    network = _read_network(args.netlist, args.default_clock)
+    schedule = load_schedule(args.clocks)
+    result = analyze_corners(network, schedule)
+    print(result.summary())
+    return 0 if result.intended else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    network = _read_network(args.netlist, args.default_clock)
+    schedule = load_schedule(args.clocks)
+    analyzer = Hummingbird(network, schedule)
+    result = analyzer.analyze()
+    print(result.summary())
+    print()
+    print(analyzer.statistics(histogram_bins=args.bins).format())
+    return 0 if result.intended else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim import dynamic_intended_check
+
+    network = _read_network(args.netlist, args.default_clock)
+    schedule = load_schedule(args.clocks)
+    analyzer = Hummingbird(network, schedule)
+    sta = analyzer.analyze()
+    print(f"static analysis: {sta.summary()}")
+    check = dynamic_intended_check(
+        network,
+        schedule,
+        analyzer.delays,
+        cycles=args.cycles,
+        seed=args.seed,
+    )
+    print(
+        f"dynamic check: {check.captures_compared} captures compared, "
+        f"{len(check.mismatches)} mismatch(es), "
+        f"{len(check.setup_violations)} setup violation(s)"
+    )
+    for cell, index, real, ideal in check.mismatches[:10]:
+        print(
+            f"  {cell} capture #{index}: real={int(real)} ideal={int(ideal)}"
+        )
+    print(
+        "system behaves as intended (dynamic)"
+        if check.intended
+        else "system does NOT behave as intended (dynamic)"
+    )
+    return 0 if check.intended else 1
+
+
+def cmd_waveforms(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.clocks)
+    print(schedule.describe())
+    print(render_schedule(schedule))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sta",
+        description="Hummingbird-style system-level timing analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="run Algorithm 1, report slow paths")
+    _common_arguments(analyze)
+    analyze.add_argument("--limit", type=int, default=20)
+    analyze.add_argument(
+        "--min-delay",
+        action="store_true",
+        help="also check supplementary (minimum delay) constraints",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    constraints = sub.add_parser(
+        "constraints", help="run Algorithm 2, print ready/required times"
+    )
+    _common_arguments(constraints)
+    constraints.add_argument(
+        "--net", action="append", help="net to report (repeatable)"
+    )
+    constraints.add_argument("--limit", type=int, default=40)
+    constraints.set_defaults(func=cmd_constraints)
+
+    maxfreq = sub.add_parser(
+        "maxfreq", help="binary-search the fastest feasible clock scale"
+    )
+    _common_arguments(maxfreq)
+    maxfreq.set_defaults(func=cmd_maxfreq)
+
+    corners = sub.add_parser(
+        "corners", help="slow/typical/fast multi-corner sign-off"
+    )
+    _common_arguments(corners)
+    corners.set_defaults(func=cmd_corners)
+
+    stats = sub.add_parser(
+        "stats", help="endpoint statistics (WNS/TNS, histogram)"
+    )
+    _common_arguments(stats)
+    stats.add_argument("--bins", type=int, default=8)
+    stats.set_defaults(func=cmd_stats)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="dynamic validation: event simulation vs the ideal system",
+    )
+    _common_arguments(simulate)
+    simulate.add_argument("--cycles", type=int, default=8)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=cmd_simulate)
+
+    waveforms = sub.add_parser("waveforms", help="render the clock schedule")
+    _common_arguments(waveforms, with_netlist=False)
+    waveforms.set_defaults(func=cmd_waveforms)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

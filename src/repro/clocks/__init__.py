@@ -1,0 +1,40 @@
+"""Clock substrate: waveforms, harmonic schedules and clock edges.
+
+The paper (Section 3) assumes *synchronous* operation: all clock waveforms
+have harmonically related frequencies and there is an overall period that is
+an integer multiple of the period of each clock signal.  This package models
+
+* :class:`~repro.clocks.waveform.ClockWaveform` -- one clock signal with one
+  pulse per period,
+* :class:`~repro.clocks.schedule.ClockSchedule` -- a set of waveforms with a
+  common overall period, expanded into per-period pulses and edges,
+* :class:`~repro.clocks.edges.ClockEdge` / :class:`~repro.clocks.edges.Pulse`
+  -- the individual clock transitions the analysis reasons about.
+
+Ideal clock-edge times are kept as exact :class:`fractions.Fraction` values
+so that modular arithmetic on the overall period (Section 7's "breaking open"
+of the clock cycle) never suffers floating point drift.
+"""
+
+from repro.clocks.edges import ClockEdge, EdgeKind, Pulse
+from repro.clocks.schedule import ClockSchedule
+from repro.clocks.serialize import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.clocks.waveform import ClockWaveform, as_time
+
+__all__ = [
+    "ClockEdge",
+    "ClockSchedule",
+    "ClockWaveform",
+    "EdgeKind",
+    "Pulse",
+    "as_time",
+    "load_schedule",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+]

@@ -1,0 +1,82 @@
+"""Clock edges and pulses within the overall period.
+
+A :class:`Pulse` is one assertion of a clock within the overall period; it
+owns a leading and a trailing :class:`ClockEdge`.  Synchronising elements
+clocked faster than the overall period are expanded into one generic
+instance per pulse (paper, Section 4), so pulses carry an index.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+
+
+class EdgeKind(enum.Enum):
+    """Which transition of a clock pulse an edge is."""
+
+    LEADING = "leading"
+    TRAILING = "trailing"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class ClockEdge:
+    """One clock transition within the overall period.
+
+    Ordering is by ``(time, clock, kind, pulse_index)`` so sorted sequences
+    of edges are chronological with a deterministic tie-break for coincident
+    edges of different clocks.
+    """
+
+    time: Fraction
+    clock: str
+    kind: EdgeKind = EdgeKind.LEADING
+    pulse_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("edge time must be non-negative")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier, e.g. ``phi1.lead[0]``."""
+        return f"{self.clock}.{'lead' if self.kind is EdgeKind.LEADING else 'trail'}[{self.pulse_index}]"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """One pulse of a clock within the overall period.
+
+    Edge times are normalised into ``[0, overall_period)``; a trailing edge
+    that wraps past the end of the overall period therefore has a time
+    *smaller* than the leading edge, which is why the pulse width is stored
+    explicitly rather than derived.
+    """
+
+    clock: str
+    index: int
+    leading: ClockEdge
+    trailing: ClockEdge
+    width: Fraction
+
+    def __post_init__(self) -> None:
+        if self.leading.kind is not EdgeKind.LEADING:
+            raise ValueError("pulse leading edge must be a LEADING edge")
+        if self.trailing.kind is not EdgeKind.TRAILING:
+            raise ValueError("pulse trailing edge must be a TRAILING edge")
+        if self.width <= 0:
+            raise ValueError("pulse width must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"{self.clock}[{self.index}]"
+
+    def __str__(self) -> str:
+        return self.label

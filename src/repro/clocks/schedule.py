@@ -1,0 +1,228 @@
+"""Harmonic clock schedules.
+
+A :class:`ClockSchedule` collects the clock waveforms driving a design and
+derives the *overall period*: the least common multiple of the individual
+periods (Section 3 requires all frequencies to be harmonically related).
+Within one overall period every clock contributes ``multiplier`` pulses;
+each pulse yields a leading and a trailing :class:`~repro.clocks.edges.ClockEdge`.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.clocks.edges import ClockEdge, EdgeKind, Pulse
+from repro.clocks.waveform import ClockWaveform, TimeLike, as_time
+
+
+def _lcm_fraction(values: Sequence[Fraction]) -> Fraction:
+    """Least common multiple of positive fractions.
+
+    ``lcm(a1/b1, a2/b2) = lcm(a1, a2) / gcd(b1, b2)``.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    numerator = values[0].numerator
+    denominator = values[0].denominator
+    for value in values[1:]:
+        numerator = numerator * value.numerator // math.gcd(
+            numerator, value.numerator
+        )
+        denominator = math.gcd(denominator, value.denominator)
+    return Fraction(numerator, denominator)
+
+
+class ClockSchedule:
+    """The set of clock waveforms synchronising a design.
+
+    Parameters
+    ----------
+    waveforms:
+        The clock waveforms.  Names must be unique.  Periods must be
+        harmonically related (each must divide the least common multiple an
+        integer number of times -- automatic for an LCM, but the LCM itself
+        must stay finite, which :func:`_lcm_fraction` guarantees for
+        rational periods).
+
+    The schedule is immutable; the what-if helpers (:meth:`replace`,
+    :meth:`with_shifted_clock`, ...) return new schedules.
+    """
+
+    def __init__(self, waveforms: Iterable[ClockWaveform]) -> None:
+        self._waveforms: Dict[str, ClockWaveform] = {}
+        for waveform in waveforms:
+            if waveform.name in self._waveforms:
+                raise ValueError(f"duplicate clock name {waveform.name!r}")
+            self._waveforms[waveform.name] = waveform
+        if not self._waveforms:
+            raise ValueError("a clock schedule needs at least one clock")
+        self._overall_period = _lcm_fraction(
+            [w.period for w in self._waveforms.values()]
+        )
+        self._pulses: Dict[str, Tuple[Pulse, ...]] = {
+            name: self._expand_pulses(waveform)
+            for name, waveform in self._waveforms.items()
+        }
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(
+        cls,
+        name: str = "clk",
+        period: TimeLike = 100,
+        leading: TimeLike = 0,
+        trailing: Optional[TimeLike] = None,
+    ) -> "ClockSchedule":
+        """A one-clock schedule; the pulse defaults to a 50% duty cycle."""
+        period_t = as_time(period)
+        if trailing is None:
+            trailing = as_time(leading) + period_t / 2
+        return cls([ClockWaveform(name, period_t, leading, trailing)])
+
+    @classmethod
+    def two_phase(
+        cls,
+        period: TimeLike = 100,
+        width: Optional[TimeLike] = None,
+        names: Tuple[str, str] = ("phi1", "phi2"),
+    ) -> "ClockSchedule":
+        """A classic non-overlapping two-phase schedule.
+
+        ``phi1`` pulses in the first half of the period and ``phi2`` in the
+        second half; ``width`` defaults to 40% of the period, leaving a 10%
+        non-overlap gap on each side.
+        """
+        period_t = as_time(period)
+        width_t = as_time(width) if width is not None else period_t * 2 / 5
+        if not 0 < width_t < period_t / 2:
+            raise ValueError("two-phase pulse width must be in (0, period/2)")
+        gap = (period_t / 2 - width_t) / 2
+        return cls(
+            [
+                ClockWaveform(names[0], period_t, gap, gap + width_t),
+                ClockWaveform(
+                    names[1], period_t, period_t / 2 + gap, period_t / 2 + gap + width_t
+                ),
+            ]
+        )
+
+    def _expand_pulses(self, waveform: ClockWaveform) -> Tuple[Pulse, ...]:
+        multiplier = self._overall_period / waveform.period
+        assert multiplier.denominator == 1, "LCM must be an integer multiple"
+        pulses: List[Pulse] = []
+        for index in range(int(multiplier)):
+            base = index * waveform.period
+            lead_time = (base + waveform.leading) % self._overall_period
+            trail_time = (base + waveform.trailing) % self._overall_period
+            leading = ClockEdge(lead_time, waveform.name, EdgeKind.LEADING, index)
+            trailing = ClockEdge(
+                trail_time, waveform.name, EdgeKind.TRAILING, index
+            )
+            pulses.append(
+                Pulse(waveform.name, index, leading, trailing, waveform.width)
+            )
+        return tuple(pulses)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def overall_period(self) -> Fraction:
+        """The overall period: LCM of all clock periods."""
+        return self._overall_period
+
+    @property
+    def clock_names(self) -> Tuple[str, ...]:
+        return tuple(self._waveforms)
+
+    def waveform(self, name: str) -> ClockWaveform:
+        try:
+            return self._waveforms[name]
+        except KeyError:
+            raise KeyError(f"no clock named {name!r}") from None
+
+    def waveforms(self) -> Tuple[ClockWaveform, ...]:
+        return tuple(self._waveforms.values())
+
+    def multiplier(self, name: str) -> int:
+        """How many pulses clock ``name`` contributes per overall period."""
+        return len(self._pulses[self.waveform(name).name])
+
+    def pulses(self, name: str) -> Tuple[Pulse, ...]:
+        """The pulses of clock ``name`` within one overall period."""
+        self.waveform(name)
+        return self._pulses[name]
+
+    def all_pulses(self) -> Tuple[Pulse, ...]:
+        return tuple(
+            pulse for pulses in self._pulses.values() for pulse in pulses
+        )
+
+    def all_edges(self) -> Tuple[ClockEdge, ...]:
+        """Every clock edge within the overall period, chronologically."""
+        edges = [
+            edge
+            for pulse in self.all_pulses()
+            for edge in (pulse.leading, pulse.trailing)
+        ]
+        return tuple(sorted(edges))
+
+    def edge_times(self) -> Tuple[Fraction, ...]:
+        """Sorted distinct edge times within the overall period."""
+        return tuple(sorted({edge.time for edge in self.all_edges()}))
+
+    # ------------------------------------------------------------------
+    # what-if modification (interactive mode, paper Section 8)
+    # ------------------------------------------------------------------
+    def replace(self, waveform: ClockWaveform) -> "ClockSchedule":
+        """A new schedule with the same clocks, one waveform replaced."""
+        self.waveform(waveform.name)
+        updated = dict(self._waveforms)
+        updated[waveform.name] = waveform
+        return ClockSchedule(updated.values())
+
+    def with_shifted_clock(self, name: str, delta: TimeLike) -> "ClockSchedule":
+        """Shift both edges of clock ``name`` by ``delta``."""
+        return self.replace(self.waveform(name).shifted(delta))
+
+    def with_pulse_width(self, name: str, width: TimeLike) -> "ClockSchedule":
+        """Change the pulse width of clock ``name``."""
+        return self.replace(self.waveform(name).with_width(width))
+
+    def scaled(self, factor: TimeLike) -> "ClockSchedule":
+        """A new schedule with every period and edge scaled by ``factor``.
+
+        Used by the maximum-frequency search: scaling all waveforms keeps
+        duty cycles and phase relationships while changing the clock speed.
+        """
+        factor_t = as_time(factor)
+        if factor_t <= 0:
+            raise ValueError("scale factor must be positive")
+        return ClockSchedule(
+            ClockWaveform(
+                w.name,
+                w.period * factor_t,
+                w.leading * factor_t,
+                w.trailing * factor_t,
+            )
+            for w in self._waveforms.values()
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the schedule."""
+        lines = [f"overall period: {self._overall_period}"]
+        for name, waveform in self._waveforms.items():
+            lines.append(
+                f"  {name}: period={waveform.period} "
+                f"pulse=[{waveform.leading}, {waveform.trailing}) "
+                f"x{self.multiplier(name)}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"ClockSchedule({list(self._waveforms.values())!r})"
+

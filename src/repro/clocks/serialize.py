@@ -1,0 +1,59 @@
+"""JSON (de)serialisation of clock schedules.
+
+Times are written as exact strings (``"45"``, ``"12.5"``, ``"1/3"``) so
+round-trips preserve the Fraction representation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.clocks.schedule import ClockSchedule
+from repro.clocks.waveform import ClockWaveform
+
+
+def _time_to_str(value) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"
+
+
+def schedule_to_dict(schedule: ClockSchedule) -> Dict[str, Any]:
+    """Serialise a schedule to plain data."""
+    return {
+        "format": "repro-clocks-v1",
+        "clocks": [
+            {
+                "name": w.name,
+                "period": _time_to_str(w.period),
+                "leading": _time_to_str(w.leading),
+                "trailing": _time_to_str(w.trailing),
+            }
+            for w in schedule.waveforms()
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> ClockSchedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output."""
+    if data.get("format") != "repro-clocks-v1":
+        raise ValueError("not a repro clock schedule (missing format tag)")
+    return ClockSchedule(
+        ClockWaveform(
+            entry["name"],
+            entry["period"],
+            entry["leading"],
+            entry["trailing"],
+        )
+        for entry in data["clocks"]
+    )
+
+
+def save_schedule(schedule: ClockSchedule, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: Union[str, Path]) -> ClockSchedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()))

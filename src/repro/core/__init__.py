@@ -1,0 +1,25 @@
+"""System-level timing analysis: the paper's primary contribution.
+
+Layout (one module per concept of the paper):
+
+* :mod:`repro.core.sync_elements` -- the generic synchronising-element
+  model with terminal offsets (Sections 4-5, Figures 2-3),
+* :mod:`repro.core.control_paths` -- control-path delays (``O_ac``),
+* :mod:`repro.core.clusters` -- maximal combinational networks,
+* :mod:`repro.core.ideal_constraints` -- ideal path constraints ``D_p``,
+* :mod:`repro.core.breakopen` -- Section 7's minimum analysis-pass
+  selection over the clock-edge graph,
+* :mod:`repro.core.slack` -- block-method ready/required/slack evaluation,
+* :mod:`repro.core.transfer` -- slack transfer and time snatching,
+* :mod:`repro.core.algorithm1` -- identification of slow paths,
+* :mod:`repro.core.algorithm2` -- timing-constraint generation,
+* :mod:`repro.core.mindelay` -- supplementary (minimum-delay) constraints,
+* :mod:`repro.core.frequency` -- maximum-frequency search,
+* :mod:`repro.core.resynthesis` -- Algorithm 3's analysis-redesign loop,
+* :mod:`repro.core.analyzer` -- the :class:`Hummingbird` facade,
+* :mod:`repro.core.report` -- slow-path and constraint reports.
+"""
+
+from repro.core.analyzer import Hummingbird, TimingResult
+
+__all__ = ["Hummingbird", "TimingResult"]

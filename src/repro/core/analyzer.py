@@ -1,0 +1,195 @@
+"""The :class:`Hummingbird` facade: the public entry point of the library.
+
+Mirrors the structure of the original program: a *pre-processing* phase
+(cluster generation and the Section 7 pass-selection algorithm, timed
+separately as in Table 1) followed by *analysis* (Algorithm 1) and,
+optionally, *constraint generation* (Algorithm 2).
+
+Example
+-------
+>>> from repro import Hummingbird                      # doctest: +SKIP
+>>> hb = Hummingbird(network, schedule)                # doctest: +SKIP
+>>> result = hb.analyze()                              # doctest: +SKIP
+>>> print(result.summary())                            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clocks.schedule import ClockSchedule
+from repro.core.algorithm1 import Algorithm1Result, run_algorithm1
+from repro.core.algorithm2 import Algorithm2Result, run_algorithm2
+from repro.core.model import AnalysisModel
+from repro.core.report import SlowPath, extract_slow_paths, format_slow_paths
+from repro.core.slack import SlackEngine
+from repro.delay.estimator import DelayMap, DelayParameters, estimate_delays
+from repro.netlist.network import Network
+
+
+@dataclass
+class TimingResult:
+    """Outcome of one timing analysis."""
+
+    algorithm1: Algorithm1Result
+    slow_paths: List[SlowPath]
+    preprocess_seconds: float
+    analysis_seconds: float
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def intended(self) -> bool:
+        """True when the system behaves as intended (no slow paths)."""
+        return self.algorithm1.intended
+
+    @property
+    def worst_slack(self) -> float:
+        return self.algorithm1.worst_slack
+
+    def summary(self) -> str:
+        verdict = (
+            "system behaves as intended"
+            if self.intended
+            else f"{len(self.slow_paths)} slow path(s)"
+        )
+        return (
+            f"{self.stats.get('cells', '?')} cells, "
+            f"{self.stats.get('nets', '?')} nets | "
+            f"pre-processing {self.preprocess_seconds:.3f}s, "
+            f"analysis {self.analysis_seconds:.3f}s | "
+            f"worst slack {self.worst_slack:.3f} | {verdict}"
+        )
+
+    def report(self, limit: int = 20) -> str:
+        return self.summary() + "\n" + format_slow_paths(self.slow_paths, limit)
+
+
+class Hummingbird:
+    """System-level timing analyser for latch-based multi-phase designs.
+
+    Parameters
+    ----------
+    network:
+        The design (cells, nets, synchronisers, pads, clock sources).
+    schedule:
+        The clock waveforms (harmonically related).
+    delays:
+        Pre-computed component delays; estimated from the cell library
+        when omitted.
+    delay_params:
+        Estimation knobs (only used when ``delays`` is omitted).
+    exhaustive_limit:
+        Largest break-set size tried exhaustively in pass selection.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        schedule: ClockSchedule,
+        delays: Optional[DelayMap] = None,
+        delay_params: Optional[DelayParameters] = None,
+        exhaustive_limit: int = 4,
+    ) -> None:
+        self.network = network
+        self.schedule = schedule
+        started = time.process_time()
+        self.delays = (
+            delays
+            if delays is not None
+            else estimate_delays(network, delay_params)
+        )
+        self.model = AnalysisModel(
+            network, schedule, self.delays, exhaustive_limit
+        )
+        self.engine = SlackEngine(self.model)
+        self.preprocess_seconds = time.process_time() - started
+        self._last_result: Optional[TimingResult] = None
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self, slow_path_limit: Optional[int] = 50, tolerance: float = 0.0
+    ) -> TimingResult:
+        """Run Algorithm 1 and extract the slow paths."""
+        started = time.process_time()
+        outcome = run_algorithm1(self.model, self.engine)
+        analysis_seconds = time.process_time() - started
+        slow_paths = (
+            []
+            if outcome.intended
+            else extract_slow_paths(
+                self.model,
+                self.engine,
+                outcome.slacks.capture,
+                tolerance=tolerance,
+                limit=slow_path_limit,
+            )
+        )
+        result = TimingResult(
+            algorithm1=outcome,
+            slow_paths=slow_paths,
+            preprocess_seconds=self.preprocess_seconds,
+            analysis_seconds=analysis_seconds,
+            stats=self.model.stats(),
+        )
+        self._last_result = result
+        return result
+
+    def generate_constraints(self) -> Algorithm2Result:
+        """Run Algorithm 2 (ready/required times for re-synthesis)."""
+        return run_algorithm2(self.model, self.engine)
+
+    def statistics(self, histogram_bins: int = 8):
+        """Aggregate endpoint statistics (WNS/TNS, per-clock, histogram)
+        for the last analysis (runs one if needed)."""
+        from repro.core.statistics import timing_statistics
+
+        result = self._last_result or self.analyze()
+        return timing_statistics(
+            self.model, result.algorithm1.slacks, histogram_bins
+        )
+
+    def flag_slow_paths(self) -> int:
+        """Mark cells on slow paths with ``attrs['slow_path'] = True``
+        (the OCT-flag substitute).  Returns the number of flagged cells."""
+        result = self._last_result or self.analyze()
+        flagged = set()
+        for path in result.slow_paths:
+            for step in path.steps:
+                flagged.add(step.cell_name)
+        for name in flagged:
+            self.network.cell(name).attrs["slow_path"] = True
+        return len(flagged)
+
+    # ------------------------------------------------------------------
+    # what-if (interactive mode, Section 8)
+    # ------------------------------------------------------------------
+    def with_schedule(self, schedule: ClockSchedule) -> "Hummingbird":
+        """A new analyser for the same design under different clocks
+        (component delays are reused -- they do not depend on clocks)."""
+        return Hummingbird(self.network, schedule, delays=self.delays)
+
+    def with_delays(self, delays: DelayMap) -> "Hummingbird":
+        """A new analyser with adjusted component delays."""
+        return Hummingbird(self.network, self.schedule, delays=delays)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def table_row(self) -> Dict[str, object]:
+        """A Table 1 style row for this design."""
+        result = self._last_result or self.analyze()
+        return {
+            "design": self.network.name,
+            "cells": result.stats.get("cells"),
+            "nets": result.stats.get("nets"),
+            "preprocess_s": round(result.preprocess_seconds, 4),
+            "analysis_s": round(result.analysis_seconds, 4),
+            "worst_slack": round(result.worst_slack, 4)
+            if result.worst_slack != float("inf")
+            else None,
+            "intended": result.intended,
+        }

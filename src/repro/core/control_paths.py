@@ -1,0 +1,112 @@
+"""Control-path delay extraction.
+
+A *control path* is a combinational path from a clock generator output to
+a synchronising element's control input (paper, Section 4).  Control paths
+have an ideal path constraint of exactly zero; their real delay shows up
+as the assertion-control arrival offset ``O_ac >= 0`` of the element's
+model.  This module computes, per synchroniser, the maximum and minimum
+control-path delay with a memoised backward traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.delay.estimator import DelayMap
+from repro.netlist.cell import Cell
+from repro.netlist.kinds import CellRole
+from repro.netlist.network import Network
+from repro.netlist.terminals import Terminal
+
+
+@dataclass(frozen=True)
+class ControlArrival:
+    """Max/min delay from the clock source to a control pin."""
+
+    latest: float
+    earliest: float
+
+    @property
+    def skew_spread(self) -> float:
+        """Uncertainty of the control arrival (within one pin)."""
+        return self.latest - self.earliest
+
+
+class ControlDelayExtractor:
+    """Computes control arrivals for every synchroniser of a network."""
+
+    def __init__(self, network: Network, delays: DelayMap) -> None:
+        self._network = network
+        self._delays = delays
+        self._memo: Dict[str, Tuple[float, float]] = {}
+
+    def arrival(self, sync_cell: Cell) -> ControlArrival:
+        """Control arrival of ``sync_cell`` (validated networks only)."""
+        control = sync_cell.control_terminal
+        if control is None:
+            raise ValueError(f"{sync_cell.name!r} has no control terminal")
+        latest, earliest = self._arrival_at(control)
+        if latest == float("-inf"):
+            raise ValueError(
+                f"no clock source reachable from {control.full_name}"
+            )
+        return ControlArrival(latest=latest, earliest=earliest)
+
+    def all_arrivals(self) -> Dict[str, ControlArrival]:
+        return {
+            cell.name: self.arrival(cell)
+            for cell in self._network.synchronisers
+        }
+
+    # ------------------------------------------------------------------
+    def _arrival_at(self, terminal: Terminal) -> Tuple[float, float]:
+        """(max, min) delay from the clock source to a sink terminal."""
+        memoised = self._memo.get(terminal.full_name)
+        if memoised is not None:
+            return memoised
+        net = terminal.net
+        if net is None or not net.drivers:
+            raise ValueError(
+                f"control path reaches undriven terminal {terminal.full_name}"
+            )
+        latest = float("-inf")
+        earliest = float("inf")
+        for driver in net.drivers:
+            cell = driver.cell
+            if cell.role is CellRole.CLOCK_SOURCE:
+                latest = max(latest, 0.0)
+                earliest = min(earliest, 0.0)
+                continue
+            if cell.is_synchroniser or cell.role is CellRole.PRIMARY_INPUT:
+                # Enable-path branch: carries gating data, not the clock
+                # transition, so it does not shape the control arrival.
+                # Its own constraint is checked by core.enable_paths.
+                continue
+            if not cell.is_combinational:
+                raise ValueError(
+                    f"control path reaches {cell.role.value} cell "
+                    f"{cell.name!r}; validate the network first"
+                )
+            for in_pin, out_pin in self._delays.arcs_of(cell):
+                if out_pin != driver.pin:
+                    continue
+                up_latest, up_earliest = self._arrival_at(
+                    cell.terminal(in_pin)
+                )
+                if up_latest == float("-inf"):
+                    continue  # branch carries no clock transition
+                arc_max = self._delays.arc_delay(cell, in_pin, out_pin)
+                arc_min = self._delays.arc_delay_min(cell, in_pin, out_pin)
+                latest = max(latest, up_latest + arc_max.worst)
+                earliest = min(earliest, up_earliest + arc_min.best)
+        result = (latest, earliest)
+        self._memo[terminal.full_name] = result
+        return result
+
+
+def control_arrivals(
+    network: Network, delays: DelayMap
+) -> Dict[str, ControlArrival]:
+    """Control arrivals for every synchroniser of ``network``."""
+    return ControlDelayExtractor(network, delays).all_arrivals()

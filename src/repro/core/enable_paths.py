@@ -1,0 +1,185 @@
+"""Enable paths (paper, Section 4).
+
+"An enable path is a combinational logic path from a synchronising
+element output to a synchronising element control input.  For an enable
+path from terminal z to terminal y, of synchronising element sigma, the
+ideal path constraint is the time that elapses between the ideal
+assertion time at z and one of the following two transitions of the
+clock that controls sigma.  The nature of the operation of the
+synchronising element, and of the enable logic, determines which of the
+clock edges is to be enabled/disabled."
+
+Per controlled element, the gated edge is selected by the instance
+attribute ``attrs['enable_edge']`` (``"leading"`` -- the default, the
+usual clock-gating requirement that the gate be stable before the pulse
+starts -- or ``"trailing"``); ``attrs['enable_setup']`` adds a margin.
+The enable signal launched at each source assertion must settle, through
+the combinational enable logic, before the *next* gated edge.
+
+Enable-path constraints have no adjustable offsets on the control side
+(the simplified model pins ``O_cc = 0``), so they are checked after
+Algorithm 1 against the final source offsets rather than participating
+in slack transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.core.model import AnalysisModel
+from repro.netlist.cell import Cell
+from repro.netlist.terminals import Terminal
+
+
+@dataclass(frozen=True)
+class EnablePathCheck:
+    """One (enable source instance, controlled element) constraint."""
+
+    controlled_cell: str
+    source_terminal: str
+    launch_instance: str
+    #: Ideal path constraint: assertion edge to the next gated edge.
+    ideal_constraint: float
+    #: Worst-case enable settle time after the source's ideal assertion
+    #: (source assertion offset + combinational path delay + margin).
+    settle_offset: float
+
+    @property
+    def slack(self) -> float:
+        return self.ideal_constraint - self.settle_offset
+
+    @property
+    def ok(self) -> bool:
+        return self.slack > 0
+
+
+def enable_path_checks(model: AnalysisModel) -> List[EnablePathCheck]:
+    """Evaluate every enable-path constraint under the current offsets."""
+    checks: List[EnablePathCheck] = []
+    period = model.schedule.overall_period
+    for cell in model.network.synchronisers:
+        trace = model.validation.control_traces.get(cell.name)
+        if trace is None or not trace.enable_sources:
+            continue
+        gated_edges = _gated_edges(model, cell)
+        margin = float(cell.attrs.get("enable_setup", 0.0))
+        control = cell.control_terminal
+        assert control is not None
+        for source_name in trace.enable_sources:
+            source_terminal = _find_terminal(model, source_name)
+            path_delay = _max_path_delay(model, source_terminal, control)
+            if path_delay is None:
+                continue  # no structural path (shared cone artefact)
+            for launch in model.instances[source_terminal.cell.name]:
+                if not launch.has_output or launch.assertion_edge is None:
+                    continue
+                d = _next_edge_constraint(
+                    launch.assertion_edge, gated_edges, period
+                )
+                checks.append(
+                    EnablePathCheck(
+                        controlled_cell=cell.name,
+                        source_terminal=source_name,
+                        launch_instance=launch.name,
+                        ideal_constraint=float(d),
+                        settle_offset=(
+                            launch.assertion_offset + path_delay + margin
+                        ),
+                    )
+                )
+    return checks
+
+
+def check_enable_paths(model: AnalysisModel) -> List[EnablePathCheck]:
+    """The violated enable-path constraints (empty when all gating logic
+    settles in time)."""
+    return [check for check in enable_path_checks(model) if not check.ok]
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _gated_edges(model: AnalysisModel, cell: Cell) -> List[Fraction]:
+    """The ideal times of the edges the enable logic gates."""
+    which = cell.attrs.get("enable_edge", "leading")
+    if which not in ("leading", "trailing"):
+        raise ValueError(
+            f"{cell.name!r}: enable_edge must be 'leading' or 'trailing'"
+        )
+    edges: List[Fraction] = []
+    for instance in model.instances[cell.name]:
+        edge = (
+            instance.assertion_edge
+            if which == "leading" and instance.assertion_edge is not None
+            else instance.closure_edge
+        )
+        if edge is not None:
+            edges.append(edge)
+    return edges
+
+
+def _next_edge_constraint(
+    assertion: Fraction, gated_edges: List[Fraction], period: Fraction
+) -> Fraction:
+    """Time from the assertion to the very next gated edge (in (0, T])."""
+    best = period
+    for edge in gated_edges:
+        delta = (edge - assertion) % period
+        if delta == 0:
+            delta = period
+        best = min(best, delta)
+    return best
+
+
+def _find_terminal(model: AnalysisModel, full_name: str) -> Terminal:
+    cell_name, __, pin = full_name.partition("/")
+    return model.network.cell(cell_name).terminal(pin)
+
+
+def _max_path_delay(
+    model: AnalysisModel, source: Terminal, target: Terminal
+) -> Optional[float]:
+    """Worst combinational delay from a source output to a control pin.
+
+    Memoised backward walk over the (small) enable cone; returns ``None``
+    when no structural path exists.
+    """
+    source_net = source.net
+    target_net = target.net
+    if source_net is None or target_net is None:
+        return None
+    memo: Dict[str, Optional[float]] = {}
+    missing = object()
+
+    def longest_to(net_name: str) -> Optional[float]:
+        if net_name == source_net.name:
+            return 0.0
+        cached = memo.get(net_name, missing)
+        if cached is not missing:
+            return cached
+        memo[net_name] = None  # cycle guard (combinational logic is acyclic)
+        best: Optional[float] = None
+        net = model.network.net(net_name)
+        for driver in net.drivers:
+            cell = driver.cell
+            if not cell.is_combinational:
+                continue
+            for in_pin, out_pin in model.delays.arcs_of(cell):
+                if out_pin != driver.pin:
+                    continue
+                in_net = cell.terminal(in_pin).net
+                if in_net is None:
+                    continue
+                upstream = longest_to(in_net.name)
+                if upstream is None:
+                    continue
+                arc = model.delays.arc_delay(cell, in_pin, out_pin).worst
+                candidate = upstream + arc
+                if best is None or candidate > best:
+                    best = candidate
+        memo[net_name] = best
+        return best
+
+    return longest_to(target_net.name)

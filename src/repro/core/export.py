@@ -1,0 +1,136 @@
+"""Machine-readable export of analysis results.
+
+Serialises :class:`~repro.core.analyzer.TimingResult`,
+:class:`~repro.core.statistics.TimingStatistics` and constraint sets to
+plain dictionaries (JSON-compatible), so downstream tools -- the role
+the OCT database played for the original -- can consume the analysis
+without parsing text reports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.algorithm2 import TimingConstraints
+from repro.core.analyzer import TimingResult
+from repro.core.statistics import TimingStatistics
+
+
+def _finite(value: float) -> Optional[float]:
+    """JSON has no infinities; unconstrained values become null."""
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+def result_to_dict(result: TimingResult) -> Dict[str, Any]:
+    """Serialise a timing result (verdict, slacks, slow paths)."""
+    return {
+        "format": "repro-timing-result-v1",
+        "intended": result.intended,
+        "worst_slack": _finite(result.worst_slack),
+        "preprocess_seconds": result.preprocess_seconds,
+        "analysis_seconds": result.analysis_seconds,
+        "stats": dict(result.stats),
+        "iterations": {
+            "forward": result.algorithm1.iterations.forward,
+            "backward": result.algorithm1.iterations.backward,
+            "partial_forward": result.algorithm1.iterations.partial_forward,
+            "partial_backward": result.algorithm1.iterations.partial_backward,
+        },
+        "converged": result.algorithm1.converged,
+        "capture_slacks": {
+            name: _finite(value)
+            for name, value in sorted(result.algorithm1.slacks.capture.items())
+        },
+        "launch_slacks": {
+            name: _finite(value)
+            for name, value in sorted(result.algorithm1.slacks.launch.items())
+        },
+        "slow_paths": [
+            {
+                "launch": path.launch_instance,
+                "capture": path.capture_instance,
+                "slack": path.slack,
+                "arrival": path.arrival,
+                "closure": path.closure,
+                "cluster": path.cluster,
+                "pass": path.pass_index,
+                "cells": [
+                    step.cell_name for step in reversed(path.steps)
+                ],
+            }
+            for path in result.slow_paths
+        ],
+    }
+
+
+def statistics_to_dict(stats: TimingStatistics) -> Dict[str, Any]:
+    """Serialise endpoint statistics."""
+
+    def group(g) -> Dict[str, Any]:
+        return {
+            "endpoints": g.endpoints,
+            "violating": g.violating,
+            "worst_slack": _finite(g.worst_slack),
+            "total_negative_slack": g.total_negative_slack,
+        }
+
+    return {
+        "format": "repro-timing-stats-v1",
+        "overall": group(stats.overall),
+        "by_clock": {
+            name: group(g) for name, g in sorted(stats.by_clock.items())
+        },
+        "histogram": [
+            {"lower_bound": lower, "count": count}
+            for lower, count in stats.histogram
+        ],
+    }
+
+
+def constraints_to_dict(
+    constraints: TimingConstraints,
+) -> Dict[str, Any]:
+    """Serialise Algorithm 2's ready/required times (per settling)."""
+
+    def settlings(entries) -> list:
+        return [
+            {
+                "cluster": entry.cluster,
+                "pass": entry.pass_index,
+                "rise": _finite(entry.value.rise),
+                "fall": _finite(entry.value.fall),
+            }
+            for entry in entries
+        ]
+
+    return {
+        "format": "repro-timing-constraints-v1",
+        "ready": {
+            net: settlings(entries)
+            for net, entries in sorted(constraints.ready.items())
+        },
+        "required": {
+            net: settlings(entries)
+            for net, entries in sorted(constraints.required.items())
+        },
+    }
+
+
+def save_result(
+    result: TimingResult, path: Union[str, Path]
+) -> None:
+    """Write a timing result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result_dict(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read back a saved result as plain data."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != "repro-timing-result-v1":
+        raise ValueError("not a repro timing result")
+    return data

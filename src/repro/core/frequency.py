@@ -1,0 +1,94 @@
+"""Maximum-frequency search.
+
+The original Hummingbird's interactive mode let users change "the shapes
+of the clock waveforms to determine the effect on system timing"; the
+natural closed-loop version is a binary search for the fastest clock
+schedule under which Algorithm 1 reports the system behaves as intended.
+All waveforms are scaled uniformly, preserving duty cycles and phase
+relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from repro.clocks.schedule import ClockSchedule
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay.estimator import DelayMap
+from repro.netlist.network import Network
+
+
+@dataclass(frozen=True)
+class FrequencySearchResult:
+    """Outcome of the binary search."""
+
+    #: Smallest feasible overall period found (None if even the upper
+    #: bound fails).
+    min_period: Optional[float]
+    #: The feasible schedule at that period.
+    schedule: Optional[ClockSchedule]
+    evaluations: int
+
+    @property
+    def max_frequency(self) -> Optional[float]:
+        if self.min_period is None or self.min_period == 0:
+            return None
+        return 1.0 / self.min_period
+
+
+def _intended_at(
+    network: Network, schedule: ClockSchedule, delays: DelayMap
+) -> bool:
+    model = AnalysisModel(network, schedule, delays)
+    return run_algorithm1(model, SlackEngine(model)).intended
+
+
+def find_max_frequency(
+    network: Network,
+    base_schedule: ClockSchedule,
+    delays: DelayMap,
+    lower_scale: float = 0.01,
+    upper_scale: float = 100.0,
+    tolerance: float = 1e-3,
+    max_evaluations: int = 64,
+) -> FrequencySearchResult:
+    """Binary-search the uniform schedule scale for the fastest feasible
+    clocks.
+
+    ``tolerance`` is relative (the search stops when the bracket is within
+    ``tolerance`` of the feasible scale).
+    """
+    evaluations = 0
+
+    def feasible(scale: float) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        scaled = base_schedule.scaled(Fraction(scale).limit_denominator(10**6))
+        return _intended_at(network, scaled, delays)
+
+    low, high = lower_scale, upper_scale
+    if feasible(low):
+        high = low
+    elif not feasible(high):
+        return FrequencySearchResult(None, None, evaluations)
+    else:
+        while (
+            (high - low) > tolerance * high
+            and evaluations < max_evaluations
+        ):
+            mid = (low + high) / 2.0
+            if feasible(mid):
+                high = mid
+            else:
+                low = mid
+
+    best = base_schedule.scaled(Fraction(high).limit_denominator(10**6))
+    return FrequencySearchResult(
+        min_period=float(best.overall_period),
+        schedule=best,
+        evaluations=evaluations,
+    )

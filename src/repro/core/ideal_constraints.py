@@ -1,0 +1,113 @@
+"""Ideal path constraints ``D_p`` (paper, Section 4).
+
+For a combinational path from synchronising element output ``x`` to data
+input ``y``, the ideal path constraint is "the time that elapses between
+the ideal assertion time at x and the very next ideal closure time at y".
+Control paths have ``D_p`` identically zero.  Enable paths take the time
+from the assertion to the clock edge being enabled/disabled.
+
+These helpers express the definitions directly; the production analysis
+embeds the same arithmetic in :mod:`repro.core.breakopen`
+(``RequirementArc.ideal_constraint``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.clocks.schedule import ClockSchedule
+from repro.core.sync_elements import GenericInstance
+
+
+def ideal_data_constraint(
+    assertion_edge: Fraction, closure_edge: Fraction, period: Fraction
+) -> Fraction:
+    """``D_p`` of a data path between two ideal edge times: in ``(0, T]``.
+
+    Coincident edges give exactly one overall period, matching the paper's
+    example (b): a trailing-edge flip-flop feeding another on the same
+    clock has ``D_p`` equal to exactly one clock period.
+    """
+    delta = (closure_edge - assertion_edge) % period
+    return delta if delta != 0 else period
+
+
+def ideal_path_constraint(
+    launch: GenericInstance,
+    capture: GenericInstance,
+    period: Fraction,
+) -> Fraction:
+    """``D_p`` between two generic instances' ideal edges."""
+    if launch.assertion_edge is None:
+        raise ValueError(f"{launch.name} has no assertion side")
+    if capture.closure_edge is None:
+        raise ValueError(f"{capture.name} has no closure side")
+    return ideal_data_constraint(
+        launch.assertion_edge, capture.closure_edge, period
+    )
+
+
+def control_path_constraint() -> Fraction:
+    """Control paths have an ideal path constraint of exactly zero."""
+    return Fraction(0)
+
+
+def enable_path_constraint(
+    launch: GenericInstance,
+    schedule: ClockSchedule,
+    controlled_clock: str,
+    enabled_edge: str = "trailing",
+    pulse_index: int = 0,
+) -> Fraction:
+    """``D_p`` of an enable path: assertion at the source to the clock
+    edge of the controlled element that the enable logic gates.
+
+    "The nature of the operation of the synchronising element, and of the
+    enable logic, determines which of the clock edges is to be
+    enabled/disabled."
+    """
+    if launch.assertion_edge is None:
+        raise ValueError(f"{launch.name} has no assertion side")
+    pulses = schedule.pulses(controlled_clock)
+    if not 0 <= pulse_index < len(pulses):
+        raise ValueError(f"pulse index {pulse_index} out of range")
+    pulse = pulses[pulse_index]
+    edge_time = (
+        pulse.leading.time if enabled_edge == "leading" else pulse.trailing.time
+    )
+    return ideal_data_constraint(
+        launch.assertion_edge, edge_time, schedule.overall_period
+    )
+
+
+def available_time(
+    launch: GenericInstance,
+    capture: GenericInstance,
+    period: Fraction,
+) -> float:
+    """Actual time available on a path: ``D_p - O_x + O_y``.
+
+    The path constraint of Section 4 is ``dmax_p < D_p - O_x + O_y``.
+    """
+    d = ideal_path_constraint(launch, capture, period)
+    return float(d) - launch.assertion_offset + capture.closure_offset
+
+
+def supplementary_bound(
+    launch: GenericInstance,
+    capture: GenericInstance,
+    period: Fraction,
+    capture_clock_period: Optional[Fraction] = None,
+) -> float:
+    """Lower bound of the supplementary path constraint:
+    ``dmin_p > D_p - O_x + O_y - T_y``.
+
+    ``T_y`` defaults to the capture instance's controlling clock period.
+    """
+    t_y = (
+        capture_clock_period
+        if capture_clock_period is not None
+        else capture.clock_period
+    )
+    return available_time(launch, capture, period) - float(t_y)

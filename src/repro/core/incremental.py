@@ -1,0 +1,93 @@
+"""Incremental re-analysis inside the synthesis loop.
+
+Algorithm 3 re-runs timing analysis after every module change.  Because
+Algorithm 1 may start from *any* set of offsets satisfying the
+synchronising element constraints ("Initialise: Select any set of
+offsets..."), re-analysis can warm-start from the previous fixed point:
+after a small delay change, the old offsets are already close to a new
+fixed point, so the complete-transfer iterations converge in fewer
+cycles.
+
+Pre-processing is also reused: clusters, requirement arcs and break-open
+plans depend only on the network structure and the clocks, not on the
+delays.  The one exception is a delay change on a cell inside a
+*control* cone: that shifts ``O_ac`` offsets, which are baked into the
+instances, so such changes trigger a full model rebuild (tracked in
+:attr:`IncrementalAnalyzer.rebuilds`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.clocks.schedule import ClockSchedule
+from repro.core.algorithm1 import Algorithm1Result, run_algorithm1
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay.estimator import DelayMap, estimate_delays
+from repro.netlist.network import Network
+
+
+class IncrementalAnalyzer:
+    """Keeps the analysis model alive across delay changes."""
+
+    def __init__(
+        self,
+        network: Network,
+        schedule: ClockSchedule,
+        delays: Optional[DelayMap] = None,
+    ) -> None:
+        self.network = network
+        self.schedule = schedule
+        self._delays = delays if delays is not None else estimate_delays(network)
+        #: Full model rebuilds performed (control-cone changes).
+        self.rebuilds = 0
+        #: Cheap delay swaps performed (data-path changes).
+        self.swaps = 0
+        self._build()
+
+    def _build(self) -> None:
+        self.model = AnalysisModel(self.network, self.schedule, self._delays)
+        self.engine = SlackEngine(self.model)
+        self._control_cells: Set[str] = set()
+        for trace in self.model.validation.control_traces.values():
+            self._control_cells.update(trace.comb_cells)
+        self._warm = False
+
+    # ------------------------------------------------------------------
+    # delay changes
+    # ------------------------------------------------------------------
+    @property
+    def delays(self) -> DelayMap:
+        return self._delays
+
+    def scale_cell(self, cell_name: str, factor: float) -> None:
+        """Scale one cell's delays (the re-synthesis loop's operation)."""
+        self.network.cell(cell_name)
+        self._delays = self._delays.with_scaled_cell(cell_name, factor)
+        if cell_name in self._control_cells:
+            # Control-path delays shape O_ac; rebuild the instances.
+            self.rebuilds += 1
+            self._build()
+        else:
+            # Positions, plans and instances are all unaffected: swap the
+            # delay map under the existing model.
+            self.swaps += 1
+            self.model.delays = self._delays
+
+    def set_delays(self, delays: DelayMap) -> None:
+        """Replace the whole delay map (conservatively rebuilds)."""
+        self._delays = delays
+        self.rebuilds += 1
+        self._build()
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def analyze(self, warm: bool = True) -> Algorithm1Result:
+        """Run Algorithm 1; ``warm=True`` starts from the previous fixed
+        point's offsets instead of the initial window positions."""
+        reset = not (warm and self._warm)
+        result = run_algorithm1(self.model, self.engine, reset=reset)
+        self._warm = True
+        return result

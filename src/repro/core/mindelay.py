@@ -1,0 +1,256 @@
+"""Supplementary (minimum-delay) path constraints -- documented extension.
+
+Section 4 defines, for each path ending at data input ``y`` on a clock of
+period ``T_y``, the supplementary path constraint::
+
+    dmin_p > D_p - O_x + O_y - T_y
+
+("the signal at the data input must not be updated more than ``T_y``
+before the input closure time").  The paper notes that its algorithms "do
+not detect these problems"; this module adds the detection as an optional
+post-pass: per cluster pass, the *earliest* possible arrivals are traced
+forward (minimum arc delays, earliest assertion offsets) and compared
+against ``closure - T_y (+ hold)`` at each designated capture.
+
+The earliest assertion offset of an instance conservatively assumes a
+zero internal clock-to-output delay on top of the *minimum* control-path
+arrival, and for transparent elements that data races through the moment
+the window opens.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.core.sync_elements import GenericInstance, InstanceKind
+from repro.rftime import RiseFall
+
+
+@dataclass(frozen=True)
+class MinDelayViolation:
+    """A path that is too *fast* (supplementary constraint violated)."""
+
+    cluster: str
+    pass_index: int
+    capture_instance: str
+    capture_net: str
+    earliest_arrival: float
+    earliest_allowed: float
+
+    @property
+    def amount(self) -> float:
+        return self.earliest_allowed - self.earliest_arrival
+
+
+def earliest_assertion_offset(instance: GenericInstance) -> float:
+    """Earliest offset at which the instance's output can change."""
+    if instance.kind is InstanceKind.FIXED_SOURCE:
+        return instance.fixed_offset
+    # Conservative: the output may change as soon as the earliest control
+    # transition arrives (zero internal delay assumed for the minimum).
+    return instance.control_arrival_min
+
+
+def check_min_delays(
+    model: AnalysisModel, engine: SlackEngine
+) -> List[MinDelayViolation]:
+    """All supplementary-constraint violations under the current offsets."""
+    violations: List[MinDelayViolation] = []
+    for cluster in model.clusters:
+        plan = model.plans[cluster.name]
+        launches = model.launch_ports[cluster.name]
+        captures = model.capture_ports[cluster.name]
+        for pass_index in range(plan.num_passes):
+            designated = [c for c in captures if c.pass_index == pass_index]
+            if not designated:
+                continue
+            earliest = _forward_min(model, engine, cluster, launches, pass_index)
+            for port in designated:
+                at = earliest.get(port.net_name)
+                if at is None or not at.is_finite():
+                    continue
+                closure = engine._closure_time(cluster.name, port)
+                allowed = (
+                    closure
+                    - float(port.instance.clock_period)
+                    + port.instance.hold
+                )
+                # Strictly earlier than allowed is a violation; exact
+                # equality is the degenerate zero-margin boundary (e.g. a
+                # zero-delay launch exactly at the edge), reported by the
+                # max-delay analysis instead.
+                if at.best < allowed - 1e-12:
+                    violations.append(
+                        MinDelayViolation(
+                            cluster=cluster.name,
+                            pass_index=pass_index,
+                            capture_instance=port.instance.name,
+                            capture_net=port.net_name,
+                            earliest_arrival=at.best,
+                            earliest_allowed=allowed,
+                        )
+                    )
+    return violations
+
+
+@dataclass(frozen=True)
+class HoldViolation:
+    """A classic same-edge hold violation.
+
+    The launch and capture share an ideal clock edge; the minimum path
+    delay (earliest launch's min clock-to-output plus the combinational
+    minimum) fails to cover the capture's latest control arrival plus its
+    hold requirement.
+    """
+
+    cluster: str
+    launch_instance: str
+    capture_instance: str
+    capture_net: str
+    earliest_change: float
+    required_stable_until: float
+
+    @property
+    def amount(self) -> float:
+        return self.required_stable_until - self.earliest_change
+
+
+def check_hold(
+    model: AnalysisModel, engine: SlackEngine
+) -> List[HoldViolation]:
+    """Same-edge hold analysis (industry-classic; a refinement beyond the
+    paper's supplementary constraint).
+
+    For every cluster, launches sharing one ideal assertion edge are
+    traced forward with minimum delays *relative to that edge*; every
+    capture whose ideal closure coincides with the edge requires the data
+    to stay stable until its latest control arrival plus ``hold``.
+    """
+    violations: List[HoldViolation] = []
+    for cluster in model.clusters:
+        launches = model.launch_ports[cluster.name]
+        captures = model.capture_ports[cluster.name]
+        by_edge: Dict[object, List] = {}
+        for port in launches:
+            by_edge.setdefault(port.instance.assertion_edge, []).append(port)
+        for edge, group in by_edge.items():
+            same_edge_captures = [
+                c for c in captures if c.instance.closure_edge == edge
+            ]
+            if not same_edge_captures:
+                continue
+            earliest, origin = _relative_forward_min(model, cluster, group)
+            for port in same_edge_captures:
+                at = earliest.get(port.net_name)
+                if at is None:
+                    continue
+                instance = port.instance
+                required = (
+                    instance.control_arrival + instance.hold
+                    if instance.kind is not InstanceKind.FIXED_SINK
+                    else instance.fixed_offset + instance.hold
+                )
+                if at.best < required - 1e-12:
+                    violations.append(
+                        HoldViolation(
+                            cluster=cluster.name,
+                            launch_instance=origin.get(
+                                port.net_name, "<unknown>"
+                            ),
+                            capture_instance=instance.name,
+                            capture_net=port.net_name,
+                            earliest_change=at.best,
+                            required_stable_until=required,
+                        )
+                    )
+    return violations
+
+
+def _launch_min_offset(instance: GenericInstance) -> float:
+    """Earliest the instance's output can change after its clock edge."""
+    if instance.kind is InstanceKind.FIXED_SOURCE:
+        return instance.fixed_offset
+    return instance.control_arrival_min + instance.c_to_q_min
+
+
+def _relative_forward_min(model: AnalysisModel, cluster, group):
+    """Minimum arrivals relative to the shared launch edge."""
+    delays = model.delays
+    arrival: Dict[str, RiseFall] = {}
+    origin: Dict[str, str] = {}
+    for port in group:
+        t = _launch_min_offset(port.instance)
+        pair = RiseFall.both(t)
+        existing = arrival.get(port.net_name)
+        if existing is None or pair.best < existing.best:
+            origin[port.net_name] = port.instance.name
+        arrival[port.net_name] = (
+            pair if existing is None else existing.min_with(pair)
+        )
+    for cell in cluster.cells:
+        for in_pin, out_pin in delays.arcs_of(cell):
+            in_net = cell.terminal(in_pin).net
+            out_net = cell.terminal(out_pin).net
+            if in_net is None or out_net is None:
+                continue
+            at_input = arrival.get(in_net.name)
+            if at_input is None:
+                continue
+            sense = delays.arc_unateness(cell, in_pin, out_pin)
+            value = at_input.back_through_arc(sense).plus(
+                delays.arc_delay_min(cell, in_pin, out_pin)
+            )
+            existing = arrival.get(out_net.name)
+            if existing is None or value.best < existing.best:
+                origin[out_net.name] = origin.get(
+                    in_net.name, "<unknown>"
+                )
+            arrival[out_net.name] = (
+                value if existing is None else existing.min_with(value)
+            )
+    return arrival, origin
+
+
+def _forward_min(
+    model: AnalysisModel,
+    engine: SlackEngine,
+    cluster,
+    launches,
+    pass_index: int,
+) -> Dict[str, RiseFall]:
+    """Trace earliest arrivals forward (minimum delays)."""
+    plan = model.plans[cluster.name]
+    delays = model.delays
+    arrival: Dict[str, RiseFall] = {}
+    for port in launches:
+        assert port.instance.assertion_edge is not None
+        t = float(
+            plan.position_assertion(port.instance.assertion_edge, pass_index)
+        ) + earliest_assertion_offset(port.instance)
+        pair = RiseFall.both(t)
+        existing = arrival.get(port.net_name)
+        arrival[port.net_name] = (
+            pair if existing is None else existing.min_with(pair)
+        )
+    for cell in cluster.cells:
+        for in_pin, out_pin in delays.arcs_of(cell):
+            in_net = cell.terminal(in_pin).net
+            out_net = cell.terminal(out_pin).net
+            if in_net is None or out_net is None:
+                continue
+            at_input = arrival.get(in_net.name)
+            if at_input is None:
+                continue
+            sense = delays.arc_unateness(cell, in_pin, out_pin)
+            value = at_input.back_through_arc(sense).plus(
+                delays.arc_delay_min(cell, in_pin, out_pin)
+            )
+            existing = arrival.get(out_net.name)
+            arrival[out_net.name] = (
+                value if existing is None else existing.min_with(value)
+            )
+    return arrival

@@ -1,0 +1,242 @@
+"""Slow-path extraction and human-readable timing reports.
+
+The original Hummingbird could "flag all slow paths in the OCT data base"
+for viewing in VEM.  Here slow paths are extracted as explicit objects
+(launch instance, traversed arcs, capture instance, slack) by tracing the
+critical arrival backwards through the cluster, and rendered as text.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.model import AnalysisModel, CapturePort
+from repro.core.slack import SlackEngine
+from repro.rftime import RiseFall
+
+_TRACE_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One traversed arc of a slow path."""
+
+    cell_name: str
+    in_pin: str
+    out_pin: str
+    net_name: str  # the net at the arc's output
+    arrival: float
+
+
+@dataclass(frozen=True)
+class SlowPath:
+    """A combinational path that is too slow (negative/zero node slack)."""
+
+    cluster: str
+    pass_index: int
+    launch_instance: Optional[str]
+    capture_instance: str
+    capture_net: str
+    slack: float
+    arrival: float
+    closure: float
+    steps: Tuple[PathStep, ...]
+
+    @property
+    def violation(self) -> float:
+        """How much too slow the path is (positive number)."""
+        return max(0.0, -self.slack)
+
+    def describe(self) -> str:
+        cells = " -> ".join(step.cell_name for step in reversed(self.steps))
+        origin = self.launch_instance or "<unresolved>"
+        return (
+            f"{origin} -> [{cells or 'direct'}] -> {self.capture_instance}"
+            f"  slack={self.slack:.3f}"
+        )
+
+
+def extract_slow_paths(
+    model: AnalysisModel,
+    engine: SlackEngine,
+    capture_slacks: Dict[str, float],
+    tolerance: float = 0.0,
+    limit: Optional[int] = 50,
+) -> List[SlowPath]:
+    """Trace one critical path per violated capture port.
+
+    ``capture_slacks`` are Algorithm 1's final capture-side node slacks.
+    Paths are returned most-violating first.
+    """
+    violations: List[Tuple[float, CapturePort]] = []
+    for cluster in model.clusters:
+        for port in model.capture_ports[cluster.name]:
+            slack = capture_slacks.get(port.instance.name, math.inf)
+            if slack <= tolerance:
+                violations.append((slack, port))
+    violations.sort(key=lambda item: item[0])
+    if limit is not None:
+        violations = violations[:limit]
+
+    clusters_by_name = {c.name: c for c in model.clusters}
+    paths = []
+    for slack, port in violations:
+        cluster = clusters_by_name[port.cluster_name]
+        path = _trace_path(model, engine, cluster, port, slack)
+        if path is not None:
+            paths.append(path)
+    return paths
+
+
+def _trace_path(
+    model: AnalysisModel,
+    engine: SlackEngine,
+    cluster,
+    port: CapturePort,
+    slack: float,
+) -> Optional[SlowPath]:
+    detail = engine.cluster_detail(cluster)
+    ready = detail.passes[port.pass_index].ready
+    at_capture = ready.get(port.net_name)
+    if at_capture is None or not at_capture.is_finite():
+        return None
+    closure = _closure_time(engine, cluster.name, port)
+
+    # Trace the latest-arriving transition backwards.
+    transition = "rise" if at_capture.rise >= at_capture.fall else "fall"
+    net_name = port.net_name
+    steps: List[PathStep] = []
+    guard = len(cluster.cells) + 2
+    cells_by_out_net = _cells_by_output_net(model, cluster)
+    while guard > 0:
+        guard -= 1
+        hop = _find_driving_arc(
+            model, cells_by_out_net, ready, net_name, transition
+        )
+        if hop is None:
+            break
+        cell_name, in_pin, out_pin, in_net, in_transition = hop
+        steps.append(
+            PathStep(
+                cell_name=cell_name,
+                in_pin=in_pin,
+                out_pin=out_pin,
+                net_name=net_name,
+                arrival=getattr(ready[net_name], transition),
+            )
+        )
+        net_name = in_net
+        transition = in_transition
+
+    launch = _launch_at(model, engine, cluster, port.pass_index, net_name, ready)
+    return SlowPath(
+        cluster=cluster.name,
+        pass_index=port.pass_index,
+        launch_instance=launch,
+        capture_instance=port.instance.name,
+        capture_net=port.net_name,
+        slack=slack,
+        arrival=at_capture.worst,
+        closure=closure,
+        steps=tuple(steps),
+    )
+
+
+def _closure_time(engine: SlackEngine, cluster_name: str, port) -> float:
+    return engine._closure_time(cluster_name, port)
+
+
+def _cells_by_output_net(model: AnalysisModel, cluster) -> Dict[str, List]:
+    by_net: Dict[str, List] = {}
+    for cell in cluster.cells:
+        for in_pin, out_pin in model.delays.arcs_of(cell):
+            out_net = cell.terminal(out_pin).net
+            if out_net is not None:
+                by_net.setdefault(out_net.name, []).append(
+                    (cell, in_pin, out_pin)
+                )
+    return by_net
+
+
+def _find_driving_arc(
+    model: AnalysisModel,
+    cells_by_out_net: Dict[str, List],
+    ready: Dict[str, RiseFall],
+    net_name: str,
+    transition: str,
+):
+    """Find the arc that produced ``ready[net_name].<transition>``."""
+    target = getattr(ready.get(net_name, RiseFall.never()), transition)
+    if not math.isfinite(target):
+        return None
+    for cell, in_pin, out_pin in cells_by_out_net.get(net_name, ()):
+        in_net = cell.terminal(in_pin).net
+        if in_net is None:
+            continue
+        at_input = ready.get(in_net.name)
+        if at_input is None:
+            continue
+        sense = model.delays.arc_unateness(cell, in_pin, out_pin)
+        value = at_input.through_arc(sense).plus(
+            model.delays.arc_delay(cell, in_pin, out_pin)
+        )
+        if abs(getattr(value, transition) - target) > _TRACE_TOLERANCE:
+            continue
+        in_transition = _input_transition(sense, transition, at_input)
+        return cell.name, in_pin, out_pin, in_net.name, in_transition
+    return None
+
+
+def _input_transition(sense, transition: str, at_input: RiseFall) -> str:
+    from repro.netlist.kinds import Unateness
+
+    if sense is Unateness.POSITIVE:
+        return transition
+    if sense is Unateness.NEGATIVE:
+        return "fall" if transition == "rise" else "rise"
+    return "rise" if at_input.rise >= at_input.fall else "fall"
+
+
+def _launch_at(
+    model: AnalysisModel,
+    engine: SlackEngine,
+    cluster,
+    pass_index: int,
+    net_name: str,
+    ready: Dict[str, RiseFall],
+) -> Optional[str]:
+    """Which launch port asserts ``net_name`` at its ready time."""
+    target = ready.get(net_name)
+    if target is None:
+        return None
+    for port in model.launch_ports[cluster.name]:
+        if port.net_name != net_name:
+            continue
+        t = engine._assertion_time(cluster.name, pass_index, port)
+        if abs(t - target.worst) <= _TRACE_TOLERANCE:
+            return port.instance.name
+    # Fall back to any launch port on the net (conservative arrival from a
+    # different instance of the same element).
+    for port in model.launch_ports[cluster.name]:
+        if port.net_name == net_name:
+            return port.instance.name
+    return None
+
+
+def format_slow_paths(paths: List[SlowPath], limit: int = 20) -> str:
+    """Multi-line report of the worst slow paths."""
+    if not paths:
+        return "No slow paths: the system behaves as intended."
+    lines = [f"{len(paths)} slow path(s); worst first:"]
+    for path in paths[:limit]:
+        lines.append(f"  {path.describe()}")
+        lines.append(
+            f"    cluster={path.cluster} pass={path.pass_index} "
+            f"arrival={path.arrival:.3f} closure={path.closure:.3f} "
+            f"violation={path.violation:.3f}"
+        )
+    if len(paths) > limit:
+        lines.append(f"  ... and {len(paths) - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,351 @@
+"""Block-method slack evaluation (paper, Section 7, equations 1-2).
+
+Per cluster and per analysis pass:
+
+* cluster input assertion times become node *ready times* and are traced
+  forward through the combinational components (equation 1),
+* slack at each cluster output designated to the pass is the difference
+  between its closure time and the ready time,
+* slacks (equivalently *required times*) are traced backward through the
+  components (equation 2).
+
+The node slack of a terminal is the minimum over the passes in which it is
+evaluated; outputs not designated to a pass take "a large number"
+(:data:`math.inf`) for that pass.  Ready/required values are rise/fall
+pairs propagated with arc unateness (the Bening et al. [7] refinement).
+
+The block method deliberately does not discard false paths -- pessimistic
+slacks are safe and fast, which is what an analysis-redesign loop needs
+(Section 7's discussion).  The exact alternative is implemented in
+:mod:`repro.baselines.path_enumeration` for comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.clusters import Cluster
+from repro.core.model import AnalysisModel, CapturePort, LaunchPort
+from repro.netlist.kinds import Unateness
+from repro.rftime import RiseFall
+
+
+@dataclass
+class PortSlacks:
+    """Scalar node slacks at the generic-instance boundary terminals.
+
+    Keyed by instance name.  Instances whose terminal is unconstrained
+    (e.g. an unloaded output) are present with ``+inf``.
+    """
+
+    capture: Dict[str, float] = field(default_factory=dict)
+    launch: Dict[str, float] = field(default_factory=dict)
+
+    def worst(self) -> float:
+        values = list(self.capture.values()) + list(self.launch.values())
+        return min(values, default=math.inf)
+
+    def all_positive(self, tolerance: float = 0.0) -> bool:
+        return self.worst() > tolerance
+
+
+@dataclass
+class PassDetail:
+    """Ready/required times of one cluster analysis pass (one settling
+    time per node)."""
+
+    pass_index: int
+    break_time: float
+    ready: Dict[str, RiseFall]
+    required: Dict[str, RiseFall]
+
+    def slack_of(self, net_name: str) -> float:
+        ready = self.ready.get(net_name)
+        required = self.required.get(net_name)
+        if ready is None or required is None:
+            return math.inf
+        pair = required.minus(ready)
+        return pair.best
+
+
+@dataclass
+class ClusterDetail:
+    """Full analysis record of one cluster (for reports / Algorithm 2)."""
+
+    cluster_name: str
+    passes: List[PassDetail]
+
+    def net_slack(self, net_name: str) -> float:
+        return min(
+            (p.slack_of(net_name) for p in self.passes), default=math.inf
+        )
+
+    def settling_times(self, net_name: str) -> int:
+        """How many distinct settling times the node has (finite ready
+        values across passes) -- the quantity Section 7 minimises."""
+        return sum(
+            1
+            for p in self.passes
+            if p.ready.get(net_name, RiseFall.never()).is_finite()
+        )
+
+
+class SlackEngine:
+    """Evaluates node slacks for the current offsets of a model.
+
+    Construction precomputes, per cluster and pass, the axis positions of
+    every boundary edge (pure clock arithmetic); repeated slack queries
+    during Algorithm 1/2 iterations then only involve float work linear in
+    the cluster sizes.
+    """
+
+    def __init__(self, model: AnalysisModel) -> None:
+        self._model = model
+        # (cluster, pass, instance) -> axis position of the assertion edge
+        self._launch_pos: Dict[Tuple[str, int, str], float] = {}
+        # (cluster, instance) -> axis position of the closure edge in the
+        # capture's designated pass
+        self._capture_pos: Dict[Tuple[str, str], float] = {}
+        # Per cluster: flat arc tuples (cell, in_pin, out_pin, in_net,
+        # out_net, sense code) in topological order, so the sweeps avoid
+        # terminal lookups.  Sense codes: 0 positive, 1 negative, 2 other.
+        self._cluster_arcs: Dict[str, Tuple[Tuple, ...]] = {}
+        sense_codes = {
+            Unateness.POSITIVE: 0,
+            Unateness.NEGATIVE: 1,
+            Unateness.NON_UNATE: 2,
+        }
+        for cluster in model.clusters:
+            arcs = []
+            for cell in cluster.cells:
+                for in_pin, out_pin in model.delays.arcs_of(cell):
+                    in_net = cell.terminal(in_pin).net
+                    out_net = cell.terminal(out_pin).net
+                    if in_net is None or out_net is None:
+                        continue
+                    arcs.append(
+                        (
+                            cell,
+                            in_pin,
+                            out_pin,
+                            in_net.name,
+                            out_net.name,
+                            sense_codes[
+                                model.delays.arc_unateness(
+                                    cell, in_pin, out_pin
+                                )
+                            ],
+                        )
+                    )
+            self._cluster_arcs[cluster.name] = tuple(arcs)
+        for cluster in model.clusters:
+            plan = model.plans[cluster.name]
+            for port in model.launch_ports[cluster.name]:
+                assert port.instance.assertion_edge is not None
+                for pass_index in range(plan.num_passes):
+                    self._launch_pos[
+                        (cluster.name, pass_index, port.instance.name)
+                    ] = float(
+                        plan.position_assertion(
+                            port.instance.assertion_edge, pass_index
+                        )
+                    )
+            for port in model.capture_ports[cluster.name]:
+                assert port.instance.closure_edge is not None
+                self._capture_pos[(cluster.name, port.instance.name)] = float(
+                    plan.position_closure(
+                        port.instance.closure_edge, port.pass_index
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # fast path: boundary slacks only (the Algorithm 1/2 inner loop)
+    # ------------------------------------------------------------------
+    def port_slacks(self) -> PortSlacks:
+        slacks = PortSlacks()
+        for instance in self._model.all_instances():
+            if instance.has_input:
+                slacks.capture.setdefault(instance.name, math.inf)
+            if instance.has_output:
+                slacks.launch.setdefault(instance.name, math.inf)
+        for cluster in self._model.clusters:
+            self._cluster_port_slacks(cluster, slacks)
+        return slacks
+
+    def _cluster_port_slacks(
+        self, cluster: Cluster, slacks: PortSlacks
+    ) -> None:
+        model = self._model
+        plan = model.plans[cluster.name]
+        launches = model.launch_ports[cluster.name]
+        captures = model.capture_ports[cluster.name]
+        for pass_index in range(plan.num_passes):
+            designated = [c for c in captures if c.pass_index == pass_index]
+            arrival = self._forward(cluster, launches, pass_index)
+            required: Dict[str, RiseFall] = {}
+            for port in designated:
+                closure = self._closure_time(cluster.name, port)
+                ready = arrival.get(port.net_name)
+                if ready is not None and ready.is_finite():
+                    slack = min(closure - ready.rise, closure - ready.fall)
+                else:
+                    slack = math.inf
+                name = port.instance.name
+                slacks.capture[name] = min(slacks.capture[name], slack)
+                existing = required.get(port.net_name)
+                pair = RiseFall.both(closure)
+                required[port.net_name] = (
+                    pair if existing is None else existing.min_with(pair)
+                )
+            if not required:
+                continue
+            self._backward(cluster, required)
+            for port in launches:
+                need = required.get(port.net_name)
+                if need is None:
+                    continue
+                t = self._assertion_time(cluster.name, pass_index, port)
+                slack = need.best - t
+                name = port.instance.name
+                slacks.launch[name] = min(slacks.launch[name], slack)
+
+    # ------------------------------------------------------------------
+    # full detail (reports, Algorithm 2 outputs)
+    # ------------------------------------------------------------------
+    def cluster_detail(self, cluster: Cluster) -> ClusterDetail:
+        model = self._model
+        plan = model.plans[cluster.name]
+        launches = model.launch_ports[cluster.name]
+        captures = model.capture_ports[cluster.name]
+        details: List[PassDetail] = []
+        for pass_index in range(plan.num_passes):
+            arrival = self._forward(cluster, launches, pass_index)
+            required: Dict[str, RiseFall] = {}
+            for port in captures:
+                if port.pass_index != pass_index:
+                    continue
+                closure = self._closure_time(cluster.name, port)
+                pair = RiseFall.both(closure)
+                existing = required.get(port.net_name)
+                required[port.net_name] = (
+                    pair if existing is None else existing.min_with(pair)
+                )
+            self._backward(cluster, required)
+            details.append(
+                PassDetail(
+                    pass_index=pass_index,
+                    break_time=float(plan.breaks[pass_index]),
+                    ready=arrival,
+                    required=required,
+                )
+            )
+        return ClusterDetail(cluster_name=cluster.name, passes=details)
+
+    def details(self) -> Dict[str, ClusterDetail]:
+        return {
+            cluster.name: self.cluster_detail(cluster)
+            for cluster in self._model.clusters
+        }
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    def _assertion_time(
+        self, cluster_name: str, pass_index: int, port: LaunchPort
+    ) -> float:
+        return (
+            self._launch_pos[(cluster_name, pass_index, port.instance.name)]
+            + port.instance.assertion_offset
+        )
+
+    def _closure_time(self, cluster_name: str, port: CapturePort) -> float:
+        return (
+            self._capture_pos[(cluster_name, port.instance.name)]
+            + port.instance.closure_offset
+        )
+
+    def _forward(
+        self,
+        cluster: Cluster,
+        launches: Tuple[LaunchPort, ...],
+        pass_index: int,
+    ) -> Dict[str, RiseFall]:
+        """Equation 1: trace ready times forward through the cluster.
+
+        The arc loop is flattened and the rise/fall algebra inlined -- it
+        is the analysis's innermost loop (see DESIGN.md performance note).
+        """
+        delays = self._model.delays
+        arc_delay = delays.arc_delay
+        arrival: Dict[str, RiseFall] = {}
+        for port in launches:
+            t = self._assertion_time(cluster.name, pass_index, port)
+            pair = RiseFall.both(t)
+            existing = arrival.get(port.net_name)
+            arrival[port.net_name] = (
+                pair if existing is None else existing.max_with(pair)
+            )
+        get = arrival.get
+        for cell, in_pin, out_pin, in_net, out_net, sense in (
+            self._cluster_arcs[cluster.name]
+        ):
+            at_input = get(in_net)
+            if at_input is None:
+                continue
+            delay = arc_delay(cell, in_pin, out_pin)
+            if sense == 0:  # positive unate
+                rise = at_input.rise + delay.rise
+                fall = at_input.fall + delay.fall
+            elif sense == 1:  # negative unate: output rise from input fall
+                rise = at_input.fall + delay.rise
+                fall = at_input.rise + delay.fall
+            else:  # non-unate: worst input transition drives both
+                worst = (
+                    at_input.rise
+                    if at_input.rise >= at_input.fall
+                    else at_input.fall
+                )
+                rise = worst + delay.rise
+                fall = worst + delay.fall
+            existing = get(out_net)
+            if existing is None:
+                arrival[out_net] = RiseFall(rise, fall)
+            elif rise > existing.rise or fall > existing.fall:
+                arrival[out_net] = RiseFall(
+                    rise if rise > existing.rise else existing.rise,
+                    fall if fall > existing.fall else existing.fall,
+                )
+        return arrival
+
+    def _backward(
+        self, cluster: Cluster, required: Dict[str, RiseFall]
+    ) -> None:
+        """Equation 2: trace required times backward (in place)."""
+        arc_delay = self._model.delays.arc_delay
+        get = required.get
+        for cell, in_pin, out_pin, in_net, out_net, sense in reversed(
+            self._cluster_arcs[cluster.name]
+        ):
+            at_output = get(out_net)
+            if at_output is None:
+                continue
+            delay = arc_delay(cell, in_pin, out_pin)
+            out_rise = at_output.rise - delay.rise
+            out_fall = at_output.fall - delay.fall
+            if sense == 0:
+                rise, fall = out_rise, out_fall
+            elif sense == 1:  # adjoint of the forward swap
+                rise, fall = out_fall, out_rise
+            else:  # non-unate: the tighter requirement binds both
+                best = out_rise if out_rise <= out_fall else out_fall
+                rise = fall = best
+            existing = get(in_net)
+            if existing is None:
+                required[in_net] = RiseFall(rise, fall)
+            elif rise < existing.rise or fall < existing.fall:
+                required[in_net] = RiseFall(
+                    rise if rise < existing.rise else existing.rise,
+                    fall if fall < existing.fall else existing.fall,
+                )

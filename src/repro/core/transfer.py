@@ -1,0 +1,138 @@
+"""Slack transfer and time snatching (paper, Sections 6).
+
+All operations act on the free ``(O_dz, O_zd)`` pair of a transparent
+instance -- "the donation of spare time ... by one combinational logic
+path to an adjacent one":
+
+* *forward transfer* moves the window earlier (decreases both offsets),
+  donating surplus input-side slack to the paths leaving the element;
+* *backward transfer* moves the window later, donating output-side slack
+  to the paths entering the element;
+* *snatching* performs the same moves when the receiving side is *slow*
+  (negative slack), "regardless of whether the adjacent path can spare
+  it".
+
+Every operation is clamped by the synchronising element constraints
+(``m`` in the paper): an edge-triggered element has no freedom at all.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable
+
+from repro.core.sync_elements import GenericInstance
+
+#: Transfers smaller than this are treated as "no slack was transferred";
+#: it bounds the fixed-point iterations against float dust.
+TRANSFER_EPSILON = 1e-9
+
+
+def complete_forward(instance: GenericInstance, input_slack: float) -> float:
+    """Complete forward slack transfer across one element.
+
+    Decreases the offsets by ``min(n_x, m)`` when positive, where ``n_x``
+    is the node slack at the element's data input.  Returns the amount
+    transferred (0.0 when none).
+    """
+    if not math.isfinite(input_slack):
+        amount = instance.max_decrease
+    else:
+        amount = min(input_slack, instance.max_decrease)
+    if amount <= TRANSFER_EPSILON:
+        return 0.0
+    instance.shift_window(-amount)
+    return amount
+
+
+def complete_backward(instance: GenericInstance, output_slack: float) -> float:
+    """Complete backward slack transfer (increase by ``min(n_y, m)``)."""
+    if not math.isfinite(output_slack):
+        amount = instance.max_increase
+    else:
+        amount = min(output_slack, instance.max_increase)
+    if amount <= TRANSFER_EPSILON:
+        return 0.0
+    instance.shift_window(amount)
+    return amount
+
+
+def partial_forward(
+    instance: GenericInstance, input_slack: float, divisor: float = 2.0
+) -> float:
+    """Partial forward transfer: ``min(n_x / divisor, m)``, ``divisor > 1``.
+
+    Used by Algorithm 1's iterations 3-4 to hand some slack back so that
+    paths that are fast enough end with strictly positive slacks.
+    """
+    if divisor <= 1.0:
+        raise ValueError("divisor must be > 1")
+    if not math.isfinite(input_slack):
+        amount = instance.max_decrease
+    else:
+        amount = min(input_slack / divisor, instance.max_decrease)
+    if amount <= TRANSFER_EPSILON:
+        return 0.0
+    instance.shift_window(-amount)
+    return amount
+
+
+def partial_backward(
+    instance: GenericInstance, output_slack: float, divisor: float = 2.0
+) -> float:
+    """Partial backward transfer: ``min(n_y / divisor, m)``."""
+    if divisor <= 1.0:
+        raise ValueError("divisor must be > 1")
+    if not math.isfinite(output_slack):
+        amount = instance.max_increase
+    else:
+        amount = min(output_slack / divisor, instance.max_increase)
+    if amount <= TRANSFER_EPSILON:
+        return 0.0
+    instance.shift_window(amount)
+    return amount
+
+
+def snatch_forward(instance: GenericInstance, output_slack: float) -> float:
+    """Forward time snatching: when the output side is slow (negative
+    node slack), pull the window earlier by ``min(-n_y, m)``."""
+    if output_slack >= 0 or not math.isfinite(output_slack):
+        return 0.0
+    amount = min(-output_slack, instance.max_decrease)
+    if amount <= TRANSFER_EPSILON:
+        return 0.0
+    instance.shift_window(-amount)
+    return amount
+
+
+def snatch_backward(instance: GenericInstance, input_slack: float) -> float:
+    """Backward time snatching: when the input side is slow, push the
+    window later by ``min(-n_x, m)``."""
+    if input_slack >= 0 or not math.isfinite(input_slack):
+        return 0.0
+    amount = min(-input_slack, instance.max_increase)
+    if amount <= TRANSFER_EPSILON:
+        return 0.0
+    instance.shift_window(amount)
+    return amount
+
+
+def sweep(
+    instances: Iterable[GenericInstance],
+    slacks: Dict[str, float],
+    operation,
+    **kwargs,
+) -> float:
+    """Apply ``operation`` across all adjustable instances.
+
+    ``slacks`` supplies the relevant node slack by instance name (input
+    slacks for forward/partial-forward/backward-snatch, output slacks
+    otherwise).  Returns the total amount moved.
+    """
+    total = 0.0
+    for instance in instances:
+        if not instance.adjustable:
+            continue
+        slack = slacks.get(instance.name, math.inf)
+        total += operation(instance, slack, **kwargs)
+    return total

@@ -1,0 +1,26 @@
+"""Component propagation-delay estimation.
+
+The paper draws a sharp line between *component propagation-delay
+estimation* and *system timing analysis*, so that "different delay
+estimation methods may be combined".  This package is the estimation side:
+
+* :mod:`repro.delay.estimator` walks a network, computes each output's
+  connected load, evaluates the library's empirical delay expressions and
+  produces a :class:`~repro.delay.estimator.DelayMap` -- the only timing
+  input the system analysis consumes,
+* :mod:`repro.delay.module_delay` combines standard-cell delays into
+  pin-to-pin delays of hierarchical modules ("for combinational logic
+  modules the delays have been combined to generate estimates of the
+  module propagation delays", Section 8).
+"""
+
+from repro.delay.estimator import DelayMap, DelayParameters, SyncTiming, estimate_delays
+from repro.delay.module_delay import module_pin_delays
+
+__all__ = [
+    "DelayMap",
+    "DelayParameters",
+    "SyncTiming",
+    "estimate_delays",
+    "module_pin_delays",
+]

@@ -1,0 +1,331 @@
+"""Load-dependent delay estimation over a network.
+
+:func:`estimate_delays` computes every combinational arc's maximum and
+minimum rise/fall propagation delay and every synchroniser's timing
+parameters, producing the :class:`DelayMap` the system-level analysis
+consumes.  The map also supports the interactive adjustments the paper's
+Section 8 mentions ("Adjustments may also be made to component delays").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cells.combinational import GateSpec
+from repro.cells.sequential import SyncSpec
+from repro.netlist.cell import Cell
+from repro.netlist.hierarchy import ModuleSpec
+from repro.netlist.kinds import CellRole, Unateness
+from repro.netlist.network import Network
+from repro.rftime import RiseFall
+
+
+@dataclass(frozen=True)
+class DelayParameters:
+    """Knobs of the empirical estimation.
+
+    ``wire_cap_per_fanout`` models routing load in the pre-layout setting
+    the paper targets (analysis inside the synthesis loop, before place and
+    route).  ``min_derate`` converts maximum delays into the minimum delays
+    used by the supplementary-constraint extension.  ``module_port_load``
+    is the load assumed for nets driving a module's output ports when the
+    module is characterised in isolation.
+    """
+
+    wire_cap_per_fanout: float = 0.4
+    default_pin_cap: float = 1.0
+    min_derate: float = 0.45
+    module_port_load: float = 3.0
+    dangling_output_load: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_derate <= 1:
+            raise ValueError("min_derate must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SyncTiming:
+    """Per-instance synchroniser timing (the paper's Section 5 symbols).
+
+    ``c_to_q_min`` is the derated minimum clock-to-output delay, used by
+    the classic same-edge hold check (:func:`repro.core.mindelay.check_hold`).
+    """
+
+    setup: float  # D_setup
+    d_to_q: float  # D_dz
+    c_to_q: float  # D_cz
+    hold: float
+    c_to_q_min: float = 0.0
+
+
+_ArcKey = Tuple[str, str, str]  # (cell name, input pin, output pin)
+
+
+class DelayMap:
+    """Estimated component delays for one network.
+
+    Queried by the analysis through :meth:`arc_delay`,
+    :meth:`arc_delay_min`, :meth:`arc_unateness`, :meth:`arcs_of` and
+    :meth:`sync_timing`.  Immutable from the analysis's point of view;
+    :meth:`with_scaled_cell` and :meth:`with_arc_override` return modified
+    copies for what-if exploration and for the re-synthesis loop.
+    """
+
+    def __init__(
+        self,
+        arc_max: Dict[_ArcKey, RiseFall],
+        arc_min: Dict[_ArcKey, RiseFall],
+        arc_sense: Dict[_ArcKey, Unateness],
+        cell_arcs: Dict[str, Tuple[Tuple[str, str], ...]],
+        sync: Dict[str, SyncTiming],
+    ) -> None:
+        self._arc_max = arc_max
+        self._arc_min = arc_min
+        self._arc_sense = arc_sense
+        self._cell_arcs = cell_arcs
+        self._sync = sync
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def arcs_of(self, cell: Cell) -> Tuple[Tuple[str, str], ...]:
+        """The (input pin, output pin) arcs of ``cell``."""
+        return self._cell_arcs.get(cell.name, ())
+
+    def arc_delay(self, cell: Cell, in_pin: str, out_pin: str) -> RiseFall:
+        """Maximum propagation delay of an arc."""
+        return self._arc_max[(cell.name, in_pin, out_pin)]
+
+    def arc_delay_min(self, cell: Cell, in_pin: str, out_pin: str) -> RiseFall:
+        """Minimum propagation delay of an arc."""
+        return self._arc_min[(cell.name, in_pin, out_pin)]
+
+    def arc_unateness(self, cell: Cell, in_pin: str, out_pin: str) -> Unateness:
+        return self._arc_sense[(cell.name, in_pin, out_pin)]
+
+    def sync_timing(self, cell: Cell) -> SyncTiming:
+        """Timing parameters of a synchroniser instance."""
+        try:
+            return self._sync[cell.name]
+        except KeyError:
+            raise KeyError(
+                f"{cell.name!r} has no synchroniser timing (role: "
+                f"{cell.role.value})"
+            ) from None
+
+    def worst_arc_delay(self, cell: Cell) -> float:
+        """Worst max delay over all arcs of ``cell`` (reporting aid)."""
+        return max(
+            (
+                self._arc_max[(cell.name, i, o)].worst
+                for i, o in self.arcs_of(cell)
+            ),
+            default=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # what-if modification
+    # ------------------------------------------------------------------
+    def with_scaled_cell(self, cell_name: str, factor: float) -> "DelayMap":
+        """A copy with every arc of ``cell_name`` scaled by ``factor``.
+
+        This is the re-synthesis model's hook: "speeding up" a module
+        multiplies its delays by a factor < 1.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        arc_max = dict(self._arc_max)
+        arc_min = dict(self._arc_min)
+        for key in self._cell_arcs.get(cell_name, ()):
+            full_key = (cell_name, key[0], key[1])
+            arc_max[full_key] = arc_max[full_key].scaled(factor)
+            arc_min[full_key] = arc_min[full_key].scaled(factor)
+        return DelayMap(
+            arc_max, arc_min, self._arc_sense, self._cell_arcs, self._sync
+        )
+
+    def globally_scaled(self, factor: float) -> "DelayMap":
+        """Every arc delay *and* every synchroniser parameter scaled.
+
+        ``factor`` near zero approximates the paper's *ideal system*
+        ("all synchronising elements switch with zero delay; ... other
+        paths switch with arbitrarily small, but finite, delays") -- the
+        reference the event simulator compares against.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return DelayMap(
+            {k: v.scaled(factor) for k, v in self._arc_max.items()},
+            {k: v.scaled(factor) for k, v in self._arc_min.items()},
+            self._arc_sense,
+            self._cell_arcs,
+            {
+                name: SyncTiming(
+                    setup=t.setup * factor,
+                    d_to_q=t.d_to_q * factor,
+                    c_to_q=t.c_to_q * factor,
+                    hold=t.hold * factor,
+                    c_to_q_min=t.c_to_q_min * factor,
+                )
+                for name, t in self._sync.items()
+            },
+        )
+
+    def with_arc_override(
+        self,
+        cell_name: str,
+        in_pin: str,
+        out_pin: str,
+        max_delay: RiseFall,
+        min_delay: Optional[RiseFall] = None,
+    ) -> "DelayMap":
+        """A copy with one arc's delays replaced."""
+        key = (cell_name, in_pin, out_pin)
+        if key not in self._arc_max:
+            raise KeyError(f"no arc {in_pin}->{out_pin} on cell {cell_name!r}")
+        arc_max = dict(self._arc_max)
+        arc_min = dict(self._arc_min)
+        arc_max[key] = max_delay
+        arc_min[key] = min_delay if min_delay is not None else max_delay
+        return DelayMap(
+            arc_max, arc_min, self._arc_sense, self._cell_arcs, self._sync
+        )
+
+
+def terminal_load(
+    network: Network, terminal, params: DelayParameters
+) -> float:
+    """Connected load seen by an output terminal."""
+    net = terminal.net
+    if net is None or not net.sinks:
+        return params.dangling_output_load
+    total = params.wire_cap_per_fanout * len(net.sinks)
+    for sink in net.sinks:
+        spec = sink.cell.spec
+        cap_fn = getattr(spec, "input_cap", None)
+        total += cap_fn(sink.pin) if cap_fn else params.default_pin_cap
+    return total
+
+
+def estimate_delays(
+    network: Network, params: Optional[DelayParameters] = None
+) -> DelayMap:
+    """Estimate all component delays of ``network``."""
+    params = params or DelayParameters()
+    arc_max: Dict[_ArcKey, RiseFall] = {}
+    arc_min: Dict[_ArcKey, RiseFall] = {}
+    arc_sense: Dict[_ArcKey, Unateness] = {}
+    cell_arcs: Dict[str, Tuple[Tuple[str, str], ...]] = {}
+    sync: Dict[str, SyncTiming] = {}
+    module_cache: Dict[int, Dict] = {}
+
+    for cell in network.cells:
+        spec = cell.spec
+        if isinstance(spec, SyncSpec):
+            sync[cell.name] = SyncTiming(
+                setup=spec.setup,
+                d_to_q=spec.d_to_q,
+                c_to_q=spec.c_to_q,
+                hold=spec.hold,
+                c_to_q_min=spec.c_to_q * params.min_derate,
+            )
+        elif isinstance(spec, ModuleSpec):
+            pin_delays = module_cache.get(id(spec))
+            if pin_delays is None:
+                pin_delays = _characterise_module(spec, params)
+                module_cache[id(spec)] = pin_delays
+            pairs = []
+            for (in_pin, out_pin), (dmax, dmin) in pin_delays.items():
+                key = (cell.name, in_pin, out_pin)
+                arc_max[key] = dmax
+                arc_min[key] = dmin
+                arc_sense[key] = Unateness.NON_UNATE
+                pairs.append((in_pin, out_pin))
+            cell_arcs[cell.name] = tuple(pairs)
+        elif isinstance(spec, GateSpec):
+            pairs = []
+            for (in_pin, out_pin), arc in spec.arcs.items():
+                load = terminal_load(network, cell.terminal(out_pin), params)
+                delay = arc.delay_at(load)
+                key = (cell.name, in_pin, out_pin)
+                arc_max[key] = delay
+                arc_min[key] = delay.scaled(params.min_derate)
+                arc_sense[key] = arc.unateness
+                pairs.append((in_pin, out_pin))
+            cell_arcs[cell.name] = tuple(pairs)
+        elif cell.role is CellRole.COMBINATIONAL:  # pragma: no cover
+            raise TypeError(
+                f"cell {cell.name!r} has unsupported combinational spec "
+                f"{type(spec).__name__}"
+            )
+        # Clock sources and primary pads carry no delay arcs.
+
+    return DelayMap(arc_max, arc_min, arc_sense, cell_arcs, sync)
+
+
+def _characterise_module(spec: ModuleSpec, params: DelayParameters) -> Dict:
+    """Pin-to-pin delays of a module, characterised in isolation.
+
+    The module's inner network is estimated with the same parameters; nets
+    feeding output ports additionally see ``module_port_load``.  The
+    result is cached on the spec (library characterisation is done once,
+    not per analysis), keyed by the estimation parameters.
+    """
+    from repro.delay.module_delay import module_pin_delays
+
+    cache = getattr(spec, "_characterisation_cache", None)
+    if cache is None:
+        cache = {}
+        spec._characterisation_cache = cache
+    cached = cache.get(params)
+    if cached is not None:
+        return cached
+
+    inner_map = estimate_delays(spec.definition.inner, params)
+    inner_map = _add_port_loads(spec, params, inner_map)
+    result = module_pin_delays(spec, inner_map)
+    cache[params] = result
+    return result
+
+
+def _add_port_loads(
+    spec: ModuleSpec, params: DelayParameters, inner_map: DelayMap
+) -> DelayMap:
+    """Re-estimate arcs that drive output-port nets with the port load.
+
+    Arcs whose output net is a module port were estimated with only the
+    net's inner sinks; add the assumed external load.
+    """
+    inner = spec.definition.inner
+    port_nets = set(spec.definition.output_ports.values())
+    adjusted = inner_map
+    for cell in inner.cells:
+        if not isinstance(cell.spec, GateSpec):
+            continue
+        for (in_pin, out_pin), arc in cell.spec.arcs.items():
+            net = cell.terminal(out_pin).net
+            if net is None or net.name not in port_nets:
+                continue
+            load = (
+                terminal_load(inner, cell.terminal(out_pin), params)
+                + params.module_port_load
+            )
+            delay = arc.delay_at(load)
+            adjusted = adjusted.with_arc_override(
+                cell.name,
+                in_pin,
+                out_pin,
+                delay,
+                delay.scaled(params.min_derate),
+            )
+    return adjusted
+
+
+__all__ = [
+    "DelayMap",
+    "DelayParameters",
+    "SyncTiming",
+    "estimate_delays",
+    "terminal_load",
+]

@@ -1,0 +1,90 @@
+"""Pin-to-pin delay estimation for hierarchical modules.
+
+A module (SM1H style) is analysed as a single component whose input->output
+propagation delays are the longest (and, for the minimum-delay extension,
+shortest) paths through its inner standard-cell network.  This is the
+"delays have been combined to generate estimates of the module propagation
+delays" step of the paper's Section 8.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.netlist.hierarchy import ModuleSpec
+from repro.netlist.network import Network
+from repro.rftime import RiseFall, max_over, min_over
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.delay.estimator import DelayMap
+
+
+def module_pin_delays(
+    spec: ModuleSpec, inner_delays: "DelayMap"
+) -> Dict[Tuple[str, str], Tuple[RiseFall, RiseFall]]:
+    """Longest and shortest pin-to-pin delays through a module.
+
+    Returns ``{(input port, output port): (max_delay, min_delay)}`` for
+    every connected pair.  ``inner_delays`` must be a delay map for the
+    module's inner network.
+    """
+    definition = spec.definition
+    inner = definition.inner
+    order = inner.comb_topological_cells()
+    result: Dict[Tuple[str, str], Tuple[RiseFall, RiseFall]] = {}
+
+    for in_port, in_net in definition.input_ports.items():
+        longest = _propagate(inner, order, inner_delays, in_net, maximum=True)
+        shortest = _propagate(inner, order, inner_delays, in_net, maximum=False)
+        for out_port, out_net in definition.output_ports.items():
+            max_delay = longest.get(out_net)
+            if max_delay is None:
+                continue
+            min_delay = shortest[out_net]
+            result[(in_port, out_port)] = (max_delay, min_delay)
+    return result
+
+
+def _propagate(
+    inner: Network,
+    order,
+    delays: "DelayMap",
+    source_net: str,
+    maximum: bool,
+) -> Dict[str, RiseFall]:
+    """Single-source longest/shortest rise-fall delays, per net name."""
+    arrival: Dict[str, RiseFall] = {source_net: RiseFall.both(0.0)}
+    for cell in order:
+        candidates: Dict[str, list] = {}
+        for in_pin, out_pin in delays.arcs_of(cell):
+            in_net = cell.terminal(in_pin).net
+            out_net = cell.terminal(out_pin).net
+            if in_net is None or out_net is None:
+                continue
+            at_input = arrival.get(in_net.name)
+            if at_input is None:
+                continue
+            unateness = delays.arc_unateness(cell, in_pin, out_pin)
+            arc = (
+                delays.arc_delay(cell, in_pin, out_pin)
+                if maximum
+                else delays.arc_delay_min(cell, in_pin, out_pin)
+            )
+            if maximum:
+                through = at_input.through_arc(unateness)
+            else:
+                # Shortest-path propagation uses the earlier of the two
+                # input transitions for a non-unate arc.
+                through = at_input.back_through_arc(unateness)
+            candidates.setdefault(out_net.name, []).append(through.plus(arc))
+        for net_name, values in candidates.items():
+            combined = max_over(values) if maximum else min_over(values)
+            existing = arrival.get(net_name)
+            if existing is not None:
+                combined = (
+                    existing.max_with(combined)
+                    if maximum
+                    else existing.min_with(combined)
+                )
+            arrival[net_name] = combined
+    return arrival

@@ -1,0 +1,38 @@
+"""Benchmark circuit generators.
+
+The paper's Table 1 designs (a DES chip with 3681 standard cells, an
+899-cell ALU portion, and a 12-bit FSM in flat and hierarchical form) are
+proprietary Berkeley test cases; these generators build synthetic
+equivalents with the same cell counts, latch styles and topology classes
+(see DESIGN.md, substitution table).  All generators are deterministic
+for a given seed.
+"""
+
+from repro.generators.alu import generate_alu
+from repro.generators.bus import tristate_bus_design
+from repro.generators.clock_tree import skewed_clock_pipeline
+from repro.generators.des import generate_des
+from repro.generators.fig1 import fig1_circuit, fig1_schedule
+from repro.generators.iscas import generate_s27
+from repro.generators.fsm import generate_sm1f, generate_sm1h
+from repro.generators.gating import clock_gated_design
+from repro.generators.pipelines import ff_pipeline, latch_pipeline, loop_of_latches
+from repro.generators.random_logic import random_design, random_logic_block
+
+__all__ = [
+    "clock_gated_design",
+    "ff_pipeline",
+    "fig1_circuit",
+    "fig1_schedule",
+    "generate_alu",
+    "generate_des",
+    "generate_s27",
+    "generate_sm1f",
+    "generate_sm1h",
+    "latch_pipeline",
+    "loop_of_latches",
+    "random_design",
+    "skewed_clock_pipeline",
+    "random_logic_block",
+    "tristate_bus_design",
+]

@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark generators."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.network import Network
+
+
+def standard_cell_count(network: Network) -> int:
+    """Number of *standard cells*: combinational gates plus synchronisers
+    (pads and clock sources are not standard cells).  This is the count
+    Table 1 reports (e.g. DES = 3681)."""
+    return len(network.combinational_cells) + len(network.synchronisers)
+
+
+def top_up_standard_cells(
+    builder: NetworkBuilder,
+    rng: random.Random,
+    target: int,
+    tap_nets: Sequence[str],
+    prefix: str = "fill",
+) -> int:
+    """Add real combinational gates until the standard-cell count hits
+    ``target``.
+
+    The filler is a random NAND/INV cone tapping ``tap_nets``; its outputs
+    are left unloaded (they join the clusters and are timed, but impose no
+    constraints), so the design's real paths keep their meaning while the
+    cell count matches the paper's.  Returns the number of cells added.
+    """
+    from repro.generators.random_logic import random_logic_block
+
+    deficit = target - standard_cell_count(builder.network)
+    if deficit < 0:
+        raise ValueError(
+            f"design already exceeds target ({-deficit} cells over)"
+        )
+    if deficit == 0:
+        return 0
+    random_logic_block(
+        builder,
+        rng,
+        prefix=prefix,
+        input_nets=list(tap_nets),
+        n_gates=deficit,
+        n_outputs=1,
+        gate_mix=(("NAND2", 3.0), ("INV", 1.0), ("NOR2", 1.0)),
+    )
+    return deficit
+
+
+def bus(prefix: str, width: int) -> List[str]:
+    """Net names of a ``width``-bit bus."""
+    return [f"{prefix}{i}" for i in range(width)]

@@ -1,0 +1,129 @@
+"""An 899-standard-cell registered ALU (Table 1's "portion of a CPU chip").
+
+Structured like a synthesised datapath: input operand registers, an
+opcode register, per-bit function slices with a ripple carry chain, a
+zero-detect tree, flag logic and an output register.  The exact cell
+count is matched to the paper's 899 with a small amount of real filler
+logic (see :func:`repro.generators._util.top_up_standard_cells`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.cells.library import CellLibrary, standard_library
+from repro.clocks.schedule import ClockSchedule
+from repro.generators._util import bus, top_up_standard_cells
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.network import Network
+
+#: The paper's standard-cell count for the ALU example.
+ALU_TARGET_CELLS = 899
+
+
+def _bit_slice(
+    builder: NetworkBuilder, index: int, a: str, b: str, carry_in: str, op: List[str]
+) -> Tuple[str, str]:
+    """One ALU bit: logic unit + full adder + function select.
+
+    Returns ``(result_net, carry_out_net)``.
+    """
+    p = f"bit{index}"
+    # Logic unit: AND / OR / XOR of the operands.
+    builder.gate(f"{p}_and", "NAND2", A=a, B=b, Z=f"{p}_nand")
+    builder.gate(f"{p}_andb", "INV", A=f"{p}_nand", Z=f"{p}_land")
+    builder.gate(f"{p}_or", "NOR2", A=a, B=b, Z=f"{p}_nor")
+    builder.gate(f"{p}_orb", "INV", A=f"{p}_nor", Z=f"{p}_lor")
+    builder.gate(f"{p}_xor", "XOR2", A=a, B=b, Z=f"{p}_lxor")
+    # Adder: sum = a ^ b ^ cin, cout = majority(a, b, cin).
+    builder.gate(f"{p}_sum", "XOR2", A=f"{p}_lxor", B=carry_in, Z=f"{p}_add")
+    builder.gate(f"{p}_c1", "NAND2", A=f"{p}_lxor", B=carry_in, Z=f"{p}_c1n")
+    builder.gate(f"{p}_c2", "NAND2", A=f"{p}_c1n", B=f"{p}_nand", Z=f"{p}_cout")
+    # Function select: two mux levels driven by the opcode.
+    builder.gate(
+        f"{p}_m0", "MUX2", A=f"{p}_land", B=f"{p}_lor", S=op[0], Z=f"{p}_m0o"
+    )
+    builder.gate(
+        f"{p}_m1", "MUX2", A=f"{p}_lxor", B=f"{p}_add", S=op[0], Z=f"{p}_m1o"
+    )
+    builder.gate(
+        f"{p}_m2", "MUX2", A=f"{p}_m0o", B=f"{p}_m1o", S=op[1], Z=f"{p}_res"
+    )
+    return f"{p}_res", f"{p}_cout"
+
+
+def generate_alu(
+    seed: int = 899,
+    width: int = 48,
+    period: float = 100.0,
+    target_cells: Optional[int] = ALU_TARGET_CELLS,
+    library: Optional[CellLibrary] = None,
+) -> Tuple[Network, ClockSchedule]:
+    """The registered ALU benchmark.
+
+    ``target_cells=None`` skips the filler and yields the bare structure.
+    """
+    rng = random.Random(seed)
+    library = library or standard_library()
+    builder = NetworkBuilder(library, name="ALU")
+    schedule = ClockSchedule.single("clk", period)
+    builder.clock("clk")
+
+    # Operand and opcode input registers.
+    a_bits, b_bits = bus("alu_a", width), bus("alu_b", width)
+    for i in range(width):
+        builder.input(f"pa{i}", f"pad_a{i}", clock="clk", edge="trailing")
+        builder.latch(f"rega{i}", "DFF", D=f"pad_a{i}", CK="clk", Q=a_bits[i])
+        builder.input(f"pb{i}", f"pad_b{i}", clock="clk", edge="trailing")
+        builder.latch(f"regb{i}", "DFF", D=f"pad_b{i}", CK="clk", Q=b_bits[i])
+    op = bus("alu_op", 2)
+    for i in range(2):
+        builder.input(f"pop{i}", f"pad_op{i}", clock="clk", edge="trailing")
+        builder.latch(f"regop{i}", "DFF", D=f"pad_op{i}", CK="clk", Q=op[i])
+
+    # Carry-in tied through a register so every net has a timed source.
+    builder.input("pcin", "pad_cin", clock="clk", edge="trailing")
+    builder.latch("regcin", "DFF", D="pad_cin", CK="clk", Q="alu_cin")
+
+    # Datapath slices with a ripple carry.
+    carry = "alu_cin"
+    results: List[str] = []
+    for i in range(width):
+        result, carry = _bit_slice(builder, i, a_bits[i], b_bits[i], carry, op)
+        results.append(result)
+
+    # Zero detect: NOR/NAND reduction tree over the results.
+    level = results
+    tree_index = 0
+    while len(level) > 1:
+        next_level: List[str] = []
+        for j in range(0, len(level) - 1, 2):
+            out = f"z{tree_index}_{j}"
+            spec = "NOR2" if tree_index % 2 == 0 else "NAND2"
+            builder.gate(
+                f"zt{tree_index}_{j}", spec, A=level[j], B=level[j + 1], Z=out
+            )
+            next_level.append(out)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+        tree_index += 1
+    zero_net = level[0]
+
+    # Output and flag registers.
+    for i in range(width):
+        builder.latch(
+            f"rego{i}", "DFF", D=results[i], CK="clk", Q=f"alu_y{i}"
+        )
+        builder.output(f"py{i}", f"alu_y{i}", clock="clk", edge="trailing")
+    builder.latch("regz", "DFF", D=zero_net, CK="clk", Q="alu_zero")
+    builder.output("pzero", "alu_zero", clock="clk", edge="trailing")
+    builder.latch("regc", "DFF", D=carry, CK="clk", Q="alu_carry")
+    builder.output("pcarry", "alu_carry", clock="clk", edge="trailing")
+
+    if target_cells is not None:
+        top_up_standard_cells(
+            builder, rng, target_cells, tap_nets=a_bits + b_bits
+        )
+    return builder.build(), schedule

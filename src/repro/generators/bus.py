@@ -1,0 +1,72 @@
+"""Tristate bus designs.
+
+"Clocked tristate drivers are modeled in the same way as transparent
+latches" (Section 5).  A shared bus with several tristate drivers is the
+one structure where a net legitimately has multiple drivers; the timing
+analysis treats each driver as an independent launch onto the bus and
+takes the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cells.library import CellLibrary, standard_library
+from repro.clocks.schedule import ClockSchedule
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.network import Network
+
+
+def tristate_bus_design(
+    n_drivers: int = 4,
+    source_chain: int = 2,
+    sink_chain: int = 2,
+    period: float = 100.0,
+    library: Optional[CellLibrary] = None,
+    name: str = "tristate_bus",
+) -> Tuple[Network, ClockSchedule]:
+    """``n_drivers`` tristate drivers sharing one bus.
+
+    Each driver's data comes from a phi1 latch through its own logic
+    cone (of increasing depth, so the drivers have distinct arrival
+    times); the bus feeds a cone captured on phi2.  All drivers are
+    enabled by phi1 -- the timing model analyses every driver's launch
+    independently of the (functional) bus arbitration.
+    """
+    if n_drivers < 2:
+        raise ValueError("a bus needs at least two drivers")
+    library = library or standard_library()
+    builder = NetworkBuilder(library, name=name)
+    schedule = ClockSchedule.two_phase(period)
+    builder.clock("phi1")
+    builder.clock("phi2")
+
+    for index in range(n_drivers):
+        builder.input(
+            f"in{index}", f"src{index}_d", clock="phi2", edge="leading"
+        )
+        builder.latch(
+            f"src{index}",
+            "DLATCH",
+            D=f"src{index}_d",
+            G="phi1",
+            Q=f"src{index}_q",
+        )
+        current = f"src{index}_q"
+        # Driver k gets k extra inverter pairs: staggered arrival times.
+        for stage in range(source_chain + 2 * index):
+            nxt = f"src{index}_c{stage}"
+            builder.gate(f"src{index}_i{stage}", "INV", A=current, Z=nxt)
+            current = nxt
+        builder.latch(
+            f"drv{index}", "TRIBUF", D=current, EN="phi1", Q="bus"
+        )
+
+    current = "bus"
+    for stage in range(sink_chain):
+        nxt = f"sink_c{stage}"
+        builder.gate(f"sink_i{stage}", "INV", A=current, Z=nxt)
+        current = nxt
+    builder.latch("cap", "DLATCH", D=current, G="phi2", Q="cap_q")
+    builder.output("dout", "cap_q", clock="phi2", edge="trailing")
+    return builder.build(), schedule

@@ -1,0 +1,66 @@
+"""Designs with buffered clock distribution.
+
+Control paths with real delay give the synchronisers non-zero assertion
+control arrivals (``O_ac``), and unequal buffer depths create skew
+between elements -- the situation the generic model's control offsets
+exist for.  (Badly asymmetric control paths can also break the
+supplementary constraints; the paper notes its algorithms "do not detect
+these problems", which is why :mod:`repro.core.mindelay` exists as an
+extension.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.cells.library import CellLibrary, standard_library
+from repro.clocks.schedule import ClockSchedule
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.network import Network
+
+
+def skewed_clock_pipeline(
+    buffer_depths: Sequence[int] = (0, 2, 4),
+    chain_length: int = 3,
+    period: float = 100.0,
+    library: Optional[CellLibrary] = None,
+    name: str = "skewed_clock",
+) -> Tuple[Network, ClockSchedule]:
+    """A single-clock FF pipeline where stage ``k``'s flip-flop receives
+    the clock through ``buffer_depths[k]`` buffers.
+
+    Deeper buffering delays both the stage's launch (later ``O_zc``) and
+    -- in the real circuit -- its capture; the simplified model keeps the
+    capture at the ideal edge (``O_cc = 0`` is a conservative lower
+    bound), so extra buffer depth strictly *tightens* the stage feeding
+    the skewed element and *relaxes* the stage it launches.
+    """
+    library = library or standard_library()
+    builder = NetworkBuilder(library, name=name)
+    schedule = ClockSchedule.single("clk", period)
+    builder.clock("clk")
+
+    # Dedicated buffer chains per stage.
+    clock_nets = []
+    for index, depth in enumerate(buffer_depths):
+        current = "clk"
+        for level in range(depth):
+            nxt = f"ck{index}_b{level}"
+            builder.gate(f"ckbuf{index}_{level}", "BUF", A=current, Z=nxt)
+            current = nxt
+        clock_nets.append(current)
+
+    builder.input("din", "s0_in", clock="clk", edge="trailing")
+    current = "s0_in"
+    for index, clock_net in enumerate(clock_nets):
+        for stage in range(chain_length):
+            nxt = f"s{index}_c{stage}"
+            builder.gate(f"s{index}_i{stage}", "INV", A=current, Z=nxt)
+            current = nxt
+        q_net = f"s{index}_q"
+        builder.latch(
+            f"ff{index}", "DFF", D=current, CK=clock_net, Q=q_net
+        )
+        current = q_net
+    builder.output("dout", current, clock="clk", edge="trailing")
+    return builder.build(), schedule

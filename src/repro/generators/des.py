@@ -1,0 +1,157 @@
+"""A 3681-standard-cell DES-style encryption datapath (Table 1's "DES").
+
+The paper's headline example is "a complete data encryption chip, made up
+from 3681 standard cells".  This generator builds a DES-shaped pipeline:
+
+* 64-bit input register (edge-triggered) and a 56-bit key register,
+* 16 unrolled Feistel rounds -- each with key mixing XORs, eight random
+  S-box cones and the L-side XOR,
+* two-phase transparent latch banks between round groups, so the design
+  exercises the latch-aware analysis (the real chip was latch based),
+* an output register,
+* a little real filler logic to land exactly on 3681 standard cells.
+
+The logic *functions* are random cones rather than the DES S-boxes -- the
+analysis only sees topology and delays (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.cells.library import CellLibrary, standard_library
+from repro.clocks.schedule import ClockSchedule
+from repro.generators._util import top_up_standard_cells
+from repro.generators.random_logic import random_logic_block
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.network import Network
+
+#: The paper's standard-cell count for the DES chip.
+DES_TARGET_CELLS = 3681
+
+
+def _round_function(
+    builder: NetworkBuilder,
+    rng: random.Random,
+    round_index: int,
+    left: List[str],
+    right: List[str],
+    key: List[str],
+    sbox_gates: int,
+) -> Tuple[List[str], List[str]]:
+    """One Feistel round: returns (new_left, new_right)."""
+    p = f"r{round_index}"
+    half = len(right)
+    # Key mixing: right xor key (one XOR2 per bit).
+    mixed = []
+    for i in range(half):
+        net = f"{p}_kx{i}"
+        builder.gate(
+            f"{p}_kxor{i}", "XOR2", A=right[i], B=key[i % len(key)], Z=net
+        )
+        mixed.append(net)
+    # Eight S-box cones over 6-bit groups producing 4 bits each.
+    sbox_out: List[str] = []
+    for s in range(8):
+        group = [mixed[(6 * s + k) % half] for k in range(6)]
+        outs = random_logic_block(
+            builder,
+            rng,
+            prefix=f"{p}_s{s}",
+            input_nets=group,
+            n_gates=sbox_gates,
+            n_outputs=4,
+        )
+        sbox_out.extend(outs)
+    # P-permutation (free wiring) then L-side XOR.
+    new_right = []
+    for i in range(half):
+        net = f"{p}_nx{i}"
+        builder.gate(
+            f"{p}_lxor{i}",
+            "XOR2",
+            A=left[i],
+            B=sbox_out[(5 * i + 3) % len(sbox_out)],
+            Z=net,
+        )
+        new_right.append(net)
+    return right, new_right
+
+
+def _latch_bank(
+    builder: NetworkBuilder,
+    name: str,
+    nets: List[str],
+    phase: str,
+) -> List[str]:
+    out = []
+    for i, net in enumerate(nets):
+        q = f"{name}_q{i}"
+        builder.latch(f"{name}_{i}", "DLATCH", D=net, G=phase, Q=q)
+        out.append(q)
+    return out
+
+
+def generate_des(
+    seed: int = 3681,
+    rounds: int = 16,
+    sbox_gates: int = 14,
+    latch_every: int = 4,
+    period: float = 200.0,
+    target_cells: Optional[int] = DES_TARGET_CELLS,
+    library: Optional[CellLibrary] = None,
+) -> Tuple[Network, ClockSchedule]:
+    """The DES-style benchmark.
+
+    ``latch_every`` inserts a two-phase transparent latch bank after every
+    that many rounds (alternating phases), reflecting latch-based pipeline
+    styling.  ``target_cells=None`` skips the exact-count filler.
+    """
+    rng = random.Random(seed)
+    library = library or standard_library()
+    builder = NetworkBuilder(library, name="DES")
+    schedule = ClockSchedule.two_phase(period)
+    builder.clock("phi1")
+    builder.clock("phi2")
+
+    # Input registers: 64-bit data (as L/R halves) + 56-bit key, loaded on
+    # phi2's trailing edge via edge-triggered latches clocked by phi2.
+    left: List[str] = []
+    right: List[str] = []
+    for i in range(32):
+        builder.input(f"pl{i}", f"pad_l{i}", clock="phi2", edge="trailing")
+        builder.latch(f"regl{i}", "DFF", D=f"pad_l{i}", CK="phi2", Q=f"des_l{i}")
+        left.append(f"des_l{i}")
+        builder.input(f"pr{i}", f"pad_r{i}", clock="phi2", edge="trailing")
+        builder.latch(f"regr{i}", "DFF", D=f"pad_r{i}", CK="phi2", Q=f"des_r{i}")
+        right.append(f"des_r{i}")
+    key: List[str] = []
+    for i in range(56):
+        builder.input(f"pk{i}", f"pad_k{i}", clock="phi2", edge="trailing")
+        builder.latch(f"regk{i}", "DFF", D=f"pad_k{i}", CK="phi2", Q=f"des_k{i}")
+        key.append(f"des_k{i}")
+
+    bank_index = 0
+    for round_index in range(rounds):
+        # Per-round key selection: rotate the key bus (free wiring).
+        round_key = key[round_index % 56 :] + key[: round_index % 56]
+        left, right = _round_function(
+            builder, rng, round_index, left, right, round_key, sbox_gates
+        )
+        if latch_every and (round_index + 1) % latch_every == 0 and (
+            round_index + 1
+        ) < rounds:
+            phase = "phi1" if bank_index % 2 == 0 else "phi2"
+            left = _latch_bank(builder, f"bankl{bank_index}", left, phase)
+            right = _latch_bank(builder, f"bankr{bank_index}", right, phase)
+            bank_index += 1
+
+    # Output register on phi2.
+    for i, net in enumerate(left + right):
+        builder.latch(f"rego{i}", "DFF", D=net, CK="phi2", Q=f"des_y{i}")
+        builder.output(f"py{i}", f"des_y{i}", clock="phi2", edge="trailing")
+
+    if target_cells is not None:
+        top_up_standard_cells(builder, rng, target_cells, tap_nets=key)
+    return builder.build(), schedule

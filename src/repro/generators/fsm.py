@@ -1,0 +1,106 @@
+"""SM1: the paper's 12-bit finite state machine, flat and hierarchical.
+
+Table 1 lists the same machine twice: SM1F as a "flattened" network of
+standard cells and SM1H as a "hierarchical" description "in which the
+combinational logic is contained in a single module".  The generator
+builds the hierarchical form (state register + one combinational module)
+and derives the flat form by flattening it, so the two are exactly the
+same machine -- as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.cells.library import CellLibrary, standard_library
+from repro.clocks.schedule import ClockSchedule
+from repro.generators._util import bus
+from repro.generators.random_logic import random_logic_block
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.hierarchy import ModuleDefinition, ModuleSpec, flatten
+from repro.netlist.network import Network
+
+
+def _next_state_module(
+    seed: int,
+    state_bits: int,
+    n_inputs: int,
+    n_outputs: int,
+    n_gates: int,
+    library: CellLibrary,
+) -> ModuleSpec:
+    """The FSM's combinational next-state/output logic as a module."""
+    rng = random.Random(seed)
+    inner_builder = NetworkBuilder(library, name="sm1_logic")
+    in_ports = bus("s", state_bits) + bus("x", n_inputs)
+    outputs = random_logic_block(
+        inner_builder,
+        rng,
+        prefix="ns",
+        input_nets=in_ports,
+        n_gates=n_gates,
+        n_outputs=state_bits + n_outputs,
+    )
+    inner = inner_builder.build()
+    definition = ModuleDefinition(
+        inner,
+        input_ports={name: name for name in in_ports},
+        output_ports={
+            **{f"ns{i}": outputs[i] for i in range(state_bits)},
+            **{
+                f"y{i}": outputs[state_bits + i] for i in range(n_outputs)
+            },
+        },
+    )
+    return ModuleSpec("SM1_LOGIC", definition)
+
+
+def generate_sm1h(
+    seed: int = 1989,
+    state_bits: int = 12,
+    n_inputs: int = 8,
+    n_outputs: int = 9,
+    n_gates: int = 280,
+    period: float = 100.0,
+    library: Optional[CellLibrary] = None,
+) -> Tuple[Network, ClockSchedule]:
+    """SM1H: hierarchical 12-bit FSM (logic in a single module)."""
+    library = library or standard_library()
+    module = _next_state_module(
+        seed, state_bits, n_inputs, n_outputs, n_gates, library
+    )
+    builder = NetworkBuilder(library, name="SM1H")
+    schedule = ClockSchedule.single("clk", period)
+    builder.clock("clk")
+    pins = {}
+    for i in range(n_inputs):
+        builder.input(f"x{i}", f"xin{i}", clock="clk", edge="trailing")
+        pins[f"x{i}"] = f"xin{i}"
+    for i in range(state_bits):
+        builder.latch(
+            f"state{i}", "DFF", D=f"ns_net{i}", CK="clk", Q=f"st{i}"
+        )
+        pins[f"s{i}"] = f"st{i}"
+        pins[f"ns{i}"] = f"ns_net{i}"
+    for i in range(n_outputs):
+        pins[f"y{i}"] = f"yout{i}"
+        builder.output(f"y{i}_pad", f"yout{i}", clock="clk", edge="trailing")
+    builder.instantiate("logic", module, **pins)
+    return builder.build(), schedule
+
+
+def generate_sm1f(
+    seed: int = 1989,
+    state_bits: int = 12,
+    n_inputs: int = 8,
+    n_outputs: int = 9,
+    n_gates: int = 280,
+    period: float = 100.0,
+    library: Optional[CellLibrary] = None,
+) -> Tuple[Network, ClockSchedule]:
+    """SM1F: the same machine as :func:`generate_sm1h`, flattened."""
+    network, schedule = generate_sm1h(
+        seed, state_bits, n_inputs, n_outputs, n_gates, period, library
+    )
+    return flatten(network, name="SM1F"), schedule

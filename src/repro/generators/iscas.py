@@ -1,0 +1,58 @@
+"""Real benchmark circuits: ISCAS'89 s27.
+
+s27 is the smallest ISCAS'89 sequential benchmark: 4 primary inputs, 1
+primary output, 3 D flip-flops and 10 gates.  The netlist below follows
+the published structure (Brglez, Bryan & Kozminski, ISCAS 1989), mapped
+onto this repository's cell library:
+
+    G5  = DFF(G10)        G6 = DFF(G11)        G7 = DFF(G13)
+    G14 = NOT(G0)          G17 = NOT(G11)
+    G8  = AND(G14, G6)     G15 = OR(G12, G8)    G16 = OR(G3, G8)
+    G9  = NAND(G16, G15)   G10 = NOR(G14, G11)  G11 = NOR(G5, G9)
+    G12 = NOR(G1, G7)      G13 = NOR(G2, G12)
+    G17 is the primary output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cells.library import CellLibrary, standard_library
+from repro.clocks.schedule import ClockSchedule
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.network import Network
+
+
+def generate_s27(
+    period: float = 20.0,
+    library: Optional[CellLibrary] = None,
+) -> Tuple[Network, ClockSchedule]:
+    """The ISCAS'89 s27 benchmark on a single clock."""
+    library = library or standard_library()
+    b = NetworkBuilder(library, name="s27")
+    schedule = ClockSchedule.single("clk", period)
+    b.clock("clk")
+
+    for name in ("G0", "G1", "G2", "G3"):
+        b.input(f"pi_{name}", name, clock="clk", edge="trailing")
+
+    # State elements.
+    b.latch("dff_G5", "DFF", D="G10", CK="clk", Q="G5")
+    b.latch("dff_G6", "DFF", D="G11", CK="clk", Q="G6")
+    b.latch("dff_G7", "DFF", D="G13", CK="clk", Q="G7")
+
+    # Combinational core (BUF+INV pairs stand in for AND/OR where the
+    # library spelling differs from the original's primitive names).
+    b.gate("not_G14", "INV", A="G0", Z="G14")
+    b.gate("not_G17", "INV", A="G11", Z="G17")
+    b.gate("and_G8", "AND2", A="G14", B="G6", Z="G8")
+    b.gate("or_G15", "OR2", A="G12", B="G8", Z="G15")
+    b.gate("or_G16", "OR2", A="G3", B="G8", Z="G16")
+    b.gate("nand_G9", "NAND2", A="G16", B="G15", Z="G9")
+    b.gate("nor_G10", "NOR2", A="G14", B="G11", Z="G10")
+    b.gate("nor_G11", "NOR2", A="G5", B="G9", Z="G11")
+    b.gate("nor_G12", "NOR2", A="G1", B="G7", Z="G12")
+    b.gate("nor_G13", "NOR2", A="G2", B="G12", Z="G13")
+
+    b.output("po_G17", "G17", clock="clk", edge="trailing")
+    return b.build(), schedule

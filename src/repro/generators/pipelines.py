@@ -1,0 +1,151 @@
+"""Regular pipelines: the workhorse circuits of the unit benches.
+
+``latch_pipeline`` builds the classic two-phase transparent-latch pipeline
+whose cycle-borrowing behaviour motivates the paper; ``ff_pipeline`` is
+the single-clock edge-triggered control.  Both use explicit inverter
+chains so stage delays are predictable in closed form, which the tests
+exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.cells.library import CellLibrary, standard_library
+from repro.clocks.schedule import ClockSchedule
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.network import Network
+
+
+def _inverter_chain(
+    builder: NetworkBuilder, prefix: str, in_net: str, length: int
+) -> str:
+    """A chain of ``length`` inverters; returns the final net."""
+    current = in_net
+    for index in range(length):
+        out_net = f"{prefix}_c{index}"
+        builder.gate(f"{prefix}_i{index}", "INV", A=current, Z=out_net)
+        current = out_net
+    return current
+
+
+def latch_pipeline(
+    stages: int = 4,
+    chain_length: int = 3,
+    stage_lengths: Optional[Sequence[int]] = None,
+    period: float = 100.0,
+    width: Optional[float] = None,
+    library: Optional[CellLibrary] = None,
+    name: str = "latch_pipeline",
+) -> Tuple[Network, ClockSchedule]:
+    """A two-phase transparent-latch pipeline.
+
+    Stage ``k`` is an inverter chain of ``stage_lengths[k]`` (default
+    ``chain_length``) inverters followed by a transparent latch on
+    alternating phases (phi1 for even stages, phi2 for odd).  Uneven
+    ``stage_lengths`` exercise cycle borrowing: a long stage can steal
+    time through the downstream latch's transparency window.
+    """
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    lengths = (
+        list(stage_lengths)
+        if stage_lengths is not None
+        else [chain_length] * stages
+    )
+    if len(lengths) != stages:
+        raise ValueError("stage_lengths must have one entry per stage")
+    library = library or standard_library()
+    builder = NetworkBuilder(library, name=name)
+    schedule = ClockSchedule.two_phase(period, width=width)
+    builder.clock("phi1")
+    builder.clock("phi2")
+    builder.input("din", "s0_in", clock="phi2", edge="leading")
+    current = "s0_in"
+    for stage, length in enumerate(lengths):
+        chain_out = _inverter_chain(builder, f"s{stage}", current, length)
+        phase = "phi1" if stage % 2 == 0 else "phi2"
+        q_net = f"s{stage}_q"
+        builder.latch(f"s{stage}_l", "DLATCH", D=chain_out, G=phase, Q=q_net)
+        current = q_net
+    final_phase = "phi1" if (stages - 1) % 2 == 0 else "phi2"
+    builder.output("dout", current, clock=final_phase, edge="trailing")
+    return builder.build(), schedule
+
+
+def ff_pipeline(
+    stages: int = 4,
+    chain_length: int = 3,
+    stage_lengths: Optional[Sequence[int]] = None,
+    period: float = 100.0,
+    library: Optional[CellLibrary] = None,
+    name: str = "ff_pipeline",
+) -> Tuple[Network, ClockSchedule]:
+    """A single-clock edge-triggered pipeline (no cycle borrowing)."""
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    lengths = (
+        list(stage_lengths)
+        if stage_lengths is not None
+        else [chain_length] * stages
+    )
+    if len(lengths) != stages:
+        raise ValueError("stage_lengths must have one entry per stage")
+    library = library or standard_library()
+    builder = NetworkBuilder(library, name=name)
+    schedule = ClockSchedule.single("clk", period)
+    builder.clock("clk")
+    builder.input("din", "s0_in", clock="clk", edge="trailing")
+    current = "s0_in"
+    for stage, length in enumerate(lengths):
+        chain_out = _inverter_chain(builder, f"s{stage}", current, length)
+        q_net = f"s{stage}_q"
+        builder.latch(f"s{stage}_l", "DFF", D=chain_out, CK="clk", Q=q_net)
+        current = q_net
+    builder.output("dout", current, clock="clk", edge="trailing")
+    return builder.build(), schedule
+
+
+def loop_of_latches(
+    chain_lengths: Sequence[int] = (3, 3),
+    period: float = 100.0,
+    width: Optional[float] = None,
+    library: Optional[CellLibrary] = None,
+    name: str = "latch_loop",
+) -> Tuple[Network, ClockSchedule]:
+    """A directed cycle through transparent latches.
+
+    The paper points out that "too slow" may apply to a set of paths that
+    form a directed cycle traversing two or more transparent latches; this
+    generator builds exactly that: latches on alternating phases connected
+    in a ring through inverter chains (an even total inversion count, as
+    in a real iterative datapath loop).
+    """
+    n = len(chain_lengths)
+    if n < 2:
+        raise ValueError("a latch loop needs at least two latches")
+    library = library or standard_library()
+    builder = NetworkBuilder(library, name=name)
+    schedule = ClockSchedule.two_phase(period, width=width)
+    builder.clock("phi1")
+    builder.clock("phi2")
+    # Latches first, so the ring can be closed net-by-net.
+    for index in range(n):
+        phase = "phi1" if index % 2 == 0 else "phi2"
+        builder.latch(
+            f"r{index}_l",
+            "DLATCH",
+            D=f"r{index}_d",
+            G=phase,
+            Q=f"r{index}_q",
+        )
+    for index in range(n):
+        target = (index + 1) % n
+        chain_out = _inverter_chain(
+            builder, f"r{index}", f"r{index}_q", chain_lengths[index]
+        )
+        # Join the chain output onto the next latch's D net via a buffer
+        # so each net keeps a single driver.
+        builder.gate(f"r{index}_join", "BUF", A=chain_out, Z=f"r{target}_d")
+    builder.output("probe", "r0_q", clock="phi1", edge="trailing")
+    return builder.build(), schedule

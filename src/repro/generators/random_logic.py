@@ -1,0 +1,155 @@
+"""Seeded random combinational blocks and whole random designs."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cells.library import CellLibrary, standard_library
+from repro.clocks.schedule import ClockSchedule
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.network import Network
+
+#: Gate mix used by the random generators: (spec name, weight).  Chosen to
+#: look like area-optimised static CMOS synthesis output: NAND-heavy, a
+#: sprinkle of complex gates and inverters.
+DEFAULT_GATE_MIX: Tuple[Tuple[str, float], ...] = (
+    ("INV", 2.0),
+    ("NAND2", 4.0),
+    ("NAND3", 2.0),
+    ("NOR2", 2.5),
+    ("NOR3", 1.0),
+    ("AOI21", 1.5),
+    ("OAI21", 1.5),
+    ("XOR2", 0.7),
+    ("MUX2", 0.6),
+    ("BUF", 0.3),
+)
+
+
+def random_logic_block(
+    builder: NetworkBuilder,
+    rng: random.Random,
+    prefix: str,
+    input_nets: Sequence[str],
+    n_gates: int,
+    n_outputs: int,
+    library: Optional[CellLibrary] = None,
+    gate_mix: Sequence[Tuple[str, float]] = DEFAULT_GATE_MIX,
+    locality: float = 0.6,
+    locality_window: int = 16,
+) -> List[str]:
+    """Add ``n_gates`` random gates to ``builder``; return output nets.
+
+    ``locality`` biases gate inputs toward recently created nets, which
+    stretches path depth the way synthesised logic cones do.  Outputs are
+    the most recently created nets (deduplicated); every input net is
+    guaranteed to be used at least once so no cluster input dangles.
+    """
+    if not input_nets:
+        raise ValueError("a logic block needs at least one input net")
+    if n_outputs < 1:
+        raise ValueError("a logic block needs at least one output")
+    library = library or standard_library()
+    names = [name for name, __ in gate_mix]
+    weights = [weight for __, weight in gate_mix]
+
+    pool: List[str] = list(input_nets)
+    unused: List[str] = list(input_nets)  # list keeps draws deterministic
+    created: List[str] = []
+    for index in range(max(n_gates, n_outputs)):
+        spec_name = rng.choices(names, weights)[0]
+        spec = library.spec(spec_name)
+        out_net = f"{prefix}_n{index}"
+        pins = {}
+        for pin in spec.inputs:
+            if unused:
+                net = unused.pop()
+            elif rng.random() < locality and created:
+                net = created[
+                    rng.randrange(
+                        max(0, len(created) - locality_window), len(created)
+                    )
+                ]
+            else:
+                net = pool[rng.randrange(len(pool))]
+            pins[pin] = net
+        builder.gate(f"{prefix}_g{index}", spec_name, Z=out_net, **pins)
+        pool.append(out_net)
+        created.append(out_net)
+
+    outputs: List[str] = []
+    for net in reversed(created):
+        if net not in outputs:
+            outputs.append(net)
+        if len(outputs) == n_outputs:
+            break
+    return list(reversed(outputs))
+
+
+def random_design(
+    seed: int,
+    n_banks: int = 4,
+    gates_per_bank: int = 50,
+    bits: int = 8,
+    style: str = "latch",
+    period: float = 100.0,
+    name: Optional[str] = None,
+    library: Optional[CellLibrary] = None,
+) -> Tuple[Network, ClockSchedule]:
+    """A random multi-stage design.
+
+    ``style`` is ``"latch"`` (alternating two-phase transparent latches)
+    or ``"ff"`` (single-clock edge-triggered).  Each of the ``n_banks``
+    pipeline stages is a ``gates_per_bank``-gate random block between
+    ``bits``-wide synchroniser banks.
+    """
+    rng = random.Random(seed)
+    library = library or standard_library()
+    builder = NetworkBuilder(
+        library, name=name or f"random_{style}_{seed}_{n_banks}x{gates_per_bank}"
+    )
+    if style == "latch":
+        schedule = ClockSchedule.two_phase(period)
+        clock_nets = ["phi1", "phi2"]
+        sync_spec, control_pin = "DLATCH", "G"
+    elif style == "ff":
+        schedule = ClockSchedule.single("clk", period)
+        clock_nets = ["clk"]
+        sync_spec, control_pin = "DFF", "CK"
+    else:
+        raise ValueError(f"unknown style {style!r}")
+    for clock in clock_nets:
+        builder.clock(clock)
+
+    current = [f"pi{i}" for i in range(bits)]
+    for i, net in enumerate(current):
+        builder.input(f"in{i}", net, clock=clock_nets[-1], edge="trailing")
+
+    for bank in range(n_banks):
+        block_outputs = random_logic_block(
+            builder,
+            rng,
+            prefix=f"b{bank}",
+            input_nets=current,
+            n_gates=gates_per_bank,
+            n_outputs=bits,
+            library=library,
+        )
+        clock = clock_nets[bank % len(clock_nets)]
+        next_nets = []
+        for i, net in enumerate(block_outputs):
+            q_net = f"b{bank}_q{i}"
+            builder.latch(
+                f"b{bank}_l{i}",
+                sync_spec,
+                D=net,
+                Q=q_net,
+                **{control_pin: clock},
+            )
+            next_nets.append(q_net)
+        current = next_nets
+
+    for i, net in enumerate(current):
+        builder.output(f"out{i}", net, clock=clock_nets[-1], edge="trailing")
+    return builder.build(), schedule

@@ -1,0 +1,10 @@
+"""Interactive what-if exploration (paper, Section 8).
+
+"Hummingbird has an interactive mode in which, for example, changes may
+be made to the shapes of the clock waveforms to determine the effect on
+system timing.  Adjustments may also be made to component delays."
+"""
+
+from repro.interactive.session import WhatIfSession
+
+__all__ = ["WhatIfSession"]

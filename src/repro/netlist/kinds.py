@@ -1,0 +1,104 @@
+"""Shared vocabulary between the netlist and the cell library.
+
+The netlist layer does not depend on any concrete cell library; instead a
+cell instance points at a *spec* object satisfying :class:`CellSpecLike`.
+This module defines the enums those specs use and the protocol itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+
+class CellRole(enum.Enum):
+    """What a cell does in the timing model of the paper's Section 3."""
+
+    #: Ordinary combinational logic (gates and hierarchical modules).
+    COMBINATIONAL = "combinational"
+    #: Synchronising element: edge-triggered or transparent latch, or a
+    #: clocked tristate driver.  Three logical terminals: data input,
+    #: control input, data output.
+    SYNCHRONISER = "synchroniser"
+    #: Clock generator output.  Drives control paths.
+    CLOCK_SOURCE = "clock_source"
+    #: Primary input pad: modelled as a zero-freedom synchroniser output
+    #: asserted at a specified clock edge plus offset.
+    PRIMARY_INPUT = "primary_input"
+    #: Primary output pad: modelled as a zero-freedom synchroniser input
+    #: with closure at a specified clock edge plus offset.
+    PRIMARY_OUTPUT = "primary_output"
+
+
+class SyncStyle(enum.Enum):
+    """The synchronising element styles modelled in the paper's Section 5."""
+
+    #: Trailing-edge triggered latch (flip-flop): input closure and output
+    #: assertion both on the trailing edge of the control pulse.
+    EDGE_TRIGGERED = "edge_triggered"
+    #: Level-sensitive ("transparent") latch: output assertion on the
+    #: leading edge, input closure on the trailing edge.
+    TRANSPARENT = "transparent"
+    #: Clocked tristate driver -- "modeled in the same way as transparent
+    #: latches" (Section 5).
+    TRISTATE = "tristate"
+
+
+class Unateness(enum.Enum):
+    """Sense of a combinational timing arc, for rise/fall propagation."""
+
+    #: Output rises when the input rises (buffer-like).
+    POSITIVE = "positive"
+    #: Output falls when the input rises (inverter-like).
+    NEGATIVE = "negative"
+    #: Either transition can cause either (xor-like).
+    NON_UNATE = "non_unate"
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """A combinational input-to-output timing arc.
+
+    The netlist layer only needs the unateness (for control-path
+    monotonicity checks and rise/fall propagation).  Concrete cell
+    libraries subclass this with delay parameters; hierarchical modules use
+    it directly with :data:`Unateness.NON_UNATE`.
+    """
+
+    unateness: Unateness = Unateness.NON_UNATE
+
+
+@runtime_checkable
+class CellSpecLike(Protocol):
+    """What the netlist requires of a cell spec.
+
+    Concrete specs live in :mod:`repro.cells`; hierarchical module specs in
+    :mod:`repro.netlist.hierarchy`.  The delay model is *not* part of this
+    protocol -- delays are estimated separately (:mod:`repro.delay`) and
+    attached to the analysis, mirroring the paper's separation of component
+    delay estimation from system timing analysis.
+    """
+
+    @property
+    def name(self) -> str:
+        """Library name of the spec (e.g. ``NAND2``)."""
+
+    @property
+    def role(self) -> CellRole: ...
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Data input pin names (excludes the control pin)."""
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Output pin names."""
+
+    @property
+    def control(self) -> Optional[str]:
+        """Control pin name for synchronisers, ``None`` otherwise."""
+
+    @property
+    def sync_style(self) -> Optional[SyncStyle]:
+        """Element style for synchronisers, ``None`` otherwise."""

@@ -1,0 +1,66 @@
+"""Nets: the wires connecting cell terminals."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.netlist.terminals import Terminal
+
+
+class Net:
+    """A wire with exactly one driver and any number of sinks.
+
+    Multiple drivers on one net are only legal when every driver is a
+    clocked tristate element; :mod:`repro.netlist.validate` enforces that.
+    For generality the net therefore keeps a driver *list*; :attr:`driver`
+    returns the single driver and raises on tristate buses.
+    """
+
+    __slots__ = ("name", "drivers", "sinks")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.drivers: List[Terminal] = []
+        self.sinks: List[Terminal] = []
+
+    @property
+    def driver(self) -> Terminal:
+        if len(self.drivers) != 1:
+            raise ValueError(
+                f"net {self.name!r} has {len(self.drivers)} drivers; "
+                "use .drivers for tristate buses"
+            )
+        return self.drivers[0]
+
+    @property
+    def terminals(self) -> Tuple[Terminal, ...]:
+        return tuple(self.drivers) + tuple(self.sinks)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def attach(self, terminal: Terminal) -> None:
+        """Connect ``terminal`` to this net (used by Network.connect)."""
+        if terminal.net is not None and terminal.net is not self:
+            raise ValueError(
+                f"terminal {terminal.full_name} is already on net "
+                f"{terminal.net.name!r}"
+            )
+        if terminal.is_driver:
+            if terminal not in self.drivers:
+                self.drivers.append(terminal)
+        else:
+            if terminal not in self.sinks:
+                self.sinks.append(terminal)
+        terminal.net = self
+
+    def __repr__(self) -> str:
+        return f"Net({self.name!r}, drivers={len(self.drivers)}, sinks={len(self.sinks)})"
+
+
+def driver_or_none(net: Optional[Net]) -> Optional[Terminal]:
+    """The unique driver of ``net``, or ``None`` when unconnected/undriven."""
+    if net is None or not net.drivers:
+        return None
+    return net.drivers[0]

@@ -1,0 +1,259 @@
+"""The flat network container and its graph queries."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.netlist.cell import Cell
+from repro.netlist.kinds import CellRole
+from repro.netlist.net import Net
+from repro.netlist.terminals import Terminal
+
+
+class CombinationalCycleError(ValueError):
+    """Raised when the combinational portion of a network has a directed
+    cycle, violating the paper's Section 3 assumption."""
+
+    def __init__(self, cells: List[str]) -> None:
+        self.cells = cells
+        super().__init__(
+            "combinational logic contains a directed cycle through: "
+            + ", ".join(sorted(cells))
+        )
+
+
+class Network:
+    """A flat network of cells and nets.
+
+    The network is a plain container plus graph queries; all timing
+    semantics live in :mod:`repro.core`.  Cells and nets are identified by
+    unique names.
+    """
+
+    def __init__(self, name: str = "top") -> None:
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        self._nets: Dict[str, Net] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_cell(self, cell: Cell) -> Cell:
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate cell name {cell.name!r}")
+        self._cells[cell.name] = cell
+        return cell
+
+    def add_net(self, name: str) -> Net:
+        if name in self._nets:
+            raise ValueError(f"duplicate net name {name!r}")
+        net = Net(name)
+        self._nets[name] = net
+        return net
+
+    def net_or_create(self, name: str) -> Net:
+        net = self._nets.get(name)
+        if net is None:
+            net = self.add_net(name)
+        return net
+
+    def connect(self, net_name: str, terminal: Terminal) -> Net:
+        """Attach ``terminal`` to the net called ``net_name`` (created on
+        first use)."""
+        net = self.net_or_create(net_name)
+        net.attach(terminal)
+        return net
+
+    def remove_cell(self, name: str) -> None:
+        """Remove a cell, detaching its terminals from their nets."""
+        cell = self.cell(name)
+        for terminal in cell.terminals():
+            net = terminal.net
+            if net is None:
+                continue
+            if terminal in net.drivers:
+                net.drivers.remove(terminal)
+            if terminal in net.sinks:
+                net.sinks.remove(terminal)
+            terminal.net = None
+        del self._cells[name]
+
+    def reconnect_sink(self, terminal: Terminal, net_name: str) -> Net:
+        """Move a sink terminal onto another net (netlist surgery, e.g.
+        buffer insertion).  The terminal must currently be a sink."""
+        if terminal.is_driver:
+            raise ValueError(
+                f"{terminal.full_name} is a driver; only sinks can be "
+                "reconnected"
+            )
+        old = terminal.net
+        if old is not None:
+            old.sinks.remove(terminal)
+            terminal.net = None
+        return self.connect(net_name, terminal)
+
+    def remove_net_if_empty(self, name: str) -> bool:
+        net = self._nets.get(name)
+        if net is not None and not net.drivers and not net.sinks:
+            del self._nets[name]
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def cell(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(f"no cell named {name!r}") from None
+
+    def net(self, name: str) -> Net:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise KeyError(f"no net named {name!r}") from None
+
+    def has_cell(self, name: str) -> bool:
+        return name in self._cells
+
+    @property
+    def cells(self) -> Tuple[Cell, ...]:
+        return tuple(self._cells.values())
+
+    @property
+    def nets(self) -> Tuple[Net, ...]:
+        return tuple(self._nets.values())
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._nets)
+
+    def cells_with_role(self, role: CellRole) -> Tuple[Cell, ...]:
+        return tuple(c for c in self._cells.values() if c.role is role)
+
+    @property
+    def combinational_cells(self) -> Tuple[Cell, ...]:
+        return self.cells_with_role(CellRole.COMBINATIONAL)
+
+    @property
+    def synchronisers(self) -> Tuple[Cell, ...]:
+        return self.cells_with_role(CellRole.SYNCHRONISER)
+
+    @property
+    def clock_sources(self) -> Tuple[Cell, ...]:
+        return self.cells_with_role(CellRole.CLOCK_SOURCE)
+
+    @property
+    def primary_inputs(self) -> Tuple[Cell, ...]:
+        return self.cells_with_role(CellRole.PRIMARY_INPUT)
+
+    @property
+    def primary_outputs(self) -> Tuple[Cell, ...]:
+        return self.cells_with_role(CellRole.PRIMARY_OUTPUT)
+
+    # ------------------------------------------------------------------
+    # graph queries
+    # ------------------------------------------------------------------
+    def driver_of(self, terminal: Terminal) -> Optional[Terminal]:
+        """The terminal driving ``terminal``'s net (None if undriven).
+
+        For tristate buses with several drivers the caller must use
+        ``terminal.net.drivers`` directly.
+        """
+        net = terminal.net
+        if net is None or not net.drivers:
+            return None
+        if len(net.drivers) > 1:
+            raise ValueError(
+                f"net {net.name!r} has multiple drivers; "
+                "resolve tristate buses explicitly"
+            )
+        return net.drivers[0]
+
+    def sinks_of(self, terminal: Terminal) -> Tuple[Terminal, ...]:
+        """The sink terminals on ``terminal``'s net."""
+        net = terminal.net
+        if net is None:
+            return ()
+        return tuple(net.sinks)
+
+    def comb_fanin_cells(self, cell: Cell) -> Iterator[Cell]:
+        """Combinational cells driving any data input of ``cell``."""
+        seen = set()
+        for terminal in cell.input_terminals:
+            net = terminal.net
+            if net is None:
+                continue
+            for driver in net.drivers:
+                upstream = driver.cell
+                if upstream.is_combinational and upstream.name not in seen:
+                    seen.add(upstream.name)
+                    yield upstream
+
+    def comb_fanout_cells(self, cell: Cell) -> Iterator[Cell]:
+        """Combinational cells fed by any output of ``cell``."""
+        seen = set()
+        for terminal in cell.output_terminals:
+            for sink in self.sinks_of(terminal):
+                downstream = sink.cell
+                if downstream.is_combinational and downstream.name not in seen:
+                    seen.add(downstream.name)
+                    yield downstream
+
+    def comb_topological_cells(self) -> Tuple[Cell, ...]:
+        """Combinational cells in topological (fanin-before-fanout) order.
+
+        Raises :class:`CombinationalCycleError` when the combinational
+        portion of the network contains a directed cycle.
+        """
+        comb = self.combinational_cells
+        indegree: Dict[str, int] = {c.name: 0 for c in comb}
+        for cell in comb:
+            for __ in self.comb_fanin_cells(cell):
+                indegree[cell.name] += 1
+        ready = deque(c for c in comb if indegree[c.name] == 0)
+        order: List[Cell] = []
+        while ready:
+            cell = ready.popleft()
+            order.append(cell)
+            for downstream in self.comb_fanout_cells(cell):
+                indegree[downstream.name] -= 1
+                if indegree[downstream.name] == 0:
+                    ready.append(downstream)
+        if len(order) != len(comb):
+            stuck = [name for name, degree in indegree.items() if degree > 0]
+            raise CombinationalCycleError(stuck)
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Cell/net counts broken down by role (for Table-1 style rows)."""
+        return {
+            "cells": self.num_cells,
+            "nets": self.num_nets,
+            "combinational": len(self.combinational_cells),
+            "synchronisers": len(self.synchronisers),
+            "clock_sources": len(self.clock_sources),
+            "primary_inputs": len(self.primary_inputs),
+            "primary_outputs": len(self.primary_outputs),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({self.name!r}, cells={self.num_cells}, "
+            f"nets={self.num_nets})"
+        )
+
+
+def terminals_of(cells: Iterable[Cell]) -> Iterator[Terminal]:
+    """All terminals of ``cells`` (helper for analyses)."""
+    for cell in cells:
+        yield from cell.terminals()

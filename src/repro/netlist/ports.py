@@ -1,0 +1,78 @@
+"""Specs for network boundary cells: clock sources and primary I/O pads.
+
+The paper's analysis model assumes every transition originates at a
+synchronising element output and every combinational path ends at a
+synchronising element input.  Primary inputs and outputs are therefore
+modelled as zero-freedom boundary elements: a primary input asserts its
+signal at a specified clock edge plus an offset (its external arrival
+time), and a primary output closes at a specified clock edge plus an
+offset (its external required time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.netlist.kinds import CellRole, SyncStyle
+
+
+@dataclass(frozen=True)
+class ClockSourceSpec:
+    """Output terminal of a clock generator.
+
+    The instance's ``attrs['clock']`` (or its cell name, by default) names
+    the :class:`~repro.clocks.waveform.ClockWaveform` it produces.
+    """
+
+    name: str = "CLOCK"
+    role: CellRole = CellRole.CLOCK_SOURCE
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ("Z",)
+    control: Optional[str] = None
+    sync_style: Optional[SyncStyle] = None
+
+
+@dataclass(frozen=True)
+class PrimaryInputSpec:
+    """Primary input pad.
+
+    Timing attributes on the instance:
+
+    ``clock``
+        Name of the clock whose edge the external agent launches from.
+    ``edge``
+        ``"leading"`` or ``"trailing"`` (default ``"trailing"``).
+    ``pulse_index``
+        Which pulse within the overall period (default 0).
+    ``offset``
+        Arrival offset after that edge (default 0.0).
+    """
+
+    name: str = "INPUT"
+    role: CellRole = CellRole.PRIMARY_INPUT
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ("Z",)
+    control: Optional[str] = None
+    sync_style: Optional[SyncStyle] = None
+
+
+@dataclass(frozen=True)
+class PrimaryOutputSpec:
+    """Primary output pad.
+
+    Timing attributes on the instance mirror :class:`PrimaryInputSpec`,
+    with ``offset`` giving the external required time relative to the edge.
+    """
+
+    name: str = "OUTPUT"
+    role: CellRole = CellRole.PRIMARY_OUTPUT
+    inputs: Tuple[str, ...] = ("A",)
+    outputs: Tuple[str, ...] = ()
+    control: Optional[str] = None
+    sync_style: Optional[SyncStyle] = None
+
+
+CLOCK_SOURCE_SPEC = ClockSourceSpec()
+PRIMARY_INPUT_SPEC = PrimaryInputSpec()
+PRIMARY_OUTPUT_SPEC = PrimaryOutputSpec()

@@ -1,0 +1,146 @@
+"""Rise/fall time pairs.
+
+The paper adopts the technique of Bening et al. [7]: rising and falling
+signal settling times are calculated separately.  :class:`RiseFall` is the
+two-component value used for ready times, required times, slacks and
+delays throughout the analysis; combinational arcs combine pairs according
+to their unateness (an inverting arc maps input *fall* to output *rise*).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Union
+
+from repro.netlist.kinds import Unateness
+
+Number = Union[int, float]
+
+#: Sentinel "no signal yet" / "no requirement" values.
+NEG_INF = -math.inf
+POS_INF = math.inf
+
+
+@dataclass(frozen=True)
+class RiseFall:
+    """A pair of values, one per output transition direction."""
+
+    rise: float
+    fall: float
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def both(value: Number) -> "RiseFall":
+        """The pair ``(value, value)``."""
+        return RiseFall(float(value), float(value))
+
+    @staticmethod
+    def never() -> "RiseFall":
+        """Identity for :meth:`max_with`: no transition has arrived."""
+        return RiseFall(NEG_INF, NEG_INF)
+
+    @staticmethod
+    def unconstrained() -> "RiseFall":
+        """Identity for :meth:`min_with`: no requirement applies."""
+        return RiseFall(POS_INF, POS_INF)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def shifted(self, delta: Number) -> "RiseFall":
+        return RiseFall(self.rise + float(delta), self.fall + float(delta))
+
+    def plus(self, other: "RiseFall") -> "RiseFall":
+        return RiseFall(self.rise + other.rise, self.fall + other.fall)
+
+    def minus(self, other: "RiseFall") -> "RiseFall":
+        return RiseFall(self.rise - other.rise, self.fall - other.fall)
+
+    def max_with(self, other: "RiseFall") -> "RiseFall":
+        return RiseFall(max(self.rise, other.rise), max(self.fall, other.fall))
+
+    def min_with(self, other: "RiseFall") -> "RiseFall":
+        return RiseFall(min(self.rise, other.rise), min(self.fall, other.fall))
+
+    def scaled(self, factor: Number) -> "RiseFall":
+        return RiseFall(self.rise * float(factor), self.fall * float(factor))
+
+    def swapped(self) -> "RiseFall":
+        """Rise and fall exchanged (effect of an inverting arc)."""
+        return RiseFall(self.fall, self.rise)
+
+    def map(self, fn: Callable[[float], float]) -> "RiseFall":
+        return RiseFall(fn(self.rise), fn(self.fall))
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    @property
+    def worst(self) -> float:
+        """The larger component (latest arrival / largest delay)."""
+        return max(self.rise, self.fall)
+
+    @property
+    def best(self) -> float:
+        """The smaller component (earliest arrival / smallest slack)."""
+        return min(self.rise, self.fall)
+
+    def is_finite(self) -> bool:
+        return math.isfinite(self.rise) and math.isfinite(self.fall)
+
+    # ------------------------------------------------------------------
+    # unateness-aware propagation
+    # ------------------------------------------------------------------
+    def through_arc(self, unateness: Unateness) -> "RiseFall":
+        """Input-transition pair seen from the output of an arc.
+
+        For a positive-unate arc an output rise is caused by an input rise;
+        for a negative-unate arc by an input fall; a non-unate arc must
+        assume the worse of the two for each output transition.
+        """
+        if unateness is Unateness.POSITIVE:
+            return self
+        if unateness is Unateness.NEGATIVE:
+            return self.swapped()
+        worst_component = self.worst
+        return RiseFall(worst_component, worst_component)
+
+    def back_through_arc(self, unateness: Unateness) -> "RiseFall":
+        """Output-requirement pair seen from the input of an arc.
+
+        The adjoint of :meth:`through_arc` for backward (required time /
+        slack) propagation: a non-unate arc imposes the *tighter* (smaller)
+        of the two output requirements on both input transitions.
+        """
+        if unateness is Unateness.POSITIVE:
+            return self
+        if unateness is Unateness.NEGATIVE:
+            return self.swapped()
+        best_component = self.best
+        return RiseFall(best_component, best_component)
+
+    def __iter__(self):
+        yield self.rise
+        yield self.fall
+
+    def __str__(self) -> str:
+        return f"(r={self.rise:g}, f={self.fall:g})"
+
+
+def max_over(values: Iterable[RiseFall]) -> RiseFall:
+    """Component-wise maximum; :meth:`RiseFall.never` when empty."""
+    result = RiseFall.never()
+    for value in values:
+        result = result.max_with(value)
+    return result
+
+
+def min_over(values: Iterable[RiseFall]) -> RiseFall:
+    """Component-wise minimum; :meth:`RiseFall.unconstrained` when empty."""
+    result = RiseFall.unconstrained()
+    for value in values:
+        result = result.min_with(value)
+    return result

@@ -1,0 +1,33 @@
+"""Logic simulation substrate.
+
+Two simulators over the same netlists the timing analyser reads:
+
+* :mod:`repro.sim.functional` -- zero-delay functional evaluation of
+  combinational networks (used to verify synthesised logic against its
+  source expressions),
+* :mod:`repro.sim.event` -- an event-driven timing simulator with the
+  estimated arc delays, transparent-latch semantics and real clock
+  waveforms.  Its role here is *dynamic validation* of the static
+  analysis: on designs the analyser declares "behaves as intended", no
+  simulated input sequence may produce a setup violation or a capture
+  later than the computed ready times.
+"""
+
+from repro.sim.event import (
+    DynamicCheckResult,
+    EventSimulator,
+    SetupViolation,
+    SimulationTrace,
+    dynamic_intended_check,
+)
+from repro.sim.functional import evaluate_combinational, evaluate_module
+
+__all__ = [
+    "DynamicCheckResult",
+    "EventSimulator",
+    "SetupViolation",
+    "SimulationTrace",
+    "dynamic_intended_check",
+    "evaluate_combinational",
+    "evaluate_module",
+]

@@ -1,0 +1,419 @@
+"""Event-driven timing simulation.
+
+Simulates a network with the same component delays the static analysis
+uses: combinational cells re-evaluate when inputs change and schedule
+output transitions after the triggering arc's rise/fall delay, with
+*inertial* semantics (a newer evaluation cancels a pending older one, so
+pulses shorter than the gate delay are suppressed and stale evaluations
+never overwrite newer values); clock generators produce their waveforms;
+transparent latches pass data while their *simulated* control net is
+high and hold on its falling edge; edge-triggered latches capture on the
+falling (trailing) control edge.  All nets power up at logic 0.
+
+The simulator's purpose is dynamic validation: on a design that
+Algorithm 1 declares "behaves as intended" *and* that passes the
+supplementary (minimum-delay) check, no simulated input sequence may
+change a synchroniser's data input inside its setup window before a
+capturing control edge (see ``setup_violations``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.clocks.schedule import ClockSchedule
+from repro.delay.estimator import DelayMap
+from repro.netlist.cell import Cell
+from repro.netlist.kinds import SyncStyle
+from repro.netlist.network import Network
+
+#: stimulus(pad name, cycle index) -> value driven that cycle.
+Stimulus = Callable[[str, int], bool]
+
+
+@dataclass(frozen=True)
+class SetupViolation:
+    """A data transition inside a synchroniser's setup window."""
+
+    cell_name: str
+    capture_time: float
+    data_transition_time: float
+    margin: float
+
+
+@dataclass
+class SimulationTrace:
+    """Recorded transitions per net (time-sorted)."""
+
+    transitions: Dict[str, List[Tuple[float, bool]]] = field(
+        default_factory=dict
+    )
+    #: Power-on settled values (after the t=0 combinational settle).
+    initial: Dict[str, bool] = field(default_factory=dict)
+    events_processed: int = 0
+
+    def times(self, net_name: str) -> List[float]:
+        return [t for t, __ in self.transitions.get(net_name, [])]
+
+    def value_at(self, net_name: str, time: float) -> bool:
+        """Net value at ``time`` (before any transition: the power-on
+        settled value)."""
+        entries = self.transitions.get(net_name, [])
+        index = bisect_right([t for t, __ in entries], time) - 1
+        if index < 0:
+            return self.initial.get(net_name, False)
+        return entries[index][1]
+
+    def transitions_in(
+        self, net_name: str, start: float, end: float
+    ) -> List[float]:
+        """Transition times in the half-open window ``[start, end)``."""
+        times = self.times(net_name)
+        return times[bisect_left(times, start) : bisect_left(times, end)]
+
+    def settle_time(self, net_name: str, start: float, end: float
+                    ) -> Optional[float]:
+        """Last transition in ``[start, end)`` (None if quiet)."""
+        window = self.transitions_in(net_name, start, end)
+        return window[-1] if window else None
+
+
+class EventSimulator:
+    """Transport-delay event simulation of a validated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        schedule: ClockSchedule,
+        delays: DelayMap,
+        stimulus: Optional[Stimulus] = None,
+        seed: int = 0,
+        max_events: int = 2_000_000,
+    ) -> None:
+        self.network = network
+        self.schedule = schedule
+        self.delays = delays
+        rng = random.Random(seed)
+        self._stimulus: Stimulus = stimulus or (
+            lambda name, cycle: rng.random() < 0.5
+        )
+        self._max_events = max_events
+        # net -> sink terminals (fanout notification lists).
+        self._sinks: Dict[str, List] = {
+            net.name: list(net.sinks) for net in network.nets
+        }
+
+    # ------------------------------------------------------------------
+    def run(self, cycles: int = 4) -> SimulationTrace:
+        """Simulate ``cycles`` overall clock periods from power-on."""
+        period = float(self.schedule.overall_period)
+        horizon = cycles * period
+        trace = SimulationTrace()
+        values: Dict[str, bool] = {net.name: False for net in self.network.nets}
+        # Power-on settling: registers wake at 0, but combinational
+        # outputs must be consistent with their (all-zero) inputs before
+        # the first event fires.
+        for cell in self.network.comb_topological_cells():
+            function = getattr(cell.spec, "function", None)
+            if function is None:
+                continue  # will be rejected on first reaction instead
+            pins = {
+                t.pin: values[t.net.name]
+                for t in cell.input_terminals
+                if t.net is not None
+            }
+            for out in cell.output_terminals:
+                if out.net is not None:
+                    values[out.net.name] = bool(function(pins))
+        trace.initial = dict(values)
+        queue: List[Tuple[float, int, str, bool, bool]] = []
+        serial = itertools.count()
+        # Inertial-delay bookkeeping: for driver-scheduled events, only
+        # the most recent scheduling per net is delivered; a newer output
+        # evaluation cancels pending older ones (a pulse shorter than the
+        # gate delay is suppressed, and stale evaluations can never
+        # overwrite newer ones).
+        pending: Dict[str, int] = {}
+
+        def schedule_event(time: float, net: str, value: bool) -> None:
+            """Driver (gate/synchroniser) scheduling: inertial."""
+            if time <= horizon:
+                tag = next(serial)
+                pending[net] = tag
+                heapq.heappush(queue, (time, tag, net, value, True))
+
+        def schedule_source(time: float, net: str, value: bool) -> None:
+            """Clock/stimulus scheduling: pre-planned, never cancelled."""
+            if time <= horizon:
+                heapq.heappush(queue, (time, next(serial), net, value, False))
+
+        # Clock waveform events.
+        for source in self.network.clock_sources:
+            net = source.terminal("Z").net
+            if net is None:
+                continue
+            clock = self.schedule.waveform(
+                source.attrs.get("clock", source.name)
+            )
+            clock_period = float(clock.period)
+            repeats = int(round(horizon / clock_period)) + 1
+            for k in range(repeats):
+                base = k * clock_period
+                schedule_source(base + float(clock.leading), net.name, True)
+                schedule_source(
+                    base + float(clock.trailing), net.name, False
+                )
+
+        # Primary input stimulus at each pad's reference edge.
+        for pad in self.network.primary_inputs:
+            net = pad.terminal("Z").net
+            if net is None:
+                continue
+            launch = self._pad_time(pad)
+            for cycle in range(cycles):
+                schedule_source(
+                    cycle * period + launch,
+                    net.name,
+                    self._stimulus(pad.name, cycle),
+                )
+
+        # Main loop.
+        while queue:
+            time, tag, net_name, value, cancellable = heapq.heappop(queue)
+            trace.events_processed += 1
+            if trace.events_processed > self._max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {self._max_events} events "
+                    "(oscillating design?)"
+                )
+            if cancellable and pending.get(net_name) != tag:
+                continue  # superseded by a newer evaluation
+            if values[net_name] == value:
+                continue
+            values[net_name] = value
+            trace.transitions.setdefault(net_name, []).append((time, value))
+            for sink in self._sinks.get(net_name, ()):
+                self._react(
+                    sink, net_name, time, values, schedule_event
+                )
+        return trace
+
+    # ------------------------------------------------------------------
+    def _pad_time(self, pad: Cell) -> float:
+        """A pad's launch time within the overall period."""
+        pulses = self.schedule.pulses(pad.attrs["clock"])
+        pulse = pulses[int(pad.attrs.get("pulse_index", 0))]
+        edge = (
+            pulse.leading
+            if pad.attrs.get("edge", "trailing") == "leading"
+            else pulse.trailing
+        )
+        return float(edge.time) + float(pad.attrs.get("offset", 0.0))
+
+    def _react(self, sink, net_name, time, values, schedule_event) -> None:
+        cell = sink.cell
+        if cell.is_combinational:
+            self._react_gate(cell, sink.pin, time, values, schedule_event)
+        elif cell.is_synchroniser:
+            self._react_sync(cell, sink.pin, time, values, schedule_event)
+        # Primary outputs only observe.
+
+    def _react_gate(self, cell, changed_pin, time, values, schedule_event):
+        function = getattr(cell.spec, "function", None)
+        if function is None:
+            raise ValueError(
+                f"cell {cell.name!r} ({cell.spec.name}) has no boolean "
+                "function; the event simulator needs one"
+            )
+        pins = {
+            t.pin: values[t.net.name]
+            for t in cell.input_terminals
+            if t.net is not None
+        }
+        new_value = bool(function(pins))
+        for out in cell.output_terminals:
+            if out.net is None:
+                continue
+            try:
+                arc = self.delays.arc_delay(cell, changed_pin, out.pin)
+            except KeyError:
+                continue  # no arc from this pin: no effect
+            delay = arc.rise if new_value else arc.fall
+            schedule_event(time + delay, out.net.name, new_value)
+
+    def _react_sync(self, cell, changed_pin, time, values, schedule_event):
+        timing = self.delays.sync_timing(cell)
+        style = cell.sync_style
+        control = cell.control_terminal
+        data = cell.data_input
+        output = cell.data_output
+        if control is None or control.net is None or data.net is None:
+            return
+        if output.net is None:
+            return
+        control_high = values[control.net.name]
+        data_value = values[data.net.name]
+        is_control = changed_pin == control.pin
+
+        if style is SyncStyle.EDGE_TRIGGERED:
+            if is_control and not control_high:  # trailing (falling) edge
+                schedule_event(
+                    time + timing.c_to_q, output.net.name, data_value
+                )
+            return
+        # Transparent latch / tristate driver.
+        if is_control:
+            if control_high:  # window opens: output follows D
+                schedule_event(
+                    time + timing.c_to_q, output.net.name, data_value
+                )
+            # Window closes: hold (no event).
+            return
+        if control_high:  # D changed while transparent
+            schedule_event(
+                time + timing.d_to_q, output.net.name, data_value
+            )
+
+    # ------------------------------------------------------------------
+    # dynamic checks
+    # ------------------------------------------------------------------
+    def captured_values(
+        self, trace: SimulationTrace, cell: Cell
+    ) -> List[Tuple[float, bool]]:
+        """The (capture time, captured data value) sequence of one
+        synchroniser: its D net sampled just before each falling
+        transition of its simulated control net."""
+        control = cell.control_terminal
+        data = cell.data_input
+        if control is None or control.net is None or data.net is None:
+            return []
+        captures = []
+        for edge_time, value in trace.transitions.get(control.net.name, []):
+            if value:
+                continue
+            captures.append(
+                (edge_time, trace.value_at(data.net.name, edge_time - 1e-9))
+            )
+        return captures
+
+    def setup_violations(
+        self,
+        trace: SimulationTrace,
+        warmup: float = 1.0,
+    ) -> List[SetupViolation]:
+        """Data transitions inside setup windows of capturing edges.
+
+        A capturing edge is a falling transition of a synchroniser's
+        *simulated* control net; the setup window is
+        ``[edge - setup, edge)``.  Edges before ``warmup`` overall
+        periods are skipped (power-on transients).
+        """
+        horizon_start = warmup * float(self.schedule.overall_period)
+        violations: List[SetupViolation] = []
+        for cell in self.network.synchronisers:
+            control = cell.control_terminal
+            data = cell.data_input
+            if (
+                control is None
+                or control.net is None
+                or data.net is None
+            ):
+                continue
+            setup = self.delays.sync_timing(cell).setup
+            for edge_time, value in trace.transitions.get(
+                control.net.name, []
+            ):
+                if value or edge_time < horizon_start:
+                    continue  # only falling (capturing) edges
+                for transition in trace.transitions_in(
+                    data.net.name, edge_time - setup, edge_time
+                ):
+                    violations.append(
+                        SetupViolation(
+                            cell_name=cell.name,
+                            capture_time=edge_time,
+                            data_transition_time=transition,
+                            margin=edge_time - transition,
+                        )
+                    )
+        return violations
+
+
+@dataclass
+class DynamicCheckResult:
+    """Outcome of :func:`dynamic_intended_check`."""
+
+    #: (cell, capture index, real value, ideal value) for every capture
+    #: where the real-delay system stored a different value than the
+    #: ideal system -- the paper's literal definition of *not* behaving
+    #: as intended.
+    mismatches: List[Tuple[str, int, bool, bool]] = field(
+        default_factory=list
+    )
+    setup_violations: List[SetupViolation] = field(default_factory=list)
+    captures_compared: int = 0
+
+    @property
+    def intended(self) -> bool:
+        return not self.mismatches and not self.setup_violations
+
+
+def dynamic_intended_check(
+    network: Network,
+    schedule: ClockSchedule,
+    delays: DelayMap,
+    cycles: int = 8,
+    warmup_cycles: int = 2,
+    stimulus: Optional[Stimulus] = None,
+    seed: int = 0,
+    ideal_scale: float = 1e-9,
+) -> DynamicCheckResult:
+    """Simulate the real and the *ideal* system (delays scaled towards
+    zero, Section 3's reference) under identical stimulus and compare
+    every synchroniser's captured values.
+
+    Static analysis soundness means: Algorithm 1 "intended" plus a clean
+    supplementary (min-delay) check must imply this dynamic check passes
+    for every stimulus.
+    """
+    rng = random.Random(seed)
+    drawn: Dict[Tuple[str, int], bool] = {}
+
+    def fixed_stimulus(name: str, cycle: int) -> bool:
+        key = (name, cycle)
+        if key not in drawn:
+            drawn[key] = (
+                stimulus(name, cycle)
+                if stimulus is not None
+                else rng.random() < 0.5
+            )
+        return drawn[key]
+
+    real_sim = EventSimulator(network, schedule, delays, fixed_stimulus)
+    real_trace = real_sim.run(cycles)
+    ideal_sim = EventSimulator(
+        network, schedule, delays.globally_scaled(ideal_scale), fixed_stimulus
+    )
+    ideal_trace = ideal_sim.run(cycles)
+
+    result = DynamicCheckResult(
+        setup_violations=real_sim.setup_violations(
+            real_trace, warmup=warmup_cycles
+        )
+    )
+    warmup_time = warmup_cycles * float(schedule.overall_period)
+    for cell in network.synchronisers:
+        real = real_sim.captured_values(real_trace, cell)
+        ideal = ideal_sim.captured_values(ideal_trace, cell)
+        for index, ((rt, rv), (it, iv)) in enumerate(zip(real, ideal)):
+            if rt < warmup_time:
+                continue
+            result.captures_compared += 1
+            if rv != iv:
+                result.mismatches.append((cell.name, index, rv, iv))
+    return result

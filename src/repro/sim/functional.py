@@ -1,0 +1,77 @@
+"""Zero-delay functional evaluation of combinational logic.
+
+Evaluates nets in topological order using the cell specs' boolean
+functions.  Cells without a function (hierarchical modules, cells from
+function-less libraries) cannot be evaluated and raise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.netlist.hierarchy import ModuleSpec
+from repro.netlist.network import Network
+
+
+class FunctionError(ValueError):
+    """A cell in the evaluation cone has no boolean function."""
+
+
+def evaluate_combinational(
+    network: Network, input_values: Mapping[str, bool]
+) -> Dict[str, bool]:
+    """Evaluate every reachable net of a combinational network.
+
+    ``input_values`` assigns the externally driven nets.  Returns a dict
+    with those plus every net computable from them.
+    """
+    values: Dict[str, bool] = {
+        net: bool(value) for net, value in input_values.items()
+    }
+    for cell in network.comb_topological_cells():
+        if isinstance(cell.spec, ModuleSpec):
+            raise FunctionError(
+                f"cell {cell.name!r} is a module; flatten before evaluating"
+            )
+        function = getattr(cell.spec, "function", None)
+        if function is None:
+            raise FunctionError(
+                f"cell {cell.name!r} ({cell.spec.name}) has no boolean "
+                "function"
+            )
+        pins: Dict[str, bool] = {}
+        ready = True
+        for terminal in cell.input_terminals:
+            net = terminal.net
+            if net is None or net.name not in values:
+                ready = False
+                break
+            pins[terminal.pin] = values[net.name]
+        if not ready:
+            continue  # driven by nets outside the given cone
+        result = bool(function(pins))
+        for terminal in cell.output_terminals:
+            if terminal.net is not None:
+                values[terminal.net.name] = result
+    return values
+
+
+def evaluate_module(
+    spec: ModuleSpec, port_values: Mapping[str, bool]
+) -> Dict[str, bool]:
+    """Evaluate a synthesised module's outputs for given input ports."""
+    definition = spec.definition
+    missing = set(definition.input_ports) - set(port_values)
+    if missing:
+        raise ValueError(f"missing values for input ports {sorted(missing)}")
+    net_values = {
+        definition.input_ports[port]: bool(value)
+        for port, value in port_values.items()
+        if port in definition.input_ports
+    }
+    evaluated = evaluate_combinational(definition.inner, net_values)
+    return {
+        port: evaluated[net]
+        for port, net in definition.output_ports.items()
+        if net in evaluated
+    }

@@ -1,0 +1,38 @@
+"""Combinational logic synthesis front-end.
+
+The paper's setting is a *logic synthesis environment*: "designs are
+specified as high level descriptions of combinational logic modules and
+of the interconnections between these modules and synchronising
+elements".  This package provides that front-end substrate:
+
+* :mod:`repro.synth.expr` -- boolean expression AST, parser, evaluator
+  and simplifier,
+* :mod:`repro.synth.mapper` -- technology mapping of expressions onto
+  the standard-cell library (direct AND/OR/XOR style or NAND+INV style),
+  with structural sharing of common subexpressions,
+* :mod:`repro.synth.sizing` -- Singh-style timing optimisation by gate
+  sizing: upsize cells on too-slow paths using Algorithm 2's delay
+  budgets.
+"""
+
+from repro.synth.expr import Expr, evaluate, parse_expr, simplify, variables
+from repro.synth.hold_fix import HoldFixResult, fix_hold_violations
+from repro.synth.mapper import (
+    synthesize_into,
+    synthesize_module,
+)
+from repro.synth.sizing import SizingResult, size_for_timing
+
+__all__ = [
+    "Expr",
+    "HoldFixResult",
+    "SizingResult",
+    "evaluate",
+    "fix_hold_violations",
+    "parse_expr",
+    "simplify",
+    "size_for_timing",
+    "synthesize_into",
+    "synthesize_module",
+    "variables",
+]

@@ -1,0 +1,301 @@
+"""Boolean expressions: AST, parser, evaluation, simplification.
+
+Grammar (C-like precedence, ``~`` binds tightest)::
+
+    expr   := xorex ('|' xorex)*
+    xorex  := andex ('^' andex)*
+    andex  := unary ('&' unary)*
+    unary  := '~' unary | atom
+    atom   := '0' | '1' | identifier | '(' expr ')'
+
+>>> e = parse_expr("a & ~(b | c) ^ d")
+>>> sorted(variables(e))
+['a', 'b', 'c', 'd']
+>>> evaluate(e, {"a": True, "b": False, "c": False, "d": False})
+True
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Mapping, Tuple, Union
+
+
+class Expr:
+    """Base class of expression nodes (immutable)."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor((self, other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: bool
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"~{_paren(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    operands: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return " & ".join(_paren(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    operands: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return " | ".join(_paren(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Xor(Expr):
+    operands: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return " ^ ".join(_paren(op) for op in self.operands)
+
+
+def _paren(expr: Expr) -> str:
+    if isinstance(expr, (Var, Const, Not)):
+        return str(expr)
+    return f"({expr})"
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+class ParseError(ValueError):
+    """Malformed boolean expression."""
+
+
+_TOKEN = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_.\[\]]*|[01()&|^~])")
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(
+                f"unexpected character {remainder[0]!r} in {text!r}"
+            )
+        yield match.group(1)
+        position = match.end()
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+        self._text = text
+
+    def _peek(self) -> str:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return ""
+
+    def _take(self) -> str:
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def parse(self) -> Expr:
+        expr = self._or()
+        if self._peek():
+            raise ParseError(
+                f"trailing input {self._peek()!r} in {self._text!r}"
+            )
+        return expr
+
+    def _or(self) -> Expr:
+        operands = [self._xor()]
+        while self._peek() == "|":
+            self._take()
+            operands.append(self._xor())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def _xor(self) -> Expr:
+        operands = [self._and()]
+        while self._peek() == "^":
+            self._take()
+            operands.append(self._and())
+        return operands[0] if len(operands) == 1 else Xor(tuple(operands))
+
+    def _and(self) -> Expr:
+        operands = [self._unary()]
+        while self._peek() == "&":
+            self._take()
+            operands.append(self._unary())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def _unary(self) -> Expr:
+        if self._peek() == "~":
+            self._take()
+            return Not(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self._take()
+        if token == "(":
+            inner = self._or()
+            if self._take() != ")":
+                raise ParseError(f"missing ')' in {self._text!r}")
+            return inner
+        if token == "0":
+            return Const(False)
+        if token == "1":
+            return Const(True)
+        if not token:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        if token in ("&", "|", "^", ")"):
+            raise ParseError(f"unexpected {token!r} in {self._text!r}")
+        return Var(token)
+
+
+def parse_expr(text: Union[str, Expr]) -> Expr:
+    """Parse ``text`` into an expression (passes Expr through)."""
+    if isinstance(text, Expr):
+        return text
+    return _Parser(text).parse()
+
+
+# ----------------------------------------------------------------------
+# semantics
+# ----------------------------------------------------------------------
+def evaluate(expr: Expr, env: Mapping[str, bool]) -> bool:
+    """Evaluate ``expr`` under an assignment of variables to booleans."""
+    if isinstance(expr, Var):
+        try:
+            return bool(env[expr.name])
+        except KeyError:
+            raise KeyError(f"no value for variable {expr.name!r}") from None
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Not):
+        return not evaluate(expr.operand, env)
+    if isinstance(expr, And):
+        return all(evaluate(op, env) for op in expr.operands)
+    if isinstance(expr, Or):
+        return any(evaluate(op, env) for op in expr.operands)
+    if isinstance(expr, Xor):
+        return sum(evaluate(op, env) for op in expr.operands) % 2 == 1
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def variables(expr: Expr) -> FrozenSet[str]:
+    """The free variables of ``expr``."""
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, Const):
+        return frozenset()
+    if isinstance(expr, Not):
+        return variables(expr.operand)
+    return frozenset().union(*(variables(op) for op in expr.operands))
+
+
+# ----------------------------------------------------------------------
+# simplification
+# ----------------------------------------------------------------------
+def simplify(expr: Expr) -> Expr:
+    """Constant folding, double-negation and duplicate elimination,
+    associative flattening.  Purely structural -- no BDDs."""
+    if isinstance(expr, (Var, Const)):
+        return expr
+    if isinstance(expr, Not):
+        operand = simplify(expr.operand)
+        if isinstance(operand, Const):
+            return Const(not operand.value)
+        if isinstance(operand, Not):
+            return operand.operand
+        return Not(operand)
+    if isinstance(expr, (And, Or)):
+        is_and = isinstance(expr, And)
+        absorbing = Const(not is_and)  # 0 for And, 1 for Or
+        identity = Const(is_and)
+        flattened = []
+        seen = set()
+        for raw in expr.operands:
+            operand = simplify(raw)
+            if type(operand) is type(expr):
+                inner = operand.operands
+            else:
+                inner = (operand,)
+            for item in inner:
+                if item == absorbing:
+                    return absorbing
+                if item == identity:
+                    continue
+                # Complement law: x & ~x = 0, x | ~x = 1.
+                complement = (
+                    item.operand if isinstance(item, Not) else Not(item)
+                )
+                if complement in seen:
+                    return absorbing
+                if item not in seen:
+                    seen.add(item)
+                    flattened.append(item)
+        if not flattened:
+            return identity
+        if len(flattened) == 1:
+            return flattened[0]
+        return And(tuple(flattened)) if is_and else Or(tuple(flattened))
+    if isinstance(expr, Xor):
+        parity = False
+        flattened = []
+        for raw in expr.operands:
+            operand = simplify(raw)
+            if isinstance(operand, Const):
+                parity ^= operand.value
+                continue
+            flattened.append(operand)
+        # a ^ a = 0: cancel pairs.
+        counted: Dict[Expr, int] = {}
+        for item in flattened:
+            counted[item] = counted.get(item, 0) + 1
+        remaining = [item for item, count in counted.items() if count % 2]
+        if not remaining:
+            return Const(parity)
+        result: Expr = (
+            remaining[0] if len(remaining) == 1 else Xor(tuple(remaining))
+        )
+        if not parity:
+            return result
+        # Fold the parity inversion (avoiding Not(Not(x))).
+        return result.operand if isinstance(result, Not) else Not(result)
+    raise TypeError(f"unknown expression node {expr!r}")

@@ -1,0 +1,140 @@
+"""Repair of hold violations by delay insertion.
+
+The paper's Algorithm 1 covers maximum-delay ("too slow") timing;
+minimum-delay hazards are the other half of the problem.  Two distinct
+checks exist in this repository:
+
+* the paper's *supplementary path constraint*
+  (:func:`repro.core.mindelay.check_min_delays`) -- its violations are
+  multi-rate sampling mismatches that no finite padding can repair
+  (adding enough minimum delay always overflows the tight pairing's
+  maximum-delay budget);
+* the classic *same-edge hold check*
+  (:func:`repro.core.mindelay.check_hold`) -- a launch and a capture on
+  the same ideal clock edge racing through a short path, typically
+  caused by capture-side clock skew.  These are exactly what buffer
+  insertion fixes, and that is what this module does.
+
+Each pass re-estimates delays (inserted buffers add load), re-runs
+Algorithm 1 and re-checks both hold and setup.  Insertion is bounded by
+the endpoint's setup-side slack so the repair never flips a hold
+violation into a setup violation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cells.library import CellLibrary
+from repro.clocks.schedule import ClockSchedule
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.mindelay import HoldViolation, check_hold
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay.estimator import DelayParameters, estimate_delays
+from repro.netlist.cell import Cell
+from repro.netlist.network import Network
+
+
+@dataclass
+class HoldFixResult:
+    """Outcome of the repair loop."""
+
+    success: bool
+    passes: int = 0
+    #: capture cell -> number of buffers inserted in front of its D pin.
+    buffers_inserted: Dict[str, int] = field(default_factory=dict)
+    #: Endpoints left violated because padding would break setup timing.
+    unfixable: List[HoldViolation] = field(default_factory=list)
+    #: Whether max-delay timing still holds after the repair.
+    setup_clean: bool = True
+
+    @property
+    def total_buffers(self) -> int:
+        return sum(self.buffers_inserted.values())
+
+
+def fix_hold_violations(
+    network: Network,
+    schedule: ClockSchedule,
+    library: CellLibrary,
+    buffer_spec: str = "BUF",
+    max_passes: int = 10,
+    setup_margin: float = 0.1,
+    delay_params: Optional[DelayParameters] = None,
+) -> HoldFixResult:
+    """Insert buffers until :func:`check_hold` is clean (mutates the
+    network)."""
+    params = delay_params or DelayParameters()
+    result = HoldFixResult(success=False)
+    spec = library.spec(buffer_spec)
+    counter = 0
+
+    for pass_index in range(max_passes):
+        delays = estimate_delays(network, params)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        outcome = run_algorithm1(model, engine)
+        result.passes = pass_index + 1
+        violations = check_hold(model, engine)
+        if not violations:
+            result.success = True
+            result.setup_clean = outcome.intended
+            break
+
+        worst_by_cell: Dict[str, HoldViolation] = {}
+        for violation in violations:
+            cell_name = violation.capture_instance.split("@")[0]
+            current = worst_by_cell.get(cell_name)
+            if current is None or violation.amount > current.amount:
+                worst_by_cell[cell_name] = violation
+
+        # One buffer's min / max delay at a nominal load.
+        buffer_min = max(
+            min(arc.delay_at(1.0).best for arc in spec.arcs.values())
+            * params.min_derate,
+            1e-3,
+        )
+        buffer_max = max(
+            arc.delay_at(2.0).worst for arc in spec.arcs.values()
+        )
+
+        progressed = False
+        for cell_name, violation in sorted(worst_by_cell.items()):
+            cell = network.cell(cell_name)
+            count = max(1, math.ceil(violation.amount / buffer_min))
+            setup_slack = outcome.slacks.capture.get(
+                violation.capture_instance, math.inf
+            )
+            if setup_slack - count * buffer_max < setup_margin:
+                if violation not in result.unfixable:
+                    result.unfixable.append(violation)
+                continue
+            _insert_buffers(network, cell, spec, count, counter)
+            counter += count
+            result.buffers_inserted[cell_name] = (
+                result.buffers_inserted.get(cell_name, 0) + count
+            )
+            progressed = True
+        if not progressed:
+            break
+    return result
+
+
+def _insert_buffers(
+    network: Network, capture_cell: Cell, spec, count: int, counter: int
+) -> None:
+    """Insert a ``count``-long buffer chain before the capture's D pin."""
+    data = capture_cell.data_input
+    source_net = data.net
+    assert source_net is not None
+    current = source_net.name
+    for index in range(count):
+        name = f"holdfix_{counter + index}"
+        buffer_cell = network.add_cell(Cell(name, spec))
+        network.connect(current, buffer_cell.terminal("A"))
+        current = f"{name}_z"
+        network.connect(current, buffer_cell.terminal("Z"))
+    network.reconnect_sink(data, current)

@@ -1,0 +1,212 @@
+"""Technology mapping of boolean expressions onto the cell library.
+
+Two mapping styles:
+
+* ``"direct"`` -- AND/OR/XOR/INV trees (readable, one level per operator),
+* ``"nand"``  -- NAND2+INV only (the area-optimised static-CMOS idiom the
+  paper's standard-cell flows produced; XOR expands to four NANDs).
+
+Common subexpressions are shared structurally: the mapper canonicalises
+commutative operand orders and caches one net per distinct subexpression.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Union
+
+from repro.synth.expr import (
+    And,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Var,
+    Xor,
+    parse_expr,
+    simplify,
+    variables,
+)
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.hierarchy import ModuleDefinition, ModuleSpec
+
+Equations = Mapping[str, Union[str, Expr]]
+
+
+class MappingError(ValueError):
+    """The expression cannot be mapped (e.g. reduces to a constant)."""
+
+
+def _canonical(expr: Expr) -> Expr:
+    """Sort commutative operand lists so equal functions share structure."""
+    if isinstance(expr, (Var, Const)):
+        return expr
+    if isinstance(expr, Not):
+        return Not(_canonical(expr.operand))
+    operands = tuple(
+        sorted((_canonical(op) for op in expr.operands), key=str)
+    )
+    return type(expr)(operands)
+
+
+class _Mapper:
+    def __init__(
+        self,
+        builder: NetworkBuilder,
+        prefix: str,
+        var_nets: Mapping[str, str],
+        style: str,
+    ) -> None:
+        if style not in ("direct", "nand"):
+            raise ValueError(f"unknown mapping style {style!r}")
+        self._builder = builder
+        self._prefix = prefix
+        self._var_nets = dict(var_nets)
+        self._style = style
+        self._cache: Dict[Expr, str] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def net_for(self, expr: Expr) -> str:
+        cached = self._cache.get(expr)
+        if cached is not None:
+            return cached
+        net = self._map(expr)
+        self._cache[expr] = net
+        return net
+
+    def _fresh(self) -> str:
+        self._counter += 1
+        return f"{self._prefix}_n{self._counter}"
+
+    def _gate(self, spec_name: str, **pins: str) -> str:
+        out = self._fresh()
+        self._builder.gate(
+            f"{self._prefix}_g{self._counter}", spec_name, Z=out, **pins
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    def _map(self, expr: Expr) -> str:
+        if isinstance(expr, Var):
+            try:
+                return self._var_nets[expr.name]
+            except KeyError:
+                raise MappingError(
+                    f"no net bound to input variable {expr.name!r}"
+                ) from None
+        if isinstance(expr, Const):
+            raise MappingError(
+                "expression reduces to a constant; tie constants off "
+                "outside the synthesised module"
+            )
+        if isinstance(expr, Not):
+            return self._gate("INV", A=self.net_for(expr.operand))
+        if isinstance(expr, And):
+            return self._tree(expr.operands, self._and2)
+        if isinstance(expr, Or):
+            return self._tree(expr.operands, self._or2)
+        if isinstance(expr, Xor):
+            return self._tree(expr.operands, self._xor2)
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    def _tree(self, operands, combine) -> str:
+        nets: List[str] = [self.net_for(op) for op in operands]
+        while len(nets) > 1:
+            nxt: List[str] = []
+            for index in range(0, len(nets) - 1, 2):
+                nxt.append(combine(nets[index], nets[index + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    # ------------------------------------------------------------------
+    def _and2(self, a: str, b: str) -> str:
+        if self._style == "direct":
+            return self._gate("AND2", A=a, B=b)
+        return self._gate("INV", A=self._gate("NAND2", A=a, B=b))
+
+    def _or2(self, a: str, b: str) -> str:
+        if self._style == "direct":
+            return self._gate("OR2", A=a, B=b)
+        # De Morgan: a | b = ~(~a & ~b).
+        return self._gate(
+            "NAND2",
+            A=self._gate("INV", A=a),
+            B=self._gate("INV", A=b),
+        )
+
+    def _xor2(self, a: str, b: str) -> str:
+        if self._style == "direct":
+            return self._gate("XOR2", A=a, B=b)
+        # Four-NAND XOR.
+        nab = self._gate("NAND2", A=a, B=b)
+        return self._gate(
+            "NAND2",
+            A=self._gate("NAND2", A=a, B=nab),
+            B=self._gate("NAND2", A=b, B=nab),
+        )
+
+
+def synthesize_into(
+    builder: NetworkBuilder,
+    equations: Equations,
+    input_nets: Mapping[str, str],
+    prefix: str = "syn",
+    style: str = "direct",
+) -> Dict[str, str]:
+    """Map ``equations`` into ``builder``'s network.
+
+    ``equations`` maps output names to expressions (strings or
+    :class:`~repro.synth.expr.Expr`); ``input_nets`` binds expression
+    variables to existing nets.  Returns output name -> produced net.
+    Subexpressions are shared across all equations.
+    """
+    mapper = _Mapper(builder, prefix, input_nets, style)
+    outputs: Dict[str, str] = {}
+    for name, raw in equations.items():
+        expr = _canonical(simplify(parse_expr(raw)))
+        outputs[name] = mapper.net_for(expr)
+    return outputs
+
+
+def synthesize_module(
+    name: str,
+    equations: Equations,
+    library,
+    style: str = "direct",
+) -> ModuleSpec:
+    """Synthesise ``equations`` into a standalone combinational module.
+
+    Input ports are the union of the equations' free variables; output
+    ports are the equation names.
+    """
+    exprs = {
+        out: _canonical(simplify(parse_expr(raw)))
+        for out, raw in equations.items()
+    }
+    for out, expr in exprs.items():
+        if isinstance(expr, Const):
+            raise MappingError(
+                f"equation {out!r} reduces to a constant; tie constants "
+                "off outside the synthesised module"
+            )
+    all_vars = sorted(set().union(*(variables(e) for e in exprs.values())))
+    if not all_vars:
+        raise MappingError("equations use no variables")
+    builder = NetworkBuilder(library, name=f"{name}_logic")
+    # Port nets carry the variable names directly; a BUF per input port
+    # gives every port net a combinational consumer even when a variable
+    # is only used through sharing.
+    var_nets = {var: var for var in all_vars}
+    for var in all_vars:
+        builder.network.net_or_create(var)
+    outputs = synthesize_into(builder, exprs, var_nets, prefix="m", style=style)
+    return ModuleSpec(
+        name,
+        ModuleDefinition(
+            builder.build(),
+            input_ports={var: var for var in all_vars},
+            output_ports=outputs,
+        ),
+    )

@@ -1,0 +1,186 @@
+"""Timing optimisation by gate sizing (the Singh et al. [1] substitute).
+
+Where :mod:`repro.core.resynthesis` models re-synthesis abstractly
+(scaling a module's delays for an area charge), this module performs the
+real operation on the netlist: cells on too-slow paths are swapped for
+higher-drive variants of the same function (``NAND2 -> NAND2_X2 ->
+NAND2_X4``).  A larger drive lowers the cell's resistance (faster under
+load) but raises its input capacitance (loading its drivers) and area --
+the genuine trade-off a gate sizer navigates, which is why each pass
+re-estimates all delays before re-analysing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.combinational import GateSpec
+from repro.cells.delay import GateArc, LinearDelay
+from repro.cells.library import CellLibrary
+from repro.clocks.schedule import ClockSchedule
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.model import AnalysisModel
+from repro.core.report import extract_slow_paths
+from repro.core.slack import SlackEngine
+from repro.delay.estimator import DelayParameters, estimate_delays
+from repro.netlist.network import Network
+
+#: Drive strengths added by :func:`add_drive_variants`.
+DRIVE_STEPS: Tuple[int, ...] = (2, 4)
+
+
+def scaled_variant(spec: GateSpec, drive: int) -> GateSpec:
+    """A ``drive``-times stronger copy of ``spec``.
+
+    Resistance divides by the drive, input capacitance and area multiply
+    by it (wider transistors), intrinsic delay is unchanged.
+    """
+    if drive < 1:
+        raise ValueError("drive must be >= 1")
+    arcs = {
+        pins: GateArc(
+            unateness=arc.unateness,
+            rise=LinearDelay(arc.rise.intrinsic, arc.rise.resistance / drive),
+            fall=LinearDelay(arc.fall.intrinsic, arc.fall.resistance / drive),
+        )
+        for pins, arc in spec.arcs.items()
+    }
+    return replace(
+        spec,
+        name=f"{spec.name}_X{drive}",
+        arcs=arcs,
+        input_caps={
+            pin: cap * drive for pin, cap in spec.input_caps.items()
+        },
+        area=spec.area * drive,
+    )
+
+
+def add_drive_variants(library: CellLibrary) -> CellLibrary:
+    """A copy of ``library`` with X2/X4 variants of every plain gate."""
+    variants = []
+    for spec in library.gates():
+        if "_X" in spec.name:
+            continue
+        for drive in DRIVE_STEPS:
+            if not library.has(f"{spec.name}_X{drive}"):
+                variants.append(scaled_variant(spec, drive))
+    extended = CellLibrary(
+        f"{library.name}+drives",
+        [library.spec(name) for name in library.names],
+    )
+    for spec in variants:
+        extended.register(spec)
+    return extended
+
+
+def _base_name(spec_name: str) -> str:
+    return spec_name.split("_X")[0]
+
+
+def _next_variant(
+    library: CellLibrary, spec_name: str
+) -> Optional[str]:
+    """The next-larger drive variant available, or None at the top."""
+    base = _base_name(spec_name)
+    current = 1
+    if "_X" in spec_name:
+        current = int(spec_name.split("_X")[1])
+    for drive in DRIVE_STEPS:
+        if drive > current and library.has(f"{base}_X{drive}"):
+            return f"{base}_X{drive}"
+    return None
+
+
+@dataclass
+class SizingResult:
+    """Outcome of the sizing loop."""
+
+    success: bool
+    passes: int = 0
+    #: cell -> final spec name, for every cell that was resized.
+    resized: Dict[str, str] = field(default_factory=dict)
+    area_before: float = 0.0
+    area_after: float = 0.0
+    worst_slack_history: List[float] = field(default_factory=list)
+
+    @property
+    def area_increase(self) -> float:
+        return self.area_after - self.area_before
+
+
+def total_gate_area(network: Network) -> float:
+    return sum(
+        getattr(cell.spec, "area", 0.0)
+        for cell in network.combinational_cells
+    )
+
+
+def size_for_timing(
+    network: Network,
+    schedule: ClockSchedule,
+    library: CellLibrary,
+    max_passes: int = 20,
+    cells_per_pass: int = 8,
+    delay_params: Optional[DelayParameters] = None,
+) -> SizingResult:
+    """Upsize gates on too-slow paths until timing is met (or no upsizing
+    remains).  Mutates the network's cell specs in place.
+
+    ``library`` must contain the drive variants
+    (see :func:`add_drive_variants`).
+    """
+    result = SizingResult(success=False, area_before=total_gate_area(network))
+    for pass_index in range(max_passes):
+        delays = estimate_delays(network, delay_params)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        outcome = run_algorithm1(model, engine)
+        result.passes = pass_index + 1
+        result.worst_slack_history.append(outcome.worst_slack)
+        if outcome.intended:
+            result.success = True
+            break
+        paths = extract_slow_paths(
+            model, engine, outcome.slacks.capture, limit=None
+        )
+        chosen = _select_upsizes(
+            network, library, model, paths, cells_per_pass
+        )
+        if not chosen:
+            break
+        for cell_name, variant in chosen.items():
+            network.cell(cell_name).spec = library.spec(variant)
+            result.resized[cell_name] = variant
+    result.area_after = total_gate_area(network)
+    return result
+
+
+def _select_upsizes(
+    network: Network,
+    library: CellLibrary,
+    model: AnalysisModel,
+    paths,
+    cells_per_pass: int,
+) -> Dict[str, str]:
+    """Pick the most critical upsizable cells across the slow paths."""
+    scores: Dict[str, float] = {}
+    for path in paths:
+        weight = max(path.violation, 1e-6)
+        for step in path.steps:
+            cell = network.cell(step.cell_name)
+            if _next_variant(library, cell.spec.name) is None:
+                continue
+            delay = model.delays.worst_arc_delay(cell)
+            scores[step.cell_name] = scores.get(step.cell_name, 0.0) + (
+                weight * delay
+            )
+    chosen: Dict[str, str] = {}
+    for cell_name in sorted(scores, key=lambda n: (-scores[n], n)):
+        if len(chosen) >= cells_per_pass:
+            break
+        variant = _next_variant(library, network.cell(cell_name).spec.name)
+        if variant is not None:
+            chosen[cell_name] = variant
+    return chosen

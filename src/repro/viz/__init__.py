@@ -1,0 +1,18 @@
+"""Text rendering: clock waveforms and slow-path reports.
+
+The original flagged slow paths in the OCT database for graphical viewing
+in VEM; this package renders the same information as terminal text.
+"""
+
+from repro.viz.ascii_waveform import render_schedule, render_waveform
+from repro.viz.path_report import render_constraints, render_slow_paths
+from repro.viz.windows import render_all_windows, render_cluster_windows
+
+__all__ = [
+    "render_all_windows",
+    "render_cluster_windows",
+    "render_constraints",
+    "render_schedule",
+    "render_slow_paths",
+    "render_waveform",
+]

@@ -1,0 +1,48 @@
+"""ASCII clock waveform rendering.
+
+>>> from repro.clocks import ClockSchedule
+>>> print(render_schedule(ClockSchedule.two_phase(100), columns=20))
+phi1 |_#######_________|  pulse [5, 45)
+phi2 |__________#######|  pulse [55, 95)
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.clocks.schedule import ClockSchedule
+from repro.clocks.waveform import ClockWaveform
+
+
+def render_waveform(
+    waveform: ClockWaveform,
+    overall_period: Optional[Fraction] = None,
+    columns: int = 60,
+    high: str = "#",
+    low: str = "_",
+) -> str:
+    """One clock line: ``columns`` samples across the overall period."""
+    period = overall_period if overall_period is not None else waveform.period
+    cells = []
+    for i in range(columns - 3):
+        t = period * i / (columns - 3)
+        cells.append(high if waveform.is_high(t) else low)
+    return "|" + "".join(cells) + "|"
+
+
+def render_schedule(
+    schedule: ClockSchedule, columns: int = 60, show_pulses: bool = True
+) -> str:
+    """All clocks, one line each, on a shared time axis."""
+    width = max(len(name) for name in schedule.clock_names)
+    lines = []
+    for waveform in schedule.waveforms():
+        line = (
+            f"{waveform.name:<{width}} "
+            f"{render_waveform(waveform, schedule.overall_period, columns)}"
+        )
+        if show_pulses:
+            line += f"  pulse [{waveform.leading}, {waveform.trailing})"
+        lines.append(line)
+    return "\n".join(lines)

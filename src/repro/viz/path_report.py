@@ -1,0 +1,67 @@
+"""Tabular slow-path and constraint rendering."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.core.algorithm2 import TimingConstraints
+from repro.core.report import SlowPath
+from repro.netlist.network import Network
+
+
+def render_slow_paths(paths: Sequence[SlowPath], limit: int = 20) -> str:
+    """A table of the worst slow paths (most violating first)."""
+    if not paths:
+        return "no slow paths"
+    header = f"{'slack':>9}  {'violation':>9}  path"
+    lines = [header, "-" * len(header)]
+    for path in paths[:limit]:
+        lines.append(
+            f"{path.slack:>9.3f}  {path.violation:>9.3f}  {path.describe()}"
+        )
+    if len(paths) > limit:
+        lines.append(f"... {len(paths) - limit} more")
+    return "\n".join(lines)
+
+
+def render_constraints(
+    constraints: TimingConstraints,
+    network: Network,
+    nets: Iterable[str] = (),
+    limit: int = 40,
+) -> str:
+    """Ready/required/slack table for selected nets (default: all with
+    both values, tightest slack first)."""
+    names: List[str] = list(nets)
+    if not names:
+        names = [
+            net.name
+            for net in network.nets
+            if constraints.ready.get(net.name)
+            and constraints.required.get(net.name)
+        ]
+        names.sort(key=constraints.node_slack)
+    header = (
+        f"{'net':<24} {'settles':>7} {'ready':>9} {'required':>9} {'slack':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in names[:limit]:
+        ready = constraints.ready_time(name)
+        required = constraints.required_time(name)
+        slack = constraints.node_slack(name)
+        lines.append(
+            f"{name:<24} {constraints.settling_count(name):>7} "
+            f"{_fmt(ready):>9} {_fmt(required):>9} {_fmt(slack):>9}"
+        )
+    if len(names) > limit:
+        lines.append(f"... {len(names) - limit} more")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return f"{value:.3f}"

@@ -1,0 +1,120 @@
+"""Latch-window charts: the broken-open axis, drawn.
+
+Renders one cluster analysis pass as text: the time axis (one overall
+period starting at the pass's break point), each launch port's assertion
+instant, each capture's closure instant, and -- for transparent elements
+-- the extent of the transparency window with the current position of
+the effective clocking point.  The picture makes slack transfer visible:
+Algorithm 1 literally slides the ``=`` marker inside each latch's
+``[ ... ]`` span.
+
+Example output::
+
+    axis   0 .......................................... 100
+    L1@0   A ----[=======|..........]---------------------
+    L2@0   C ------------------------[..........|====]----
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.core.sync_elements import InstanceKind
+
+
+def render_cluster_windows(
+    model: AnalysisModel,
+    engine: SlackEngine,
+    cluster_name: str,
+    pass_index: int = 0,
+    columns: int = 64,
+) -> str:
+    """Render one cluster pass's launch/capture geometry."""
+    cluster = next(c for c in model.clusters if c.name == cluster_name)
+    plan = model.plans[cluster_name]
+    if not 0 <= pass_index < plan.num_passes:
+        raise ValueError(
+            f"cluster {cluster_name!r} has {plan.num_passes} pass(es)"
+        )
+    period = float(plan.period)
+    scale = (columns - 1) / period
+
+    def column(t: float) -> int:
+        return max(0, min(columns - 1, int(round(t * scale))))
+
+    lines: List[str] = [
+        f"cluster {cluster_name}, pass {pass_index} "
+        f"(break at t={plan.breaks[pass_index]}):",
+        f"{'axis':<12} 0 {'.' * (columns - 2)} {period:g}",
+    ]
+
+    for port in model.launch_ports[cluster_name]:
+        instance = port.instance
+        position = float(
+            plan.position_assertion(instance.assertion_edge, pass_index)
+        )
+        row = ["-"] * columns
+        marker = column(position + instance.assertion_offset)
+        if instance.kind is InstanceKind.TRANSPARENT:
+            start = column(position)
+            end = column(position + instance.width)
+            for i in range(start, end + 1):
+                row[i] = "."
+            row[start] = "["
+            row[end] = "]"
+            row[column(position + instance.w)] = "="
+        row[marker] = "A"
+        lines.append(f"{instance.name:<12} {''.join(row)}")
+
+    for port in model.capture_ports[cluster_name]:
+        if port.pass_index != pass_index:
+            continue
+        instance = port.instance
+        position = float(
+            plan.position_closure(instance.closure_edge, port.pass_index)
+        )
+        row = ["-"] * columns
+        if instance.kind is InstanceKind.TRANSPARENT:
+            start = column(position - instance.width)
+            end = column(position)
+            for i in range(start, end + 1):
+                row[i] = "."
+            row[start] = "["
+            row[end] = "]"
+            row[column(position - instance.width + instance.w)] = "="
+        row[column(position + instance.closure_offset)] = "C"
+        lines.append(f"{instance.name:<12} {''.join(row)}")
+
+    lines.append(
+        "A = actual assertion, C = actual closure, [..] = transparency "
+        "window, = = effective clocking point"
+    )
+    return "\n".join(lines)
+
+
+def render_all_windows(
+    model: AnalysisModel,
+    engine: SlackEngine,
+    columns: int = 64,
+    max_clusters: Optional[int] = 8,
+) -> str:
+    """Window charts for every (non-degenerate) cluster and pass."""
+    blocks: List[str] = []
+    shown = 0
+    for cluster in model.clusters:
+        if cluster.is_degenerate:
+            continue
+        if max_clusters is not None and shown >= max_clusters:
+            blocks.append(f"... remaining clusters omitted")
+            break
+        plan = model.plans[cluster.name]
+        for pass_index in range(plan.num_passes):
+            blocks.append(
+                render_cluster_windows(
+                    model, engine, cluster.name, pass_index, columns
+                )
+            )
+        shown += 1
+    return "\n\n".join(blocks)

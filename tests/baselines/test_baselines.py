@@ -1,0 +1,173 @@
+"""Tests for the three baseline analysers."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    enumerate_port_slacks,
+    mcwilliams_analysis,
+    per_edge_analysis,
+    settling_comparison,
+)
+from repro.baselines.mcwilliams import mcwilliams_max_frequency
+from repro.baselines.path_enumeration import PathExplosionError
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.frequency import find_max_frequency
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.generators import fig1_circuit, latch_pipeline, random_design
+
+from tests.conftest import build_ff_stage
+
+
+class TestPathEnumeration:
+    def _compare(self, network, schedule):
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        block = run_algorithm1(model, engine).slacks
+        enumerated = enumerate_port_slacks(model, engine)
+        for name, value in block.capture.items():
+            other = enumerated.slacks.capture[name]
+            if math.isinf(value):
+                assert math.isinf(other)
+            else:
+                assert other == pytest.approx(value), name
+        return enumerated
+
+    def test_matches_block_on_ff_stage(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=10)
+        result = self._compare(network, schedule)
+        assert result.paths_walked > 0
+
+    def test_matches_block_on_latch_pipeline(self, lib):
+        network, schedule = latch_pipeline(
+            stages=3, stage_lengths=[6, 3, 6], period=40, library=lib
+        )
+        self._compare(network, schedule)
+
+    def test_matches_block_on_random_design(self, lib):
+        network, schedule = random_design(
+            seed=7, n_banks=2, gates_per_bank=12, bits=3, style="latch"
+        )
+        self._compare(network, schedule)
+
+    def test_matches_block_on_fig1(self, lib):
+        network, schedule = fig1_circuit()
+        self._compare(network, schedule)
+
+    def test_explosion_guard(self, lib):
+        network, schedule = random_design(
+            seed=3, n_banks=1, gates_per_bank=60, bits=6, style="ff"
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        with pytest.raises(PathExplosionError):
+            enumerate_port_slacks(model, engine, max_paths=10)
+
+    def test_path_count_grows_with_reconvergence(self, lib):
+        """Reconvergent fanout multiplies path counts but not block-method
+        work -- the Section 7 argument for the block method."""
+        from repro.netlist import NetworkBuilder
+        from repro.clocks import ClockSchedule
+
+        def diamond_chain(depth):
+            b = NetworkBuilder(lib)
+            b.clock("clk")
+            b.input("i", "w", clock="clk")
+            b.latch("fa", "DFF", D="w", CK="clk", Q="n0")
+            for k in range(depth):
+                b.gate(f"u{k}", "INV", A=f"n{k}", Z=f"a{k}")
+                b.gate(f"v{k}", "INV", A=f"n{k}", Z=f"b{k}")
+                b.gate(f"j{k}", "NAND2", A=f"a{k}", B=f"b{k}", Z=f"n{k + 1}")
+            b.latch("fb", "DFF", D=f"n{depth}", CK="clk", Q="q")
+            b.output("o", "q", clock="clk")
+            return b.build(), ClockSchedule.single("clk", 1000)
+
+        counts = []
+        for depth in (2, 4, 6):
+            network, schedule = diamond_chain(depth)
+            delays = estimate_delays(network)
+            model = AnalysisModel(network, schedule, delays)
+            engine = SlackEngine(model)
+            run_algorithm1(model, engine)
+            counts.append(
+                enumerate_port_slacks(model, engine).paths_walked
+            )
+        assert counts[1] > 3 * counts[0]
+        assert counts[2] > 3 * counts[1]
+
+
+class TestMcWilliams:
+    def test_pessimistic_on_borrowing_design(self, lib):
+        """A design that needs cycle borrowing passes under Hummingbird
+        but fails under the edge-triggered approximation.
+
+        The long stage sits *after* the first latch: a transparent latch
+        launches it near the leading edge of phi1 (~20ns budget), while
+        the edge-triggered approximation forces the launch to the
+        trailing edge (~11ns budget), which a ~12ns stage cannot meet."""
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[2, 24], period=24, library=lib
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        ours = run_algorithm1(model, SlackEngine(model))
+        theirs, __ = mcwilliams_analysis(network, schedule, delays)
+        assert ours.intended
+        assert not theirs.intended
+
+    def test_agrees_on_edge_triggered_designs(self, lib):
+        """With no transparent latches the two models coincide."""
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        ours = run_algorithm1(model, SlackEngine(model))
+        theirs, __ = mcwilliams_analysis(network, schedule, delays)
+        assert ours.intended == theirs.intended
+        assert ours.worst_slack == pytest.approx(theirs.worst_slack)
+
+    def test_max_frequency_underestimated(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[2, 20], period=100, library=lib
+        )
+        delays = estimate_delays(network)
+        ours = find_max_frequency(network, schedule, delays)
+        theirs = mcwilliams_max_frequency(network, schedule, delays)
+        assert theirs.min_period > ours.min_period
+
+
+class TestPerEdge:
+    def test_same_verdict_more_work(self, lib):
+        network, schedule = fig1_circuit()
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        ours = run_algorithm1(model, SlackEngine(model))
+        theirs, per_edge_model = per_edge_analysis(network, schedule, delays)
+        assert ours.intended == theirs.intended
+        assert sum(
+            p.num_passes for p in per_edge_model.plans.values()
+        ) > sum(p.num_passes for p in model.plans.values())
+
+    def test_settling_comparison_shows_reduction(self, lib):
+        network, schedule = fig1_circuit()
+        delays = estimate_delays(network)
+        comparison = settling_comparison(network, schedule, delays)
+        assert comparison.clock_edge_times == 8
+        assert comparison.minimum_settlings < comparison.per_edge_settlings
+        assert comparison.pass_reduction < 1.0
+
+    def test_two_phase_single_settling_claim(self, lib):
+        """"Even when combinational logic inputs come from latches
+        controlled by two or three different clock phases, a single
+        settling time is often sufficient" -- for a standard two-phase
+        pipeline every cluster needs exactly one pass."""
+        network, schedule = latch_pipeline(
+            stages=4, chain_length=3, period=60, library=lib
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        assert all(p.num_passes == 1 for p in model.plans.values())

@@ -1,0 +1,130 @@
+"""Unit tests for the standard-cell library and delay models."""
+
+import pytest
+
+from repro.cells import CellLibrary, GateSpec, LinearDelay, standard_library
+from repro.cells.combinational import mux2_spec, simple_gate
+from repro.cells.delay import GateArc, symmetric_arc
+from repro.cells.sequential import SyncSpec, default_synchronisers
+from repro.netlist.kinds import CellRole, SyncStyle, Unateness
+
+
+class TestLinearDelay:
+    def test_delay_at_load(self):
+        d = LinearDelay(intrinsic=0.5, resistance=0.1)
+        assert d.at_load(0) == 0.5
+        assert d.at_load(10) == pytest.approx(1.5)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            LinearDelay(0.5, 0.1).at_load(-1)
+
+    def test_monotone_in_load(self):
+        d = LinearDelay(0.3, 0.2)
+        assert d.at_load(5) < d.at_load(6)
+
+
+class TestGateArc:
+    def test_delay_pair(self):
+        arc = GateArc(
+            unateness=Unateness.NEGATIVE,
+            rise=LinearDelay(0.4, 0.1),
+            fall=LinearDelay(0.3, 0.1),
+        )
+        pair = arc.delay_at(2.0)
+        assert pair.rise == pytest.approx(0.6)
+        assert pair.fall == pytest.approx(0.5)
+
+    def test_symmetric_arc_skew(self):
+        arc = symmetric_arc(Unateness.NEGATIVE, 0.5, 0.1, skew=0.1)
+        assert arc.rise.intrinsic == pytest.approx(0.6)
+        assert arc.fall.intrinsic == pytest.approx(0.4)
+
+    def test_symmetric_arc_clamps_negative_fall(self):
+        arc = symmetric_arc(Unateness.POSITIVE, 0.05, 0.1, skew=0.2)
+        assert arc.fall.intrinsic == 0.0
+
+
+class TestGateSpec:
+    def test_simple_gate_shape(self):
+        spec = simple_gate("TG3", 3, Unateness.NEGATIVE, 0.5, 0.1)
+        assert spec.inputs == ("A", "B", "C")
+        assert spec.outputs == ("Z",)
+        assert set(spec.arcs) == {("A", "Z"), ("B", "Z"), ("C", "Z")}
+        assert spec.role is CellRole.COMBINATIONAL
+        assert spec.control is None
+
+    def test_rejects_bad_arc_pins(self):
+        with pytest.raises(ValueError):
+            GateSpec(
+                "BAD",
+                inputs=("A",),
+                arcs={("X", "Z"): symmetric_arc(Unateness.POSITIVE, 1, 0.1)},
+            )
+
+    def test_mux_select_non_unate(self):
+        spec = mux2_spec()
+        assert spec.arcs[("S", "Z")].unateness is Unateness.NON_UNATE
+        assert spec.arcs[("A", "Z")].unateness is Unateness.POSITIVE
+
+    def test_too_many_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            simple_gate("HUGE", 9, Unateness.POSITIVE, 1.0, 0.1)
+
+
+class TestSyncSpec:
+    def test_edge_triggered_shape(self):
+        dff = next(
+            s for s in default_synchronisers() if s.style is SyncStyle.EDGE_TRIGGERED
+        )
+        assert dff.inputs == ("D",)
+        assert dff.outputs == ("Q",)
+        assert dff.control == "CK"
+        assert dff.role is CellRole.SYNCHRONISER
+
+    def test_edge_triggered_rejects_d_to_q(self):
+        with pytest.raises(ValueError, match="edge-triggered"):
+            SyncSpec("BAD", SyncStyle.EDGE_TRIGGERED, d_to_q=1.0)
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ValueError):
+            SyncSpec("BAD", SyncStyle.TRANSPARENT, setup=-1.0)
+
+    def test_input_cap_default(self):
+        latch = SyncSpec("L", SyncStyle.TRANSPARENT)
+        assert latch.input_cap("D") == pytest.approx(1.2)
+
+
+class TestCellLibrary:
+    def test_standard_library_contents(self, lib):
+        for name in ("INV", "NAND2", "NOR2", "XOR2", "MUX2", "DFF", "DLATCH", "TRIBUF"):
+            assert name in lib
+
+    def test_unknown_spec_raises_with_listing(self, lib):
+        with pytest.raises(KeyError, match="available"):
+            lib.spec("FLUXCAP")
+
+    def test_duplicate_registration_rejected(self):
+        library = CellLibrary("t")
+        library.register(simple_gate("X", 1, Unateness.POSITIVE, 1, 0.1))
+        with pytest.raises(ValueError):
+            library.register(simple_gate("X", 1, Unateness.POSITIVE, 1, 0.1))
+
+    def test_iterators_partition(self, lib):
+        gates = {s.name for s in lib.gates()}
+        syncs = {s.name for s in lib.synchronisers()}
+        assert "INV" in gates and "DFF" in syncs
+        assert not gates & syncs
+        assert len(lib) == len(gates) + len(syncs)
+
+    def test_inverting_gates_are_negative_unate(self, lib):
+        for name in ("INV", "NAND2", "NOR3", "AOI21", "OAI22"):
+            spec = lib.spec(name)
+            assert all(
+                arc.unateness is Unateness.NEGATIVE for arc in spec.arcs.values()
+            ), name
+
+    def test_complex_gates_slower_than_inverter(self, lib):
+        inv = lib.spec("INV").arcs[("A", "Z")].delay_at(2.0).worst
+        nand4 = lib.spec("NAND4").arcs[("A", "Z")].delay_at(2.0).worst
+        assert nand4 > inv

@@ -1,0 +1,144 @@
+"""Unit tests for ClockSchedule."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.clocks import ClockSchedule, ClockWaveform, EdgeKind
+
+
+class TestOverallPeriod:
+    def test_single_clock(self):
+        s = ClockSchedule.single("clk", 100)
+        assert s.overall_period == 100
+
+    def test_harmonic_lcm(self):
+        s = ClockSchedule(
+            [
+                ClockWaveform("fast", 50, 0, 20),
+                ClockWaveform("slow", 100, 0, 40),
+            ]
+        )
+        assert s.overall_period == 100
+        assert s.multiplier("fast") == 2
+        assert s.multiplier("slow") == 1
+
+    def test_fractional_periods(self):
+        s = ClockSchedule(
+            [
+                ClockWaveform("a", Fraction(1, 3), 0, Fraction(1, 6)),
+                ClockWaveform("b", Fraction(1, 2), 0, Fraction(1, 4)),
+            ]
+        )
+        assert s.overall_period == 1
+        assert s.multiplier("a") == 3
+        assert s.multiplier("b") == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ClockSchedule([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            ClockSchedule(
+                [
+                    ClockWaveform("x", 100, 0, 50),
+                    ClockWaveform("x", 100, 10, 60),
+                ]
+            )
+
+
+class TestPulsesAndEdges:
+    def test_fast_clock_expands_to_multiple_pulses(self):
+        s = ClockSchedule(
+            [
+                ClockWaveform("fast", 50, 5, 25),
+                ClockWaveform("slow", 100, 0, 40),
+            ]
+        )
+        pulses = s.pulses("fast")
+        assert len(pulses) == 2
+        assert pulses[0].leading.time == 5
+        assert pulses[1].leading.time == 55
+        assert all(p.width == 20 for p in pulses)
+
+    def test_all_edges_sorted(self):
+        s = ClockSchedule.two_phase(100)
+        times = [e.time for e in s.all_edges()]
+        assert times == sorted(times)
+        assert len(times) == 4
+
+    def test_edge_kinds(self):
+        s = ClockSchedule.single("clk", 100, leading=0, trailing=50)
+        edges = s.all_edges()
+        assert edges[0].kind is EdgeKind.LEADING
+        assert edges[1].kind is EdgeKind.TRAILING
+
+    def test_edge_times_dedup_coincident(self):
+        s = ClockSchedule(
+            [
+                ClockWaveform("a", 100, 0, 50),
+                ClockWaveform("b", 100, 50, 90),
+            ]
+        )
+        # a's trailing coincides with b's leading.
+        assert len(s.all_edges()) == 4
+        assert len(s.edge_times()) == 3
+
+    def test_wrapping_pulse_edge_normalised(self):
+        s = ClockSchedule([ClockWaveform("w", 100, 80, 20)])
+        pulse = s.pulses("w")[0]
+        assert pulse.leading.time == 80
+        assert pulse.trailing.time == 20
+        assert pulse.width == 40
+
+
+class TestTwoPhaseFactory:
+    def test_non_overlapping(self):
+        s = ClockSchedule.two_phase(100)
+        phi1 = s.waveform("phi1")
+        phi2 = s.waveform("phi2")
+        assert phi1.trailing < phi2.leading
+        assert phi2.trailing < phi1.leading + 100
+
+    def test_custom_width(self):
+        s = ClockSchedule.two_phase(100, width=30)
+        assert s.waveform("phi1").width == 30
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            ClockSchedule.two_phase(100, width=50)
+
+
+class TestWhatIfOps:
+    def test_scaled_preserves_structure(self):
+        s = ClockSchedule.two_phase(100).scaled(Fraction(1, 2))
+        assert s.overall_period == 50
+        assert s.waveform("phi1").width == 20
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ClockSchedule.two_phase(100).scaled(0)
+
+    def test_with_pulse_width(self):
+        s = ClockSchedule.two_phase(100).with_pulse_width("phi1", 10)
+        assert s.waveform("phi1").width == 10
+        assert s.waveform("phi2").width == 40
+
+    def test_with_shifted_clock(self):
+        s = ClockSchedule.two_phase(100).with_shifted_clock("phi2", 3)
+        assert s.waveform("phi2").leading == 58
+
+    def test_replace_unknown_clock_raises(self):
+        s = ClockSchedule.two_phase(100)
+        with pytest.raises(KeyError):
+            s.replace(ClockWaveform("nope", 100, 0, 50))
+
+    def test_immutability(self):
+        s = ClockSchedule.two_phase(100)
+        s.scaled(2)
+        assert s.overall_period == 100
+
+    def test_describe_mentions_clocks(self):
+        text = ClockSchedule.two_phase(100).describe()
+        assert "phi1" in text and "phi2" in text

@@ -1,0 +1,96 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.cells import standard_library
+from repro.clocks import ClockSchedule
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.netlist import NetworkBuilder
+
+
+@pytest.fixture(scope="session")
+def lib():
+    return standard_library()
+
+
+@pytest.fixture
+def two_phase():
+    return ClockSchedule.two_phase(100)
+
+
+@pytest.fixture
+def single_clock():
+    return ClockSchedule.single("clk", 100)
+
+
+def build_ff_stage(
+    lib,
+    chain: int = 2,
+    period: float = 100.0,
+    name: str = "ff_stage",
+):
+    """PI -> DFF -> inverter chain -> DFF -> PO on one clock."""
+    b = NetworkBuilder(lib, name=name)
+    b.clock("clk")
+    b.input("din", "n_in", clock="clk", edge="trailing")
+    b.latch("ff_a", "DFF", D="n_in", CK="clk", Q="n0")
+    current = "n0"
+    for i in range(chain):
+        b.gate(f"inv{i}", "INV", A=current, Z=f"n{i + 1}")
+        current = f"n{i + 1}"
+    b.latch("ff_b", "DFF", D=current, CK="clk", Q="n_q")
+    b.output("dout", "n_q", clock="clk", edge="trailing")
+    return b.build(), ClockSchedule.single("clk", period)
+
+
+def analyze(network, schedule, delays=None):
+    """Build a model+engine and run Algorithm 1; returns (result, model,
+    engine)."""
+    delays = delays if delays is not None else estimate_delays(network)
+    model = AnalysisModel(network, schedule, delays)
+    engine = SlackEngine(model)
+    result = run_algorithm1(model, engine)
+    return result, model, engine
+
+
+def brute_force_feasible(
+    model: AnalysisModel,
+    engine: SlackEngine,
+    points: int = 13,
+    margin: float = 0.0,
+) -> Tuple[bool, float, Optional[Tuple[float, ...]]]:
+    """Grid-search the transparency windows for a feasible offset set.
+
+    Returns ``(feasible, best_min_slack, witness)`` where ``witness`` is
+    the window vector achieving the best minimum port slack.  Uses the
+    same slack engine as Algorithm 1, so the comparison isolates the
+    *search* (slack transfer) from the *model*.
+    """
+    adjustable = model.adjustable_instances()
+    grids: List[Sequence[float]] = [
+        [inst.width * k / (points - 1) for k in range(points)]
+        for inst in adjustable
+    ]
+    best = float("-inf")
+    witness = None
+    saved = [inst.w for inst in adjustable]
+    try:
+        for combo in itertools.product(*grids) if grids else [()]:
+            for inst, w in zip(adjustable, combo):
+                inst.w = w
+            worst = engine.port_slacks().worst()
+            if worst > best:
+                best = worst
+                witness = tuple(combo)
+    finally:
+        for inst, w in zip(adjustable, saved):
+            inst.w = w
+    return best > margin, best, witness

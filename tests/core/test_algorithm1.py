@@ -1,0 +1,167 @@
+"""Behavioural tests for Algorithm 1 (slow-path identification)."""
+
+import pytest
+
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.generators import latch_pipeline, loop_of_latches
+
+from tests.conftest import analyze, brute_force_feasible, build_ff_stage
+
+
+class TestEdgeTriggeredClosedForm:
+    """The FF stage is feasible iff period > 3.0 (see test_slack.py)."""
+
+    def test_intended_above_critical_period(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=3.1)
+        result, __, __ = analyze(network, schedule)
+        assert result.intended
+        assert result.worst_slack == pytest.approx(0.1)
+
+    def test_slow_below_critical_period(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=2.9)
+        result, __, __ = analyze(network, schedule)
+        assert not result.intended
+        assert result.worst_slack == pytest.approx(-0.1)
+        assert "ff_b@0" in result.slow_instance_names()
+
+    def test_no_transfer_cycles_for_edge_triggered(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        result, __, __ = analyze(network, schedule)
+        assert result.iterations.total == 0
+        assert result.converged
+
+
+class TestCycleBorrowing:
+    """Uneven latch pipeline stages: the long stage borrows through the
+    transparent latch.  Stage delays: a chain of k inverters is roughly
+    0.5k ns; with period 20 (phase budget 10) a 24-inverter stage cannot
+    fit a rigid phase but borrowing makes the two-stage total fit."""
+
+    def test_uneven_stages_need_borrowing(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[24, 2], period=24, library=lib
+        )
+        result, model, engine = analyze(network, schedule)
+        assert result.intended
+        # The first latch must have moved its window later than fully
+        # closed-at-start to make room: some window is off its initial
+        # position.
+        assert any(
+            inst.w != inst.width for inst in model.adjustable_instances()
+        )
+
+    def test_overlong_total_fails(self, lib):
+        # A 48-inverter stage (~24 ns) cannot fit any stage budget at
+        # period 12 (at most ~10.4 ns even with maximal borrowing).
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[48, 48], period=12, library=lib
+        )
+        result, __, __ = analyze(network, schedule)
+        assert not result.intended
+
+    def test_transfer_iterations_occurred(self, lib):
+        network, schedule = latch_pipeline(
+            stages=4, stage_lengths=[20, 2, 20, 2], period=26, library=lib
+        )
+        result, __, __ = analyze(network, schedule)
+        assert result.iterations.forward >= 1
+
+    def test_iteration_bound_respected(self, lib):
+        """Iterations complete within roughly the number of elements in a
+        directed path, as the paper claims."""
+        network, schedule = latch_pipeline(
+            stages=6, chain_length=6, period=30, library=lib
+        )
+        result, model, __ = analyze(network, schedule)
+        assert result.converged
+        bound = len(model.all_instances()) + 2
+        assert result.iterations.forward <= bound
+        assert result.iterations.backward <= bound
+
+
+class TestAgainstBruteForce:
+    """Algorithm 1's verdict must match an exhaustive window grid search
+    (using the same slack engine, so only the search is under test)."""
+
+    @pytest.mark.parametrize(
+        "stage_lengths,period",
+        [
+            ([4, 4], 30),
+            ([18, 2], 22),
+            ([2, 18], 22),
+            ([14, 14], 18),
+            ([10, 6, 2], 24),
+            ([16, 16, 16], 40),
+        ],
+    )
+    def test_verdict_matches_grid_search(self, lib, stage_lengths, period):
+        network, schedule = latch_pipeline(
+            stages=len(stage_lengths),
+            stage_lengths=stage_lengths,
+            period=period,
+            library=lib,
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        feasible, best, __ = brute_force_feasible(model, engine, points=15)
+        result = run_algorithm1(model, engine)
+        if best > 0.25:
+            assert result.intended, f"missed feasible point (best={best})"
+        if best < -0.25:
+            assert not result.intended, f"false feasibility (best={best})"
+
+    def test_intended_state_is_witness(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[18, 2], period=22, library=lib
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        result = run_algorithm1(model, engine)
+        if result.intended:
+            # The final offsets themselves satisfy all constraints.
+            assert engine.port_slacks().all_positive()
+
+
+class TestLatchLoop:
+    """Directed cycles through transparent latches (Section 4's remark)."""
+
+    def test_fast_loop_intended(self, lib):
+        network, schedule = loop_of_latches((2, 2), period=100, library=lib)
+        result, __, __ = analyze(network, schedule)
+        assert result.intended
+
+    def test_slow_loop_flagged(self, lib):
+        network, schedule = loop_of_latches((40, 40), period=20, library=lib)
+        result, __, __ = analyze(network, schedule)
+        assert not result.intended
+        assert result.converged
+
+    def test_loop_cannot_borrow_out_of_global_deficit(self, lib):
+        """A cycle's total delay exceeding the full period count cannot be
+        fixed by moving windows -- slack transfer must converge to a
+        non-intended verdict instead of oscillating."""
+        network, schedule = loop_of_latches((30, 30), period=30, library=lib)
+        result, model, engine = analyze(network, schedule)
+        assert not result.intended
+        feasible, best, __ = brute_force_feasible(model, engine, points=9)
+        assert not feasible
+
+
+class TestFastEnoughEndStrictlyPositive:
+    def test_partial_iterations_restore_positive_slack(self, lib):
+        """After iterations 3-4 every node *not* on a slow path has
+        strictly positive slack (the stated purpose of partial
+        transfers)."""
+        network, schedule = latch_pipeline(
+            stages=3, stage_lengths=[16, 2, 2], period=40, library=lib
+        )
+        result, __, __ = analyze(network, schedule)
+        assert result.intended
+        slacks = result.slacks
+        for name, value in {**slacks.capture, **slacks.launch}.items():
+            assert value > 0.0, name

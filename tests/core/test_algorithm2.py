@@ -1,0 +1,119 @@
+"""Behavioural tests for Algorithm 2 (timing-constraint generation)."""
+
+import math
+
+import pytest
+
+from repro.core.algorithm2 import run_algorithm2
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.generators import latch_pipeline
+
+from tests.conftest import build_ff_stage
+
+
+def _run(network, schedule):
+    delays = estimate_delays(network)
+    model = AnalysisModel(network, schedule, delays)
+    engine = SlackEngine(model)
+    return run_algorithm2(model, engine), model, engine
+
+
+class TestConstraintsOnFastDesign:
+    def test_ready_before_required_everywhere(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=20)
+        result, model, __ = _run(network, schedule)
+        constraints = result.constraints
+        for net in network.nets:
+            ready = constraints.ready_time(net.name)
+            required = constraints.required_time(net.name)
+            if ready is None or required is None:
+                continue
+            assert constraints.node_slack(net.name) > 0, net.name
+
+    def test_difference_bounds_path_delay(self, lib):
+        """For two nodes on a path, required(y) - ready(x) must exceed
+        the path delay between them (Section 3's guarantee)."""
+        network, schedule = build_ff_stage(lib, chain=3, period=20)
+        result, model, __ = _run(network, schedule)
+        constraints = result.constraints
+        delays = model.delays
+        # Walk the inverter chain n1 -> n2 -> n3 and check each arc.
+        for cell_name, in_net, out_net in [
+            ("inv1", "n1", "n2"),
+            ("inv2", "n2", "n3"),
+        ]:
+            cell = network.cell(cell_name)
+            arc = delays.arc_delay(cell, "A", "Z").worst
+            ready = constraints.ready_time(in_net)
+            required = constraints.required_time(out_net)
+            assert required - ready >= arc - 1e-9
+
+    def test_no_snatching_needed_when_fast(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=20)
+        result, __, __ = _run(network, schedule)
+        assert result.backward_snatch_cycles == 0
+        assert result.forward_snatch_cycles == 0
+
+
+class TestConstraintsOnSlowDesign:
+    def test_slow_nodes_have_non_positive_slack(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=2.5)
+        result, __, __ = _run(network, schedule)
+        constraints = result.constraints
+        # The capture net n2 is on a too-slow path.
+        assert constraints.node_slack("n2") <= 0
+
+    def test_snatching_on_slow_latch_pipeline(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[48, 48], period=12, library=lib
+        )
+        result, __, __ = _run(network, schedule)
+        assert not result.algorithm1.intended
+        # Slow paths force snatching in at least one direction.
+        assert (
+            result.backward_snatch_cycles + result.forward_snatch_cycles > 0
+        )
+
+
+class TestCellConstraints:
+    def test_cell_budget(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=20)
+        result, model, __ = _run(network, schedule)
+        cc = result.constraints.cell_constraints(network.cell("inv1"))
+        assert cc.cell_name == "inv1"
+        assert set(cc.input_ready) == {"A"}
+        assert set(cc.output_required) == {"Z"}
+        arc = model.delays.arc_delay(network.cell("inv1"), "A", "Z").worst
+        assert cc.allowed_delay >= arc
+
+    def test_unconstrained_cell_budget_infinite(self, lib):
+        from repro.netlist import NetworkBuilder
+
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk")
+        b.latch("f", "DFF", D="w", CK="clk", Q="q")
+        b.gate("g", "INV", A="q", Z="dangling")
+        network = b.build()
+        from repro.clocks import ClockSchedule
+
+        result, __, __ = _run(network, ClockSchedule.single("clk", 100))
+        cc = result.constraints.cell_constraints(network.cell("g"))
+        assert cc.allowed_delay == math.inf
+
+
+class TestSettlingTimes:
+    def test_single_phase_single_settling(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=20)
+        result, __, __ = _run(network, schedule)
+        assert result.constraints.settling_count("n1") == 1
+
+    def test_fig1_two_settlings_on_shared_gate(self, lib):
+        from repro.generators import fig1_circuit
+
+        network, schedule = fig1_circuit()
+        result, __, __ = _run(network, schedule)
+        # The time-multiplexed gate output settles twice per period.
+        assert result.constraints.settling_count("g_out") == 2

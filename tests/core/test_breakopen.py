@@ -1,0 +1,193 @@
+"""Unit tests for Section 7: breaking open the clock period.
+
+Includes the Figure 4 scenario: eight clock edges A..H in cyclic order;
+a cluster requiring "edge E to occur before edge C" is satisfied by
+removing the original arc D->E, after which the edges read
+E-F-G-H-A-B-C-D with E before C.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.breakopen import (
+    BreakOpenPlan,
+    ClockEdgeGraph,
+    PassSelectionError,
+    RequirementArc,
+    minimum_breaks,
+    plan_for_cluster,
+)
+
+T = Fraction(80)
+#: Eight equally spaced edge times standing in for Figure 4's A..H.
+EDGE = {name: Fraction(10 * i) for i, name in enumerate("ABCDEFGH")}
+TIMES = sorted(EDGE.values())
+
+
+class TestIdealConstraint:
+    def test_simple_forward(self):
+        arc = RequirementArc(EDGE["A"], EDGE["C"])
+        assert arc.ideal_constraint(T) == 20
+
+    def test_wrapping(self):
+        arc = RequirementArc(EDGE["G"], EDGE["B"])
+        assert arc.ideal_constraint(T) == 30
+
+    def test_coincident_edges_one_full_period(self):
+        """FF -> FF on the same clock edge: D_p is exactly one period."""
+        arc = RequirementArc(EDGE["D"], EDGE["D"])
+        assert arc.ideal_constraint(T) == T
+
+
+class TestHandledBy:
+    def test_break_at_closure_handles(self):
+        arc = RequirementArc(EDGE["E"], EDGE["C"])  # E before C, D = 60
+        assert arc.handled_by(EDGE["C"], T)
+
+    def test_figure4_break_at_E(self):
+        """Removing arc D->E (break at E) puts E before C."""
+        arc = RequirementArc(EDGE["E"], EDGE["C"])
+        assert arc.handled_by(EDGE["E"], T)
+
+    def test_break_inside_window_fails(self):
+        """Breaking between assertion and closure mis-handles the pair."""
+        arc = RequirementArc(EDGE["E"], EDGE["C"])  # window E..C wraps
+        assert not arc.handled_by(EDGE["G"], T)
+        assert not arc.handled_by(EDGE["A"], T)
+
+    def test_coincident_pair_only_breaks_at_edge(self):
+        arc = RequirementArc(EDGE["D"], EDGE["D"])
+        assert arc.handled_by(EDGE["D"], T)
+        for name in "ABCEFGH":
+            assert not arc.handled_by(EDGE[name], T)
+
+
+class TestPositions:
+    def test_assertion_position_range(self):
+        plan = BreakOpenPlan(period=T, breaks=(EDGE["E"],))
+        assert plan.position_assertion(EDGE["E"], 0) == 0
+        assert plan.position_assertion(EDGE["D"], 0) == 70
+
+    def test_closure_at_break_maps_to_period_end(self):
+        plan = BreakOpenPlan(period=T, breaks=(EDGE["E"],))
+        assert plan.position_closure(EDGE["E"], 0) == T
+        assert plan.position_closure(EDGE["F"], 0) == 10
+
+    def test_figure4_order_after_break_at_E(self):
+        """Breaking at E orders the edges E F G H A B C D."""
+        plan = BreakOpenPlan(period=T, breaks=(EDGE["E"],))
+        order = sorted("ABCDEFGH", key=lambda n: plan.position_assertion(EDGE[n], 0))
+        assert "".join(order) == "EFGHABCD"
+        assert plan.position_assertion(EDGE["E"], 0) < plan.position_assertion(
+            EDGE["C"], 0
+        )
+
+    def test_handled_pair_sees_exact_constraint(self):
+        plan = BreakOpenPlan(period=T, breaks=(EDGE["E"],))
+        arc = RequirementArc(EDGE["E"], EDGE["C"])
+        available = plan.position_closure(EDGE["C"], 0) - plan.position_assertion(
+            EDGE["E"], 0
+        )
+        assert available == arc.ideal_constraint(T)
+
+
+class TestDesignatedPass:
+    def test_picks_pass_with_latest_closure(self):
+        plan = BreakOpenPlan(period=T, breaks=(EDGE["A"], EDGE["E"]))
+        # Closure at D: positions are 30 (break A) and 70+10=... break E
+        # gives (D - E) mod T = 70.  Break just after D maximises it.
+        assert plan.designated_pass(EDGE["D"]) == 1
+        assert plan.designated_pass(EDGE["H"]) == 0
+
+    def test_designated_pass_handles_all_incoming_arcs(self):
+        """The argmin break handles every pair converging on the capture
+        (the property proved in DESIGN.md)."""
+        breaks = (EDGE["B"], EDGE["F"])
+        plan = BreakOpenPlan(period=T, breaks=breaks)
+        for closure_name in "ABCDEFGH":
+            closure = EDGE[closure_name]
+            chosen = plan.breaks[plan.designated_pass(closure)]
+            for assertion_name in "ABCDEFGH":
+                arc = RequirementArc(EDGE[assertion_name], closure)
+                if any(arc.handled_by(b, T) for b in breaks):
+                    assert arc.handled_by(chosen, T), (
+                        assertion_name,
+                        closure_name,
+                    )
+
+
+class TestMinimumBreaks:
+    def test_single_break_when_possible(self):
+        arcs = [RequirementArc(EDGE["A"], EDGE["C"])]
+        breaks = minimum_breaks(T, TIMES, arcs)
+        assert len(breaks) == 1
+
+    def test_no_arcs_single_arbitrary_pass(self):
+        assert len(minimum_breaks(T, TIMES, [])) == 1
+
+    def test_figure1_style_needs_two(self):
+        """Conflicting orderings force exactly two passes (Figure 1)."""
+        arcs = [
+            RequirementArc(EDGE["A"], EDGE["D"]),  # A before D
+            RequirementArc(EDGE["E"], EDGE["D"]),  # E (wraps) before D
+            RequirementArc(EDGE["A"], EDGE["H"]),
+            RequirementArc(EDGE["E"], EDGE["H"]),
+        ]
+        breaks = minimum_breaks(T, TIMES, arcs)
+        assert len(breaks) == 2
+        for arc in arcs:
+            assert any(arc.handled_by(b, T) for b in breaks)
+
+    def test_all_constraints_covered(self):
+        arcs = [
+            RequirementArc(EDGE[a], EDGE[c])
+            for a, c in [("A", "C"), ("C", "F"), ("F", "A"), ("G", "B")]
+        ]
+        breaks = minimum_breaks(T, TIMES, arcs)
+        for arc in arcs:
+            assert any(arc.handled_by(b, T) for b in breaks)
+
+    def test_deterministic(self):
+        arcs = [
+            RequirementArc(EDGE["A"], EDGE["D"]),
+            RequirementArc(EDGE["E"], EDGE["D"]),
+        ]
+        assert minimum_breaks(T, TIMES, arcs) == minimum_breaks(T, TIMES, arcs)
+
+    def test_greedy_fallback(self):
+        """With exhaustive_limit=0 the greedy cover still covers."""
+        arcs = [
+            RequirementArc(EDGE["A"], EDGE["D"]),
+            RequirementArc(EDGE["E"], EDGE["D"]),
+            RequirementArc(EDGE["C"], EDGE["G"]),
+        ]
+        breaks = minimum_breaks(T, TIMES, arcs, exhaustive_limit=0)
+        for arc in arcs:
+            assert any(arc.handled_by(b, T) for b in breaks)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_breaks(T, [], [])
+
+    def test_plan_for_cluster_wraps(self):
+        plan = plan_for_cluster(T, TIMES, [RequirementArc(EDGE["A"], EDGE["C"])])
+        assert isinstance(plan, BreakOpenPlan)
+        assert plan.num_passes == 1
+
+
+class TestClockEdgeGraph:
+    def test_original_arcs_form_cycle(self):
+        graph = ClockEdgeGraph(period=T, times=tuple(TIMES), arcs=())
+        arcs = graph.original_arcs()
+        assert len(arcs) == 8
+        assert arcs[-1] == (EDGE["H"], EDGE["A"])
+
+    def test_break_for_removed_arc(self):
+        graph = ClockEdgeGraph(period=T, times=tuple(TIMES), arcs=())
+        assert graph.break_for_removed_arc((EDGE["D"], EDGE["E"])) == EDGE["E"]
+
+    def test_unknown_arc_rejected(self):
+        graph = ClockEdgeGraph(period=T, times=tuple(TIMES), arcs=())
+        with pytest.raises(ValueError):
+            graph.break_for_removed_arc((EDGE["D"], EDGE["F"]))

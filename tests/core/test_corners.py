@@ -1,0 +1,82 @@
+"""Tests for multi-corner analysis."""
+
+import pytest
+
+from repro.core.corners import (
+    Corner,
+    DEFAULT_CORNERS,
+    analyze_corners,
+)
+from repro.delay import estimate_delays
+from repro.generators.clock_tree import skewed_clock_pipeline
+
+from tests.conftest import build_ff_stage
+
+
+class TestCorner:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Corner("bad", max_scale=0.0)
+        with pytest.raises(ValueError):
+            Corner("bad", min_scale=-1.0)
+
+    def test_default_set(self):
+        names = [corner.name for corner in DEFAULT_CORNERS]
+        assert names == ["slow", "typical", "fast"]
+
+
+class TestAnalyzeCorners:
+    def test_comfortable_design_clean_everywhere(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=20)
+        # A real input arrival window (1 ns after the edge) -- a pad
+        # switching exactly at the capture edge is a genuine hold race.
+        network.cell("din").attrs["offset"] = 1.0
+        result = analyze_corners(network, schedule)
+        assert result.intended
+        assert set(result.results) == {"slow", "typical", "fast"}
+        assert "all corners clean" in result.summary()
+
+    def test_slow_corner_catches_marginal_setup(self, lib):
+        """Feasible at typical (critical period 3.0) but not with the
+        +25% slow-corner derate."""
+        network, schedule = build_ff_stage(lib, chain=2, period=3.3)
+        result = analyze_corners(network, schedule, check_hold_too=False)
+        assert result.results["typical"].setup.intended
+        assert not result.results["slow"].setup.intended
+        assert not result.intended
+        assert result.worst_setup_corner == "slow"
+
+    def test_fast_corner_catches_hold(self):
+        """The skew-induced hold race worsens at the fast corner (min
+        delays derated down) even with a marginal safe nominal."""
+        network, schedule = skewed_clock_pipeline(
+            buffer_depths=(0, 1), chain_length=3, period=40
+        )
+        result = analyze_corners(network, schedule)
+        fast = result.results["fast"]
+        typical = result.results["typical"]
+        assert len(fast.hold_violations) >= len(typical.hold_violations)
+
+    def test_corner_ordering_of_slacks(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=20)
+        result = analyze_corners(network, schedule)
+        slow = result.results["slow"].setup.worst_slack
+        typical = result.results["typical"].setup.worst_slack
+        fast = result.results["fast"].setup.worst_slack
+        assert slow < typical < fast
+
+    def test_custom_corners(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=20)
+        result = analyze_corners(
+            network,
+            schedule,
+            corners=(Corner("military", max_scale=1.6),),
+        )
+        assert set(result.results) == {"military"}
+
+    def test_summary_shows_failures(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=3.3)
+        result = analyze_corners(network, schedule)
+        text = result.summary()
+        assert "FAIL" in text
+        assert "does NOT close" in text

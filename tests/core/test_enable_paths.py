@@ -1,0 +1,122 @@
+"""Tests for enable-path constraints (Section 4's third path type)."""
+
+import pytest
+
+from repro.core.enable_paths import check_enable_paths, enable_path_checks
+from repro.core.model import AnalysisModel
+from repro.delay import estimate_delays
+from repro.generators.gating import clock_gated_design
+from repro.netlist import NetworkBuilder, validate_network
+from repro.netlist.validate import trace_control
+
+
+class TestControlTraceWithEnables:
+    def test_enable_source_recorded(self, lib):
+        network, schedule = clock_gated_design()
+        trace = trace_control(network, network.cell("gated_l"))
+        assert trace.clock == "phi1"
+        assert trace.enable_sources == ("en_ff/Q",)
+
+    def test_validation_warns_not_errors(self, lib):
+        network, schedule = clock_gated_design()
+        report = validate_network(network, set(schedule.clock_names))
+        assert report.ok
+        assert any("enable paths" in w for w in report.warnings)
+
+    def test_pure_enable_control_still_rejected(self, lib):
+        """A control with *no* clock component remains invalid."""
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk")
+        b.latch("f", "DFF", D="w", CK="clk", Q="q")
+        b.latch("l", "DLATCH", D="w", G="q", Q="q2")
+        b.output("o", "q2", clock="clk")
+        network = b.build()
+        report = validate_network(network, {"clk"})
+        assert not report.ok
+
+
+class TestEnablePathChecks:
+    def _model(self, scale="1"):
+        network, schedule = clock_gated_design()
+        if scale != "1":
+            schedule = schedule.scaled(scale)
+        delays = estimate_delays(network)
+        return AnalysisModel(network, schedule, delays)
+
+    def test_constraint_geometry(self):
+        """en_ff asserts at phi2's trailing edge (95); the gated leading
+        edge of phi1 is at 5 next period: D = 10 at period 100."""
+        model = self._model()
+        (check,) = enable_path_checks(model)
+        assert check.controlled_cell == "gated_l"
+        assert check.launch_instance == "en_ff@0"
+        assert check.ideal_constraint == pytest.approx(10.0)
+        assert check.settle_offset > 0
+
+    def test_ok_at_nominal_clock(self):
+        assert check_enable_paths(self._model()) == []
+
+    def test_violated_at_fast_clock(self):
+        violations = check_enable_paths(self._model("1/10"))
+        assert violations
+        assert all(v.slack <= 0 for v in violations)
+        assert violations[0].ideal_constraint == pytest.approx(1.0)
+
+    def test_deeper_enable_logic_reduces_slack(self):
+        def slack(depth):
+            network, schedule = clock_gated_design(enable_logic_depth=depth)
+            model = AnalysisModel(network, schedule, estimate_delays(network))
+            (check,) = enable_path_checks(model)
+            return check.slack
+
+        assert slack(4) < slack(1)
+
+    def test_enable_setup_margin(self):
+        network, schedule = clock_gated_design()
+        network.cell("gated_l").attrs["enable_setup"] = 3.0
+        model = AnalysisModel(network, schedule, estimate_delays(network))
+        (check,) = enable_path_checks(model)
+        base = self._model()
+        (base_check,) = enable_path_checks(base)
+        assert check.slack == pytest.approx(base_check.slack - 3.0)
+
+    def test_trailing_edge_gating(self):
+        network, schedule = clock_gated_design()
+        network.cell("gated_l").attrs["enable_edge"] = "trailing"
+        model = AnalysisModel(network, schedule, estimate_delays(network))
+        (check,) = enable_path_checks(model)
+        # From en_ff's assertion (95) to phi1's trailing edge (45 next
+        # period): D = 50.
+        assert check.ideal_constraint == pytest.approx(50.0)
+
+    def test_bad_enable_edge_rejected(self):
+        network, schedule = clock_gated_design()
+        network.cell("gated_l").attrs["enable_edge"] = "middle"
+        model = AnalysisModel(network, schedule, estimate_delays(network))
+        with pytest.raises(ValueError, match="enable_edge"):
+            enable_path_checks(model)
+
+    def test_data_paths_unaffected_by_gating(self):
+        """The gated latch still participates in normal data analysis."""
+        from repro.core.algorithm1 import run_algorithm1
+        from repro.core.slack import SlackEngine
+
+        model = self._model()
+        result = run_algorithm1(model, SlackEngine(model))
+        assert result.intended
+        assert "gated_l@0" in result.slacks.capture
+
+
+class TestControlArrivalWithEnableBranch:
+    def test_arrival_uses_clock_branch_only(self, lib):
+        """The gated control's O_ac is the clock-to-control delay through
+        the AND gate; the enable branch contributes nothing."""
+        from repro.core.control_paths import control_arrivals
+
+        network, schedule = clock_gated_design(enable_logic_depth=5)
+        delays = estimate_delays(network)
+        arrivals = control_arrivals(network, delays)
+        gate = network.cell("clk_gate")
+        gate_delay = delays.arc_delay(gate, "A", "Z").worst
+        assert arrivals["gated_l"].latest == pytest.approx(gate_delay)

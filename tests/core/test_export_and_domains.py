@@ -1,0 +1,144 @@
+"""Tests for JSON result export and the clock-domain report."""
+
+import json
+import math
+
+import pytest
+
+from repro.clocks import ClockSchedule, ClockWaveform
+from repro.core import Hummingbird
+from repro.core.domains import domain_crossings, render_domain_crossings
+from repro.core.export import (
+    constraints_to_dict,
+    load_result_dict,
+    result_to_dict,
+    save_result,
+    statistics_to_dict,
+)
+from repro.delay import estimate_delays
+from repro.generators import latch_pipeline
+
+from tests.conftest import build_ff_stage
+
+
+class TestResultExport:
+    def test_clean_result_roundtrip(self, lib, tmp_path):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        result = Hummingbird(network, schedule).analyze()
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        data = load_result_dict(path)
+        assert data["intended"] is True
+        assert data["worst_slack"] == pytest.approx(7.0)
+        assert data["slow_paths"] == []
+        assert data["capture_slacks"]["ff_b@0"] == pytest.approx(7.0)
+
+    def test_slow_paths_exported(self, lib, tmp_path):
+        network, schedule = build_ff_stage(lib, chain=3, period=2.5)
+        result = Hummingbird(network, schedule).analyze()
+        data = result_to_dict(result)
+        assert not data["intended"]
+        assert data["slow_paths"]
+        worst = data["slow_paths"][0]
+        assert worst["cells"] == ["inv0", "inv1", "inv2"]
+        assert worst["slack"] < 0
+
+    def test_json_serialisable_with_infinities(self, lib):
+        from repro.netlist import NetworkBuilder
+
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk")
+        b.latch("f", "DFF", D="w", CK="clk", Q="q")
+        b.gate("g", "INV", A="q", Z="dangling")
+        network = b.build()
+        result = Hummingbird(network, ClockSchedule.single("clk", 10)).analyze()
+        text = json.dumps(result_to_dict(result))
+        data = json.loads(text)
+        # Unconstrained launch slack becomes null, not Infinity.
+        assert data["launch_slacks"]["f@0"] is None
+
+    def test_statistics_export(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        hb = Hummingbird(network, schedule)
+        hb.analyze()
+        data = statistics_to_dict(hb.statistics())
+        assert data["overall"]["endpoints"] == 3
+        assert data["by_clock"]["clk"]["violating"] == 0
+        json.dumps(data)  # fully serialisable
+
+    def test_constraints_export(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        hb = Hummingbird(network, schedule)
+        constraints = hb.generate_constraints().constraints
+        data = constraints_to_dict(constraints)
+        assert "n1" in data["ready"]
+        assert data["ready"]["n1"][0]["rise"] is not None
+        json.dumps(data)
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"something": 1}')
+        with pytest.raises(ValueError, match="timing result"):
+            load_result_dict(path)
+
+
+class TestDomainCrossings:
+    def test_single_clock_design(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        model = Hummingbird(network, schedule).model
+        crossings = domain_crossings(model)
+        pairs = {(c.launch_clock, c.capture_clock) for c in crossings}
+        assert pairs == {("clk", "clk")}
+        (crossing,) = crossings
+        # Same-edge FF pairs: D_p is exactly one period.
+        assert crossing.max_constraint == pytest.approx(10.0)
+
+    def test_two_phase_crossings(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, chain_length=2, period=100, library=lib
+        )
+        model = Hummingbird(network, schedule).model
+        crossings = domain_crossings(model)
+        pairs = {(c.launch_clock, c.capture_clock) for c in crossings}
+        assert ("phi1", "phi2") in pairs
+        assert ("phi2", "phi1") in pairs
+
+    def test_multifrequency_constraints(self, lib):
+        from repro.netlist import NetworkBuilder
+
+        b = NetworkBuilder(lib)
+        b.clock("fast")
+        b.clock("slow")
+        b.input("i", "w", clock="slow")
+        b.latch("ls", "DFF", D="w", CK="slow", Q="qs")
+        b.gate("g", "INV", A="qs", Z="z")
+        b.latch("lf", "DFF", D="z", CK="fast", Q="qf")
+        b.output("o", "qf", clock="fast")
+        network = b.build()
+        schedule = ClockSchedule(
+            [
+                ClockWaveform("fast", 25, 0, "12.5"),
+                ClockWaveform("slow", 100, 0, 50),
+            ]
+        )
+        model = Hummingbird(network, schedule).model
+        crossing = next(
+            c
+            for c in domain_crossings(model)
+            if (c.launch_clock, c.capture_clock) == ("slow", "fast")
+        )
+        # Launch at 50; fast closures at 12.5k: tightest pairing 12.5.
+        assert crossing.min_constraint == pytest.approx(12.5)
+        assert crossing.path_pairs == 4
+
+    def test_render(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, chain_length=2, period=100, library=lib
+        )
+        model = Hummingbird(network, schedule).model
+        text = render_domain_crossings(domain_crossings(model))
+        assert "phi1" in text and "min D_p" in text
+
+    def test_render_empty(self):
+        assert "no clocked data paths" in render_domain_crossings([])

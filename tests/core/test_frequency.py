@@ -1,0 +1,69 @@
+"""Unit tests for the maximum-frequency binary search."""
+
+import pytest
+
+from repro.core.frequency import find_max_frequency
+from repro.delay import estimate_delays
+from repro.generators import latch_pipeline
+
+from tests.conftest import build_ff_stage
+
+
+class TestFindMaxFrequency:
+    def test_ff_stage_matches_closed_form(self, lib):
+        """The FF stage is feasible iff period > 3.0 (see test_slack)."""
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        delays = estimate_delays(network)
+        result = find_max_frequency(
+            network, schedule, delays, tolerance=1e-4
+        )
+        assert result.min_period is not None
+        assert result.min_period == pytest.approx(3.0, rel=1e-3)
+
+    def test_found_schedule_is_feasible(self, lib):
+        from tests.conftest import analyze
+
+        network, schedule = build_ff_stage(lib, chain=3, period=10)
+        delays = estimate_delays(network)
+        result = find_max_frequency(network, schedule, delays)
+        assert result.schedule is not None
+        outcome, __, __ = analyze(network, result.schedule, delays)
+        assert outcome.intended
+
+    def test_latch_pipeline_beats_nominal_budget(self, lib):
+        """With borrowing, a 2-stage latch pipeline can run with an
+        overall period smaller than twice the worst stage delay."""
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[20, 2], period=100, library=lib
+        )
+        delays = estimate_delays(network)
+        result = find_max_frequency(network, schedule, delays)
+        # Worst stage is ~10ns; a rigid two-phase scheme would need each
+        # phase (half period) to cover it: period >= ~20ns.  Borrowing
+        # does better.
+        assert result.min_period < 20.0
+
+    def test_infeasible_at_upper_bound(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        delays = estimate_delays(network)
+        result = find_max_frequency(
+            network, schedule, delays, upper_scale=0.01, lower_scale=0.001
+        )
+        assert result.min_period is None
+        assert result.max_frequency is None
+
+    def test_already_feasible_at_lower_bound(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=1000)
+        delays = estimate_delays(network)
+        result = find_max_frequency(
+            network, schedule, delays, lower_scale=0.5
+        )
+        assert result.min_period == pytest.approx(500.0)
+
+    def test_evaluation_budget_respected(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        delays = estimate_delays(network)
+        result = find_max_frequency(
+            network, schedule, delays, max_evaluations=8
+        )
+        assert result.evaluations <= 9

@@ -1,0 +1,137 @@
+"""Unit tests for ideal path constraints (Section 4's examples).
+
+Example (a): path from the output of level-sensitive latch alpha
+(synchronised by phi_a) to the data input of level-sensitive latch beta
+(synchronised by phi_b): D_p is the time between a leading edge of phi_a
+and the next trailing phi_b edge.
+
+Example (b): path between two trailing-edge triggered latches: D_p is
+the time between a trailing edge of phi_g and the next trailing phi_d
+edge; when both are the same clock, D_p is exactly one clock period.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.clocks import ClockSchedule, ClockWaveform
+from repro.core.ideal_constraints import (
+    available_time,
+    control_path_constraint,
+    enable_path_constraint,
+    ideal_data_constraint,
+    ideal_path_constraint,
+    supplementary_bound,
+)
+from repro.core.sync_elements import GenericInstance, InstanceKind
+
+
+def _latch(name, assertion, closure, width=40.0, kind=InstanceKind.TRANSPARENT):
+    return GenericInstance(
+        name=name,
+        cell_name=name,
+        kind=kind,
+        assertion_edge=Fraction(assertion),
+        closure_edge=Fraction(closure),
+        clock_period=Fraction(100),
+        width=width if kind is InstanceKind.TRANSPARENT else 0.0,
+    )
+
+
+class TestSection4Examples:
+    def test_example_a_transparent_to_transparent(self):
+        # phi_a pulses [5, 45), phi_b pulses [55, 95): D_p from phi_a's
+        # leading edge (5) to the next phi_b trailing edge (95) is 90.
+        alpha = _latch("alpha", assertion=5, closure=45)
+        beta = _latch("beta", assertion=55, closure=95)
+        assert ideal_path_constraint(alpha, beta, Fraction(100)) == 90
+
+    def test_example_b_same_clock_ffs_one_period(self):
+        gamma = _latch("g", 50, 50, kind=InstanceKind.EDGE_TRIGGERED)
+        delta = _latch("d", 50, 50, kind=InstanceKind.EDGE_TRIGGERED)
+        assert ideal_path_constraint(gamma, delta, Fraction(100)) == 100
+
+    def test_example_b_different_edges(self):
+        gamma = _latch("g", 50, 50, kind=InstanceKind.EDGE_TRIGGERED)
+        delta = _latch("d", 80, 80, kind=InstanceKind.EDGE_TRIGGERED)
+        assert ideal_path_constraint(gamma, delta, Fraction(100)) == 30
+
+    def test_wrapping_constraint(self):
+        late = _latch("late", 80, 95)
+        early = _latch("early", 5, 45)
+        # From late's leading edge (80) the next closure of early is at
+        # 45 in the following period: 65.
+        assert ideal_path_constraint(late, early, Fraction(100)) == 65
+
+    def test_control_path_zero(self):
+        assert control_path_constraint() == 0
+
+
+class TestIdealDataConstraint:
+    def test_in_half_open_interval(self):
+        period = Fraction(100)
+        for a in range(0, 100, 10):
+            for c in range(0, 100, 10):
+                d = ideal_data_constraint(Fraction(a), Fraction(c), period)
+                assert 0 < d <= period
+
+
+class TestAvailableTime:
+    def test_offsets_shift_available_time(self):
+        alpha = _latch("alpha", 5, 45)
+        beta = _latch("beta", 55, 95)
+        period = Fraction(100)
+        base = available_time(alpha, beta, period)
+        # Moving alpha's window earlier increases the available time.
+        alpha.shift_window(-10.0)
+        assert available_time(alpha, beta, period) == pytest.approx(base + 10)
+
+    def test_missing_sides_rejected(self):
+        src = GenericInstance(
+            "pi@pad", "pi", InstanceKind.FIXED_SOURCE,
+            Fraction(0), None, Fraction(100),
+        )
+        sink = GenericInstance(
+            "po@pad", "po", InstanceKind.FIXED_SINK,
+            None, Fraction(50), Fraction(100),
+        )
+        with pytest.raises(ValueError):
+            ideal_path_constraint(sink, sink, Fraction(100))
+        with pytest.raises(ValueError):
+            ideal_path_constraint(src, src, Fraction(100))
+
+
+class TestSupplementaryBound:
+    def test_same_clock_bound_non_positive_when_window_matched(self):
+        gamma = _latch("g", 50, 50, kind=InstanceKind.EDGE_TRIGGERED)
+        delta = _latch("d", 50, 50, kind=InstanceKind.EDGE_TRIGGERED)
+        # D_p = 100 = T_y, zero offsets: bound is exactly 0 (dmin > 0).
+        assert supplementary_bound(gamma, delta, Fraction(100)) == pytest.approx(0.0)
+
+    def test_fast_capture_clock_tightens_bound(self):
+        gamma = _latch("g", 50, 50, kind=InstanceKind.EDGE_TRIGGERED)
+        delta = _latch("d", 70, 70, kind=InstanceKind.EDGE_TRIGGERED)
+        delta.clock_period = Fraction(50)
+        bound = supplementary_bound(gamma, delta, Fraction(100))
+        assert bound == pytest.approx(20 - 50)
+
+
+class TestEnablePathConstraint:
+    def test_enable_to_trailing_edge(self):
+        schedule = ClockSchedule(
+            [
+                ClockWaveform("phi1", 100, 5, 45),
+                ClockWaveform("phi2", 100, 55, 95),
+            ]
+        )
+        src = _latch("src", 5, 45)
+        d = enable_path_constraint(src, schedule, "phi2", "trailing")
+        assert d == 90
+        d_lead = enable_path_constraint(src, schedule, "phi2", "leading")
+        assert d_lead == 50
+
+    def test_bad_pulse_index(self):
+        schedule = ClockSchedule.two_phase(100)
+        src = _latch("src", 5, 45)
+        with pytest.raises(ValueError):
+            enable_path_constraint(src, schedule, "phi2", pulse_index=7)

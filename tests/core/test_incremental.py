@@ -1,0 +1,93 @@
+"""Tests for incremental re-analysis."""
+
+import pytest
+
+from repro.core.incremental import IncrementalAnalyzer
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.core.algorithm1 import run_algorithm1
+from repro.delay import estimate_delays
+from repro.generators import latch_pipeline
+from repro.generators.gating import clock_gated_design
+
+from tests.conftest import build_ff_stage
+
+
+class TestWarmStart:
+    def test_same_verdict_as_cold(self, lib):
+        network, schedule = latch_pipeline(
+            stages=3, stage_lengths=[14, 4, 14], period=30, library=lib
+        )
+        inc = IncrementalAnalyzer(network, schedule)
+        first = inc.analyze()
+        for factor, expected in [(1.5, None), (0.4, None)]:
+            for cell in ("s0_i2", "s2_i5"):
+                inc.scale_cell(cell, factor)
+            warm = inc.analyze(warm=True)
+            # Cold reference with identical delays.
+            model = AnalysisModel(network, schedule, inc.delays)
+            cold = run_algorithm1(model, SlackEngine(model))
+            # Different fixed points may assign different (equally valid)
+            # offsets, so slack *values* can differ; the verdict and the
+            # sign of the worst slack are what Algorithm 1 guarantees.
+            assert warm.intended == cold.intended
+            assert (warm.worst_slack > 0) == (cold.worst_slack > 0)
+
+    def test_warm_flag_reuses_offsets(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[18, 2], period=22, library=lib
+        )
+        inc = IncrementalAnalyzer(network, schedule)
+        inc.analyze()
+        windows = [i.w for i in inc.model.adjustable_instances()]
+        inc.analyze(warm=True)
+        # A second warm run from the fixed point should not move windows
+        # beyond the partial-transfer wobble.
+        after = [i.w for i in inc.model.adjustable_instances()]
+        assert len(after) == len(windows)
+
+    def test_data_change_swaps_without_rebuild(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=10)
+        inc = IncrementalAnalyzer(network, schedule)
+        inc.analyze()
+        model_before = inc.model
+        inc.scale_cell("inv1", 0.5)
+        assert inc.model is model_before
+        assert inc.swaps == 1
+        assert inc.rebuilds == 0
+
+    def test_control_change_triggers_rebuild(self):
+        network, schedule = clock_gated_design()
+        inc = IncrementalAnalyzer(network, schedule)
+        inc.analyze()
+        model_before = inc.model
+        inc.scale_cell("clk_gate", 2.0)  # AND gate on the control path
+        assert inc.model is not model_before
+        assert inc.rebuilds == 1
+
+    def test_control_rebuild_updates_o_ac(self):
+        network, schedule = clock_gated_design()
+        inc = IncrementalAnalyzer(network, schedule)
+        (before,) = [
+            i
+            for i in inc.model.instances["gated_l"]
+        ]
+        o_zc_before = before.o_zc
+        inc.scale_cell("clk_gate", 3.0)
+        (after,) = [i for i in inc.model.instances["gated_l"]]
+        assert after.o_zc > o_zc_before
+
+    def test_verdict_tracks_delay_changes(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=3.2)
+        inc = IncrementalAnalyzer(network, schedule)
+        assert inc.analyze().intended
+        inc.scale_cell("inv0", 3.0)
+        assert not inc.analyze().intended
+        inc.scale_cell("inv0", 1 / 3.0)
+        assert inc.analyze().intended
+
+    def test_set_delays_rebuilds(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        inc = IncrementalAnalyzer(network, schedule)
+        inc.set_delays(estimate_delays(network))
+        assert inc.rebuilds == 1

@@ -1,0 +1,103 @@
+"""Unit tests for supplementary (minimum-delay) constraint checking."""
+
+import pytest
+
+from repro.clocks import ClockSchedule, ClockWaveform
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.mindelay import check_min_delays, earliest_assertion_offset
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import DelayParameters, estimate_delays
+from repro.netlist import NetworkBuilder
+
+from tests.conftest import build_ff_stage
+
+
+class TestEarliestAssertion:
+    def test_uses_min_control_arrival(self, lib):
+        from fractions import Fraction
+
+        from repro.core.sync_elements import GenericInstance, InstanceKind
+
+        inst = GenericInstance(
+            "x@0",
+            "x",
+            InstanceKind.EDGE_TRIGGERED,
+            Fraction(0),
+            Fraction(0),
+            Fraction(100),
+            control_arrival=2.0,
+            control_arrival_min=0.5,
+        )
+        assert earliest_assertion_offset(inst) == pytest.approx(0.5)
+
+    def test_fixed_source_uses_offset(self, lib):
+        from fractions import Fraction
+
+        from repro.core.sync_elements import GenericInstance, InstanceKind
+
+        inst = GenericInstance(
+            "i@pad",
+            "i",
+            InstanceKind.FIXED_SOURCE,
+            Fraction(0),
+            None,
+            Fraction(100),
+            fixed_offset=3.0,
+        )
+        assert earliest_assertion_offset(inst) == pytest.approx(3.0)
+
+
+class TestCheckMinDelays:
+    def test_same_clock_ff_chain_clean(self, lib):
+        """A same-edge FF chain cannot violate the supplementary
+        constraint: data launched at an edge arrives after it, well within
+        one period of the next closure."""
+        network, schedule = build_ff_stage(lib, chain=2, period=20)
+        model = AnalysisModel(network, schedule, estimate_delays(network))
+        engine = SlackEngine(model)
+        run_algorithm1(model, engine)
+        assert check_min_delays(model, engine) == []
+
+    def test_short_path_to_late_closure_violates(self, lib):
+        """A capture whose closure sits almost a full capture-clock period
+        after the launch edge is violated by a near-zero-delay path: the
+        data changes more than T_y - epsilon... precisely, the earliest
+        arrival lands more than T_y before the closure."""
+        b = NetworkBuilder(lib)
+        b.clock("clk_a")
+        b.clock("clk_b")
+        b.input("i", "w", clock="clk_a")
+        b.latch("fa", "DFF", D="w", CK="clk_a", Q="q")
+        # Direct connection: minimum delay ~ 0.
+        b.latch("fb", "DFF", D="q", CK="clk_b", Q="q2")
+        b.output("o", "q2", clock="clk_b")
+        n = b.build()
+        # clk_b is 4x faster: T_y = 25.  fa launches at 50; fb instances
+        # close at 12.5, 37.5, 62.5, 87.5.  The pairing 50 -> 62.5 has
+        # D = 12.5 < T_y, fine; but the *other* instances (e.g. closing at
+        # 37.5 next period, D = 87.5 > T_y = 25) see data that was updated
+        # more than one capture period before closure: a classic
+        # fast-path/multi-frequency hazard the supplementary constraint
+        # catches.
+        schedule = ClockSchedule(
+            [
+                ClockWaveform("clk_a", 100, 0, 50),
+                ClockWaveform("clk_b", 25, 0, "12.5"),
+            ]
+        )
+        model = AnalysisModel(n, schedule, estimate_delays(n))
+        engine = SlackEngine(model)
+        run_algorithm1(model, engine)
+        violations = check_min_delays(model, engine)
+        assert violations
+        assert any(v.capture_instance.startswith("fb@") for v in violations)
+        assert all(v.amount > 0 for v in violations)
+
+    def test_violation_amount_positive_only_for_real_cases(self, lib):
+        network, schedule = build_ff_stage(lib, chain=4, period=30)
+        model = AnalysisModel(network, schedule, estimate_delays(network))
+        engine = SlackEngine(model)
+        run_algorithm1(model, engine)
+        for violation in check_min_delays(model, engine):
+            assert violation.amount > 0

@@ -1,0 +1,150 @@
+"""Unit tests for AnalysisModel preparation (pre-processing)."""
+
+import pytest
+
+from repro.clocks import ClockSchedule, ClockWaveform
+from repro.core.model import AnalysisModel
+from repro.core.sync_elements import InstanceKind
+from repro.delay import estimate_delays
+from repro.generators import fig1_circuit
+from repro.netlist import NetworkBuilder
+from repro.netlist.validate import ValidationError
+
+
+def _simple(lib, period=100):
+    b = NetworkBuilder(lib)
+    b.clock("clk")
+    b.input("i", "w", clock="clk")
+    b.latch("f", "DFF", D="w", CK="clk", Q="q")
+    b.gate("g", "INV", A="q", Z="z")
+    b.latch("l", "DLATCH", D="z", G="clk", Q="q2")
+    b.output("o", "q2", clock="clk")
+    n = b.build()
+    return n, ClockSchedule.single("clk", period)
+
+
+class TestInstanceExpansion:
+    def test_one_instance_per_pulse(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("fast")
+        b.clock("slow")
+        b.input("i", "w", clock="slow")
+        b.latch("lf", "DLATCH", D="w", G="fast", Q="qf")
+        b.latch("ls", "DFF", D="qf", CK="slow", Q="qs")
+        b.output("o", "qs", clock="slow")
+        n = b.build()
+        schedule = ClockSchedule(
+            [
+                ClockWaveform("fast", 50, 5, 25),
+                ClockWaveform("slow", 100, 10, 60),
+            ]
+        )
+        model = AnalysisModel(n, schedule, estimate_delays(n))
+        assert len(model.instances["lf"]) == 2
+        assert len(model.instances["ls"]) == 1
+
+    def test_pads_get_fixed_instances(self, lib):
+        n, s = _simple(lib)
+        model = AnalysisModel(n, s, estimate_delays(n))
+        (pi,) = model.instances["i"]
+        (po,) = model.instances["o"]
+        assert pi.kind is InstanceKind.FIXED_SOURCE
+        assert po.kind is InstanceKind.FIXED_SINK
+
+    def test_invalid_network_rejected(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.gate("g", "INV", A="floating", Z="z")
+        with pytest.raises(ValidationError):
+            AnalysisModel(
+                b.build(),
+                ClockSchedule.single("clk", 100),
+                estimate_delays(b.network),
+            )
+
+    def test_reset_windows(self, lib):
+        n, s = _simple(lib)
+        model = AnalysisModel(n, s, estimate_delays(n))
+        (latch,) = model.instances["l"]
+        latch.shift_window(-10.0)
+        model.reset_windows()
+        assert latch.w == pytest.approx(latch.width)
+
+
+class TestPorts:
+    def test_launch_and_capture_ports(self, lib):
+        n, s = _simple(lib)
+        model = AnalysisModel(n, s, estimate_delays(n))
+        all_launches = [
+            p for ports in model.launch_ports.values() for p in ports
+        ]
+        all_captures = [
+            p for ports in model.capture_ports.values() for p in ports
+        ]
+        launch_names = {p.instance.name for p in all_launches}
+        capture_names = {p.instance.name for p in all_captures}
+        assert launch_names == {"i@pad", "f@0", "l@0"}
+        assert capture_names == {"f@0", "l@0", "o@pad"}
+
+    def test_stats(self, lib):
+        n, s = _simple(lib)
+        model = AnalysisModel(n, s, estimate_delays(n))
+        stats = model.stats()
+        assert stats["generic_instances"] == 4
+        assert stats["clusters"] >= 1
+        assert stats["max_passes_per_cluster"] == 1
+
+    def test_fig1_needs_two_passes(self, lib):
+        network, schedule = fig1_circuit()
+        model = AnalysisModel(network, schedule, estimate_delays(network))
+        assert model.stats()["max_passes_per_cluster"] == 2
+
+
+class TestAblationModes:
+    def test_edge_latch_model_removes_freedom(self, lib):
+        n, s = _simple(lib)
+        model = AnalysisModel(
+            n, s, estimate_delays(n), latch_model="edge"
+        )
+        assert model.adjustable_instances() == []
+        (latch,) = model.instances["l"]
+        assert latch.kind is InstanceKind.EDGE_TRIGGERED
+        assert latch.assertion_edge == latch.closure_edge
+
+    def test_per_edge_pass_strategy(self, lib):
+        n, s = _simple(lib)
+        minimum = AnalysisModel(n, s, estimate_delays(n))
+        per_edge = AnalysisModel(
+            n, s, estimate_delays(n), pass_strategy="per_edge"
+        )
+        edge_count = len(s.edge_times())
+        for plan in per_edge.plans.values():
+            assert plan.num_passes == edge_count
+        assert all(p.num_passes == 1 for p in minimum.plans.values())
+
+    def test_unknown_modes_rejected(self, lib):
+        n, s = _simple(lib)
+        with pytest.raises(ValueError):
+            AnalysisModel(n, s, estimate_delays(n), latch_model="rigid")
+        with pytest.raises(ValueError):
+            AnalysisModel(n, s, estimate_delays(n), pass_strategy="all")
+
+    def test_per_edge_same_verdict(self, lib):
+        """The per-edge strategy is wasteful but must agree on verdicts."""
+        from repro.core.algorithm1 import run_algorithm1
+        from repro.core.slack import SlackEngine
+        from repro.generators import latch_pipeline
+
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[18, 2], period=22, library=lib
+        )
+        delays = estimate_delays(network)
+        for strategy in ("minimum", "per_edge"):
+            model = AnalysisModel(
+                network, schedule, delays, pass_strategy=strategy
+            )
+            result = run_algorithm1(model, SlackEngine(model))
+            if strategy == "minimum":
+                reference = result.intended
+            else:
+                assert result.intended == reference

@@ -1,0 +1,143 @@
+"""Hand-computed multi-frequency cases (Section 4's parallel-instance
+expansion and the "very next ideal closure" pairing)."""
+
+import pytest
+
+from repro.clocks import ClockSchedule, ClockWaveform
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.netlist import NetworkBuilder
+
+#: clk_a: period 100, trailing edge at 50.  clk_b: period 25, trailing
+#: edges at 12.5, 37.5, 62.5, 87.5.
+SCHEDULE = ClockSchedule(
+    [
+        ClockWaveform("clk_a", 100, 0, 50),
+        ClockWaveform("clk_b", 25, 0, "12.5"),
+    ]
+)
+
+
+def _build(lib, launch_clock, capture_clock):
+    b = NetworkBuilder(lib)
+    b.clock("clk_a")
+    b.clock("clk_b")
+    b.input("i", "w", clock=launch_clock)
+    b.latch("src", "DFF", D="w", CK=launch_clock, Q="q")
+    b.gate("g", "INV", A="q", Z="z")
+    b.latch("dst", "DFF", D="z", CK=capture_clock, Q="q2")
+    b.output("o", "q2", clock=capture_clock)
+    network = b.build()
+    delays = estimate_delays(network)
+    model = AnalysisModel(network, SCHEDULE, delays)
+    return network, delays, model, SlackEngine(model)
+
+
+def _inv_ready(network, delays, launch_offset):
+    """Worst arrival at the inverter output for a launch at offset 0."""
+    d = delays.arc_delay(network.cell("g"), "A", "Z")
+    # Both launch transitions at launch_offset; INV is negative unate.
+    return launch_offset + d.worst
+
+
+class TestSlowToFast:
+    """clk_a FF -> INV -> clk_b FF: launch at 50, next clk_b closure at
+    62.5 => D = 12.5."""
+
+    def test_capture_slack_closed_form(self, lib):
+        network, delays, model, engine = _build(lib, "clk_a", "clk_b")
+        timing = delays.sync_timing(network.cell("src"))
+        ready = _inv_ready(network, delays, timing.c_to_q)
+        expected = 12.5 - timing.setup - ready
+        slacks = engine.port_slacks()
+        # All four capture instances share the D input; the binding one
+        # is the tightest pairing.
+        worst = min(
+            slacks.capture[f"dst@{k}"] for k in range(4)
+        )
+        assert worst == pytest.approx(expected)
+
+    def test_four_capture_instances(self, lib):
+        __, __, model, __ = _build(lib, "clk_a", "clk_b")
+        assert len(model.instances["dst"]) == 4
+        closures = sorted(
+            float(i.closure_edge) for i in model.instances["dst"]
+        )
+        assert closures == [12.5, 37.5, 62.5, 87.5]
+
+    def test_non_binding_instances_have_more_slack(self, lib):
+        network, delays, model, engine = _build(lib, "clk_a", "clk_b")
+        slacks = engine.port_slacks()
+        values = sorted(slacks.capture[f"dst@{k}"] for k in range(4))
+        # Pairings 12.5, 37.5, 62.5, 87.5 after the launch at 50 give
+        # D = 62.5, 87.5, 12.5, 37.5 respectively: four distinct slacks
+        # 25 apart.
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        assert all(d == pytest.approx(25.0) for d in diffs)
+
+
+class TestFastToSlow:
+    """clk_b FF -> INV -> clk_a FF: four launches, the binding one is at
+    37.5 (D = 12.5 to the closure at 50)."""
+
+    def test_capture_slack_closed_form(self, lib):
+        network, delays, model, engine = _build(lib, "clk_b", "clk_a")
+        timing = delays.sync_timing(network.cell("src"))
+        ready = _inv_ready(network, delays, timing.c_to_q)
+        expected = 12.5 - timing.setup - ready
+        slacks = engine.port_slacks()
+        assert slacks.capture["dst@0"] == pytest.approx(expected)
+
+    def test_four_launch_instances_one_launch_slack_each(self, lib):
+        network, delays, model, engine = _build(lib, "clk_b", "clk_a")
+        slacks = engine.port_slacks()
+        launch_values = [slacks.launch[f"src@{k}"] for k in range(4)]
+        assert len(set(round(v, 6) for v in launch_values)) == 4
+
+    def test_passes_cover_all_pairings(self, lib):
+        """Every (launch instance, capture) pairing must be handled in
+        the capture's designated pass (covering-set property on a real
+        multi-frequency model)."""
+        from repro.core.breakopen import RequirementArc
+
+        __, __, model, __ = _build(lib, "clk_b", "clk_a")
+        period = SCHEDULE.overall_period
+        for cluster in model.clusters:
+            plan = model.plans[cluster.name]
+            reach = cluster.reachable_captures(model.network)
+            for source in cluster.sources:
+                targets = reach[source.full_name]
+                if not targets:
+                    continue
+                for capture_port in model.capture_ports[cluster.name]:
+                    if capture_port.terminal_name not in targets:
+                        continue
+                    for launch in model.instances[source.cell.name]:
+                        if launch.assertion_edge is None:
+                            continue
+                        arc = RequirementArc(
+                            launch.assertion_edge,
+                            capture_port.instance.closure_edge,
+                        )
+                        assert plan.handles(arc, capture_port.pass_index)
+
+
+class TestIntendedVerdicts:
+    def test_slow_to_fast_infeasible_when_inverter_too_slow(self, lib):
+        network, delays, model, engine = _build(lib, "clk_a", "clk_b")
+        slow = delays.with_scaled_cell("g", 30.0)  # ~15ns > 12.5 budget
+        model = AnalysisModel(network, SCHEDULE, slow)
+        from repro.core.algorithm1 import run_algorithm1
+
+        result = run_algorithm1(model, SlackEngine(model))
+        assert not result.intended
+        assert any(name.startswith("dst@") for name in
+                   result.slow_instance_names())
+
+    def test_feasible_at_nominal(self, lib):
+        from repro.core.algorithm1 import run_algorithm1
+
+        for pair in (("clk_a", "clk_b"), ("clk_b", "clk_a")):
+            network, delays, model, engine = _build(lib, *pair)
+            assert run_algorithm1(model, engine).intended

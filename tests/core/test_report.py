@@ -1,0 +1,98 @@
+"""Unit tests for slow-path extraction and formatting."""
+
+import pytest
+
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.model import AnalysisModel
+from repro.core.report import extract_slow_paths, format_slow_paths
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.generators import latch_pipeline
+
+from tests.conftest import build_ff_stage
+
+
+def _slow_ff(lib, chain=4, period=3.0):
+    network, schedule = build_ff_stage(lib, chain=chain, period=period)
+    delays = estimate_delays(network)
+    model = AnalysisModel(network, schedule, delays)
+    engine = SlackEngine(model)
+    result = run_algorithm1(model, engine)
+    return network, model, engine, result
+
+
+class TestExtraction:
+    def test_path_traces_full_chain(self, lib):
+        network, model, engine, result = _slow_ff(lib)
+        assert not result.intended
+        paths = extract_slow_paths(model, engine, result.slacks.capture)
+        capture_path = next(
+            p for p in paths if p.capture_instance == "ff_b@0"
+        )
+        cells = [step.cell_name for step in reversed(capture_path.steps)]
+        assert cells == ["inv0", "inv1", "inv2", "inv3"]
+        assert capture_path.launch_instance == "ff_a@0"
+        assert capture_path.slack == pytest.approx(
+            result.slacks.capture["ff_b@0"]
+        )
+
+    def test_violation_amount(self, lib):
+        __, model, engine, result = _slow_ff(lib)
+        paths = extract_slow_paths(model, engine, result.slacks.capture)
+        worst = paths[0]
+        assert worst.violation == pytest.approx(-worst.slack)
+        assert worst.arrival > worst.closure
+
+    def test_sorted_most_violating_first(self, lib):
+        __, model, engine, result = _slow_ff(lib, chain=6, period=3.0)
+        paths = extract_slow_paths(model, engine, result.slacks.capture)
+        slacks = [p.slack for p in paths]
+        assert slacks == sorted(slacks)
+
+    def test_limit_respected(self, lib):
+        __, model, engine, result = _slow_ff(lib)
+        paths = extract_slow_paths(
+            model, engine, result.slacks.capture, limit=1
+        )
+        assert len(paths) == 1
+
+    def test_no_paths_on_fast_design(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=20)
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        result = run_algorithm1(model, engine)
+        paths = extract_slow_paths(model, engine, result.slacks.capture)
+        assert paths == []
+
+    def test_latch_pipeline_paths_cross_latch_boundary(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[48, 48], period=12, library=lib
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        result = run_algorithm1(model, engine)
+        paths = extract_slow_paths(model, engine, result.slacks.capture)
+        captures = {p.capture_instance for p in paths}
+        assert any(name.startswith("s0_l") or name.startswith("s1_l")
+                   for name in captures)
+
+
+class TestFormatting:
+    def test_format_mentions_cells_and_slack(self, lib):
+        __, model, engine, result = _slow_ff(lib)
+        paths = extract_slow_paths(model, engine, result.slacks.capture)
+        text = format_slow_paths(paths)
+        assert "slack=" in text
+        assert "inv0" in text
+
+    def test_format_empty(self):
+        assert "intended" in format_slow_paths([])
+
+    def test_format_limit(self, lib):
+        __, model, engine, result = _slow_ff(lib, chain=6)
+        paths = extract_slow_paths(model, engine, result.slacks.capture)
+        text = format_slow_paths(paths, limit=1)
+        if len(paths) > 1:
+            assert "more" in text

@@ -1,0 +1,146 @@
+"""Unit tests for the block-method slack engine (hand-computed cases)."""
+
+import math
+
+import pytest
+
+from repro.clocks import ClockSchedule
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.netlist import NetworkBuilder
+
+from tests.conftest import build_ff_stage
+
+
+class TestFFStageHandComputed:
+    """PI -> DFF -> INV -> INV -> DFF -> PO on one clock, period P.
+
+    With the default library (DFF: setup 0.8, c_to_q 1.2; INV: intrinsic
+    0.35 +- 0.05 skew, R 0.10; loads: INV pin 1.0 / DFF D pin 1.2, wire
+    0.4 per fanout) the launch-to-capture arrival is 2.20 on both
+    transitions and the capture slack is P - 3.0.
+    """
+
+    def _slacks(self, lib, period):
+        network, schedule = build_ff_stage(lib, chain=2, period=period)
+        model = AnalysisModel(network, schedule, estimate_delays(network))
+        engine = SlackEngine(model)
+        return model, engine, engine.port_slacks()
+
+    def test_capture_slack_closed_form(self, lib):
+        __, __, slacks = self._slacks(lib, 10)
+        assert slacks.capture["ff_b@0"] == pytest.approx(10 - 3.0)
+
+    def test_launch_slack_matches(self, lib):
+        __, __, slacks = self._slacks(lib, 10)
+        assert slacks.launch["ff_a@0"] == pytest.approx(10 - 3.0)
+
+    def test_pi_to_ff_slack(self, lib):
+        __, __, slacks = self._slacks(lib, 10)
+        assert slacks.capture["ff_a@0"] == pytest.approx(10 - 0.8)
+
+    def test_ff_to_po_slack(self, lib):
+        __, __, slacks = self._slacks(lib, 10)
+        assert slacks.capture["dout@pad"] == pytest.approx(10 - 1.2)
+
+    def test_worst_aggregates(self, lib):
+        __, __, slacks = self._slacks(lib, 10)
+        assert slacks.worst() == pytest.approx(7.0)
+        assert slacks.all_positive()
+
+    def test_scaling_period_shifts_slack_linearly(self, lib):
+        __, __, s10 = self._slacks(lib, 10)
+        __, __, s20 = self._slacks(lib, 20)
+        assert s20.capture["ff_b@0"] - s10.capture["ff_b@0"] == pytest.approx(10)
+
+    def test_zero_slack_at_critical_period(self, lib):
+        __, __, slacks = self._slacks(lib, 3.0)
+        assert slacks.capture["ff_b@0"] == pytest.approx(0.0, abs=1e-9)
+        assert not slacks.all_positive()
+
+
+class TestRiseFallSeparation:
+    def test_skewed_inverter_chain_tracks_transitions(self, lib):
+        """One inverter: output rise comes from input fall and is slower
+        (the INV spec has +0.05 rise skew)."""
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk")
+        b.latch("fa", "DFF", D="w", CK="clk", Q="q")
+        b.gate("g", "INV", A="q", Z="z")
+        b.latch("fb", "DFF", D="z", CK="clk", Q="q2")
+        b.output("o", "q2", clock="clk")
+        n = b.build()
+        model = AnalysisModel(n, ClockSchedule.single("clk", 100), estimate_delays(n))
+        engine = SlackEngine(model)
+        (cluster,) = [c for c in model.clusters if c.cells]
+        detail = engine.cluster_detail(cluster)
+        ready = detail.passes[0].ready["z"]
+        assert ready.rise > ready.fall  # rise is the slow transition
+
+
+class TestClusterDetail:
+    def test_required_minus_ready_equals_port_slack(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=12)
+        model = AnalysisModel(network, schedule, estimate_delays(network))
+        engine = SlackEngine(model)
+        slacks = engine.port_slacks()
+        (cluster,) = [c for c in model.clusters if c.cells]
+        detail = engine.cluster_detail(cluster)
+        capture_net = model.capture_ports[cluster.name][0].net_name
+        assert detail.net_slack(capture_net) == pytest.approx(
+            slacks.capture["ff_b@0"]
+        )
+
+    def test_settling_times_single_pass(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        model = AnalysisModel(network, schedule, estimate_delays(network))
+        engine = SlackEngine(model)
+        (cluster,) = [c for c in model.clusters if c.cells]
+        detail = engine.cluster_detail(cluster)
+        for net in cluster.net_names:
+            assert detail.settling_times(net) == 1
+
+    def test_unreachable_net_infinite_slack(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk")
+        b.latch("fa", "DFF", D="w", CK="clk", Q="q")
+        b.gate("g", "INV", A="q", Z="z")  # dangles: no capture
+        n = b.build()
+        model = AnalysisModel(n, ClockSchedule.single("clk", 100), estimate_delays(n))
+        engine = SlackEngine(model)
+        cluster = next(c for c in model.clusters if c.cells)
+        detail = engine.cluster_detail(cluster)
+        assert detail.net_slack("z") == math.inf
+        slacks = engine.port_slacks()
+        assert slacks.launch["fa@0"] == math.inf
+
+
+class TestOffsetsMoveSlacks:
+    def test_window_shift_trades_slack(self, lib):
+        """Moving a latch window earlier gives slack to the downstream
+        path and takes it from the upstream path, one for one."""
+        b = NetworkBuilder(lib)
+        b.clock("phi1")
+        b.clock("phi2")
+        b.input("i", "w", clock="phi2", edge="leading")
+        b.gate("g0", "INV", A="w", Z="d1")
+        b.latch("l1", "DLATCH", D="d1", G="phi1", Q="q1")
+        b.gate("g1", "INV", A="q1", Z="d2")
+        b.latch("l2", "DLATCH", D="d2", G="phi2", Q="q2")
+        b.output("o", "q2", clock="phi2", edge="trailing")
+        n = b.build()
+        model = AnalysisModel(n, ClockSchedule.two_phase(100), estimate_delays(n))
+        engine = SlackEngine(model)
+        (l1_instance,) = model.instances["l1"]
+        before = engine.port_slacks()
+        l1_instance.shift_window(-10.0)
+        after = engine.port_slacks()
+        assert after.capture["l1@0"] == pytest.approx(
+            before.capture["l1@0"] - 10.0
+        )
+        assert after.launch["l1@0"] == pytest.approx(
+            before.launch["l1@0"] + 10.0
+        )

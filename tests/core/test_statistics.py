@@ -1,0 +1,93 @@
+"""Tests for aggregate timing statistics."""
+
+import math
+
+import pytest
+
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.core.statistics import timing_statistics
+from repro.delay import estimate_delays
+from repro.generators import latch_pipeline
+
+from tests.conftest import build_ff_stage
+
+
+def _stats(network, schedule, bins=8):
+    delays = estimate_delays(network)
+    model = AnalysisModel(network, schedule, delays)
+    engine = SlackEngine(model)
+    result = run_algorithm1(model, engine)
+    return timing_statistics(model, result.slacks, bins), result
+
+
+class TestOverall:
+    def test_clean_design(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        stats, result = _stats(network, schedule)
+        assert stats.overall.violating == 0
+        assert stats.overall.ok
+        assert stats.overall.worst_slack == pytest.approx(result.worst_slack)
+        # Endpoints: ff_a, ff_b, dout pad.
+        assert stats.overall.endpoints == 3
+
+    def test_violating_design_tns(self, lib):
+        network, schedule = build_ff_stage(lib, chain=4, period=2.0)
+        stats, result = _stats(network, schedule)
+        assert stats.overall.violating >= 1
+        assert stats.overall.total_negative_slack < 0
+        assert stats.overall.worst_slack == pytest.approx(result.worst_slack)
+        assert not stats.overall.ok
+
+    def test_tns_sums_only_negatives(self, lib):
+        network, schedule = build_ff_stage(lib, chain=4, period=2.0)
+        stats, result = _stats(network, schedule)
+        expected = sum(
+            s
+            for s in result.slacks.capture.values()
+            if not math.isinf(s) and s <= 0
+        )
+        assert stats.overall.total_negative_slack == pytest.approx(expected)
+
+
+class TestByClock:
+    def test_groups_by_capture_clock(self, lib):
+        network, schedule = latch_pipeline(
+            stages=4, chain_length=3, period=60, library=lib
+        )
+        stats, __ = _stats(network, schedule)
+        assert set(stats.by_clock) == {"phi1", "phi2"}
+        total = sum(g.endpoints for g in stats.by_clock.values())
+        assert total == stats.overall.endpoints
+
+    def test_pad_clock_grouping(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        stats, __ = _stats(network, schedule)
+        assert stats.by_clock["clk"].endpoints == 3
+
+
+class TestHistogramAndFormat:
+    def test_histogram_counts_all_endpoints(self, lib):
+        network, schedule = latch_pipeline(
+            stages=4, chain_length=3, period=60, library=lib
+        )
+        stats, __ = _stats(network, schedule, bins=5)
+        assert sum(count for __, count in stats.histogram) == (
+            stats.overall.endpoints
+        )
+        lowers = [low for low, __ in stats.histogram]
+        assert lowers == sorted(lowers)
+
+    def test_format_mentions_wns_tns(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        stats, __ = _stats(network, schedule)
+        text = stats.format()
+        assert "WNS" in text and "TNS" in text
+        assert "by capture clock" in text
+        assert "histogram" in text
+
+    def test_single_value_histogram(self, lib):
+        network, schedule = build_ff_stage(lib, chain=0, period=10)
+        stats, __ = _stats(network, schedule)
+        assert stats.histogram  # degenerate but present

@@ -1,0 +1,275 @@
+"""Unit tests for the generic synchronising-element model (Sections 4-5).
+
+Includes the paper's worked example: "consider a transparent latch, with
+no internal delays, controlled during each clock period by a 20ns clock
+pulse.  Suppose the output is asserted 5ns after the beginning of the
+control pulse, then O_zd = 5ns and O_dz = -15ns.  If there is a delay of
+2ns between the clock source and the control input of the latch then
+O_ac = O_zc = 2ns."
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.clocks import ClockSchedule, ClockWaveform
+from repro.core.sync_elements import (
+    GenericInstance,
+    InstanceKind,
+    effective_windows,
+    expand_synchroniser,
+    pad_instance,
+)
+from repro.delay.estimator import SyncTiming
+from repro.netlist import NetworkBuilder
+from repro.netlist.kinds import Unateness
+
+
+def _transparent(width=20.0, setup=0.0, d_to_q=0.0, c_to_q=0.0, arrival=0.0):
+    return GenericInstance(
+        name="lat@0",
+        cell_name="lat",
+        kind=InstanceKind.TRANSPARENT,
+        assertion_edge=Fraction(0),
+        closure_edge=Fraction(20),
+        clock_period=Fraction(100),
+        width=width,
+        setup=setup,
+        d_to_q=d_to_q,
+        c_to_q=c_to_q,
+        control_arrival=arrival,
+        control_arrival_min=arrival,
+    )
+
+
+class TestPaperWorkedExample:
+    """Figure 3 / Section 5 numeric example."""
+
+    def test_offsets(self):
+        latch = _transparent(width=20.0, arrival=2.0)
+        latch.w = 5.0  # output asserted 5ns after the leading edge
+        assert latch.o_zd == pytest.approx(5.0)
+        assert latch.o_dz == pytest.approx(-15.0)
+        assert latch.o_zc == pytest.approx(2.0)
+        assert latch.control_arrival == pytest.approx(2.0)  # O_ac
+
+    def test_figure3_relation(self):
+        """O_zd = W + O_dz + D_dz holds at every window position."""
+        latch = _transparent(width=20.0, d_to_q=1.5)
+        for w in (0.0, 3.0, 10.0, 20.0):
+            latch.w = w
+            assert latch.o_zd == pytest.approx(
+                latch.width + latch.o_dz + latch.d_to_q
+            )
+
+    def test_constraint_bounds(self):
+        """O_zd >= 0 and O_dz <= -D_dz across the legal range."""
+        latch = _transparent(width=20.0, d_to_q=1.5)
+        latch.w = 0.0
+        assert latch.o_dz == pytest.approx(-21.5)
+        latch.w = 20.0
+        assert latch.o_dz == pytest.approx(-1.5)
+        assert latch.o_zd >= 0.0
+
+
+class TestEffectiveTimes:
+    def test_assertion_is_max_of_control_and_data(self):
+        latch = _transparent(c_to_q=1.0, arrival=2.0)
+        latch.w = 1.0
+        assert latch.assertion_offset == pytest.approx(3.0)  # O_zc wins
+        latch.w = 10.0
+        assert latch.assertion_offset == pytest.approx(10.0)  # O_zd wins
+
+    def test_closure_is_min_of_control_and_data(self):
+        latch = _transparent(setup=2.0, d_to_q=0.0)
+        latch.w = 20.0  # O_dz = 0 > -setup
+        assert latch.closure_offset == pytest.approx(-2.0)
+        latch.w = 5.0  # O_dz = -15 < -setup
+        assert latch.closure_offset == pytest.approx(-15.0)
+
+    def test_edge_triggered_decoupled(self):
+        ff = GenericInstance(
+            name="ff@0",
+            cell_name="ff",
+            kind=InstanceKind.EDGE_TRIGGERED,
+            assertion_edge=Fraction(50),
+            closure_edge=Fraction(50),
+            clock_period=Fraction(100),
+            setup=0.8,
+            c_to_q=1.2,
+            control_arrival=0.5,
+        )
+        assert ff.assertion_offset == pytest.approx(1.7)
+        assert ff.closure_offset == pytest.approx(-0.8)
+        assert ff.max_decrease == 0.0
+        assert ff.max_increase == 0.0
+
+    def test_negative_control_arrival_rejected(self):
+        with pytest.raises(ValueError, match="O_ac"):
+            _transparent(arrival=-1.0)
+
+
+class TestWindowMovement:
+    def test_shift_and_bounds(self):
+        latch = _transparent(width=20.0)
+        latch.shift_window(-5.0)
+        assert latch.w == pytest.approx(15.0)
+        assert latch.max_decrease == pytest.approx(15.0)
+        assert latch.max_increase == pytest.approx(5.0)
+
+    def test_shift_beyond_bounds_raises(self):
+        latch = _transparent(width=20.0)
+        with pytest.raises(ValueError):
+            latch.shift_window(5.0)  # already at w = width
+
+    def test_tiny_overshoot_clamped(self):
+        latch = _transparent(width=20.0)
+        latch.shift_window(-20.0 - 1e-12)
+        assert latch.w == 0.0
+
+    def test_edge_triggered_not_adjustable(self):
+        ff = GenericInstance(
+            name="ff@0",
+            cell_name="ff",
+            kind=InstanceKind.EDGE_TRIGGERED,
+            assertion_edge=Fraction(0),
+            closure_edge=Fraction(0),
+            clock_period=Fraction(100),
+        )
+        with pytest.raises(ValueError):
+            ff.shift_window(-1.0)
+
+    def test_reset_window(self):
+        latch = _transparent(width=20.0)
+        latch.shift_window(-7.0)
+        latch.reset_window()
+        assert latch.w == pytest.approx(20.0)
+
+
+class TestEffectiveWindows:
+    def test_positive_sense_uses_pulses(self):
+        s = ClockSchedule.two_phase(100)
+        windows = effective_windows(s, "phi1", Unateness.POSITIVE)
+        assert len(windows) == 1
+        assert windows[0].leading == s.waveform("phi1").leading
+
+    def test_negative_sense_complements(self):
+        s = ClockSchedule([ClockWaveform("clk", 100, 10, 60)])
+        (window,) = effective_windows(s, "clk", Unateness.NEGATIVE)
+        assert window.leading == 60  # transparent while clock low
+        assert window.trailing == 10
+        assert window.width == 50
+
+    def test_negative_sense_multi_pulse(self):
+        s = ClockSchedule(
+            [
+                ClockWaveform("fast", 50, 0, 20),
+                ClockWaveform("slow", 100, 0, 50),
+            ]
+        )
+        windows = effective_windows(s, "fast", Unateness.NEGATIVE)
+        assert len(windows) == 2
+        assert [w.width for w in windows] == [30, 30]
+        assert windows[0].leading == 20
+        assert windows[0].trailing == 50
+
+    def test_non_unate_sense_rejected(self):
+        s = ClockSchedule.single("clk", 100)
+        with pytest.raises(ValueError):
+            effective_windows(s, "clk", Unateness.NON_UNATE)
+
+
+class TestExpansion:
+    def test_fast_clock_expands(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("fast")
+        b.latch("l", "DLATCH", D="d", G="fast", Q="q")
+        n = b.build()
+        s = ClockSchedule(
+            [
+                ClockWaveform("fast", 50, 5, 25),
+                ClockWaveform("slow", 100, 0, 40),
+            ]
+        )
+        instances = expand_synchroniser(
+            n.cell("l"),
+            s,
+            "fast",
+            Unateness.POSITIVE,
+            SyncTiming(setup=0.5, d_to_q=0.4, c_to_q=0.6, hold=0.1),
+            control_arrival=0.0,
+            control_arrival_min=0.0,
+        )
+        assert len(instances) == 2
+        assert instances[0].assertion_edge == 5
+        assert instances[1].assertion_edge == 55
+        assert all(i.kind is InstanceKind.TRANSPARENT for i in instances)
+        assert all(i.clock_period == 50 for i in instances)
+
+    def test_edge_triggered_edges_coincide(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.latch("f", "DFF", D="d", CK="clk", Q="q")
+        n = b.build()
+        s = ClockSchedule.single("clk", 100, leading=0, trailing=50)
+        (inst,) = expand_synchroniser(
+            n.cell("f"),
+            s,
+            "clk",
+            Unateness.POSITIVE,
+            SyncTiming(setup=0.8, d_to_q=0.0, c_to_q=1.2, hold=0.3),
+            control_arrival=0.0,
+            control_arrival_min=0.0,
+        )
+        assert inst.kind is InstanceKind.EDGE_TRIGGERED
+        assert inst.assertion_edge == inst.closure_edge == 50
+
+
+class TestPads:
+    def _pad_network(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk", edge="leading", offset=3.0)
+        b.gate("g", "INV", A="w", Z="w2")
+        b.output("o", "w2", clock="clk", edge="trailing", offset=-1.0)
+        return b.build()
+
+    def test_input_pad_instance(self, lib):
+        n = self._pad_network(lib)
+        s = ClockSchedule.single("clk", 100, leading=0, trailing=50)
+        inst = pad_instance(n.cell("i"), s)
+        assert inst.kind is InstanceKind.FIXED_SOURCE
+        assert inst.assertion_edge == 0
+        assert inst.assertion_offset == pytest.approx(3.0)
+        assert not inst.adjustable
+
+    def test_output_pad_instance(self, lib):
+        n = self._pad_network(lib)
+        s = ClockSchedule.single("clk", 100, leading=0, trailing=50)
+        inst = pad_instance(n.cell("o"), s)
+        assert inst.kind is InstanceKind.FIXED_SINK
+        assert inst.closure_edge == 50
+        assert inst.closure_offset == pytest.approx(-1.0)
+
+    def test_pad_missing_clock_raises(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        cell = b.instantiate(
+            "bad",
+            __import__(
+                "repro.netlist.ports", fromlist=["PRIMARY_INPUT_SPEC"]
+            ).PRIMARY_INPUT_SPEC,
+            Z="w",
+        )
+        s = ClockSchedule.single("clk", 100)
+        with pytest.raises(ValueError, match="clock"):
+            pad_instance(cell, s)
+
+    def test_pad_bad_pulse_index(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk", pulse_index=5)
+        n = b.build()
+        s = ClockSchedule.single("clk", 100)
+        with pytest.raises(ValueError, match="pulse_index"):
+            pad_instance(n.cell("i"), s)

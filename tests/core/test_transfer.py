@@ -1,0 +1,143 @@
+"""Unit tests for slack transfer and time snatching operators."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.sync_elements import GenericInstance, InstanceKind
+from repro.core.transfer import (
+    complete_backward,
+    complete_forward,
+    partial_backward,
+    partial_forward,
+    snatch_backward,
+    snatch_forward,
+    sweep,
+)
+
+
+def _latch(width=20.0, w=None):
+    inst = GenericInstance(
+        name="l@0",
+        cell_name="l",
+        kind=InstanceKind.TRANSPARENT,
+        assertion_edge=Fraction(0),
+        closure_edge=Fraction(20),
+        clock_period=Fraction(100),
+        width=width,
+    )
+    if w is not None:
+        inst.w = w
+    return inst
+
+
+def _ff():
+    return GenericInstance(
+        name="f@0",
+        cell_name="f",
+        kind=InstanceKind.EDGE_TRIGGERED,
+        assertion_edge=Fraction(50),
+        closure_edge=Fraction(50),
+        clock_period=Fraction(100),
+    )
+
+
+class TestCompleteTransfer:
+    def test_forward_moves_min_of_slack_and_freedom(self):
+        latch = _latch(w=20.0)
+        moved = complete_forward(latch, input_slack=5.0)
+        assert moved == pytest.approx(5.0)
+        assert latch.w == pytest.approx(15.0)
+
+    def test_forward_clamped_by_window(self):
+        latch = _latch(w=3.0)
+        moved = complete_forward(latch, input_slack=10.0)
+        assert moved == pytest.approx(3.0)
+        assert latch.w == pytest.approx(0.0)
+
+    def test_forward_no_move_on_negative_slack(self):
+        latch = _latch(w=10.0)
+        assert complete_forward(latch, input_slack=-2.0) == 0.0
+        assert latch.w == pytest.approx(10.0)
+
+    def test_forward_infinite_slack_uses_freedom(self):
+        latch = _latch(w=7.0)
+        assert complete_forward(latch, math.inf) == pytest.approx(7.0)
+
+    def test_backward_symmetric(self):
+        latch = _latch(w=5.0)
+        moved = complete_backward(latch, output_slack=30.0)
+        assert moved == pytest.approx(15.0)  # clamped by width - w
+        assert latch.w == pytest.approx(20.0)
+
+    def test_edge_triggered_never_moves(self):
+        ff = _ff()
+        assert complete_forward(ff, 100.0) == 0.0
+        assert complete_backward(ff, 100.0) == 0.0
+
+
+class TestPartialTransfer:
+    def test_partial_moves_fraction(self):
+        latch = _latch(w=20.0)
+        moved = partial_forward(latch, input_slack=10.0, divisor=2.0)
+        assert moved == pytest.approx(5.0)
+
+    def test_partial_requires_divisor_above_one(self):
+        latch = _latch(w=20.0)
+        with pytest.raises(ValueError):
+            partial_forward(latch, 10.0, divisor=1.0)
+        with pytest.raises(ValueError):
+            partial_backward(latch, 10.0, divisor=0.5)
+
+    def test_partial_backward(self):
+        latch = _latch(w=10.0)
+        moved = partial_backward(latch, output_slack=8.0, divisor=4.0)
+        assert moved == pytest.approx(2.0)
+        assert latch.w == pytest.approx(12.0)
+
+
+class TestSnatching:
+    def test_forward_snatch_on_negative_output_slack(self):
+        latch = _latch(w=10.0)
+        moved = snatch_forward(latch, output_slack=-4.0)
+        assert moved == pytest.approx(4.0)
+        assert latch.w == pytest.approx(6.0)
+
+    def test_forward_snatch_ignores_positive_slack(self):
+        latch = _latch(w=10.0)
+        assert snatch_forward(latch, output_slack=4.0) == 0.0
+
+    def test_snatch_clamped_by_freedom(self):
+        latch = _latch(w=2.0)
+        assert snatch_forward(latch, output_slack=-10.0) == pytest.approx(2.0)
+        assert latch.w == 0.0
+
+    def test_backward_snatch_on_negative_input_slack(self):
+        latch = _latch(w=15.0)
+        moved = snatch_backward(latch, input_slack=-3.0)
+        assert moved == pytest.approx(3.0)
+        assert latch.w == pytest.approx(18.0)
+
+    def test_snatch_regardless_of_donor(self):
+        """Snatching takes time "regardless of whether the adjacent path
+        can spare it": only the snatcher's negativity matters."""
+        latch = _latch(w=10.0)
+        assert snatch_forward(latch, output_slack=-1.0) == pytest.approx(1.0)
+
+
+class TestSweep:
+    def test_sweep_totals_and_skips_fixed(self):
+        latch1, latch2, ff = _latch(w=10.0), _latch(w=4.0), _ff()
+        slacks = {"l@0": 6.0}
+        # Both latches share the name "l@0" in this synthetic setup; give
+        # them distinct names for the sweep.
+        latch2.name = "l2@0"
+        slacks["l2@0"] = 6.0
+        total = sweep([latch1, latch2, ff], slacks, complete_forward)
+        assert total == pytest.approx(6.0 + 4.0)
+
+    def test_sweep_defaults_missing_slack_to_inf(self):
+        latch = _latch(w=5.0)
+        total = sweep([latch], {}, complete_forward)
+        assert total == pytest.approx(5.0)

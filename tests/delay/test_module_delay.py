@@ -1,0 +1,119 @@
+"""Unit tests for hierarchical module delay characterisation."""
+
+import pytest
+
+from repro.delay import estimate_delays
+from repro.delay.estimator import DelayParameters
+from repro.delay.module_delay import module_pin_delays
+from repro.netlist import ModuleDefinition, ModuleSpec, NetworkBuilder
+
+
+def _chain_module(lib, length=3):
+    """A module that is an inverter chain of known depth."""
+    b = NetworkBuilder(lib, name="chain")
+    current = "pa"
+    for i in range(length):
+        b.gate(f"i{i}", "INV", A=current, Z=f"n{i}")
+        current = f"n{i}"
+    return ModuleSpec(
+        "CHAIN",
+        ModuleDefinition(
+            b.build(), input_ports={"A": "pa"}, output_ports={"Z": current}
+        ),
+    )
+
+
+class TestModulePinDelays:
+    def test_chain_delay_sums_stages(self, lib):
+        spec = _chain_module(lib, length=3)
+        inner_map = estimate_delays(spec.definition.inner)
+        delays = module_pin_delays(spec, inner_map)
+        assert set(delays) == {("A", "Z")}
+        dmax, dmin = delays[("A", "Z")]
+        single = inner_map.arc_delay(
+            spec.definition.inner.cell("i1"), "A", "Z"
+        )
+        # Three stages: at least 3x one mid-chain stage's best delay.
+        assert dmax.worst >= 3 * single.best
+        assert dmin.worst <= dmax.best
+
+    def test_longer_chain_longer_delay(self, lib):
+        short = _chain_module(lib, 2)
+        long = _chain_module(lib, 6)
+        d_short = module_pin_delays(
+            short, estimate_delays(short.definition.inner)
+        )[("A", "Z")][0]
+        d_long = module_pin_delays(
+            long, estimate_delays(long.definition.inner)
+        )[("A", "Z")][0]
+        assert d_long.worst > d_short.worst
+
+    def test_parallel_paths_max_and_min(self, lib):
+        b = NetworkBuilder(lib, name="par")
+        # Short path: one inverter.  Long path: three inverters.  Both
+        # reconverge on a NAND2.
+        b.gate("s0", "INV", A="pa", Z="sp")
+        b.gate("l0", "INV", A="pa", Z="n0")
+        b.gate("l1", "INV", A="n0", Z="n1")
+        b.gate("l2", "INV", A="n1", Z="lp")
+        b.gate("out", "NAND2", A="sp", B="lp", Z="pz")
+        spec = ModuleSpec(
+            "PAR",
+            ModuleDefinition(
+                b.build(), input_ports={"A": "pa"}, output_ports={"Z": "pz"}
+            ),
+        )
+        dmax, dmin = module_pin_delays(
+            spec, estimate_delays(spec.definition.inner)
+        )[("A", "Z")]
+        assert dmax.worst > dmin.best
+        # The min path (1 INV + NAND) must be shorter than the max (3 INV
+        # + NAND) by roughly two inverter delays.
+        assert dmax.worst - dmin.worst > 0.5
+
+    def test_estimate_delays_on_module_instance(self, lib):
+        spec = _chain_module(lib, 3)
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk")
+        b.instantiate("m", spec, A="w", Z="wz")
+        b.latch("l", "DFF", D="wz", CK="clk", Q="wq")
+        b.output("o", "wq", clock="clk")
+        n = b.build()
+        dm = estimate_delays(n)
+        assert dm.arcs_of(n.cell("m")) == (("A", "Z"),)
+        assert dm.arc_delay(n.cell("m"), "A", "Z").worst > 1.0
+
+    def test_port_load_increases_module_delay(self, lib):
+        spec = _chain_module(lib, 3)
+
+        def instance_delay(port_load):
+            b = NetworkBuilder(lib)
+            b.clock("clk")
+            b.input("i", "w", clock="clk")
+            b.instantiate("m", spec, A="w", Z="wz")
+            b.latch("l", "DFF", D="wz", CK="clk", Q="wq")
+            b.output("o", "wq", clock="clk")
+            n = b.build()
+            dm = estimate_delays(
+                n, DelayParameters(module_port_load=port_load)
+            )
+            return dm.arc_delay(n.cell("m"), "A", "Z").worst
+
+        assert instance_delay(10.0) > instance_delay(1.0)
+
+    def test_module_shares_characterisation_across_instances(self, lib):
+        spec = _chain_module(lib, 3)
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk")
+        b.instantiate("m1", spec, A="w", Z="z1")
+        b.instantiate("m2", spec, A="w", Z="z2")
+        b.gate("j", "NAND2", A="z1", B="z2", Z="zj")
+        b.latch("l", "DFF", D="zj", CK="clk", Q="wq")
+        b.output("o", "wq", clock="clk")
+        n = b.build()
+        dm = estimate_delays(n)
+        assert dm.arc_delay(n.cell("m1"), "A", "Z") == dm.arc_delay(
+            n.cell("m2"), "A", "Z"
+        )

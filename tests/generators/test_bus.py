@@ -1,0 +1,104 @@
+"""Tests for tristate bus analysis (multi-driver nets)."""
+
+import pytest
+
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.generators.bus import tristate_bus_design
+from repro.netlist import validate_network
+
+
+class TestBusStructure:
+    def test_validates(self):
+        network, schedule = tristate_bus_design()
+        report = validate_network(network, set(schedule.clock_names))
+        assert report.ok, report.errors
+
+    def test_bus_has_multiple_drivers(self):
+        network, __ = tristate_bus_design(n_drivers=4)
+        bus = network.net("bus")
+        assert len(bus.drivers) == 4
+        assert all(d.cell.spec.name == "TRIBUF" for d in bus.drivers)
+
+    def test_rejects_single_driver(self):
+        with pytest.raises(ValueError):
+            tristate_bus_design(n_drivers=1)
+
+
+class TestBusAnalysis:
+    def _analyse(self, **kwargs):
+        network, schedule = tristate_bus_design(**kwargs)
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        return run_algorithm1(model, engine), model, engine
+
+    def test_every_driver_is_a_launch_port(self):
+        result, model, __ = self._analyse(n_drivers=3)
+        bus_cluster = next(
+            c
+            for c in model.clusters
+            if "bus" in c.net_names
+        )
+        bus_launches = [
+            p
+            for p in model.launch_ports[bus_cluster.name]
+            if p.net_name == "bus"
+        ]
+        assert len(bus_launches) == 3
+
+    def test_intended_at_nominal(self):
+        result, __, __ = self._analyse()
+        assert result.intended
+
+    def test_worst_driver_determines_bus_slack(self):
+        """The deepest driver cone dominates the capture slack (checked at
+        the initial offsets, before slack transfer redistributes them)."""
+        network, schedule = tristate_bus_design(n_drivers=4)
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        slacks = engine.port_slacks()
+        # The driver cones feed the tristates' data inputs, so depth shows
+        # in the drivers' *capture* slacks: drv3 has the longest cone.
+        captures = {
+            name: slack
+            for name, slack in slacks.capture.items()
+            if name.startswith("drv")
+        }
+        assert min(captures, key=captures.get) == "drv3@0"
+        assert captures["drv3@0"] < captures["drv0@0"]
+        # All drivers launch onto the bus at the same offsets: their
+        # launch slacks tie.
+        launches = [
+            slack
+            for name, slack in slacks.launch.items()
+            if name.startswith("drv")
+        ]
+        assert max(launches) - min(launches) < 1e-9
+
+    def test_driver_windows_adjustable(self):
+        """Tristate drivers use the transparent model: their windows move
+        during slack transfer."""
+        result, model, __ = self._analyse(n_drivers=3, period=40)
+        tristates = [
+            i
+            for i in model.adjustable_instances()
+            if i.cell_name.startswith("drv")
+        ]
+        assert tristates
+        assert result.converged
+
+    def test_slow_bus_flagged(self):
+        network, schedule = tristate_bus_design(
+            n_drivers=3, source_chain=30, period=20
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        result = run_algorithm1(model, engine)
+        assert not result.intended
+        slow = result.slow_instance_names()
+        assert any(name.startswith("drv") or name == "cap@0" for name in slow)

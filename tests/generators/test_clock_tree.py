@@ -1,0 +1,66 @@
+"""Tests for buffered clock distribution (control arrivals and skew)."""
+
+import pytest
+
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.control_paths import control_arrivals
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.generators.clock_tree import skewed_clock_pipeline
+from repro.netlist import validate_network
+
+
+class TestStructure:
+    def test_validates(self):
+        network, schedule = skewed_clock_pipeline()
+        report = validate_network(network, set(schedule.clock_names))
+        assert report.ok, report.errors
+
+    def test_deeper_buffers_later_arrival(self):
+        network, __ = skewed_clock_pipeline(buffer_depths=(0, 2, 4))
+        delays = estimate_delays(network)
+        arrivals = control_arrivals(network, delays)
+        assert arrivals["ff0"].latest == 0.0
+        assert arrivals["ff1"].latest > arrivals["ff0"].latest
+        assert arrivals["ff2"].latest > arrivals["ff1"].latest
+
+
+class TestSkewEffects:
+    def _capture_slack(self, depths, stage):
+        network, schedule = skewed_clock_pipeline(
+            buffer_depths=depths, period=20
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        result = run_algorithm1(model, engine)
+        return result.slacks.capture[f"ff{stage}@0"]
+
+    def test_late_clock_relaxes_downstream_capture(self):
+        """Buffering ff1's clock launches stage 2's data later -- the
+        capture slack at ff2 shrinks accordingly."""
+        base = self._capture_slack((0, 0, 0), stage=2)
+        skewed = self._capture_slack((0, 4, 0), stage=2)
+        assert skewed < base
+
+    def test_o_zc_includes_tree_delay(self):
+        network, schedule = skewed_clock_pipeline(buffer_depths=(0, 3, 0))
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        (ff1,) = model.instances["ff1"]
+        arrivals = control_arrivals(network, delays)
+        timing = delays.sync_timing(network.cell("ff1"))
+        assert ff1.o_zc == pytest.approx(
+            arrivals["ff1"].latest + timing.c_to_q
+        )
+
+    def test_analysis_completes_with_skew(self):
+        network, schedule = skewed_clock_pipeline(
+            buffer_depths=(0, 1, 2, 3), chain_length=2, period=30
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        result = run_algorithm1(model, SlackEngine(model))
+        assert result.converged
+        assert result.intended

@@ -1,0 +1,141 @@
+"""Tests for the benchmark circuit generators."""
+
+import pytest
+
+from repro.core import Hummingbird
+from repro.delay import estimate_delays
+from repro.generators import (
+    fig1_circuit,
+    fig1_schedule,
+    generate_alu,
+    generate_des,
+    generate_sm1f,
+    generate_sm1h,
+    latch_pipeline,
+    random_design,
+)
+from repro.generators._util import standard_cell_count
+from repro.netlist import ModuleSpec, validate_network
+
+
+class TestRandomDesign:
+    def test_deterministic(self):
+        n1, __ = random_design(seed=42, n_banks=2, gates_per_bank=20, bits=4)
+        n2, __ = random_design(seed=42, n_banks=2, gates_per_bank=20, bits=4)
+        assert [c.name for c in n1.cells] == [c.name for c in n2.cells]
+        assert {net.name for net in n1.nets} == {net.name for net in n2.nets}
+
+    def test_different_seeds_differ(self):
+        n1, __ = random_design(seed=1, n_banks=2, gates_per_bank=20, bits=4)
+        n2, __ = random_design(seed=2, n_banks=2, gates_per_bank=20, bits=4)
+        specs1 = [c.spec.name for c in n1.combinational_cells]
+        specs2 = [c.spec.name for c in n2.combinational_cells]
+        assert specs1 != specs2
+
+    @pytest.mark.parametrize("style", ["latch", "ff"])
+    def test_validates(self, style):
+        network, schedule = random_design(
+            seed=5, n_banks=3, gates_per_bank=25, bits=4, style=style
+        )
+        report = validate_network(network, set(schedule.clock_names))
+        assert report.ok, report.errors
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            random_design(seed=1, style="dual_rail")
+
+    def test_bank_count_respected(self):
+        network, __ = random_design(
+            seed=9, n_banks=3, gates_per_bank=10, bits=4, style="latch"
+        )
+        assert len(network.synchronisers) == 3 * 4
+
+
+class TestFig1:
+    def test_schedule_has_four_staggered_phases(self):
+        s = fig1_schedule()
+        assert len(s.clock_names) == 4
+        waveforms = s.waveforms()
+        for a, b in zip(waveforms, waveforms[1:]):
+            assert a.trailing < b.leading  # non-overlapping, in order
+
+    def test_circuit_validates_and_needs_two_passes(self):
+        network, schedule = fig1_circuit()
+        assert validate_network(network, set(schedule.clock_names)).ok
+        hb = Hummingbird(network, schedule)
+        assert hb.model.stats()["max_passes_per_cluster"] == 2
+
+    def test_time_multiplexed_gate_settles_twice(self):
+        network, schedule = fig1_circuit()
+        hb = Hummingbird(network, schedule)
+        constraints = hb.generate_constraints().constraints
+        assert constraints.settling_count("g_out") == 2
+
+
+class TestTable1Designs:
+    def test_alu_exact_cell_count(self):
+        network, __ = generate_alu()
+        assert standard_cell_count(network) == 899
+
+    def test_des_exact_cell_count(self):
+        network, __ = generate_des()
+        assert standard_cell_count(network) == 3681
+
+    def test_des_validates(self):
+        network, schedule = generate_des()
+        assert validate_network(network, set(schedule.clock_names)).ok
+
+    def test_alu_validates_and_analyzes(self):
+        network, schedule = generate_alu()
+        result = Hummingbird(network, schedule).analyze()
+        assert result.intended
+
+    def test_des_uses_transparent_latches(self):
+        network, __ = generate_des()
+        styles = {c.spec.name for c in network.synchronisers}
+        assert "DLATCH" in styles and "DFF" in styles
+
+    def test_sm1_flat_and_hierarchical_same_machine(self):
+        flat, __ = generate_sm1f()
+        hier, __ = generate_sm1h()
+        assert any(isinstance(c.spec, ModuleSpec) for c in hier.cells)
+        assert not any(isinstance(c.spec, ModuleSpec) for c in flat.cells)
+        # The flat form contains the module's gates, prefixed.
+        assert standard_cell_count(flat) > standard_cell_count(hier)
+        assert len(flat.synchronisers) == len(hier.synchronisers)
+
+    def test_sm1_versions_validate(self):
+        for gen in (generate_sm1f, generate_sm1h):
+            network, schedule = gen()
+            report = validate_network(network, set(schedule.clock_names))
+            assert report.ok, (network.name, report.errors)
+
+    def test_sm1_hierarchical_more_conservative(self):
+        """Module-level analysis (non-unate arcs, port-load assumptions)
+        must never report a larger slack than flat analysis."""
+        flat, schedule = generate_sm1f()
+        hier, __ = generate_sm1h()
+        flat_slack = Hummingbird(flat, schedule).analyze().worst_slack
+        hier_slack = Hummingbird(hier, schedule).analyze().worst_slack
+        assert hier_slack <= flat_slack + 1e-9
+
+    def test_generators_deterministic(self):
+        a, __ = generate_alu(seed=899)
+        b, __ = generate_alu(seed=899)
+        assert [c.name for c in a.cells] == [c.name for c in b.cells]
+
+
+class TestPipelineGenerators:
+    def test_stage_lengths_validation(self, lib):
+        with pytest.raises(ValueError):
+            latch_pipeline(stages=2, stage_lengths=[1, 2, 3], library=lib)
+        with pytest.raises(ValueError):
+            latch_pipeline(stages=0, library=lib)
+
+    def test_latch_pipeline_alternates_phases(self, lib):
+        network, __ = latch_pipeline(stages=4, library=lib)
+        report = validate_network(network)
+        phases = [
+            report.control_traces[f"s{k}_l"].clock for k in range(4)
+        ]
+        assert phases == ["phi1", "phi2", "phi1", "phi2"]

@@ -1,0 +1,70 @@
+"""Tests for the ISCAS'89 s27 benchmark."""
+
+import itertools
+
+import pytest
+
+from repro.core import Hummingbird
+from repro.generators import generate_s27
+from repro.netlist import validate_network
+from repro.sim import EventSimulator, dynamic_intended_check
+from repro.delay import estimate_delays
+
+
+class TestS27Structure:
+    def test_published_counts(self):
+        network, schedule = generate_s27()
+        assert len(network.primary_inputs) == 4
+        assert len(network.primary_outputs) == 1
+        assert len(network.synchronisers) == 3
+        assert len(network.combinational_cells) == 10
+
+    def test_validates(self):
+        network, schedule = generate_s27()
+        report = validate_network(network, set(schedule.clock_names))
+        assert report.ok, report.errors
+
+
+class TestS27Timing:
+    def test_meets_timing_at_nominal(self):
+        network, schedule = generate_s27(period=20)
+        result = Hummingbird(network, schedule).analyze()
+        assert result.intended
+
+    def test_fails_when_overclocked(self):
+        network, schedule = generate_s27(period=2)
+        result = Hummingbird(network, schedule).analyze()
+        assert not result.intended
+        # The critical loop runs through the state feedback.
+        slow = result.algorithm1.slow_instance_names()
+        assert any(name.startswith("dff_") for name in slow)
+
+    def test_dynamic_validation(self):
+        network, schedule = generate_s27(period=20)
+        delays = estimate_delays(network)
+        check = dynamic_intended_check(
+            network, schedule, delays, cycles=12, seed=27
+        )
+        assert check.intended
+
+
+class TestS27Function:
+    def test_reset_like_behaviour(self):
+        """With all inputs held low from power-on (all state 0), the
+        published s27 next-state equations give a stable trajectory; the
+        simulation must follow it: G17 = ~G11 and G11 = NOR(G5, G9)."""
+        network, schedule = generate_s27(period=50)
+        delays = estimate_delays(network)
+        sim = EventSimulator(
+            network, schedule, delays, stimulus=lambda n, c: False
+        )
+        trace = sim.run(cycles=6)
+        period = float(schedule.overall_period)
+        # Sample late in a settled cycle.
+        t = 5 * period - 1.0
+        g11 = trace.value_at("G11", t)
+        g17 = trace.value_at("G17", t)
+        assert g17 == (not g11)
+        g5 = trace.value_at("G5", t)
+        g9 = trace.value_at("G9", t)
+        assert g11 == (not (g5 or g9))

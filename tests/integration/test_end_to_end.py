@@ -1,0 +1,141 @@
+"""End-to-end integration tests across the whole stack."""
+
+import math
+
+import pytest
+
+from repro import (
+    ClockSchedule,
+    Hummingbird,
+    check_min_delays,
+    estimate_delays,
+    find_max_frequency,
+    run_redesign_loop,
+)
+from repro.baselines import settling_comparison
+from repro.generators import (
+    fig1_circuit,
+    generate_alu,
+    generate_des,
+    generate_sm1f,
+    generate_sm1h,
+    random_design,
+)
+from repro.interactive import WhatIfSession
+
+
+class TestTable1Designs:
+    """The four Table 1 designs analyse cleanly end to end."""
+
+    @pytest.mark.parametrize(
+        "generator", [generate_sm1f, generate_sm1h, generate_alu]
+    )
+    def test_analyses_complete(self, generator):
+        network, schedule = generator()
+        result = Hummingbird(network, schedule).analyze()
+        assert result.analysis_seconds < 30.0
+        assert math.isfinite(result.worst_slack)
+
+    def test_des_full_flow(self):
+        network, schedule = generate_des()
+        hb = Hummingbird(network, schedule)
+        result = hb.analyze()
+        assert result.intended
+        # Constraint generation over the full chip.
+        constraints = hb.generate_constraints().constraints
+        assert constraints.ready_time("r0_kx0") is not None
+        # Min-delay extension runs over the full chip.
+        violations = check_min_delays(hb.model, hb.engine)
+        assert isinstance(violations, list)
+
+    def test_hierarchy_speed_advantage(self):
+        """SM1H (one module) must preprocess+analyse faster than SM1F
+        (flat), as in Table 1 -- measured loosely to avoid flakiness."""
+        flat, schedule = generate_sm1f(n_gates=1200)
+        hier, __ = generate_sm1h(n_gates=1200)
+        hb_flat = Hummingbird(flat, schedule)
+        hb_hier = Hummingbird(hier, schedule)
+        t_flat = hb_flat.analyze()
+        t_hier = hb_hier.analyze()
+        # The hierarchical analysis touches far fewer components.
+        assert hb_hier.model.stats()["combinational"] < hb_flat.model.stats()[
+            "combinational"
+        ]
+        assert t_hier.analysis_seconds <= t_flat.analysis_seconds * 2
+
+
+class TestMultiFrequency:
+    def test_harmonic_clocks_full_flow(self, lib):
+        from repro.clocks import ClockWaveform
+        from repro.netlist import NetworkBuilder
+
+        b = NetworkBuilder(lib)
+        b.clock("fast")
+        b.clock("slow")
+        b.input("i", "w", clock="slow")
+        b.latch("ls", "DFF", D="w", CK="slow", Q="qs")
+        b.gate("g1", "INV", A="qs", Z="z1")
+        b.latch("lf", "DLATCH", D="z1", G="fast", Q="qf")
+        b.gate("g2", "INV", A="qf", Z="z2")
+        b.latch("lo", "DFF", D="z2", CK="slow", Q="qo")
+        b.output("o", "qo", clock="slow")
+        network = b.build()
+        schedule = ClockSchedule(
+            [
+                ClockWaveform("fast", 25, 2, 12),
+                ClockWaveform("slow", 100, 10, 60),
+            ]
+        )
+        hb = Hummingbird(network, schedule)
+        result = hb.analyze()
+        assert len(hb.model.instances["lf"]) == 4
+        assert math.isfinite(result.worst_slack)
+
+    def test_fig1_end_to_end(self):
+        network, schedule = fig1_circuit()
+        hb = Hummingbird(network, schedule)
+        result = hb.analyze()
+        assert result.intended
+        comparison = settling_comparison(network, schedule, hb.delays)
+        assert comparison.minimum_settlings < comparison.per_edge_settlings
+
+
+class TestClosedLoopFlows:
+    def test_frequency_search_then_redesign(self):
+        network, schedule = random_design(
+            seed=11, n_banks=3, gates_per_bank=30, bits=4, style="latch"
+        )
+        delays = estimate_delays(network)
+        search = find_max_frequency(network, schedule, delays)
+        assert search.min_period is not None
+        # Push 10% past the limit, then ask the redesign loop to fix it.
+        too_fast = search.schedule.scaled("0.9")
+        loop = run_redesign_loop(network, too_fast, delays, max_rounds=200)
+        assert loop.success
+        assert loop.area_cost > 0
+
+    def test_whatif_session_full_cycle(self):
+        network, schedule = random_design(
+            seed=13, n_banks=2, gates_per_bank=25, bits=4, style="ff"
+        )
+        session = WhatIfSession(network, schedule)
+        base = session.analyze().worst_slack
+        session.scale_clocks("1/2")
+        session.scale_cell_delay(network.combinational_cells[0].name, 2.0)
+        assert session.analyze().worst_slack < base
+        session.undo()
+        session.undo()
+        assert session.analyze().worst_slack == pytest.approx(base)
+
+
+class TestPersistenceIntegration:
+    def test_des_roundtrip_same_analysis(self, tmp_path, lib):
+        from repro import load_network, save_network
+
+        network, schedule = generate_sm1f()
+        path = tmp_path / "sm1f.json"
+        save_network(network, path)
+        loaded = load_network(path, lib)
+        a = Hummingbird(network, schedule).analyze().worst_slack
+        b = Hummingbird(loaded, schedule).analyze().worst_slack
+        assert a == pytest.approx(b)

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are documentation; a reproduction repo whose examples crash is
+broken no matter what the unit tests say.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Expected key phrases per example (sanity beyond exit code 0).
+EXPECTED = {
+    "quickstart.py": "system behaves as intended",
+    "multiphase_dsp.py": "settling times",
+    "transparent_latch_model.py": "O_zd",
+    "redesign_loop.py": "fast enough",
+    "whatif_session.py": "worst slack",
+    "des_chip.py": "Table 1 row",
+    "bus_and_gating.py": "enable path",
+    "synthesis_flow.py": "dynamic validation",
+}
+
+
+def test_every_example_has_expectations():
+    names = {path.name for path in EXAMPLES}
+    assert names == set(EXPECTED), (
+        "examples/ and EXPECTED out of sync: "
+        f"{names.symmetric_difference(set(EXPECTED))}"
+    )
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.name for path in EXAMPLES]
+)
+def test_example_runs(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    phrase = EXPECTED[example.name]
+    assert phrase in completed.stdout, (
+        f"{example.name} output lacks {phrase!r}:\n"
+        f"{completed.stdout[-1500:]}"
+    )

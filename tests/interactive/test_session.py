@@ -1,0 +1,72 @@
+"""Tests for the interactive what-if session."""
+
+import pytest
+
+from repro.interactive import WhatIfSession
+
+from tests.conftest import build_ff_stage
+
+
+@pytest.fixture
+def session(lib):
+    network, schedule = build_ff_stage(lib, chain=2, period=10)
+    return WhatIfSession(network, schedule)
+
+
+class TestClockEdits:
+    def test_scale_clocks_changes_verdict(self, session):
+        assert session.analyze().intended
+        session.scale_clocks("1/4")  # period 2.5 < critical 3.0
+        assert not session.analyze().intended
+
+    def test_undo_restores(self, session):
+        before = session.analyze().worst_slack
+        session.scale_clocks(2)
+        assert session.analyze().worst_slack != pytest.approx(before)
+        description = session.undo()
+        assert "scale_clocks" in description
+        assert session.analyze().worst_slack == pytest.approx(before)
+
+    def test_pulse_width_edit(self, session):
+        session.set_pulse_width("clk", 7)
+        assert session.schedule.waveform("clk").width == 7
+
+    def test_shift_clock(self, session):
+        session.shift_clock("clk", 3)
+        assert session.schedule.waveform("clk").leading == 3
+
+    def test_undo_empty_history_raises(self, session):
+        with pytest.raises(ValueError):
+            session.undo()
+
+
+class TestDelayEdits:
+    def test_scale_cell_delay_moves_slack(self, session):
+        base = session.analyze().worst_slack
+        session.scale_cell_delay("inv0", 5.0)
+        assert session.analyze().worst_slack < base
+
+    def test_unknown_cell_rejected_without_history_entry(self, session):
+        with pytest.raises(KeyError):
+            session.scale_cell_delay("nonexistent", 2.0)
+        assert session.history == ()
+
+    def test_stacked_edits_and_undos(self, session):
+        base = session.analyze().worst_slack
+        session.scale_cell_delay("inv0", 2.0)
+        session.scale_clocks(2)
+        assert len(session.history) == 2
+        session.undo()
+        session.undo()
+        assert session.analyze().worst_slack == pytest.approx(base)
+
+
+class TestReport:
+    def test_report_includes_history(self, session):
+        session.scale_clocks(2)
+        text = session.report()
+        assert "history:" in text
+        assert "scale_clocks(2)" in text
+
+    def test_report_without_history(self, session):
+        assert "history:" not in session.report()

@@ -1,0 +1,145 @@
+"""Tests for the mapped BLIF subset round-trip."""
+
+import pytest
+
+from repro.clocks import ClockSchedule
+from repro.core import Hummingbird
+from repro.netlist import NetworkBuilder, flatten, validate_network
+from repro.netlist.blif import (
+    BlifError,
+    blif_to_network,
+    load_blif,
+    network_to_blif,
+    save_blif,
+)
+
+
+def _demo_network(lib):
+    b = NetworkBuilder(lib, name="blif_demo")
+    b.clock("phi1")
+    b.clock("phi2")
+    b.input("din", "n0", clock="phi2", edge="leading", offset=1.0)
+    b.gate("u1", "NAND2", A="n0", B="n0", Z="n1")
+    b.latch("L1", "DLATCH", D="n1", G="phi1", Q="n2")
+    b.gate("u2", "INV", A="n2", Z="n3")
+    b.latch("L2", "DFF", D="n3", CK="phi2", Q="n4")
+    b.output("dout", "n4", clock="phi2", edge="trailing")
+    return b.build()
+
+
+class TestWrite:
+    def test_structure(self, lib):
+        text = network_to_blif(_demo_network(lib))
+        assert text.startswith(".model blif_demo")
+        assert ".inputs n0" in text
+        assert ".outputs n4" in text
+        assert ".clock phi1 phi2" in text
+        assert ".gate NAND2" in text
+        assert ".mlatch DLATCH D=n1 Q=n2 G=phi1" in text
+        assert text.rstrip().endswith(".end")
+
+    def test_pragmas_carry_pad_timing(self, lib):
+        text = network_to_blif(_demo_network(lib))
+        assert "# pragma input din net=n0 clock=phi2 edge=leading" in text
+        assert "# pragma cell u1" in text
+
+    def test_module_instances_rejected(self, lib):
+        from repro.netlist import ModuleDefinition, ModuleSpec
+
+        inner_b = NetworkBuilder(lib)
+        inner_b.gate("g", "INV", A="a", Z="z")
+        spec = ModuleSpec(
+            "M",
+            ModuleDefinition(
+                inner_b.build(), input_ports={"A": "a"}, output_ports={"Z": "z"}
+            ),
+        )
+        b = NetworkBuilder(lib)
+        b.instantiate("m", spec, A="x", Z="y")
+        with pytest.raises(BlifError, match="flatten"):
+            network_to_blif(b.build())
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, lib, tmp_path):
+        original = _demo_network(lib)
+        path = tmp_path / "demo.blif"
+        save_blif(original, path)
+        loaded = load_blif(path, lib)
+        assert loaded.name == original.name
+        assert loaded.num_cells == original.num_cells
+        assert loaded.cell("L1").spec.name == "DLATCH"
+        assert loaded.cell("din").attrs["offset"] == 1.0
+        assert loaded.cell("din").attrs["edge"] == "leading"
+
+    def test_roundtrip_validates_and_analyzes_identically(self, lib, tmp_path):
+        original = _demo_network(lib)
+        path = tmp_path / "demo.blif"
+        save_blif(original, path)
+        loaded = load_blif(path, lib)
+        schedule = ClockSchedule.two_phase(100)
+        assert validate_network(loaded, set(schedule.clock_names)).ok
+        a = Hummingbird(original, schedule).analyze().worst_slack
+        b = Hummingbird(loaded, schedule).analyze().worst_slack
+        assert a == pytest.approx(b)
+
+    def test_flattened_hierarchy_roundtrip(self, lib, tmp_path):
+        from repro.generators import generate_sm1h
+
+        network, schedule = generate_sm1h(n_gates=60)
+        flat = flatten(network)
+        path = tmp_path / "sm1.blif"
+        save_blif(flat, path)
+        loaded = load_blif(path, lib)
+        assert loaded.num_cells == flat.num_cells
+        a = Hummingbird(flat, schedule).analyze().worst_slack
+        b = Hummingbird(loaded, schedule).analyze().worst_slack
+        assert a == pytest.approx(b)
+
+
+class TestHandWritten:
+    def test_minimal_file_with_default_clock(self, lib):
+        text = """
+.model tiny
+.inputs a
+.outputs y
+.clock clk
+.gate INV A=a Z=n1
+.mlatch DFF D=n1 CK=clk Q=y
+.end
+"""
+        network = blif_to_network(text, lib, default_clock="clk")
+        assert network.name == "tiny"
+        assert network.num_cells == 5
+        report = validate_network(network, {"clk"})
+        assert report.ok, report.errors
+
+    def test_continuation_lines(self, lib):
+        text = ".model t\n.inputs a \\\nb\n.clock clk\n.gate NAND2 A=a B=b Z=y\n.outputs y\n.end\n"
+        network = blif_to_network(text, lib, default_clock="clk")
+        assert len(network.primary_inputs) == 2
+
+    def test_pads_without_clock_rejected(self, lib):
+        text = ".model t\n.inputs a\n.end\n"
+        with pytest.raises(BlifError, match="default_clock"):
+            blif_to_network(text, lib)
+
+    def test_names_construct_rejected(self, lib):
+        text = ".model t\n.names a b\n1 1\n.end\n"
+        with pytest.raises(BlifError, match="names"):
+            blif_to_network(text, lib)
+
+    def test_generic_latch_rejected(self, lib):
+        text = ".model t\n.latch a b re clk 0\n.end\n"
+        with pytest.raises(BlifError, match="mlatch"):
+            blif_to_network(text, lib)
+
+    def test_unknown_construct_rejected(self, lib):
+        text = ".model t\n.subckt foo a=b\n.end\n"
+        with pytest.raises(BlifError, match="unsupported"):
+            blif_to_network(text, lib)
+
+    def test_malformed_binding_rejected(self, lib):
+        text = ".model t\n.gate INV A Z=y\n.end\n"
+        with pytest.raises(BlifError, match="binding"):
+            blif_to_network(text, lib)

@@ -1,0 +1,131 @@
+"""Unit tests for cells, nets, terminals and the Network container."""
+
+import pytest
+
+from repro.netlist import NetworkBuilder
+from repro.netlist.cell import Cell
+from repro.netlist.kinds import CellRole
+from repro.netlist.network import CombinationalCycleError, Network
+from repro.netlist.terminals import TerminalKind
+
+
+class TestCell:
+    def test_terminals_created_from_spec(self, lib):
+        cell = Cell("g", lib.spec("NAND2"))
+        assert {t.pin for t in cell.terminals()} == {"A", "B", "Z"}
+        assert cell.terminal("A").kind is TerminalKind.INPUT
+        assert cell.terminal("Z").kind is TerminalKind.OUTPUT
+
+    def test_sync_control_terminal(self, lib):
+        cell = Cell("l", lib.spec("DLATCH"))
+        assert cell.control_terminal is not None
+        assert cell.control_terminal.kind is TerminalKind.CONTROL
+        assert cell.data_input.pin == "D"
+        assert cell.data_output.pin == "Q"
+
+    def test_data_input_on_gate_raises(self, lib):
+        cell = Cell("g", lib.spec("INV"))
+        with pytest.raises(ValueError):
+            cell.data_input
+
+    def test_unknown_pin_raises(self, lib):
+        cell = Cell("g", lib.spec("INV"))
+        with pytest.raises(KeyError):
+            cell.terminal("Q")
+
+    def test_full_name(self, lib):
+        cell = Cell("u42", lib.spec("INV"))
+        assert cell.terminal("A").full_name == "u42/A"
+
+
+class TestNetworkContainer:
+    def test_duplicate_cell_rejected(self, lib):
+        n = Network()
+        n.add_cell(Cell("g", lib.spec("INV")))
+        with pytest.raises(ValueError):
+            n.add_cell(Cell("g", lib.spec("INV")))
+
+    def test_connect_creates_net(self, lib):
+        n = Network()
+        g = n.add_cell(Cell("g", lib.spec("INV")))
+        n.connect("w", g.terminal("Z"))
+        assert n.net("w").driver is g.terminal("Z")
+
+    def test_single_net_multiple_sinks(self, lib):
+        n = Network()
+        g = n.add_cell(Cell("g", lib.spec("INV")))
+        a = n.add_cell(Cell("a", lib.spec("INV")))
+        b = n.add_cell(Cell("b", lib.spec("INV")))
+        n.connect("w", g.terminal("Z"))
+        n.connect("w", a.terminal("A"))
+        n.connect("w", b.terminal("A"))
+        assert n.net("w").fanout == 2
+        assert set(n.sinks_of(g.terminal("Z"))) == {
+            a.terminal("A"),
+            b.terminal("A"),
+        }
+
+    def test_terminal_cannot_join_two_nets(self, lib):
+        n = Network()
+        g = n.add_cell(Cell("g", lib.spec("INV")))
+        n.connect("w1", g.terminal("Z"))
+        with pytest.raises(ValueError):
+            n.connect("w2", g.terminal("Z"))
+
+    def test_remove_cell_detaches_terminals(self, lib):
+        n = Network()
+        g = n.add_cell(Cell("g", lib.spec("INV")))
+        n.connect("w", g.terminal("Z"))
+        n.remove_cell("g")
+        assert not n.has_cell("g")
+        assert n.net("w").drivers == []
+        assert n.remove_net_if_empty("w")
+
+    def test_role_queries(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk")
+        b.gate("g", "INV", A="w", Z="w2")
+        b.latch("l", "DFF", D="w2", CK="clk", Q="w3")
+        b.output("o", "w3", clock="clk")
+        n = b.build()
+        assert len(n.combinational_cells) == 1
+        assert len(n.synchronisers) == 1
+        assert len(n.clock_sources) == 1
+        assert len(n.primary_inputs) == 1
+        assert len(n.primary_outputs) == 1
+        assert n.stats()["cells"] == 5
+
+
+class TestTopologicalOrder:
+    def test_chain_ordered(self, lib):
+        b = NetworkBuilder(lib)
+        b.gate("g2", "INV", A="w1", Z="w2")
+        b.gate("g1", "INV", A="w0", Z="w1")
+        b.gate("g3", "INV", A="w2", Z="w3")
+        order = [c.name for c in b.build().comb_topological_cells()]
+        assert order.index("g1") < order.index("g2") < order.index("g3")
+
+    def test_cycle_detected(self, lib):
+        b = NetworkBuilder(lib)
+        b.gate("g1", "INV", A="w2", Z="w1")
+        b.gate("g2", "INV", A="w1", Z="w2")
+        with pytest.raises(CombinationalCycleError):
+            b.build().comb_topological_cells()
+
+    def test_cycle_through_latch_is_fine(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.gate("g1", "INV", A="q", Z="d")
+        b.latch("l", "DFF", D="d", CK="clk", Q="q")
+        assert len(b.build().comb_topological_cells()) == 1
+
+    def test_driver_of_multi_driver_net_raises(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.latch("t1", "TRIBUF", D="a", EN="clk", Q="bus")
+        b.latch("t2", "TRIBUF", D="b", EN="clk", Q="bus")
+        b.gate("g", "INV", A="bus", Z="z")
+        n = b.build()
+        with pytest.raises(ValueError):
+            n.driver_of(n.cell("g").terminal("A"))

@@ -1,0 +1,123 @@
+"""Tests for the structural Verilog subset round-trip."""
+
+import pytest
+
+from repro.clocks import ClockSchedule
+from repro.core import Hummingbird
+from repro.netlist import NetworkBuilder, validate_network
+from repro.netlist.verilog import (
+    VerilogError,
+    load_verilog,
+    network_to_verilog,
+    save_verilog,
+    verilog_to_network,
+)
+
+
+def _demo_network(lib):
+    b = NetworkBuilder(lib, name="vdemo")
+    b.clock("phi1")
+    b.clock("phi2")
+    b.input("din", "n0", clock="phi2", edge="leading", offset=1.0)
+    b.gate("u1", "NAND2", A="n0", B="n0", Z="n1")
+    b.latch("L1", "DLATCH", D="n1", G="phi1", Q="n2")
+    b.gate("u2", "INV", A="n2", Z="n3")
+    b.latch("L2", "DFF", D="n3", CK="phi2", Q="n4")
+    b.output("dout", "n4", clock="phi2", edge="trailing")
+    return b.build()
+
+
+class TestWrite:
+    def test_structure(self, lib):
+        text = network_to_verilog(_demo_network(lib))
+        assert text.startswith("module vdemo (")
+        assert "input n0;" in text
+        assert "output n4;" in text
+        assert "input phi1, phi2;" not in text  # one decl per clock line
+        assert "input phi1;" in text and "input phi2;" in text
+        assert "NAND2 u1 (.A(n0), .B(n0), .Z(n1));" in text
+        assert "DLATCH L1 (.D(n1), .Q(n2), .G(phi1));" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_pragmas(self, lib):
+        text = network_to_verilog(_demo_network(lib))
+        assert "// pragma clock phi1 name=phi1" in text
+        assert "// pragma input din net=n0 clock=phi2 edge=leading" in text
+
+    def test_wires_declared(self, lib):
+        text = network_to_verilog(_demo_network(lib))
+        assert "wire n1;" in text
+        assert "wire n2;" in text
+
+
+class TestRoundTrip:
+    def test_file_roundtrip_preserves_analysis(self, lib, tmp_path):
+        original = _demo_network(lib)
+        path = tmp_path / "demo.v"
+        save_verilog(original, path)
+        loaded = load_verilog(path, lib)
+        schedule = ClockSchedule.two_phase(100)
+        assert validate_network(loaded, set(schedule.clock_names)).ok
+        assert loaded.num_cells == original.num_cells
+        assert loaded.cell("din").attrs["offset"] == 1.0
+        a = Hummingbird(original, schedule).analyze().worst_slack
+        b = Hummingbird(loaded, schedule).analyze().worst_slack
+        assert a == pytest.approx(b)
+
+    def test_roundtrip_of_generated_design(self, lib, tmp_path):
+        from repro.generators import generate_s27
+
+        network, schedule = generate_s27()
+        path = tmp_path / "s27.v"
+        save_verilog(network, path)
+        loaded = load_verilog(path, lib)
+        a = Hummingbird(network, schedule).analyze().worst_slack
+        b = Hummingbird(loaded, schedule).analyze().worst_slack
+        assert a == pytest.approx(b)
+
+
+class TestHandWritten:
+    def test_minimal_module(self, lib):
+        text = """
+module tiny (a, y, clk);
+  // pragma clock clk name=clk
+  input a;
+  input clk;
+  output y;
+  wire n1;
+  INV g1 (.A(a), .Z(n1));
+  DFF f1 (.D(n1), .CK(clk), .Q(y));
+endmodule
+"""
+        network = verilog_to_network(text, lib, default_clock="clk")
+        assert network.name == "tiny"
+        report = validate_network(network, {"clk"})
+        assert report.ok, report.errors
+
+    def test_multiline_instance(self, lib):
+        text = (
+            "module t (a, clk);\n// pragma clock clk name=clk\n"
+            "input a;\ninput clk;\n"
+            "INV g1 (\n  .A(a),\n  .Z(n1)\n);\nendmodule\n"
+        )
+        network = verilog_to_network(text, lib, default_clock="clk")
+        assert network.cell("g1").terminal("Z").net.name == "n1"
+
+    def test_behavioural_rejected(self, lib):
+        text = "module t (a);\ninput a;\nassign y = a;\nendmodule\n"
+        with pytest.raises(VerilogError, match="behavioural"):
+            verilog_to_network(text, lib, default_clock="clk")
+
+    def test_positional_ports_rejected(self, lib):
+        text = "module t (a);\ninput a;\nINV g1 (a, y);\nendmodule\n"
+        with pytest.raises(VerilogError, match="named port"):
+            verilog_to_network(text, lib, default_clock="clk")
+
+    def test_missing_endmodule_rejected(self, lib):
+        with pytest.raises(VerilogError, match="endmodule"):
+            verilog_to_network("module t (a);\ninput a;\n", lib, "clk")
+
+    def test_port_without_clock_rejected(self, lib):
+        text = "module t (a);\ninput a;\nendmodule\n"
+        with pytest.raises(VerilogError, match="default_clock"):
+            verilog_to_network(text, lib)

@@ -1,0 +1,302 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import ClockSchedule, ClockWaveform, as_time
+from repro.core.breakopen import BreakOpenPlan, RequirementArc, minimum_breaks
+from repro.core.ideal_constraints import ideal_data_constraint
+from repro.netlist.kinds import Unateness
+from repro.rftime import RiseFall
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+rise_falls = st.builds(RiseFall, finite_floats, finite_floats)
+unateness = st.sampled_from(list(Unateness))
+
+
+class TestRiseFallAlgebra:
+    @given(rise_falls, rise_falls)
+    def test_max_commutative(self, a, b):
+        assert a.max_with(b) == b.max_with(a)
+
+    @given(rise_falls, rise_falls, rise_falls)
+    def test_max_associative(self, a, b, c):
+        assert a.max_with(b).max_with(c) == a.max_with(b.max_with(c))
+
+    @given(rise_falls)
+    def test_max_idempotent(self, a):
+        assert a.max_with(a) == a
+
+    @given(rise_falls, rise_falls)
+    def test_min_lower_bound(self, a, b):
+        low = a.min_with(b)
+        assert low.rise <= a.rise and low.rise <= b.rise
+        assert low.fall <= a.fall and low.fall <= b.fall
+
+    @given(rise_falls, unateness)
+    def test_through_arc_preserves_worst_or_equal(self, a, sense):
+        assert a.through_arc(sense).worst == a.worst
+
+    @given(rise_falls, unateness)
+    def test_backward_never_exceeds_forward_inverse(self, a, sense):
+        """back_through_arc is conservative: applying forward then
+        backward never yields a looser (larger) requirement."""
+        roundtrip = a.through_arc(sense).back_through_arc(sense)
+        assert roundtrip.rise <= a.worst + 1e-12
+        assert roundtrip.fall <= a.worst + 1e-12
+
+    @given(rise_falls, finite_floats)
+    def test_shift_distributes_over_worst(self, a, d):
+        assert a.shifted(d).worst == pytest.approx(a.worst + d)
+
+
+class TestTimeConversion:
+    @given(st.integers(min_value=-10**9, max_value=10**9))
+    def test_int_exact(self, n):
+        assert as_time(n) == n
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_fraction_strings(self, num, den):
+        assert as_time(f"{num}/{den}") == Fraction(num, den)
+
+
+def _edge_times(draw, min_size=2, max_size=10):
+    times = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=99),
+            min_size=min_size,
+            max_size=max_size,
+            unique=True,
+        )
+    )
+    return sorted(Fraction(t) for t in times)
+
+
+@st.composite
+def breakopen_cases(draw):
+    period = Fraction(100)
+    times = _edge_times(draw)
+    n_arcs = draw(st.integers(min_value=1, max_value=8))
+    arcs = []
+    for __ in range(n_arcs):
+        a = draw(st.sampled_from(times))
+        c = draw(st.sampled_from(times))
+        arcs.append(RequirementArc(a, c))
+    return period, times, arcs
+
+
+class TestBreakOpenProperties:
+    @given(breakopen_cases())
+    @settings(max_examples=200)
+    def test_minimum_breaks_cover_all_arcs(self, case):
+        period, times, arcs = case
+        breaks = minimum_breaks(period, times, arcs)
+        for arc in arcs:
+            assert any(arc.handled_by(b, period) for b in breaks)
+
+    @given(breakopen_cases())
+    @settings(max_examples=200)
+    def test_designated_pass_handles_incoming_arcs(self, case):
+        """The per-capture designation rule ("closure closest to the end")
+        always picks a pass that handles every covered incoming pair."""
+        period, times, arcs = case
+        breaks = minimum_breaks(period, times, arcs)
+        plan = BreakOpenPlan(period=period, breaks=breaks)
+        for arc in arcs:
+            chosen = breaks[plan.designated_pass(arc.closure)]
+            assert arc.handled_by(chosen, period)
+
+    @given(breakopen_cases())
+    @settings(max_examples=100)
+    def test_single_break_per_arc_always_exists(self, case):
+        """Breaking exactly at an arc's closure edge always handles it."""
+        period, __, arcs = case
+        for arc in arcs:
+            assert arc.handled_by(arc.closure, period)
+
+    @given(breakopen_cases())
+    @settings(max_examples=100)
+    def test_handled_pair_position_difference_is_exact_constraint(self, case):
+        period, times, arcs = case
+        breaks = minimum_breaks(period, times, arcs)
+        plan = BreakOpenPlan(period=period, breaks=breaks)
+        for arc in arcs:
+            for index, b in enumerate(breaks):
+                if not arc.handled_by(b, period):
+                    continue
+                diff = plan.position_closure(
+                    arc.closure, index
+                ) - plan.position_assertion(arc.assertion, index)
+                assert diff == arc.ideal_constraint(period)
+
+    @given(
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=99),
+    )
+    def test_ideal_constraint_in_half_open_period(self, a, c):
+        d = ideal_data_constraint(Fraction(a), Fraction(c), Fraction(100))
+        assert 0 < d <= 100
+
+
+@st.composite
+def waveforms(draw, name="clk"):
+    period = draw(st.integers(min_value=4, max_value=400))
+    leading = draw(st.integers(min_value=0, max_value=period - 1))
+    width = draw(st.integers(min_value=1, max_value=period - 1))
+    return ClockWaveform(name, period, leading, leading + width)
+
+
+class TestScheduleProperties:
+    @given(waveforms())
+    def test_edges_within_overall_period(self, waveform):
+        schedule = ClockSchedule([waveform])
+        for edge in schedule.all_edges():
+            assert 0 <= edge.time < schedule.overall_period
+
+    @given(waveforms(), st.integers(min_value=1, max_value=4))
+    def test_multiplier_times_period(self, waveform, k):
+        other = ClockWaveform(
+            "other", waveform.period * k, 0, waveform.period * k / 2
+        )
+        schedule = ClockSchedule([waveform, other])
+        assert (
+            schedule.multiplier(waveform.name) * waveform.period
+            == schedule.overall_period
+        )
+
+    @given(waveforms(), st.integers(min_value=-500, max_value=500))
+    def test_shift_preserves_width(self, waveform, delta):
+        assert waveform.shifted(delta).width == waveform.width
+
+    @given(waveforms())
+    def test_is_high_fraction_matches_duty(self, waveform):
+        """Sampling matches the duty cycle within quantisation error."""
+        samples = 200
+        highs = sum(
+            waveform.is_high(Fraction(waveform.period * i, samples))
+            for i in range(samples)
+        )
+        duty = float(waveform.width / waveform.period)
+        assert abs(highs / samples - duty) < 0.02 + 1.0 / samples
+
+
+@st.composite
+def pipeline_cases(draw):
+    n_stages = draw(st.integers(min_value=2, max_value=3))
+    lengths = [
+        draw(st.integers(min_value=1, max_value=20)) for __ in range(n_stages)
+    ]
+    period = draw(st.integers(min_value=8, max_value=60))
+    return lengths, period
+
+
+class TestAlgorithm1Properties:
+    @given(pipeline_cases())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_verdict_matches_grid_search(self, case):
+        from repro.core.algorithm1 import run_algorithm1
+        from repro.core.model import AnalysisModel
+        from repro.core.slack import SlackEngine
+        from repro.delay import estimate_delays
+        from repro.generators import latch_pipeline
+
+        from tests.conftest import brute_force_feasible
+
+        lengths, period = case
+        network, schedule = latch_pipeline(
+            stages=len(lengths), stage_lengths=lengths, period=period
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        __, best, __ = brute_force_feasible(model, engine, points=11)
+        result = run_algorithm1(model, engine)
+        if best > 0.3:
+            assert result.intended
+        if best < -0.3:
+            assert not result.intended
+
+    @given(pipeline_cases())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_block_equals_enumeration(self, case):
+        from repro.baselines import enumerate_port_slacks
+        from repro.core.algorithm1 import run_algorithm1
+        from repro.core.model import AnalysisModel
+        from repro.core.slack import SlackEngine
+        from repro.delay import estimate_delays
+        from repro.generators import latch_pipeline
+
+        lengths, period = case
+        network, schedule = latch_pipeline(
+            stages=len(lengths), stage_lengths=lengths, period=period
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        block = run_algorithm1(model, engine).slacks
+        enumerated = enumerate_port_slacks(model, engine).slacks
+        for group in ("capture", "launch"):
+            for name, value in getattr(block, group).items():
+                other = getattr(enumerated, group)[name]
+                if math.isinf(value):
+                    assert math.isinf(other)
+                else:
+                    assert other == pytest.approx(value)
+
+
+class TestTransferMonotonicity:
+    @given(
+        st.floats(min_value=0.0, max_value=20.0),
+        st.floats(min_value=-30.0, max_value=30.0),
+    )
+    def test_satisfied_set_never_shrinks(self, w0, slack_like):
+        """The paper's S' >= S lemma, exercised on a two-latch chain:
+        after a complete forward transfer bounded by the input slack, the
+        previously satisfied constraints remain satisfied."""
+        from repro.core.model import AnalysisModel
+        from repro.core.slack import SlackEngine
+        from repro.core.transfer import complete_forward
+        from repro.delay import estimate_delays
+        from repro.generators import latch_pipeline
+
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[6, 6], period=20
+        )
+        delays = estimate_delays(network)
+        model = AnalysisModel(network, schedule, delays)
+        engine = SlackEngine(model)
+        latch = model.adjustable_instances()[0]
+        latch.w = min(w0, latch.width)
+        before = engine.port_slacks()
+        satisfied_before = {
+            name
+            for group in (before.capture, before.launch)
+            for name, value in group.items()
+            if value >= 0
+        }
+        complete_forward(latch, before.capture[latch.name])
+        after = engine.port_slacks()
+        satisfied_after = {
+            name
+            for group in (after.capture, after.launch)
+            for name, value in group.items()
+            if value >= -1e-9
+        }
+        assert satisfied_before <= satisfied_after

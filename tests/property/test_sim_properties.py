@@ -1,0 +1,96 @@
+"""Property tests cross-checking the event simulator against the
+zero-delay functional evaluator on random combinational cones."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cells import standard_library
+from repro.clocks import ClockSchedule
+from repro.delay import estimate_delays
+from repro.generators.random_logic import random_logic_block
+from repro.netlist import NetworkBuilder
+from repro.sim import EventSimulator
+from repro.sim.functional import evaluate_combinational
+
+_LIB = standard_library()
+
+#: Gate mix restricted to cells with simple functions (all of them have
+#: functions; keep the mix small for fast cones).
+_MIX = (("NAND2", 3.0), ("NOR2", 2.0), ("INV", 2.0), ("XOR2", 1.0), ("MUX2", 0.5))
+
+
+def _build(seed: int, n_gates: int, n_inputs: int):
+    rng = random.Random(seed)
+    b = NetworkBuilder(_LIB)
+    b.clock("clk")
+    input_nets = []
+    for index in range(n_inputs):
+        net = f"pi{index}"
+        b.input(f"in{index}", net, clock="clk", edge="leading", offset=1.0)
+        input_nets.append(net)
+    random_logic_block(
+        b, rng, "c", input_nets, n_gates, n_outputs=1, gate_mix=_MIX
+    )
+    return b.build(), ClockSchedule.single("clk", 1000), input_nets
+
+
+class TestSimulatorSettlesToFunctionalValues:
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n_gates=st.integers(min_value=3, max_value=25),
+        pattern=st.integers(min_value=0, max_value=15),
+    )
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_settled_values_match(self, seed, n_gates, pattern):
+        """After the event wave dies out, every net equals the functional
+        evaluation of the driven input values."""
+        network, schedule, input_nets = _build(seed, n_gates, n_inputs=4)
+        delays = estimate_delays(network)
+        stimulus_values = {
+            f"in{k}": bool((pattern >> k) & 1) for k in range(4)
+        }
+        sim = EventSimulator(
+            network,
+            schedule,
+            delays,
+            stimulus=lambda name, cycle: stimulus_values[name],
+        )
+        trace = sim.run(cycles=1)
+        # Sample well after all waves settled (period is 1000, logic
+        # depth tens of ns at most).
+        t = 900.0
+        driven = {
+            net: stimulus_values[f"in{index}"]
+            for index, net in enumerate(input_nets)
+        }
+        expected = evaluate_combinational(network, driven)
+        for net_name, value in expected.items():
+            assert trace.value_at(net_name, t) == value, net_name
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_event_count_bounded(self, seed):
+        """One input wave through an acyclic cone produces finitely many
+        events, bounded by a small multiple of the arc count (transport
+        delay can glitch, but cannot oscillate)."""
+        network, schedule, __ = _build(seed, n_gates=20, n_inputs=4)
+        delays = estimate_delays(network)
+        sim = EventSimulator(
+            network, schedule, delays, stimulus=lambda n, c: True
+        )
+        trace = sim.run(cycles=1)
+        arc_count = sum(
+            len(delays.arcs_of(cell))
+            for cell in network.combinational_cells
+        )
+        assert trace.events_processed < 40 * (arc_count + 8)

@@ -1,0 +1,129 @@
+"""Dynamic validation of the static analysis.
+
+The strongest correctness evidence in this repository: the event
+simulator implements the paper's *definition* of intended behaviour (the
+real system must capture the same values as the ideal, delays-to-zero
+system), so
+
+* STA "intended" + clean supplementary check  =>  no simulated stimulus
+  may produce a capture mismatch or setup violation,
+* designs STA rejects show real capture mismatches in simulation.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.mindelay import check_min_delays
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.generators import fig1_circuit, latch_pipeline
+from repro.sim import dynamic_intended_check
+
+from tests.conftest import build_ff_stage
+
+
+def _sta_verdict(network, schedule, delays):
+    model = AnalysisModel(network, schedule, delays)
+    engine = SlackEngine(model)
+    result = run_algorithm1(model, engine)
+    min_clean = not check_min_delays(model, engine)
+    return result, min_clean
+
+
+def _assert_sound(network, schedule, seeds=(0, 1, 2), cycles=8):
+    delays = estimate_delays(network)
+    result, min_clean = _sta_verdict(network, schedule, delays)
+    assert result.intended and min_clean, "workload must be STA-clean"
+    for seed in seeds:
+        check = dynamic_intended_check(
+            network, schedule, delays, cycles=cycles, seed=seed
+        )
+        assert check.captures_compared > 0
+        assert check.intended, (seed, check.mismatches[:3])
+
+
+class TestSoundnessOnCleanDesigns:
+    def test_ff_pipeline(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=10)
+        _assert_sound(network, schedule)
+
+    def test_latch_pipeline_with_borrowing(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[18, 2], period=26, library=lib
+        )
+        _assert_sound(network, schedule)
+
+    def test_four_phase_fig1(self):
+        network, schedule = fig1_circuit(period=100)
+        _assert_sound(network, schedule)
+
+    def test_balanced_latch_pipeline(self, lib):
+        network, schedule = latch_pipeline(
+            stages=4, chain_length=4, period=40, library=lib
+        )
+        _assert_sound(network, schedule)
+
+
+class TestDetectionOnSlowDesigns:
+    def test_slow_ff_pipeline_mismatches(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=2.5)
+        delays = estimate_delays(network)
+        result, __ = _sta_verdict(network, schedule, delays)
+        assert not result.intended
+        check = dynamic_intended_check(
+            network,
+            schedule,
+            delays,
+            cycles=10,
+            stimulus=lambda name, cycle: cycle % 2 == 0,
+        )
+        assert not check.intended
+        assert check.mismatches
+
+    def test_slow_latch_pipeline_mismatches(self, lib):
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[48, 48], period=12, library=lib
+        )
+        delays = estimate_delays(network)
+        result, __ = _sta_verdict(network, schedule, delays)
+        assert not result.intended
+        check = dynamic_intended_check(
+            network,
+            schedule,
+            delays,
+            cycles=12,
+            stimulus=lambda name, cycle: cycle % 2 == 0,
+        )
+        assert not check.intended
+
+
+class TestSoundnessProperty:
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=1, max_value=12), min_size=2, max_size=3
+        ),
+        period=st.integers(min_value=14, max_value=60),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sta_intended_implies_simulation_clean(
+        self, lengths, period, seed
+    ):
+        network, schedule = latch_pipeline(
+            stages=len(lengths), stage_lengths=lengths, period=period
+        )
+        delays = estimate_delays(network)
+        result, min_clean = _sta_verdict(network, schedule, delays)
+        if not (result.intended and min_clean):
+            return  # soundness only promises anything for clean designs
+        check = dynamic_intended_check(
+            network, schedule, delays, cycles=6, seed=seed
+        )
+        assert check.intended, check.mismatches[:3]

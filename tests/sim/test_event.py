@@ -1,0 +1,153 @@
+"""Tests for the event-driven timing simulator."""
+
+import pytest
+
+from repro.clocks import ClockSchedule
+from repro.delay import estimate_delays
+from repro.netlist import NetworkBuilder
+from repro.sim import EventSimulator, dynamic_intended_check
+
+from tests.conftest import build_ff_stage
+
+
+def _simulate(network, schedule, cycles=6, stimulus=None, seed=0):
+    delays = estimate_delays(network)
+    sim = EventSimulator(network, schedule, delays, stimulus, seed)
+    return sim, sim.run(cycles)
+
+
+class TestClockGeneration:
+    def test_clock_net_follows_waveform(self, lib):
+        network, schedule = build_ff_stage(lib, chain=1, period=10)
+        __, trace = _simulate(network, schedule, cycles=3)
+        times = trace.transitions["clk"]
+        assert times[0] == (0.0, True)
+        assert times[1] == (5.0, False)
+        assert times[2] == (10.0, True)
+
+    def test_buffered_clock_is_delayed(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.gate("cb", "BUF", A="clk", Z="bclk")
+        b.input("i", "w", clock="clk")
+        b.latch("l", "DLATCH", D="w", G="bclk", Q="q")
+        b.output("o", "q", clock="clk")
+        network = b.build()
+        schedule = ClockSchedule.single("clk", 20)
+        sim, trace = _simulate(network, schedule, cycles=2)
+        delay = sim.delays.arc_delay(network.cell("cb"), "A", "Z")
+        (t_clk, __) = trace.transitions["clk"][0]
+        (t_bclk, __) = trace.transitions["bclk"][0]
+        assert t_bclk == pytest.approx(t_clk + delay.rise)
+
+
+class TestGateBehaviour:
+    def test_inverter_inverts_with_delay(self, lib):
+        network, schedule = build_ff_stage(lib, chain=1, period=20)
+        sim, trace = _simulate(
+            network, schedule, cycles=4, stimulus=lambda n, c: c % 2 == 0
+        )
+        inv = network.cell("inv0")
+        delay = sim.delays.arc_delay(inv, "A", "Z")
+        n0 = trace.transitions["n0"]
+        n1 = trace.transitions["n1"]
+        assert n0 and n1
+        # Every n1 transition is an inversion of an n0 transition, one
+        # arc delay later.
+        for (t0, v0), (t1, v1) in zip(n0, n1):
+            assert v1 == (not v0)
+            expected = delay.rise if v1 else delay.fall
+            assert t1 - t0 == pytest.approx(expected)
+
+
+class TestLatchBehaviour:
+    def _latch_design(self, lib):
+        b = NetworkBuilder(lib)
+        b.clock("phi")
+        b.input("i", "d_in", clock="phi", edge="leading", offset=-6.0)
+        b.latch("l", "DLATCH", D="d_in", G="phi", Q="q")
+        b.output("o", "q", clock="phi")
+        return b.build(), ClockSchedule.single("phi", 20, leading=8, trailing=16)
+
+    def test_transparent_window_passes_data(self, lib):
+        network, schedule = self._latch_design(lib)
+        sim, trace = _simulate(
+            network, schedule, cycles=4, stimulus=lambda n, c: c % 2 == 0
+        )
+        timing = sim.delays.sync_timing(network.cell("l"))
+        # Data changes at 2.0 each cycle (before the window at 8); Q
+        # updates at window opening + c_to_q.
+        q = trace.transitions["q"]
+        assert q
+        first_time, first_value = q[0]
+        assert first_time == pytest.approx(8 + timing.c_to_q)
+        assert first_value is True
+
+    def test_data_change_during_window_flows_through(self, lib):
+        network, schedule = self._latch_design(lib)
+        # Drive the input *inside* the window: offset +2 puts changes at
+        # t = 10 (window is [8, 16)).
+        network.cell("i").attrs["offset"] = 2.0
+        sim, trace = _simulate(
+            network, schedule, cycles=4, stimulus=lambda n, c: c % 2 == 0
+        )
+        timing = sim.delays.sync_timing(network.cell("l"))
+        q = trace.transitions["q"]
+        assert q[0][0] == pytest.approx(10 + timing.d_to_q)
+
+    def test_data_change_after_close_held(self, lib):
+        network, schedule = self._latch_design(lib)
+        network.cell("i").attrs["offset"] = 9.0  # t = 17, window closed
+        sim, trace = _simulate(
+            network, schedule, cycles=4, stimulus=lambda n, c: c % 2 == 0
+        )
+        timing = sim.delays.sync_timing(network.cell("l"))
+        q = trace.transitions["q"]
+        # Value launched at 17 only appears when the *next* window opens.
+        assert q[0][0] == pytest.approx(28 + timing.c_to_q)
+
+
+class TestEdgeTriggered:
+    def test_captures_on_trailing_edge_only(self, lib):
+        network, schedule = build_ff_stage(lib, chain=1, period=20)
+        sim, trace = _simulate(
+            network, schedule, cycles=4, stimulus=lambda n, c: c % 2 == 0
+        )
+        timing = sim.delays.sync_timing(network.cell("ff_a"))
+        n0 = trace.transitions["n0"]
+        # Q changes only at falling clock edges (10, 30, 50...) + c_to_q.
+        for t, __ in n0:
+            offset = (t - timing.c_to_q) % 20
+            assert offset == pytest.approx(10.0)
+
+
+class TestGuards:
+    def test_event_budget(self, lib):
+        network, schedule = build_ff_stage(lib, chain=4, period=20)
+        delays = estimate_delays(network)
+        sim = EventSimulator(
+            network, schedule, delays, max_events=5
+        )
+        with pytest.raises(RuntimeError, match="events"):
+            sim.run(cycles=4)
+
+    def test_functionless_gate_rejected(self, lib):
+        from dataclasses import replace
+
+        b = NetworkBuilder(lib)
+        b.clock("clk")
+        b.input("i", "w", clock="clk")
+        silent = replace(lib.spec("INV"), function=None)
+        b.instantiate("g", silent, A="w", Z="z")
+        b.latch("f", "DFF", D="z", CK="clk", Q="q")
+        b.output("o", "q", clock="clk")
+        network = b.build()
+        delays = estimate_delays(network)
+        sim = EventSimulator(
+            network,
+            ClockSchedule.single("clk", 20),
+            delays,
+            stimulus=lambda n, c: c % 2 == 0,
+        )
+        with pytest.raises(ValueError, match="boolean"):
+            sim.run(cycles=2)

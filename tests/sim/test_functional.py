@@ -1,0 +1,75 @@
+"""Tests for zero-delay functional evaluation."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import NetworkBuilder
+from repro.sim.functional import (
+    FunctionError,
+    evaluate_combinational,
+    evaluate_module,
+)
+
+
+class TestEvaluateCombinational:
+    def test_gate_chain(self, lib):
+        b = NetworkBuilder(lib)
+        b.gate("g1", "NAND2", A="a", B="b", Z="n1")
+        b.gate("g2", "INV", A="n1", Z="y")
+        network = b.build()
+        for a, bv in itertools.product([False, True], repeat=2):
+            values = evaluate_combinational(network, {"a": a, "b": bv})
+            assert values["y"] == (a and bv)
+
+    def test_all_default_gates_have_functions(self, lib):
+        for spec in lib.gates():
+            assert spec.function is not None, spec.name
+            # Smoke-evaluate with all-False inputs.
+            pins = {pin: False for pin in spec.inputs}
+            assert isinstance(spec.function(pins), bool)
+
+    def test_gate_functions_match_semantics(self, lib):
+        cases = {
+            "NAND3": lambda a, b, c: not (a and b and c),
+            "NOR3": lambda a, b, c: not (a or b or c),
+            "AOI21": lambda a, b, c: not ((a and b) or c),
+            "OAI21": lambda a, b, c: not ((a or b) and c),
+        }
+        for name, golden in cases.items():
+            spec = lib.spec(name)
+            for a, b, c in itertools.product([False, True], repeat=3):
+                assert spec.function({"A": a, "B": b, "C": c}) == golden(
+                    a, b, c
+                ), name
+
+    def test_mux_function(self, lib):
+        spec = lib.spec("MUX2")
+        assert spec.function({"A": True, "B": False, "S": False}) is True
+        assert spec.function({"A": True, "B": False, "S": True}) is False
+
+    def test_partial_cone_skips_unreachable(self, lib):
+        b = NetworkBuilder(lib)
+        b.gate("g1", "INV", A="a", Z="y1")
+        b.gate("g2", "INV", A="other", Z="y2")
+        values = evaluate_combinational(b.build(), {"a": True})
+        assert values["y1"] is False
+        assert "y2" not in values
+
+    def test_functionless_cell_raises(self, lib):
+        from dataclasses import replace
+
+        b = NetworkBuilder(lib)
+        silent = replace(lib.spec("INV"), function=None)
+        b.instantiate("g", silent, A="a", Z="y")
+        with pytest.raises(FunctionError):
+            evaluate_combinational(b.build(), {"a": True})
+
+
+class TestEvaluateModule:
+    def test_missing_port_rejected(self, lib):
+        from repro.synth import synthesize_module
+
+        module = synthesize_module("M", {"y": "a & b"}, lib)
+        with pytest.raises(ValueError, match="missing values"):
+            evaluate_module(module, {"a": True})

@@ -1,0 +1,119 @@
+"""Tests for the boolean expression front-end."""
+
+import itertools
+
+import pytest
+
+from repro.synth.expr import (
+    And,
+    Const,
+    Not,
+    Or,
+    ParseError,
+    Var,
+    Xor,
+    evaluate,
+    parse_expr,
+    simplify,
+    variables,
+)
+
+
+class TestParser:
+    def test_precedence_not_and_xor_or(self):
+        # ~a & b ^ c | d parses as ((~a & b) ^ c) | d.
+        e = parse_expr("~a & b ^ c | d")
+        assert isinstance(e, Or)
+        left = e.operands[0]
+        assert isinstance(left, Xor)
+        assert isinstance(left.operands[0], And)
+
+    def test_parentheses_override(self):
+        e = parse_expr("a & (b | c)")
+        assert isinstance(e, And)
+        assert isinstance(e.operands[1], Or)
+
+    def test_constants(self):
+        assert parse_expr("1") == Const(True)
+        assert parse_expr("0") == Const(False)
+
+    def test_identifiers_with_indices(self):
+        e = parse_expr("state[3] & in_2")
+        assert variables(e) == {"state[3]", "in_2"}
+
+    def test_chained_operators_flatten(self):
+        e = parse_expr("a & b & c")
+        assert isinstance(e, And)
+        assert len(e.operands) == 3
+
+    def test_double_negation_parses(self):
+        e = parse_expr("~~a")
+        assert e == Not(Not(Var("a")))
+
+    @pytest.mark.parametrize(
+        "bad", ["a &", "& a", "(a", "a)", "a $ b", "", "a ~ b"]
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_expr(bad)
+
+    def test_expr_passthrough(self):
+        e = Var("x")
+        assert parse_expr(e) is e
+
+    def test_operator_overloads(self):
+        e = (Var("a") & ~Var("b")) | (Var("c") ^ Var("d"))
+        assert evaluate(e, dict(a=True, b=False, c=True, d=True))
+
+
+class TestEvaluate:
+    def test_truth_table_example(self):
+        e = parse_expr("a & ~(b | c) ^ d")
+        for a, b, c, d in itertools.product([False, True], repeat=4):
+            expected = (a and not (b or c)) != d
+            assert evaluate(e, dict(a=a, b=b, c=c, d=d)) == expected
+
+    def test_missing_variable(self):
+        with pytest.raises(KeyError, match="value for variable"):
+            evaluate(parse_expr("a & b"), {"a": True})
+
+    def test_xor_parity_semantics(self):
+        e = parse_expr("a ^ b ^ c")
+        assert evaluate(e, dict(a=True, b=True, c=True))
+        assert not evaluate(e, dict(a=True, b=True, c=False))
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(parse_expr("a & 0")) == Const(False)
+        assert simplify(parse_expr("a | 1")) == Const(True)
+        assert simplify(parse_expr("a & 1")) == Var("a")
+        assert simplify(parse_expr("a | 0")) == Var("a")
+
+    def test_double_negation(self):
+        assert simplify(parse_expr("~~a")) == Var("a")
+
+    def test_idempotence(self):
+        assert simplify(parse_expr("a & a")) == Var("a")
+        assert simplify(parse_expr("a | a | a")) == Var("a")
+
+    def test_xor_cancellation(self):
+        assert simplify(parse_expr("a ^ a")) == Const(False)
+        assert simplify(parse_expr("a ^ a ^ b")) == Var("b")
+        assert simplify(parse_expr("a ^ 1")) == Not(Var("a"))
+
+    def test_flattening(self):
+        e = simplify(parse_expr("(a & b) & (c & d)"))
+        assert isinstance(e, And)
+        assert len(e.operands) == 4
+
+    def test_simplify_preserves_semantics(self):
+        source = "~(a & 1) | (b ^ b) | (c & c & ~0)"
+        e = parse_expr(source)
+        s = simplify(e)
+        for a, b, c in itertools.product([False, True], repeat=3):
+            env = dict(a=a, b=b, c=c)
+            assert evaluate(e, env) == evaluate(s, env)
+
+    def test_variables_of_const(self):
+        assert variables(Const(True)) == frozenset()

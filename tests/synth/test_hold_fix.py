@@ -1,0 +1,138 @@
+"""Tests for the same-edge hold check and buffer-insertion repair."""
+
+import pytest
+
+from repro.cells import standard_library
+from repro.core.algorithm1 import run_algorithm1
+from repro.core.mindelay import check_hold
+from repro.core.model import AnalysisModel
+from repro.core.slack import SlackEngine
+from repro.delay import estimate_delays
+from repro.generators.clock_tree import skewed_clock_pipeline
+from repro.netlist import NetworkBuilder
+from repro.synth.hold_fix import fix_hold_violations
+
+from tests.conftest import build_ff_stage
+
+
+def _hold_violations(network, schedule):
+    delays = estimate_delays(network)
+    model = AnalysisModel(network, schedule, delays)
+    engine = SlackEngine(model)
+    outcome = run_algorithm1(model, engine)
+    return check_hold(model, engine), outcome
+
+
+class TestReconnectSink:
+    def test_moves_terminal(self, lib):
+        b = NetworkBuilder(lib)
+        b.gate("g1", "INV", A="a", Z="n1")
+        b.gate("g2", "INV", A="n1", Z="n2")
+        network = b.build()
+        sink = network.cell("g2").terminal("A")
+        network.reconnect_sink(sink, "n_other")
+        assert sink.net.name == "n_other"
+        assert sink not in network.net("n1").sinks
+
+    def test_rejects_drivers(self, lib):
+        b = NetworkBuilder(lib)
+        b.gate("g1", "INV", A="a", Z="n1")
+        network = b.build()
+        with pytest.raises(ValueError, match="driver"):
+            network.reconnect_sink(network.cell("g1").terminal("Z"), "x")
+
+
+class TestCheckHold:
+    def test_unskewed_ff_chain_clean(self, lib):
+        """c_to_q_min (0.54) exceeds hold (0.3): classic FF chains are
+        hold-safe without skew."""
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        violations, __ = _hold_violations(network, schedule)
+        assert [v for v in violations if v.launch_instance.startswith("ff")] == []
+
+    def test_skewed_capture_clock_violates(self):
+        """Four clock buffers (~3.2 ns skew) on the capture's clock open
+        a hold race through the short stage."""
+        network, schedule = skewed_clock_pipeline(
+            buffer_depths=(0, 4), chain_length=1, period=40
+        )
+        violations, __ = _hold_violations(network, schedule)
+        assert any(
+            v.capture_instance == "ff1@0"
+            and v.launch_instance == "ff0@0"
+            for v in violations
+        )
+        worst = max(v.amount for v in violations)
+        assert worst > 2.0
+
+    def test_amount_tracks_skew_depth(self):
+        def worst(depth):
+            network, schedule = skewed_clock_pipeline(
+                buffer_depths=(0, depth), chain_length=1, period=40
+            )
+            violations, __ = _hold_violations(network, schedule)
+            return max((v.amount for v in violations), default=0.0)
+
+        assert worst(6) > worst(3) > 0.0
+
+    def test_long_path_immune_to_skew(self):
+        """A deep stage's minimum delay covers the skew: no violation
+        between the flip-flops."""
+        network, schedule = skewed_clock_pipeline(
+            buffer_depths=(0, 2), chain_length=12, period=60
+        )
+        violations, __ = _hold_violations(network, schedule)
+        assert not any(
+            v.launch_instance == "ff0@0" and v.capture_instance == "ff1@0"
+            for v in violations
+        )
+
+
+class TestFixHoldViolations:
+    def test_repair_closes_hold_and_keeps_setup(self):
+        network, schedule = skewed_clock_pipeline(
+            buffer_depths=(0, 4), chain_length=1, period=40
+        )
+        result = fix_hold_violations(network, schedule, standard_library())
+        assert result.success
+        assert result.setup_clean
+        assert result.buffers_inserted.get("ff1", 0) >= 1
+        after, outcome = _hold_violations(network, schedule)
+        assert after == []
+        assert outcome.intended
+
+    def test_buffers_physically_inserted(self):
+        network, schedule = skewed_clock_pipeline(
+            buffer_depths=(0, 4), chain_length=1, period=40
+        )
+        cells_before = network.num_cells
+        result = fix_hold_violations(network, schedule, standard_library())
+        assert network.num_cells == cells_before + result.total_buffers
+        d_net = network.cell("ff1").terminal("D").net
+        assert d_net.driver.cell.name.startswith("holdfix_")
+
+    def test_clean_design_untouched(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=10)
+        cells_before = network.num_cells
+        result = fix_hold_violations(network, schedule, standard_library())
+        assert result.success
+        # The PI-at-the-edge race may need a buffer; the FF chain does not.
+        assert network.num_cells <= cells_before + result.total_buffers
+        after, __ = _hold_violations(network, schedule)
+        assert after == []
+
+    def test_refuses_when_setup_budget_too_tight(self):
+        """At a period barely above the critical path, the padding the
+        skew demands cannot fit: the fixer reports the endpoint
+        unfixable instead of breaking setup."""
+        network, schedule = skewed_clock_pipeline(
+            buffer_depths=(0, 6), chain_length=1, period=40
+        )
+        tight = schedule.scaled("0.22")
+        violations, outcome = _hold_violations(network, tight)
+        if not violations:
+            pytest.skip("no violations at this scale")
+        result = fix_hold_violations(network, tight, standard_library())
+        assert not result.success
+        assert result.unfixable
+        assert result.passes <= 3

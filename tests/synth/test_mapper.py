@@ -1,0 +1,133 @@
+"""Tests for technology mapping, including functional equivalence."""
+
+import itertools
+
+import pytest
+
+from repro.sim.functional import evaluate_module
+from repro.synth.expr import evaluate, parse_expr, variables
+from repro.synth.mapper import MappingError, synthesize_into, synthesize_module
+from repro.netlist import NetworkBuilder
+
+
+def _exhaustive_check(module, expression):
+    expr = parse_expr(expression)
+    names = sorted(variables(expr))
+    for values in itertools.product([False, True], repeat=len(names)):
+        env = dict(zip(names, values))
+        got = evaluate_module(module, env)["y"]
+        assert got == evaluate(expr, env), env
+
+
+EXPRESSIONS = [
+    "a & b",
+    "a | b",
+    "a ^ b",
+    "~a",
+    "a & ~(b | c) ^ d",
+    "(a | b) & (c | ~d)",
+    "a ^ b ^ c",
+    "~(a & b & c) | (d & a)",
+]
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    def test_direct_style(self, lib, expression):
+        module = synthesize_module("M", {"y": expression}, lib, style="direct")
+        _exhaustive_check(module, expression)
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    def test_nand_style(self, lib, expression):
+        module = synthesize_module("M", {"y": expression}, lib, style="nand")
+        _exhaustive_check(module, expression)
+
+    def test_multi_output_sharing(self, lib):
+        module = synthesize_module(
+            "M2",
+            {"y": "(a & b) | c", "z": "(a & b) & ~c"},
+            lib,
+        )
+        for a, b, c in itertools.product([False, True], repeat=3):
+            env = dict(a=a, b=b, c=c)
+            out = evaluate_module(module, env)
+            assert out["y"] == ((a and b) or c)
+            assert out["z"] == ((a and b) and not c)
+
+
+class TestSharing:
+    def test_common_subexpression_shared(self, lib):
+        shared = synthesize_module(
+            "S", {"y": "(a & b) | c", "z": "(a & b) | d"}, lib
+        )
+        # (a & b) must be built once: 1 AND2 + 2 OR2 = 3 gates.
+        assert shared.definition.inner.num_cells == 3
+
+    def test_commutative_canonicalisation(self, lib):
+        module = synthesize_module(
+            "C", {"y": "(a & b) | (b & a)"}, lib
+        )
+        # (a & b) and (b & a) collapse -- and then the | is idempotent.
+        assert module.definition.inner.num_cells == 1
+
+    def test_repeated_identical_equation(self, lib):
+        module = synthesize_module(
+            "R", {"y": "a & b", "z": "a & b"}, lib
+        )
+        assert module.definition.inner.num_cells == 1
+        assert module.definition.output_ports["y"] == (
+            module.definition.output_ports["z"]
+        )
+
+
+class TestStyles:
+    def test_nand_style_uses_only_nand_inv(self, lib):
+        module = synthesize_module(
+            "N", {"y": "(a | b) & ~c"}, lib, style="nand"
+        )
+        kinds = {c.spec.name for c in module.definition.inner.cells}
+        assert kinds <= {"NAND2", "INV"}
+
+    def test_direct_style_uses_logic_gates(self, lib):
+        module = synthesize_module(
+            "D", {"y": "(a | b) & ~c"}, lib, style="direct"
+        )
+        kinds = {c.spec.name for c in module.definition.inner.cells}
+        assert "AND2" in kinds and "OR2" in kinds
+
+    def test_unknown_style_rejected(self, lib):
+        with pytest.raises(ValueError, match="style"):
+            synthesize_module("X", {"y": "a & b"}, lib, style="magic")
+
+
+class TestErrors:
+    def test_constant_result_rejected(self, lib):
+        with pytest.raises(MappingError, match="constant"):
+            synthesize_module("K", {"y": "a & ~a"}, lib)
+
+    def test_no_variables_rejected(self, lib):
+        with pytest.raises(MappingError):
+            synthesize_module("K", {"y": "1"}, lib)
+
+    def test_unbound_variable_in_synthesize_into(self, lib):
+        b = NetworkBuilder(lib)
+        with pytest.raises(MappingError, match="no net bound"):
+            synthesize_into(b, {"y": "a & b"}, {"a": "n_a"})
+
+
+class TestSynthesizeInto:
+    def test_full_design_flow(self, lib):
+        from repro.clocks import ClockSchedule
+        from repro.core import Hummingbird
+
+        b = NetworkBuilder(lib, name="synth_flow")
+        b.clock("clk")
+        for v in "ab":
+            b.input(f"i{v}", f"n_{v}", clock="clk")
+        outs = synthesize_into(
+            b, {"y": "a ^ b"}, {"a": "n_a", "b": "n_b"}, style="nand"
+        )
+        b.latch("f", "DFF", D=outs["y"], CK="clk", Q="q")
+        b.output("o", "q", clock="clk")
+        result = Hummingbird(b.build(), ClockSchedule.single("clk", 100)).analyze()
+        assert result.intended

@@ -1,0 +1,110 @@
+"""Tests for gate sizing (the real Singh-style re-synthesis)."""
+
+import pytest
+
+from repro.cells import standard_library
+from repro.clocks import ClockSchedule
+from repro.core import Hummingbird
+from repro.netlist import NetworkBuilder
+from repro.synth.sizing import (
+    add_drive_variants,
+    scaled_variant,
+    size_for_timing,
+    total_gate_area,
+)
+
+
+@pytest.fixture(scope="module")
+def sized_lib():
+    return add_drive_variants(standard_library())
+
+
+def _fanout_design(lib, fanout=16, period=4.0):
+    """A hub inverter driving a wide fanout: load-dominated timing."""
+    b = NetworkBuilder(lib)
+    b.clock("clk")
+    b.input("i", "w", clock="clk")
+    b.latch("fa", "DFF", D="w", CK="clk", Q="q")
+    b.gate("drv", "INV", A="q", Z="hub")
+    for k in range(fanout):
+        b.gate(f"ld{k}", "INV", A="hub", Z=f"z{k}")
+        b.latch(f"fb{k}", "DFF", D=f"z{k}", CK="clk", Q=f"qq{k}")
+        b.output(f"o{k}", f"qq{k}", clock="clk")
+    return b.build(), ClockSchedule.single("clk", period)
+
+
+class TestScaledVariant:
+    def test_resistance_down_cap_and_area_up(self, lib):
+        base = lib.spec("NAND2")
+        x4 = scaled_variant(base, 4)
+        assert x4.name == "NAND2_X4"
+        arc = x4.arcs[("A", "Z")]
+        base_arc = base.arcs[("A", "Z")]
+        assert arc.rise.resistance == pytest.approx(
+            base_arc.rise.resistance / 4
+        )
+        assert arc.rise.intrinsic == base_arc.rise.intrinsic
+        assert x4.input_caps["A"] == pytest.approx(base.input_caps["A"] * 4)
+        assert x4.area == pytest.approx(base.area * 4)
+
+    def test_function_preserved(self, lib):
+        x2 = scaled_variant(lib.spec("NAND2"), 2)
+        assert x2.function({"A": True, "B": True}) is False
+
+    def test_rejects_bad_drive(self, lib):
+        with pytest.raises(ValueError):
+            scaled_variant(lib.spec("INV"), 0)
+
+
+class TestAddDriveVariants:
+    def test_variants_added_for_every_gate(self, sized_lib, lib):
+        for spec in lib.gates():
+            assert sized_lib.has(f"{spec.name}_X2")
+            assert sized_lib.has(f"{spec.name}_X4")
+
+    def test_synchronisers_not_duplicated(self, sized_lib):
+        assert not sized_lib.has("DFF_X2")
+
+    def test_idempotent_on_variants(self, sized_lib):
+        again = add_drive_variants(sized_lib)
+        assert not again.has("INV_X2_X2")
+
+
+class TestSizeForTiming:
+    def test_fixes_fanout_dominated_violation(self, sized_lib):
+        network, schedule = _fanout_design(sized_lib, period=4.0)
+        before = Hummingbird(network, schedule).analyze()
+        assert not before.intended
+        result = size_for_timing(network, schedule, sized_lib)
+        assert result.success
+        assert result.resized  # something was upsized
+        assert "drv" in result.resized  # the hub driver above all
+        after = Hummingbird(network, schedule).analyze()
+        assert after.intended
+
+    def test_area_increases(self, sized_lib):
+        network, schedule = _fanout_design(sized_lib, period=4.0)
+        result = size_for_timing(network, schedule, sized_lib)
+        assert result.area_increase > 0
+        assert result.area_after == pytest.approx(total_gate_area(network))
+
+    def test_slack_history_improves(self, sized_lib):
+        network, schedule = _fanout_design(sized_lib, period=4.0)
+        result = size_for_timing(network, schedule, sized_lib)
+        assert result.worst_slack_history[-1] > result.worst_slack_history[0]
+
+    def test_already_met_does_nothing(self, sized_lib):
+        network, schedule = _fanout_design(sized_lib, period=50.0)
+        result = size_for_timing(network, schedule, sized_lib)
+        assert result.success
+        assert result.passes == 1
+        assert not result.resized
+        assert result.area_increase == 0
+
+    def test_impossible_target_fails_cleanly(self, sized_lib):
+        network, schedule = _fanout_design(sized_lib, period=1.0)
+        result = size_for_timing(network, schedule, sized_lib, max_passes=8)
+        assert not result.success
+        # Every critical cell reached its top drive: loop stopped early
+        # rather than burning all passes pointlessly.
+        assert result.passes <= 8

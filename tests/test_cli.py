@@ -1,0 +1,216 @@
+"""Tests for the repro-sta command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.clocks import ClockSchedule
+from repro.clocks.serialize import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.netlist.blif import save_blif
+from repro.netlist.persistence import save_network
+
+from tests.conftest import build_ff_stage
+
+
+@pytest.fixture
+def workspace(lib, tmp_path):
+    network, schedule = build_ff_stage(lib, chain=2, period=10)
+    netlist_json = tmp_path / "design.json"
+    netlist_blif = tmp_path / "design.blif"
+    clocks = tmp_path / "clocks.json"
+    save_network(network, netlist_json)
+    save_blif(network, netlist_blif)
+    save_schedule(schedule, clocks)
+    return netlist_json, netlist_blif, clocks, tmp_path
+
+
+class TestScheduleSerialisation:
+    def test_roundtrip(self, tmp_path):
+        schedule = ClockSchedule.two_phase(100)
+        path = tmp_path / "clk.json"
+        save_schedule(schedule, path)
+        loaded = load_schedule(path)
+        assert loaded.overall_period == schedule.overall_period
+        assert loaded.clock_names == schedule.clock_names
+        assert loaded.waveform("phi1").leading == schedule.waveform(
+            "phi1"
+        ).leading
+
+    def test_fractional_times(self):
+        schedule = ClockSchedule.single("clk", "1/3", leading=0, trailing="1/6")
+        data = schedule_to_dict(schedule)
+        assert data["clocks"][0]["period"] == "1/3"
+        loaded = schedule_from_dict(data)
+        assert loaded.waveform("clk").period == schedule.waveform("clk").period
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="format"):
+            schedule_from_dict({"clocks": []})
+
+
+class TestAnalyzeCommand:
+    def test_analyze_json_ok(self, workspace, capsys):
+        netlist_json, __, clocks, __ = workspace
+        code = main(["analyze", str(netlist_json), "--clocks", str(clocks)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "behaves as intended" in out
+
+    def test_analyze_blif_ok(self, workspace, capsys):
+        __, netlist_blif, clocks, __ = workspace
+        code = main(["analyze", str(netlist_blif), "--clocks", str(clocks)])
+        assert code == 0
+
+    def test_analyze_slow_design_exit_code(self, lib, tmp_path, capsys):
+        network, schedule = build_ff_stage(lib, chain=2, period=2.0)
+        netlist = tmp_path / "slow.json"
+        clocks = tmp_path / "clk.json"
+        save_network(network, netlist)
+        save_schedule(schedule, clocks)
+        code = main(["analyze", str(netlist), "--clocks", str(clocks)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "slow path" in out
+
+    def test_min_delay_flag(self, workspace, capsys):
+        netlist_json, __, clocks, __ = workspace
+        code = main(
+            [
+                "analyze",
+                str(netlist_json),
+                "--clocks",
+                str(clocks),
+                "--min-delay",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "min-delay" in out
+        assert code == 0
+
+    def test_unknown_extension_rejected(self, workspace):
+        __, __, clocks, tmp_path = workspace
+        bogus = tmp_path / "design.vhdl"
+        bogus.write_text("")
+        with pytest.raises(SystemExit):
+            main(["analyze", str(bogus), "--clocks", str(clocks)])
+
+
+class TestOtherCommands:
+    def test_constraints(self, workspace, capsys):
+        netlist_json, __, clocks, __ = workspace
+        code = main(
+            [
+                "constraints",
+                str(netlist_json),
+                "--clocks",
+                str(clocks),
+                "--net",
+                "n1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "n1" in out and "required" in out
+
+    def test_maxfreq(self, workspace, capsys):
+        netlist_json, __, clocks, __ = workspace
+        code = main(["maxfreq", str(netlist_json), "--clocks", str(clocks)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "minimum feasible overall period: 3.0" in out
+
+    def test_waveforms(self, workspace, capsys):
+        __, __, clocks, __ = workspace
+        code = main(["waveforms", "--clocks", str(clocks)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "clk" in out and "#" in out
+
+    def test_stats(self, workspace, capsys):
+        netlist_json, __, clocks, __ = workspace
+        code = main(["stats", str(netlist_json), "--clocks", str(clocks)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "WNS" in out and "TNS" in out
+
+    def test_simulate_clean(self, workspace, capsys):
+        netlist_json, __, clocks, __ = workspace
+        code = main(
+            [
+                "simulate",
+                str(netlist_json),
+                "--clocks",
+                str(clocks),
+                "--cycles",
+                "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "behaves as intended (dynamic)" in out
+
+    def test_simulate_slow_design(self, lib, tmp_path, capsys):
+        network, schedule = build_ff_stage(lib, chain=3, period=2.5)
+        netlist = tmp_path / "slow.json"
+        clocks = tmp_path / "clk.json"
+        save_network(network, netlist)
+        save_schedule(schedule, clocks)
+        code = main(
+            [
+                "simulate",
+                str(netlist),
+                "--clocks",
+                str(clocks),
+                "--cycles",
+                "12",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "dynamic check" in out
+        # With a toggling-enough random seed the slow design mismatches;
+        # at minimum the command must complete and report.
+        assert code in (0, 1)
+
+
+class TestVerilogAndCorners:
+    def test_analyze_verilog(self, lib, tmp_path, capsys):
+        from repro.netlist.verilog import save_verilog
+
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        netlist = tmp_path / "design.v"
+        clocks = tmp_path / "clk.json"
+        save_verilog(network, netlist)
+        save_schedule(schedule, clocks)
+        code = main(["analyze", str(netlist), "--clocks", str(clocks)])
+        assert code == 0
+        assert "behaves as intended" in capsys.readouterr().out
+
+    def test_corners_command(self, lib, tmp_path, capsys):
+        network, schedule = build_ff_stage(lib, chain=2, period=20)
+        network.cell("din").attrs["offset"] = 1.0
+        netlist = tmp_path / "d.json"
+        clocks = tmp_path / "clk.json"
+        save_network(network, netlist)
+        save_schedule(schedule, clocks)
+        code = main(["corners", str(netlist), "--clocks", str(clocks)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all corners clean" in out
+        assert "slow" in out and "fast" in out
+
+    def test_corners_command_failure_exit(self, lib, tmp_path, capsys):
+        network, schedule = build_ff_stage(lib, chain=2, period=3.3)
+        netlist = tmp_path / "d.json"
+        clocks = tmp_path / "clk.json"
+        save_network(network, netlist)
+        save_schedule(schedule, clocks)
+        code = main(["corners", str(netlist), "--clocks", str(clocks)])
+        assert code == 1

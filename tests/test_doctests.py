@@ -1,0 +1,29 @@
+"""Run the doctests embedded in public modules."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.clocks.waveform
+import repro.netlist.builder
+import repro.viz.ascii_waveform
+
+MODULES = [
+    repro,
+    repro.clocks.waveform,
+    repro.netlist.builder,
+    repro.viz.ascii_waveform,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    failures, tests = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+    )
+    assert tests > 0, f"{module.__name__} has no doctests"
+    assert failures == 0

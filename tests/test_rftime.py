@@ -1,0 +1,87 @@
+"""Unit tests for rise/fall pairs."""
+
+import math
+
+from repro.netlist.kinds import Unateness
+from repro.rftime import RiseFall, max_over, min_over
+
+
+class TestConstruction:
+    def test_both(self):
+        assert RiseFall.both(3) == RiseFall(3.0, 3.0)
+
+    def test_never_is_max_identity(self):
+        v = RiseFall(1.0, 2.0)
+        assert RiseFall.never().max_with(v) == v
+
+    def test_unconstrained_is_min_identity(self):
+        v = RiseFall(1.0, 2.0)
+        assert RiseFall.unconstrained().min_with(v) == v
+
+
+class TestArithmetic:
+    def test_shifted(self):
+        assert RiseFall(1.0, 2.0).shifted(0.5) == RiseFall(1.5, 2.5)
+
+    def test_plus_minus_roundtrip(self):
+        a, b = RiseFall(1.0, 2.0), RiseFall(0.25, 0.75)
+        assert a.plus(b).minus(b) == a
+
+    def test_swapped(self):
+        assert RiseFall(1.0, 2.0).swapped() == RiseFall(2.0, 1.0)
+
+    def test_worst_best(self):
+        v = RiseFall(1.0, 2.0)
+        assert v.worst == 2.0
+        assert v.best == 1.0
+
+    def test_scaled(self):
+        assert RiseFall(2.0, 4.0).scaled(0.5) == RiseFall(1.0, 2.0)
+
+    def test_iter(self):
+        assert list(RiseFall(1.0, 2.0)) == [1.0, 2.0]
+
+
+class TestUnatenessPropagation:
+    def test_positive_forward_identity(self):
+        v = RiseFall(1.0, 2.0)
+        assert v.through_arc(Unateness.POSITIVE) == v
+
+    def test_negative_forward_swaps(self):
+        assert RiseFall(1.0, 2.0).through_arc(Unateness.NEGATIVE) == RiseFall(
+            2.0, 1.0
+        )
+
+    def test_non_unate_forward_takes_worst(self):
+        assert RiseFall(1.0, 2.0).through_arc(Unateness.NON_UNATE) == RiseFall(
+            2.0, 2.0
+        )
+
+    def test_non_unate_backward_takes_best(self):
+        assert RiseFall(1.0, 2.0).back_through_arc(
+            Unateness.NON_UNATE
+        ) == RiseFall(1.0, 1.0)
+
+    def test_forward_backward_adjoint_for_unate_arcs(self):
+        # For unate arcs, backward is the inverse re-indexing of forward.
+        v = RiseFall(1.0, 2.0)
+        for sense in (Unateness.POSITIVE, Unateness.NEGATIVE):
+            assert v.through_arc(sense).back_through_arc(sense) == v
+
+
+class TestReductions:
+    def test_max_over(self):
+        vals = [RiseFall(1.0, 5.0), RiseFall(3.0, 2.0)]
+        assert max_over(vals) == RiseFall(3.0, 5.0)
+
+    def test_min_over(self):
+        vals = [RiseFall(1.0, 5.0), RiseFall(3.0, 2.0)]
+        assert min_over(vals) == RiseFall(1.0, 2.0)
+
+    def test_max_over_empty(self):
+        assert max_over([]) == RiseFall.never()
+
+    def test_is_finite(self):
+        assert RiseFall(1.0, 2.0).is_finite()
+        assert not RiseFall(1.0, math.inf).is_finite()
+        assert not RiseFall.never().is_finite()

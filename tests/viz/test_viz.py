@@ -1,0 +1,63 @@
+"""Tests for text rendering."""
+
+from repro.clocks import ClockSchedule
+from repro.core import Hummingbird
+from repro.viz import (
+    render_constraints,
+    render_schedule,
+    render_slow_paths,
+    render_waveform,
+)
+
+from tests.conftest import build_ff_stage
+
+
+class TestWaveformRendering:
+    def test_high_and_low_sections(self):
+        s = ClockSchedule.single("clk", 100, leading=0, trailing=50)
+        line = render_waveform(s.waveform("clk"), s.overall_period, columns=23)
+        body = line.strip("|")
+        assert body[0] == "#"
+        assert body[-1] == "_"
+        assert "#" in body and "_" in body
+
+    def test_render_schedule_lists_all_clocks(self):
+        text = render_schedule(ClockSchedule.two_phase(100))
+        assert "phi1" in text and "phi2" in text
+        assert text.count("|") == 4
+
+    def test_shared_axis_alignment(self):
+        """phi2's pulse must appear later on the shared axis than phi1's."""
+        text = render_schedule(
+            ClockSchedule.two_phase(100), columns=43, show_pulses=False
+        )
+        line1, line2 = text.splitlines()
+        assert line1.index("#") < line2.index("#")
+
+
+class TestPathAndConstraintRendering:
+    def test_render_slow_paths(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=2.5)
+        result = Hummingbird(network, schedule).analyze()
+        text = render_slow_paths(result.slow_paths)
+        assert "slack" in text
+        assert "ff_b@0" in text
+
+    def test_render_slow_paths_empty(self):
+        assert render_slow_paths([]) == "no slow paths"
+
+    def test_render_constraints_table(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=20)
+        hb = Hummingbird(network, schedule)
+        constraints = hb.generate_constraints().constraints
+        text = render_constraints(constraints, network)
+        assert "ready" in text and "required" in text
+        assert "n1" in text
+
+    def test_render_constraints_selected_nets(self, lib):
+        network, schedule = build_ff_stage(lib, chain=3, period=20)
+        hb = Hummingbird(network, schedule)
+        constraints = hb.generate_constraints().constraints
+        text = render_constraints(constraints, network, nets=["n2"])
+        assert "n2" in text
+        assert "n3" not in text

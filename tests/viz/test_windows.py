@@ -1,0 +1,97 @@
+"""Tests for the latch-window chart rendering."""
+
+import pytest
+
+from repro.core import Hummingbird
+from repro.generators import latch_pipeline
+from repro.viz import render_all_windows, render_cluster_windows
+
+from tests.conftest import build_ff_stage
+
+
+@pytest.fixture
+def latch_model(lib):
+    network, schedule = latch_pipeline(
+        stages=2, stage_lengths=[10, 2], period=40, library=lib
+    )
+    hb = Hummingbird(network, schedule)
+    hb.analyze()
+    return hb
+
+
+class TestClusterWindows:
+    def test_contains_markers(self, latch_model):
+        cluster = next(
+            c for c in latch_model.model.clusters if c.cells
+        )
+        text = render_cluster_windows(
+            latch_model.model, latch_model.engine, cluster.name
+        )
+        assert "A" in text  # assertion marker
+        assert "C" in text  # closure marker
+        assert "axis" in text
+
+    def test_transparent_windows_drawn(self, latch_model):
+        cluster = next(
+            c
+            for c in latch_model.model.clusters
+            if any(p.instance.adjustable for p in
+                   latch_model.model.capture_ports[c.name])
+        )
+        text = render_cluster_windows(
+            latch_model.model, latch_model.engine, cluster.name
+        )
+        assert "[" in text and "]" in text and "=" in text
+
+    def test_bad_pass_index(self, latch_model):
+        cluster = latch_model.model.clusters[0]
+        with pytest.raises(ValueError):
+            render_cluster_windows(
+                latch_model.model, latch_model.engine, cluster.name, 5
+            )
+
+    def test_window_moves_with_transfer(self, lib):
+        """The '=' marker's column tracks the window variable w."""
+        network, schedule = latch_pipeline(
+            stages=2, stage_lengths=[10, 2], period=40, library=lib
+        )
+        hb = Hummingbird(network, schedule)
+        cluster = next(
+            c
+            for c in hb.model.clusters
+            if any(
+                p.instance.adjustable
+                for p in hb.model.capture_ports[c.name]
+            )
+        )
+        capture = next(
+            p
+            for p in hb.model.capture_ports[cluster.name]
+            if p.instance.adjustable
+        )
+        line_of = lambda text: next(
+            l for l in text.splitlines()
+            if l.startswith(capture.instance.name)
+        )
+        capture.instance.w = capture.instance.width
+        late = line_of(
+            render_cluster_windows(hb.model, hb.engine, cluster.name)
+        ).index("=")
+        capture.instance.w = 0.0
+        early = line_of(
+            render_cluster_windows(hb.model, hb.engine, cluster.name)
+        ).index("=")
+        assert early < late
+
+
+class TestAllWindows:
+    def test_skips_degenerate(self, latch_model):
+        text = render_all_windows(latch_model.model, latch_model.engine)
+        assert "cluster_net" not in text
+
+    def test_cluster_cap(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=10)
+        hb = Hummingbird(network, schedule)
+        hb.analyze()
+        text = render_all_windows(hb.model, hb.engine, max_clusters=0)
+        assert "omitted" in text
