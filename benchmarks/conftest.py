@@ -28,3 +28,44 @@ def lib():
     from repro.cells import standard_library
 
     return standard_library()
+
+
+@pytest.fixture
+def obs_recorder():
+    """Opt-in instrumentation for a bench: installs a fresh
+    :class:`repro.obs.Recorder` for the duration of the test.
+
+    Benches using this fixture measure the recorder-enabled path; leave
+    it out to bench the (default) disabled path.
+    """
+    from repro import obs
+
+    with obs.recording() as recorder:
+        yield recorder
+
+
+@pytest.fixture
+def obs_metrics(request):
+    """Like ``obs_recorder`` but also emits the non-zero counters at
+    teardown, using the same metric names as ``repro-sta --metrics`` --
+    so bench logs and CLI dumps are diffable against each other."""
+    from repro import obs
+
+    recorder = obs.Recorder()
+    previous = obs.set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        obs.set_recorder(previous)
+    data = obs.metrics_dict(recorder)
+    lines = [
+        f"{name} {value:g}"
+        for name, value in data["counters"].items()
+        if value
+    ]
+    for name, stats in data["spans"].items():
+        lines.append(
+            f"{name}.total_s {stats['total_s']:.6f} "
+            f"(count {stats['count']})"
+        )
+    emit(f"obs metrics: {request.node.name}", lines)

@@ -12,8 +12,15 @@ clock description, run the analysis, print the report::
     repro-sta waveforms --clocks clocks.json
 
 (Equivalently ``python -m repro.cli ...``.)  Netlist format is selected
-by extension: ``.json`` (:mod:`repro.netlist.persistence`) or ``.blif``
-(:mod:`repro.netlist.blif`).
+by extension: ``.json`` (:mod:`repro.netlist.persistence`), ``.blif``
+(:mod:`repro.netlist.blif`) or ``.v`` structural Verilog
+(:mod:`repro.netlist.verilog`).
+
+Every subcommand accepts the observability flags (see
+``docs/observability.md``)::
+
+    repro-sta analyze design.json --clocks clocks.json \
+        --trace out.trace.json --metrics out.metrics.json --verbose
 """
 
 from __future__ import annotations
@@ -51,13 +58,33 @@ def _read_network(path: str, default_clock: Optional[str]):
 
 def _common_arguments(parser: argparse.ArgumentParser, with_netlist=True):
     if with_netlist:
-        parser.add_argument("netlist", help="design file (.json or .blif)")
+        parser.add_argument(
+            "netlist", help="design file (.json, .blif or .v)"
+        )
         parser.add_argument(
             "--default-clock",
             help="reference clock for BLIF pads without pragmas",
         )
     parser.add_argument(
         "--clocks", required=True, help="clock schedule JSON file"
+    )
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON file "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    obs_group.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a flat metrics JSON dump (counters, gauges, "
+        "span aggregates)",
+    )
+    obs_group.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print a phase-tree timing summary to stderr",
     )
 
 
@@ -244,8 +271,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_instrumented(args: argparse.Namespace) -> int:
+    """Run the subcommand under a recorder and export as requested."""
+    from repro import obs
+
+    with obs.recording() as recorder:
+        with obs.span(f"cli.{args.command}", category="cli"):
+            status = args.func(args)
+    if args.trace:
+        path = obs.write_chrome_trace(recorder, args.trace)
+        print(f"trace written to {path}", file=sys.stderr)
+    if args.metrics:
+        path = obs.write_metrics_json(recorder, args.metrics)
+        print(f"metrics written to {path}", file=sys.stderr)
+    if args.verbose:
+        print(obs.render_phase_tree(recorder), file=sys.stderr)
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "verbose", False)
+    ):
+        return _run_instrumented(args)
     return args.func(args)
 
 

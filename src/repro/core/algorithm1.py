@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.core.model import AnalysisModel
 from repro.core.slack import PortSlacks, SlackEngine
 from repro.core.transfer import (
@@ -105,56 +106,96 @@ def run_algorithm1(
     cap = max_cycles if max_cycles is not None else max(16, len(instances) + 2)
     counts = IterationCounts()
     converged = True
+    rec = obs.active()
 
     # --- Iteration 1: complete forward transfer to a fixed point --------
-    slacks = engine.port_slacks()
-    while True:
-        if slacks.all_positive():
-            return Algorithm1Result(True, slacks, counts, converged)
-        moved = sweep(instances, slacks.capture, complete_forward)
-        if moved == 0.0:
-            break
-        counts.forward += 1
-        if counts.forward >= cap:
-            converged = False
-            break
+    with obs.span("alg1.iteration1.forward", category="alg1"):
         slacks = engine.port_slacks()
+        while True:
+            if slacks.all_positive():
+                return _finish(True, slacks, counts, converged, rec)
+            moved = sweep(instances, slacks.capture, complete_forward)
+            if moved == 0.0:
+                break
+            counts.forward += 1
+            if counts.forward >= cap:
+                converged = False
+                break
+            slacks = engine.port_slacks()
 
     # --- Iteration 2: complete backward transfer to a fixed point -------
-    slacks = engine.port_slacks()
-    while True:
-        if slacks.all_positive():
-            return Algorithm1Result(True, slacks, counts, converged)
-        moved = sweep(instances, slacks.launch, complete_backward)
-        if moved == 0.0:
-            break
-        counts.backward += 1
-        if counts.backward >= cap:
-            converged = False
-            break
+    with obs.span("alg1.iteration2.backward", category="alg1"):
         slacks = engine.port_slacks()
+        while True:
+            if slacks.all_positive():
+                return _finish(True, slacks, counts, converged, rec)
+            moved = sweep(instances, slacks.launch, complete_backward)
+            if moved == 0.0:
+                break
+            counts.backward += 1
+            if counts.backward >= cap:
+                converged = False
+                break
+            slacks = engine.port_slacks()
 
     # --- Iteration 3: one partial forward per complete backward cycle ---
-    for __ in range(counts.backward):
-        slacks = engine.port_slacks()
-        moved = sweep(
-            instances, slacks.capture, partial_forward, divisor=divisor
-        )
-        counts.partial_forward += 1
-        if moved == 0.0:
-            break
+    with obs.span("alg1.iteration3.partial_forward", category="alg1"):
+        for __ in range(counts.backward):
+            slacks = engine.port_slacks()
+            moved = sweep(
+                instances, slacks.capture, partial_forward, divisor=divisor
+            )
+            counts.partial_forward += 1
+            if moved == 0.0:
+                break
 
     # --- Iteration 4: one partial backward per complete forward cycle ---
-    for __ in range(counts.forward):
-        slacks = engine.port_slacks()
-        moved = sweep(
-            instances, slacks.launch, partial_backward, divisor=divisor
-        )
-        counts.partial_backward += 1
-        if moved == 0.0:
-            break
+    with obs.span("alg1.iteration4.partial_backward", category="alg1"):
+        for __ in range(counts.forward):
+            slacks = engine.port_slacks()
+            moved = sweep(
+                instances, slacks.launch, partial_backward, divisor=divisor
+            )
+            counts.partial_backward += 1
+            if moved == 0.0:
+                break
 
     # --- Final step: all node slacks ------------------------------------
-    slacks = engine.port_slacks()
+    with obs.span("alg1.final_slacks", category="alg1"):
+        slacks = engine.port_slacks()
     intended = slacks.all_positive()
+    return _finish(intended, slacks, counts, converged, rec)
+
+
+def _finish(
+    intended: bool,
+    slacks: PortSlacks,
+    counts: IterationCounts,
+    converged: bool,
+    rec,
+) -> Algorithm1Result:
+    """Assemble the result and publish the iteration counters.
+
+    The Section 8 bound -- at most one complete-transfer cycle per
+    synchronising element on a path, plus one -- becomes an observable
+    metric here: ``alg1.forward_cycles`` / ``alg1.backward_cycles``.
+    """
+    if rec is not None:
+        rec.counter("alg1.runs")
+        rec.counter("alg1.forward_cycles", counts.forward)
+        rec.counter("alg1.backward_cycles", counts.backward)
+        rec.counter("alg1.partial_forward_cycles", counts.partial_forward)
+        rec.counter("alg1.partial_backward_cycles", counts.partial_backward)
+        rec.counter("alg1.iterations_total", counts.total)
+        if not converged:
+            rec.counter("alg1.nonconverged_runs")
+        worst = slacks.worst()
+        if worst == worst and worst not in (float("inf"), float("-inf")):
+            rec.gauge("alg1.worst_slack", worst)
+        rec.event(
+            "alg1.done",
+            intended=intended,
+            iterations=counts.total,
+            converged=converged,
+        )
     return Algorithm1Result(intended, slacks, counts, converged)

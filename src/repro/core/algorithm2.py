@@ -148,6 +148,8 @@ def run_algorithm2(
     """Run Algorithm 2 (runs Algorithm 1 first unless a result is given,
     in which case the model's offsets must still be in that result's
     final state)."""
+    from repro import obs
+
     engine = engine or SlackEngine(model)
     if algorithm1_result is None:
         algorithm1_result = run_algorithm1(model, engine)
@@ -157,30 +159,40 @@ def run_algorithm2(
 
     # --- Iteration 1: backward snatching, then ready times -------------
     backward_cycles = 0
-    while True:
-        slacks = engine.port_slacks()
-        moved = sweep(instances, slacks.capture, snatch_backward)
-        if moved == 0.0:
-            break
-        backward_cycles += 1
-        if backward_cycles >= cap:
-            converged = False
-            break
+    with obs.span("alg2.iteration1.snatch_backward", category="alg2"):
+        while True:
+            slacks = engine.port_slacks()
+            moved = sweep(instances, slacks.capture, snatch_backward)
+            if moved == 0.0:
+                break
+            backward_cycles += 1
+            if backward_cycles >= cap:
+                converged = False
+                break
     constraints = TimingConstraints()
-    _record(engine, model, constraints, record_ready=True)
+    with obs.span("alg2.record_ready", category="alg2"):
+        _record(engine, model, constraints, record_ready=True)
 
     # --- Iteration 2: forward snatching, then required times -----------
     forward_cycles = 0
-    while True:
-        slacks = engine.port_slacks()
-        moved = sweep(instances, slacks.launch, snatch_forward)
-        if moved == 0.0:
-            break
-        forward_cycles += 1
-        if forward_cycles >= cap:
-            converged = False
-            break
-    _record(engine, model, constraints, record_ready=False)
+    with obs.span("alg2.iteration2.snatch_forward", category="alg2"):
+        while True:
+            slacks = engine.port_slacks()
+            moved = sweep(instances, slacks.launch, snatch_forward)
+            if moved == 0.0:
+                break
+            forward_cycles += 1
+            if forward_cycles >= cap:
+                converged = False
+                break
+    with obs.span("alg2.record_required", category="alg2"):
+        _record(engine, model, constraints, record_ready=False)
+
+    rec = obs.active()
+    if rec is not None:
+        rec.counter("alg2.runs")
+        rec.counter("alg2.backward_snatch_cycles", backward_cycles)
+        rec.counter("alg2.forward_snatch_cycles", forward_cycles)
 
     return Algorithm2Result(
         constraints=constraints,

@@ -15,10 +15,12 @@ Example
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.clocks.schedule import ClockSchedule
 from repro.core.algorithm1 import Algorithm1Result, run_algorithm1
 from repro.core.algorithm2 import Algorithm2Result, run_algorithm2
@@ -54,12 +56,16 @@ class TimingResult:
             if self.intended
             else f"{len(self.slow_paths)} slow path(s)"
         )
+        worst = self.worst_slack
+        # A design with no constrained paths has +inf worst slack; print
+        # "n/a" rather than a bare "inf".
+        worst_text = "n/a" if math.isinf(worst) else f"{worst:.3f}"
         return (
             f"{self.stats.get('cells', '?')} cells, "
             f"{self.stats.get('nets', '?')} nets | "
             f"pre-processing {self.preprocess_seconds:.3f}s, "
             f"analysis {self.analysis_seconds:.3f}s | "
-            f"worst slack {self.worst_slack:.3f} | {verdict}"
+            f"worst slack {worst_text} | {verdict}"
         )
 
     def report(self, limit: int = 20) -> str:
@@ -94,17 +100,36 @@ class Hummingbird:
     ) -> None:
         self.network = network
         self.schedule = schedule
-        started = time.process_time()
-        self.delays = (
-            delays
-            if delays is not None
-            else estimate_delays(network, delay_params)
-        )
-        self.model = AnalysisModel(
-            network, schedule, self.delays, exhaustive_limit
-        )
-        self.engine = SlackEngine(self.model)
-        self.preprocess_seconds = time.process_time() - started
+        # Monotonic wall-clock phase timing (perf_counter, not
+        # process_time) so I/O-bound and multi-threaded runs report
+        # consistently; `preprocess_seconds` keeps its historical meaning.
+        started = time.perf_counter()
+        with obs.span("analyzer.preprocess", category="analyzer"):
+            with obs.span("analyzer.estimate_delays", category="analyzer"):
+                self.delays = (
+                    delays
+                    if delays is not None
+                    else estimate_delays(network, delay_params)
+                )
+            with obs.span("analyzer.build_model", category="analyzer"):
+                self.model = AnalysisModel(
+                    network, schedule, self.delays, exhaustive_limit
+                )
+            with obs.span("analyzer.build_engine", category="analyzer"):
+                self.engine = SlackEngine(self.model)
+        self.preprocess_seconds = time.perf_counter() - started
+        rec = obs.active()
+        if rec is not None:
+            stats = self.model.stats()
+            rec.gauge("model.clusters", stats.get("clusters", 0))
+            rec.gauge("model.total_passes", stats.get("total_passes", 0))
+            rec.gauge(
+                "model.max_passes_per_cluster",
+                stats.get("max_passes_per_cluster", 0),
+            )
+            rec.gauge(
+                "model.generic_instances", stats.get("generic_instances", 0)
+            )
         self._last_result: Optional[TimingResult] = None
 
     # ------------------------------------------------------------------
@@ -114,33 +139,40 @@ class Hummingbird:
         self, slow_path_limit: Optional[int] = 50, tolerance: float = 0.0
     ) -> TimingResult:
         """Run Algorithm 1 and extract the slow paths."""
-        started = time.process_time()
-        outcome = run_algorithm1(self.model, self.engine)
-        analysis_seconds = time.process_time() - started
-        slow_paths = (
-            []
-            if outcome.intended
-            else extract_slow_paths(
-                self.model,
-                self.engine,
-                outcome.slacks.capture,
-                tolerance=tolerance,
-                limit=slow_path_limit,
+        started = time.perf_counter()
+        with obs.span("analyzer.analysis", category="analyzer"):
+            outcome = run_algorithm1(self.model, self.engine)
+        analysis_seconds = time.perf_counter() - started
+        with obs.span("analyzer.slow_paths", category="analyzer"):
+            slow_paths = (
+                []
+                if outcome.intended
+                else extract_slow_paths(
+                    self.model,
+                    self.engine,
+                    outcome.slacks.capture,
+                    tolerance=tolerance,
+                    limit=slow_path_limit,
+                )
             )
-        )
+        stats = self.model.stats()
+        stats["algorithm1_iterations"] = outcome.iterations.total
+        stats["algorithm1_forward_cycles"] = outcome.iterations.forward
+        stats["algorithm1_backward_cycles"] = outcome.iterations.backward
         result = TimingResult(
             algorithm1=outcome,
             slow_paths=slow_paths,
             preprocess_seconds=self.preprocess_seconds,
             analysis_seconds=analysis_seconds,
-            stats=self.model.stats(),
+            stats=stats,
         )
         self._last_result = result
         return result
 
     def generate_constraints(self) -> Algorithm2Result:
         """Run Algorithm 2 (ready/required times for re-synthesis)."""
-        return run_algorithm2(self.model, self.engine)
+        with obs.span("analyzer.constraints", category="analyzer"):
+            return run_algorithm2(self.model, self.engine)
 
     def statistics(self, histogram_bins: int = 8):
         """Aggregate endpoint statistics (WNS/TNS, per-clock, histogram)

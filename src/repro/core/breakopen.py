@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class RequirementArc:
@@ -110,11 +112,17 @@ def minimum_breaks(
     to ``exhaustive_limit`` ("very seldom is it necessary to remove more
     than two arcs"); beyond that, a greedy set cover finishes the job.
     """
+    rec = obs.active()
     candidates = sorted(set(candidate_breaks))
     if not candidates:
         raise ValueError("need at least one candidate break point")
     unique_arcs = sorted(set(arcs), key=lambda a: (a.assertion, a.closure))
+    if rec is not None:
+        rec.counter("breakopen.searches")
+        rec.counter("breakopen.requirement_arcs", len(unique_arcs))
     if not unique_arcs:
+        if rec is not None:
+            rec.counter("breakopen.passes_selected", 1)
         return (candidates[0],)
 
     valid: Dict[Fraction, FrozenSet[int]] = {
@@ -134,13 +142,23 @@ def minimum_breaks(
             "no break point"
         )
 
+    combos_tried = 0
     for size in range(1, min(exhaustive_limit, len(candidates)) + 1):
         for combo in itertools.combinations(candidates, size):
+            combos_tried += 1
             covered = frozenset().union(*(valid[b] for b in combo))
             if covered == everything:
+                if rec is not None:
+                    rec.counter("breakopen.combos_tried", combos_tried)
+                    rec.counter("breakopen.passes_selected", len(combo))
                 return tuple(combo)
 
-    return _greedy_cover(candidates, valid, everything)
+    chosen = _greedy_cover(candidates, valid, everything)
+    if rec is not None:
+        rec.counter("breakopen.combos_tried", combos_tried)
+        rec.counter("breakopen.greedy_fallbacks")
+        rec.counter("breakopen.passes_selected", len(chosen))
+    return chosen
 
 
 def _greedy_cover(

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional, Set
 
+from repro import obs
 from repro.clocks.schedule import ClockSchedule
 from repro.core.algorithm1 import Algorithm1Result, run_algorithm1
 from repro.core.model import AnalysisModel
@@ -68,18 +69,23 @@ class IncrementalAnalyzer:
         if cell_name in self._control_cells:
             # Control-path delays shape O_ac; rebuild the instances.
             self.rebuilds += 1
-            self._build()
+            obs.counter("incremental.rebuilds")
+            with obs.span("incremental.rebuild", category="incremental"):
+                self._build()
         else:
             # Positions, plans and instances are all unaffected: swap the
             # delay map under the existing model.
             self.swaps += 1
+            obs.counter("incremental.swaps")
             self.model.delays = self._delays
 
     def set_delays(self, delays: DelayMap) -> None:
         """Replace the whole delay map (conservatively rebuilds)."""
         self._delays = delays
         self.rebuilds += 1
-        self._build()
+        obs.counter("incremental.rebuilds")
+        with obs.span("incremental.rebuild", category="incremental"):
+            self._build()
 
     # ------------------------------------------------------------------
     # analysis
@@ -88,6 +94,14 @@ class IncrementalAnalyzer:
         """Run Algorithm 1; ``warm=True`` starts from the previous fixed
         point's offsets instead of the initial window positions."""
         reset = not (warm and self._warm)
-        result = run_algorithm1(self.model, self.engine, reset=reset)
+        # Warm-start accounting: a *hit* reuses the previous fixed point,
+        # a *cold start* resets the windows (first run or warm=False).
+        obs.counter(
+            "incremental.cold_starts" if reset else "incremental.warm_hits"
+        )
+        with obs.span(
+            "incremental.analyze", category="incremental", warm=not reset
+        ):
+            result = run_algorithm1(self.model, self.engine, reset=reset)
         self._warm = True
         return result

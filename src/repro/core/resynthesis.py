@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.clocks.schedule import ClockSchedule
 from repro.core.algorithm1 import run_algorithm1
 from repro.core.algorithm2 import run_algorithm2
@@ -141,70 +142,88 @@ def run_redesign_loop(
     )
 
     for round_index in range(max_rounds):
-        if inc is not None:
-            model = inc.model
-            engine = inc.engine
-            outcome = inc.analyze(warm=True)
-            current = inc.delays
-        else:
-            model = AnalysisModel(network, schedule, current)
-            engine = SlackEngine(model)
-            outcome = run_algorithm1(model, engine)
-        slow_paths = (
-            []
-            if outcome.intended
-            else extract_slow_paths(
-                model, engine, outcome.slacks.capture, limit=None
+        # The span covers one whole redesign round; a `break` below exits
+        # the span (recording it) before leaving the loop.
+        with obs.span(
+            "resynthesis.round", category="resynthesis", round=round_index
+        ):
+            obs.counter("resynthesis.rounds")
+            if inc is not None:
+                model = inc.model
+                engine = inc.engine
+                outcome = inc.analyze(warm=True)
+                current = inc.delays
+            else:
+                model = AnalysisModel(network, schedule, current)
+                engine = SlackEngine(model)
+                outcome = run_algorithm1(model, engine)
+            slow_paths = (
+                []
+                if outcome.intended
+                else extract_slow_paths(
+                    model, engine, outcome.slacks.capture, limit=None
+                )
             )
-        )
-        if outcome.intended:
+            obs.event(
+                "resynthesis.round_done",
+                round=round_index,
+                slow_paths=len(slow_paths),
+                intended=outcome.intended,
+            )
+            if outcome.intended:
+                result.rounds.append(
+                    RedesignRound(
+                        round_index=round_index,
+                        worst_slack=outcome.worst_slack,
+                        slow_path_count=0,
+                        chosen_module=None,
+                        scale_applied=None,
+                    )
+                )
+                result.success = True
+                break
+
+            chosen = select_module(
+                model, engine, outcome.slacks.capture, scales, speedup
+            )
+            allowed: Optional[float] = None
+            if chosen is not None and generate_constraints:
+                constraints = run_algorithm2(
+                    model, engine, algorithm1_result=outcome
+                ).constraints
+                allowed = constraints.cell_constraints(
+                    network.cell(chosen)
+                ).allowed_delay
             result.rounds.append(
                 RedesignRound(
                     round_index=round_index,
                     worst_slack=outcome.worst_slack,
-                    slow_path_count=0,
-                    chosen_module=None,
-                    scale_applied=None,
+                    slow_path_count=len(slow_paths),
+                    chosen_module=chosen,
+                    scale_applied=speedup.speedup_factor if chosen else None,
+                    allowed_delay=allowed,
                 )
             )
-            result.success = True
-            break
-
-        chosen = select_module(
-            model, engine, outcome.slacks.capture, scales, speedup
-        )
-        allowed: Optional[float] = None
-        if chosen is not None and generate_constraints:
-            constraints = run_algorithm2(
-                model, engine, algorithm1_result=outcome
-            ).constraints
-            allowed = constraints.cell_constraints(
-                network.cell(chosen)
-            ).allowed_delay
-        result.rounds.append(
-            RedesignRound(
-                round_index=round_index,
-                worst_slack=outcome.worst_slack,
-                slow_path_count=len(slow_paths),
-                chosen_module=chosen,
-                scale_applied=speedup.speedup_factor if chosen else None,
+            if chosen is None:
+                break  # nothing left to speed up: the loop fails
+            obs.event(
+                "resynthesis.module_chosen",
+                round=round_index,
+                module=chosen,
                 allowed_delay=allowed,
             )
-        )
-        if chosen is None:
-            break  # nothing left to speed up: the loop fails
-        previous_scale = scales.get(chosen, 1.0)
-        new_scale = max(
-            previous_scale * speedup.speedup_factor, speedup.min_scale
-        )
-        factor = new_scale / previous_scale
-        scales[chosen] = new_scale
-        if inc is not None:
-            inc.scale_cell(chosen, factor)
-            current = inc.delays
-        else:
-            current = current.with_scaled_cell(chosen, factor)
-        result.area_cost += speedup.area_per_speedup * (1.0 - factor)
+            previous_scale = scales.get(chosen, 1.0)
+            new_scale = max(
+                previous_scale * speedup.speedup_factor, speedup.min_scale
+            )
+            factor = new_scale / previous_scale
+            scales[chosen] = new_scale
+            if inc is not None:
+                inc.scale_cell(chosen, factor)
+                current = inc.delays
+            else:
+                current = current.with_scaled_cell(chosen, factor)
+            result.area_cost += speedup.area_per_speedup * (1.0 - factor)
 
     result.final_delays = current
     return result

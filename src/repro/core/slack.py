@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.clusters import Cluster
 from repro.core.model import AnalysisModel, CapturePort, LaunchPort
 from repro.netlist.kinds import Unateness
@@ -164,6 +165,7 @@ class SlackEngine:
     # fast path: boundary slacks only (the Algorithm 1/2 inner loop)
     # ------------------------------------------------------------------
     def port_slacks(self) -> PortSlacks:
+        rec = obs.active()
         slacks = PortSlacks()
         for instance in self._model.all_instances():
             if instance.has_input:
@@ -171,11 +173,16 @@ class SlackEngine:
             if instance.has_output:
                 slacks.launch.setdefault(instance.name, math.inf)
         for cluster in self._model.clusters:
-            self._cluster_port_slacks(cluster, slacks)
+            self._cluster_port_slacks(cluster, slacks, rec)
+        if rec is not None:
+            rec.counter("slack.evaluations")
         return slacks
 
     def _cluster_port_slacks(
-        self, cluster: Cluster, slacks: PortSlacks
+        self,
+        cluster: Cluster,
+        slacks: PortSlacks,
+        rec: Optional["obs.Recorder"] = None,
     ) -> None:
         model = self._model
         plan = model.plans[cluster.name]
@@ -184,6 +191,10 @@ class SlackEngine:
         for pass_index in range(plan.num_passes):
             designated = [c for c in captures if c.pass_index == pass_index]
             arrival = self._forward(cluster, launches, pass_index)
+            if rec is not None:
+                rec.counter("slack.cluster_passes")
+                rec.counter("slack.forward_sweeps")
+                rec.counter("slack.nodes_visited", len(arrival))
             required: Dict[str, RiseFall] = {}
             for port in designated:
                 closure = self._closure_time(cluster.name, port)
@@ -202,6 +213,8 @@ class SlackEngine:
             if not required:
                 continue
             self._backward(cluster, required)
+            if rec is not None:
+                rec.counter("slack.backward_sweeps")
             for port in launches:
                 need = required.get(port.net_name)
                 if need is None:
@@ -215,6 +228,12 @@ class SlackEngine:
     # full detail (reports, Algorithm 2 outputs)
     # ------------------------------------------------------------------
     def cluster_detail(self, cluster: Cluster) -> ClusterDetail:
+        with obs.span(
+            "slack.cluster_detail", category="slack", cluster=cluster.name
+        ):
+            return self._cluster_detail(cluster)
+
+    def _cluster_detail(self, cluster: Cluster) -> ClusterDetail:
         model = self._model
         plan = model.plans[cluster.name]
         launches = model.launch_ports[cluster.name]

@@ -68,8 +68,10 @@ class TimingStatistics:
 
 
 def _fmt(value: float) -> str:
+    # A design with no constrained endpoints has WNS = +inf; report
+    # "n/a" rather than a bare "inf" in human-facing summaries.
     if math.isinf(value):
-        return "inf"
+        return "n/a"
     return f"{value:.3f}"
 
 

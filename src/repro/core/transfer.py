@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable
 
+from repro import obs
 from repro.core.sync_elements import GenericInstance
 
 #: Transfers smaller than this are treated as "no slack was transferred";
@@ -128,11 +129,26 @@ def sweep(
     ``slacks`` supplies the relevant node slack by instance name (input
     slacks for forward/partial-forward/backward-snatch, output slacks
     otherwise).  Returns the total amount moved.
+
+    When recording is enabled, each sweep publishes per-operation
+    counters (``transfer.<op>.sweeps`` / ``.transfers`` / ``.moved``) --
+    this is where the slack-transfer and time-snatch totals in the
+    metrics dump come from.
     """
     total = 0.0
+    transfers = 0
     for instance in instances:
         if not instance.adjustable:
             continue
         slack = slacks.get(instance.name, math.inf)
-        total += operation(instance, slack, **kwargs)
+        amount = operation(instance, slack, **kwargs)
+        if amount != 0.0:
+            transfers += 1
+            total += amount
+    rec = obs.active()
+    if rec is not None:
+        name = operation.__name__
+        rec.counter(f"transfer.{name}.sweeps")
+        rec.counter(f"transfer.{name}.transfers", transfers)
+        rec.counter(f"transfer.{name}.moved", total)
     return total

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.cells.combinational import GateSpec
 from repro.cells.sequential import SyncSpec
 from repro.netlist.cell import Cell
@@ -212,6 +213,15 @@ def estimate_delays(
     network: Network, params: Optional[DelayParameters] = None
 ) -> DelayMap:
     """Estimate all component delays of ``network``."""
+    with obs.span(
+        "delay.estimate", category="delay", network=network.name
+    ):
+        return _estimate_delays(network, params)
+
+
+def _estimate_delays(
+    network: Network, params: Optional[DelayParameters]
+) -> DelayMap:
     params = params or DelayParameters()
     arc_max: Dict[_ArcKey, RiseFall] = {}
     arc_min: Dict[_ArcKey, RiseFall] = {}
@@ -219,8 +229,10 @@ def estimate_delays(
     cell_arcs: Dict[str, Tuple[Tuple[str, str], ...]] = {}
     sync: Dict[str, SyncTiming] = {}
     module_cache: Dict[int, Dict] = {}
+    cells_estimated = 0
 
     for cell in network.cells:
+        cells_estimated += 1
         spec = cell.spec
         if isinstance(spec, SyncSpec):
             sync[cell.name] = SyncTiming(
@@ -261,6 +273,10 @@ def estimate_delays(
             )
         # Clock sources and primary pads carry no delay arcs.
 
+    rec = obs.active()
+    if rec is not None:
+        rec.counter("delay.cells_estimated", cells_estimated)
+        rec.counter("delay.arcs_estimated", len(arc_max))
     return DelayMap(arc_max, arc_min, arc_sense, cell_arcs, sync)
 
 

@@ -1,0 +1,133 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+Produces the JSON Object Format of the Trace Event specification:
+``{"traceEvents": [...], ...}`` where each span becomes a *complete*
+event (``"ph": "X"``), each instant event an ``"i"`` event, and final
+counter values a ``"C"`` sample.  Timestamps and durations are in
+microseconds, as the format requires.
+
+Open the output at ``chrome://tracing`` (load button) or
+https://ui.perfetto.dev (drag and drop).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.recorder import Recorder
+
+_SECONDS_TO_US = 1_000_000.0
+
+
+def to_chrome_trace(recorder: Recorder) -> Dict[str, object]:
+    """The recorder's contents as a trace-event JSON object."""
+    pid = os.getpid()
+    events: List[Dict[str, object]] = []
+    threads = set()
+    for record in recorder.spans:
+        threads.add(record.thread_id)
+        entry: Dict[str, object] = {
+            "name": record.name,
+            "cat": record.category,
+            "ph": "X",
+            "ts": record.start * _SECONDS_TO_US,
+            "dur": record.duration * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": record.thread_id,
+        }
+        if record.args:
+            entry["args"] = dict(record.args)
+        events.append(entry)
+    for record in recorder.events:
+        threads.add(record.thread_id)
+        entry = {
+            "name": record.name,
+            "cat": "event",
+            "ph": "i",
+            "ts": record.timestamp * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": record.thread_id,
+            "s": "t",
+        }
+        if record.args:
+            entry["args"] = dict(record.args)
+        events.append(entry)
+    # Final counter values as one counter sample each (visible as tracks).
+    final_ts = max(
+        [r.start + r.duration for r in recorder.spans]
+        + [r.timestamp for r in recorder.events]
+        + [0.0]
+    )
+    for name in sorted(recorder.counters):
+        events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": final_ts * _SECONDS_TO_US,
+                "pid": pid,
+                "args": {"value": recorder.counters[name]},
+            }
+        )
+    # Thread names so Perfetto shows something meaningful.
+    for tid in sorted(threads):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"thread-{tid}"},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "dropped_spans": recorder.dropped_spans,
+            "dropped_events": recorder.dropped_events,
+        },
+    }
+
+
+def write_chrome_trace(
+    recorder: Recorder, path: Union[str, Path]
+) -> Path:
+    """Serialise :func:`to_chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(recorder), indent=None))
+    return path
+
+
+def validate_chrome_trace(data: object) -> List[str]:
+    """Schema check used by tests and tooling: a list of problems
+    (empty when the object is a valid trace-event JSON object)."""
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return ["top level must be a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, entry in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(entry.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        ph = entry.get("ph")
+        if ph not in ("X", "B", "E", "i", "C", "M"):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+        if ph != "M":
+            ts = entry.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'dur' must be a non-negative number")
+    return problems

@@ -1,0 +1,329 @@
+"""Instrumentation core: spans, counters, gauges, events.
+
+Design goals (see ``docs/observability.md``):
+
+* **zero dependencies** -- standard library only;
+* **no-op when disabled** -- the process-wide recorder is ``None`` by
+  default; every instrumentation site guards on :func:`active` (one
+  global read) or uses :func:`span`, which returns a shared null object,
+  so the disabled overhead is a few nanoseconds per call site;
+* **bounded memory** -- per-span records and events stop accumulating
+  past ``max_spans`` / ``max_events`` (aggregates keep counting), so a
+  long Algorithm-3 loop cannot exhaust memory;
+* **monotonic clocks** -- all timings use :func:`time.perf_counter`
+  (wall-clock, monotonic), not ``process_time``, so I/O-bound and
+  multi-threaded phases are reported consistently.
+
+Typical usage::
+
+    from repro import obs
+
+    with obs.recording() as rec:
+        with obs.span("analysis", category="analyzer"):
+            ...
+        obs.counter("alg1.forward_cycles")
+    print(rec.counters["alg1.forward_cycles"])
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Recorder",
+    "Span",
+    "SpanRecord",
+    "EventRecord",
+    "SpanStats",
+    "NULL_SPAN",
+    "active",
+    "set_recorder",
+    "recording",
+    "span",
+    "counter",
+    "gauge",
+    "event",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span (timings in seconds since the recorder epoch)."""
+
+    name: str
+    category: str
+    start: float
+    duration: float
+    depth: int
+    thread_id: int
+    index: int
+    args: Optional[Tuple[Tuple[str, object], ...]] = None
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One instant event."""
+
+    name: str
+    timestamp: float
+    thread_id: int
+    args: Optional[Tuple[Tuple[str, object], ...]] = None
+
+
+@dataclass
+class SpanStats:
+    """Aggregate statistics for all spans sharing one name."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def observe(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        if duration < self.minimum:
+            self.minimum = duration
+        if duration > self.maximum:
+            self.maximum = duration
+
+
+class Recorder:
+    """Process-wide collection point for spans, counters, gauges, events.
+
+    Thread-safe for counters/gauges/completions (a single lock guards the
+    shared structures); span *nesting depth* is tracked per thread.
+    """
+
+    def __init__(
+        self, max_spans: int = 200_000, max_events: int = 50_000
+    ) -> None:
+        self.epoch = time.perf_counter()
+        self.epoch_wall = time.time()
+        self.max_spans = max_spans
+        self.max_events = max_events
+        self.spans: List[SpanRecord] = []
+        self.events: List[EventRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.span_stats: Dict[str, SpanStats] = {}
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        self._lock = threading.Lock()
+        self._depths: Dict[int, int] = {}
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    # span lifecycle (called by Span)
+    # ------------------------------------------------------------------
+    def _enter_span(self) -> Tuple[int, int]:
+        tid = threading.get_ident()
+        depth = self._depths.get(tid, 0)
+        self._depths[tid] = depth + 1
+        return tid, depth
+
+    def _exit_span(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        duration: float,
+        depth: int,
+        tid: int,
+        args: Optional[Dict[str, object]],
+    ) -> None:
+        self._depths[tid] = depth
+        with self._lock:
+            stats = self.span_stats.get(name)
+            if stats is None:
+                stats = self.span_stats[name] = SpanStats()
+            stats.observe(duration)
+            if len(self.spans) >= self.max_spans:
+                self.dropped_spans += 1
+                return
+            index = self._next_index
+            self._next_index += 1
+            self.spans.append(
+                SpanRecord(
+                    name=name,
+                    category=category,
+                    start=start - self.epoch,
+                    duration=duration,
+                    depth=depth,
+                    thread_id=tid,
+                    index=index,
+                    args=tuple(sorted(args.items())) if args else None,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # counters / gauges / events
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the monotonically increasing counter ``name``."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the point-in-time gauge ``name`` to ``value``."""
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise the gauge ``name`` to ``value`` if larger."""
+        with self._lock:
+            if value > self.gauges.get(name, float("-inf")):
+                self.gauges[name] = float(value)
+
+    def event(self, name: str, **args: object) -> None:
+        """Record an instant event (a point on the trace timeline)."""
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self.events.append(
+                EventRecord(
+                    name=name,
+                    timestamp=time.perf_counter() - self.epoch,
+                    thread_id=threading.get_ident(),
+                    args=tuple(sorted(args.items())) if args else None,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "repro", **args: object) -> "Span":
+        return Span(self, name, category, args or None)
+
+    def total_span_seconds(self, name: str) -> float:
+        stats = self.span_stats.get(name)
+        return stats.total if stats is not None else 0.0
+
+
+class Span:
+    """Context-manager timer; records a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_recorder", "name", "category", "args", "_start", "_tid", "_depth")
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        name: str,
+        category: str = "repro",
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.category = category
+        self.args = args
+
+    def __enter__(self) -> "Span":
+        self._tid, self._depth = self._recorder._enter_span()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        self._recorder._exit_span(
+            self.name,
+            self.category,
+            self._start,
+            end - self._start,
+            self._depth,
+            self._tid,
+            self.args,
+        )
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while recording is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+#: The process-wide recorder; ``None`` means "disabled" (the default).
+_recorder: Optional[Recorder] = None
+
+
+def active() -> Optional[Recorder]:
+    """The process-wide recorder, or ``None`` when recording is disabled.
+
+    Hot loops should fetch this once (``rec = obs.active()``) and guard
+    their instrumentation on ``rec is not None``.
+    """
+    return _recorder
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Optional[Recorder]:
+    """Install (or, with ``None``, remove) the process-wide recorder.
+
+    Returns the previously installed recorder.
+    """
+    global _recorder
+    previous = _recorder
+    _recorder = recorder
+    return previous
+
+
+@contextmanager
+def recording(
+    recorder: Optional[Recorder] = None,
+) -> Iterator[Recorder]:
+    """Enable recording for the duration of the ``with`` block.
+
+    Installs ``recorder`` (a fresh :class:`Recorder` when omitted) as the
+    process-wide recorder and restores the previous one afterwards.
+    """
+    rec = recorder if recorder is not None else Recorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)
+
+
+def span(name: str, category: str = "repro", **args: object):
+    """A timing span against the process-wide recorder (no-op when
+    recording is disabled)."""
+    rec = _recorder
+    if rec is None:
+        return NULL_SPAN
+    return Span(rec, name, category, args or None)
+
+
+def counter(name: str, value: float = 1.0) -> None:
+    """Increment a process-wide counter (no-op when disabled)."""
+    rec = _recorder
+    if rec is not None:
+        rec.counter(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a process-wide gauge (no-op when disabled)."""
+    rec = _recorder
+    if rec is not None:
+        rec.gauge(name, value)
+
+
+def event(name: str, **args: object) -> None:
+    """Record a process-wide instant event (no-op when disabled)."""
+    rec = _recorder
+    if rec is not None:
+        rec.event(name, **args)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.cells.combinational import GateSpec
 from repro.cells.delay import GateArc, LinearDelay
 from repro.cells.library import CellLibrary
@@ -133,26 +134,35 @@ def size_for_timing(
     """
     result = SizingResult(success=False, area_before=total_gate_area(network))
     for pass_index in range(max_passes):
-        delays = estimate_delays(network, delay_params)
-        model = AnalysisModel(network, schedule, delays)
-        engine = SlackEngine(model)
-        outcome = run_algorithm1(model, engine)
-        result.passes = pass_index + 1
-        result.worst_slack_history.append(outcome.worst_slack)
-        if outcome.intended:
-            result.success = True
-            break
-        paths = extract_slow_paths(
-            model, engine, outcome.slacks.capture, limit=None
-        )
-        chosen = _select_upsizes(
-            network, library, model, paths, cells_per_pass
-        )
-        if not chosen:
-            break
-        for cell_name, variant in chosen.items():
-            network.cell(cell_name).spec = library.spec(variant)
-            result.resized[cell_name] = variant
+        with obs.span("sizing.pass", category="sizing", index=pass_index):
+            obs.counter("sizing.passes")
+            delays = estimate_delays(network, delay_params)
+            model = AnalysisModel(network, schedule, delays)
+            engine = SlackEngine(model)
+            outcome = run_algorithm1(model, engine)
+            result.passes = pass_index + 1
+            result.worst_slack_history.append(outcome.worst_slack)
+            if outcome.intended:
+                result.success = True
+                break
+            paths = extract_slow_paths(
+                model, engine, outcome.slacks.capture, limit=None
+            )
+            chosen = _select_upsizes(
+                network, library, model, paths, cells_per_pass
+            )
+            if not chosen:
+                break
+            obs.counter("sizing.cells_resized", len(chosen))
+            obs.event(
+                "sizing.upsized",
+                index=pass_index,
+                cells=len(chosen),
+                worst_slack=outcome.worst_slack,
+            )
+            for cell_name, variant in chosen.items():
+                network.cell(cell_name).spec = library.spec(variant)
+                result.resized[cell_name] = variant
     result.area_after = total_gate_area(network)
     return result
 

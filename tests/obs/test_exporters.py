@@ -1,0 +1,104 @@
+"""Tests for the Chrome-trace, metrics and Prometheus exporters."""
+
+import json
+
+from repro import obs
+from repro.obs.metrics import WELL_KNOWN_COUNTERS
+
+
+def _sample_recorder() -> obs.Recorder:
+    with obs.recording() as rec:
+        with obs.span("outer", category="test"):
+            with obs.span("inner", category="test", cluster="c0"):
+                pass
+        obs.counter("alg1.forward_cycles", 3)
+        obs.gauge("model.clusters", 2)
+        obs.event("milestone", round=1)
+    return rec
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        rec = _sample_recorder()
+        data = obs.to_chrome_trace(rec)
+        assert obs.validate_chrome_trace(data) == []
+
+    def test_round_trips_through_json(self, tmp_path):
+        rec = _sample_recorder()
+        path = obs.write_chrome_trace(rec, tmp_path / "t.trace.json")
+        loaded = json.loads(path.read_text())
+        assert obs.validate_chrome_trace(loaded) == []
+        names = {e["name"] for e in loaded["traceEvents"]}
+        assert {"outer", "inner", "milestone"} <= names
+
+    def test_complete_events_have_microsecond_fields(self):
+        rec = _sample_recorder()
+        events = obs.to_chrome_trace(rec)["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for entry in complete:
+            assert entry["ts"] >= 0
+            assert entry["dur"] >= 0
+            assert isinstance(entry["pid"], int)
+            assert isinstance(entry["tid"], int)
+
+    def test_span_args_exported(self):
+        rec = _sample_recorder()
+        events = obs.to_chrome_trace(rec)["traceEvents"]
+        inner = next(e for e in events if e["name"] == "inner")
+        assert inner["args"] == {"cluster": "c0"}
+
+    def test_counters_exported_as_counter_samples(self):
+        rec = _sample_recorder()
+        events = obs.to_chrome_trace(rec)["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"] == "alg1.forward_cycles" for e in counters)
+
+    def test_validator_flags_garbage(self):
+        assert obs.validate_chrome_trace([]) != []
+        assert obs.validate_chrome_trace({"traceEvents": "nope"}) != []
+        bad = {"traceEvents": [{"ph": "X", "name": 3, "ts": -1}]}
+        assert len(obs.validate_chrome_trace(bad)) >= 2
+
+
+class TestMetrics:
+    def test_well_known_counters_zero_filled(self):
+        with obs.recording() as rec:
+            pass
+        data = obs.metrics_dict(rec)
+        for name in WELL_KNOWN_COUNTERS:
+            assert data["counters"][name] == 0.0
+
+    def test_recorded_values_override_zero_fill(self):
+        rec = _sample_recorder()
+        data = obs.metrics_dict(rec)
+        assert data["counters"]["alg1.forward_cycles"] == 3.0
+        assert data["gauges"]["model.clusters"] == 2.0
+
+    def test_span_aggregates_present(self):
+        rec = _sample_recorder()
+        spans = obs.metrics_dict(rec)["spans"]
+        assert spans["outer"]["count"] == 1
+        assert spans["outer"]["total_s"] >= spans["inner"]["total_s"]
+        assert spans["inner"]["min_s"] <= spans["inner"]["max_s"]
+
+    def test_json_round_trip(self, tmp_path):
+        rec = _sample_recorder()
+        path = obs.write_metrics_json(rec, tmp_path / "m.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "repro.obs.metrics/1"
+        assert loaded["counters"]["alg1.forward_cycles"] == 3.0
+
+    def test_prometheus_rendering(self):
+        rec = _sample_recorder()
+        text = obs.render_prometheus(rec)
+        assert "repro_alg1_forward_cycles_total 3" in text
+        assert "# TYPE repro_model_clusters gauge" in text
+        assert "repro_outer_seconds_count 1" in text
+        # Exposition format: every non-comment line is "name value".
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)
+            assert name and " " not in name

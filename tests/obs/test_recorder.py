@@ -1,0 +1,204 @@
+"""Tests for the repro.obs instrumentation core."""
+
+import math
+import time
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _no_leak():
+    """Every test must leave the process-wide recorder disabled."""
+    assert obs.active() is None
+    yield
+    assert obs.active() is None
+
+
+class TestDisabledNoOp:
+    def test_disabled_by_default(self):
+        assert obs.active() is None
+
+    def test_span_returns_shared_null_object(self):
+        first = obs.span("anything", category="x", arg=1)
+        second = obs.span("other")
+        assert first is obs.NULL_SPAN
+        assert second is obs.NULL_SPAN
+        with first:
+            pass  # enter/exit must be no-ops
+
+    def test_counter_gauge_event_noop(self):
+        obs.counter("c", 5)
+        obs.gauge("g", 1.0)
+        obs.event("e", detail="ignored")
+        assert obs.active() is None
+
+    def test_null_span_reentrant(self):
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+
+    def test_disabled_overhead_is_small(self):
+        """The disabled path must stay within a small constant factor of
+        an empty loop (sanity bound, deliberately loose for CI noise)."""
+        n = 20_000
+
+        def empty():
+            for __ in range(n):
+                pass
+
+        def instrumented():
+            for __ in range(n):
+                with obs.span("x"):
+                    obs.counter("c")
+
+        empty()  # warm up
+        instrumented()
+        t0 = time.perf_counter()
+        empty()
+        base = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        instrumented()
+        cost = time.perf_counter() - t0
+        # ~3 global reads + a with-block per iteration; generous bound.
+        assert cost < max(base * 60, 0.25)
+
+
+class TestRecording:
+    def test_recording_installs_and_restores(self):
+        with obs.recording() as rec:
+            assert obs.active() is rec
+        assert obs.active() is None
+
+    def test_recording_restores_previous(self):
+        outer = obs.Recorder()
+        with obs.recording(outer):
+            with obs.recording() as inner:
+                assert obs.active() is inner
+            assert obs.active() is outer
+        assert obs.active() is None
+
+    def test_recording_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.recording():
+                raise RuntimeError("boom")
+        assert obs.active() is None
+
+    def test_counters_accumulate(self):
+        with obs.recording() as rec:
+            obs.counter("hits")
+            obs.counter("hits", 2)
+            obs.counter("misses", 0.5)
+        assert rec.counters == {"hits": 3.0, "misses": 0.5}
+
+    def test_gauges_overwrite(self):
+        with obs.recording() as rec:
+            obs.gauge("wns", -1.5)
+            obs.gauge("wns", 2.5)
+            rec.gauge_max("peak", 1.0)
+            rec.gauge_max("peak", 0.5)
+        assert rec.gauges == {"wns": 2.5, "peak": 1.0}
+
+    def test_events_recorded_with_args(self):
+        with obs.recording() as rec:
+            obs.event("round_done", round=3, ok=True)
+        assert len(rec.events) == 1
+        assert rec.events[0].name == "round_done"
+        assert dict(rec.events[0].args) == {"round": 3, "ok": True}
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        with obs.recording() as rec:
+            with obs.span("work"):
+                time.sleep(0.002)
+        assert len(rec.spans) == 1
+        record = rec.spans[0]
+        assert record.name == "work"
+        assert record.duration >= 0.001
+        assert record.depth == 0
+
+    def test_span_nesting_depths(self):
+        with obs.recording() as rec:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    with obs.span("leaf"):
+                        pass
+                with obs.span("inner2"):
+                    pass
+        depths = {r.name: r.depth for r in rec.spans}
+        assert depths == {"outer": 0, "inner": 1, "leaf": 2, "inner2": 1}
+        # Children complete before parents.
+        names = [r.name for r in rec.spans]
+        assert names.index("leaf") < names.index("inner")
+        assert names.index("inner") < names.index("outer")
+
+    def test_span_stats_aggregate(self):
+        with obs.recording() as rec:
+            for __ in range(5):
+                with obs.span("repeat"):
+                    pass
+        stats = rec.span_stats["repeat"]
+        assert stats.count == 5
+        assert stats.total >= 0.0
+        assert stats.minimum <= stats.maximum
+        assert math.isclose(stats.mean, stats.total / 5)
+
+    def test_span_cap_drops_but_keeps_aggregates(self):
+        with obs.recording(obs.Recorder(max_spans=3)) as rec:
+            for __ in range(10):
+                with obs.span("s"):
+                    pass
+        assert len(rec.spans) == 3
+        assert rec.dropped_spans == 7
+        assert rec.span_stats["s"].count == 10
+
+    def test_event_cap(self):
+        with obs.recording(obs.Recorder(max_events=2)) as rec:
+            for index in range(5):
+                obs.event("e", index=index)
+        assert len(rec.events) == 2
+        assert rec.dropped_events == 3
+
+    def test_span_args_preserved(self):
+        with obs.recording() as rec:
+            with obs.span("pass", category="slack", cluster="c0", index=2):
+                pass
+        record = rec.spans[0]
+        assert record.category == "slack"
+        assert dict(record.args) == {"cluster": "c0", "index": 2}
+
+
+class TestPhaseTree:
+    def test_tree_reconstruction(self):
+        with obs.recording() as rec:
+            with obs.span("root"):
+                with obs.span("child_a"):
+                    with obs.span("grand"):
+                        pass
+                with obs.span("child_b"):
+                    pass
+        roots = obs.build_phase_tree(rec)
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.record.name == "root"
+        assert [c.record.name for c in root.children] == [
+            "child_a",
+            "child_b",
+        ]
+        assert root.children[0].children[0].record.name == "grand"
+
+    def test_render_contains_names_and_counters(self):
+        with obs.recording() as rec:
+            with obs.span("phase1"):
+                pass
+            obs.counter("things", 7)
+        text = obs.render_phase_tree(rec)
+        assert "phase1" in text
+        assert "things" in text and "7" in text
+
+    def test_render_empty_recording(self):
+        with obs.recording() as rec:
+            pass
+        assert "no spans" in obs.render_phase_tree(rec)
