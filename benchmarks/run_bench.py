@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Headless benchmark harness: ``python benchmarks/run_bench.py``.
+
+Unlike the pytest-benchmark suites next to it (which reproduce paper
+tables interactively), this harness is built for CI perf tracking: it
+runs a fixed registry of workloads with no test framework in the way,
+measures wall time, peak RSS and the key :mod:`repro.obs` counters, and
+writes a machine-readable ``BENCH_PR2.json`` at the repo root::
+
+    python benchmarks/run_bench.py             # full workloads
+    python benchmarks/run_bench.py --quick     # CI-sized workloads
+    python benchmarks/run_bench.py --only analyze_pipeline --repeat 3
+
+Output schema (``repro.bench/1``)::
+
+    {
+      "schema": "repro.bench/1",
+      "quick": true,
+      "benches": {
+        "<name>": {
+          "wall_s": 0.0123,          # best of --repeat runs
+          "peak_rss_kb": 43210,      # ru_maxrss after the run
+          "counters": {...},         # non-zero obs counters
+          "extra": {...}             # workload-specific facts
+        }, ...
+      }
+    }
+
+The counters make regressions diagnosable: a wall-time jump with flat
+``alg1.iterations_total`` is a code slowdown; a jump *with* more
+iterations is a convergence regression (paper, Section 8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.core.analyzer import Hummingbird  # noqa: E402
+from repro.generators import random_design  # noqa: E402
+from repro.generators.pipelines import latch_pipeline  # noqa: E402
+from repro.report import (  # noqa: E402
+    auditing,
+    build_manifest,
+    diff_manifests,
+)
+
+#: Counters copied into every bench row (when non-zero).
+KEY_COUNTERS = (
+    "alg1.runs",
+    "alg1.iterations_total",
+    "alg1.forward_cycles",
+    "alg1.backward_cycles",
+    "slack.evaluations",
+    "slack.nodes_visited",
+    "transfer.complete_forward.moved",
+    "transfer.complete_backward.moved",
+)
+
+Workload = Callable[[bool], Dict[str, object]]
+_REGISTRY: List[Tuple[str, Workload]] = []
+
+
+def bench(name: str):
+    def register(func: Workload) -> Workload:
+        _REGISTRY.append((name, func))
+        return func
+
+    return register
+
+
+def _pipeline(quick: bool):
+    stages = 6 if quick else 12
+    lengths = [12] + [1] * (stages - 1)
+    return latch_pipeline(
+        stages=stages, stage_lengths=lengths, period=12.0
+    )
+
+
+def _random(quick: bool):
+    banks, gates = (4, 100) if quick else (8, 400)
+    return random_design(
+        seed=2026, n_banks=banks, gates_per_bank=gates, bits=8,
+        style="latch",
+    )
+
+
+@bench("analyze_pipeline")
+def bench_analyze_pipeline(quick: bool) -> Dict[str, object]:
+    """Algorithm 1 on the cycle-borrowing latch pipeline."""
+    network, schedule = _pipeline(quick)
+    result = Hummingbird(network, schedule).analyze()
+    return {
+        "intended": result.intended,
+        "iterations": result.algorithm1.iterations.total,
+    }
+
+
+@bench("analyze_random")
+def bench_analyze_random(quick: bool) -> Dict[str, object]:
+    """Algorithm 1 on a randomly generated multi-bank latch design."""
+    network, schedule = _random(quick)
+    result = Hummingbird(network, schedule).analyze()
+    return {
+        "intended": result.intended,
+        "iterations": result.algorithm1.iterations.total,
+    }
+
+
+@bench("audit_overhead")
+def bench_audit_overhead(quick: bool) -> Dict[str, object]:
+    """Same pipeline analysis with the slack-transfer audit trail on.
+
+    Comparing ``wall_s`` against ``analyze_pipeline`` bounds the
+    provenance-recording overhead.
+    """
+    network, schedule = _pipeline(quick)
+    with auditing() as trail:
+        result = Hummingbird(network, schedule).analyze()
+    return {
+        "intended": result.intended,
+        "audit_events": trail.total_events,
+        "total_moved": round(trail.total_moved, 6),
+    }
+
+
+@bench("forensics_report")
+def bench_forensics_report(quick: bool) -> Dict[str, object]:
+    """Explain every capture endpoint and render JSON + HTML reports."""
+    network, schedule = _pipeline(quick)
+    result = Hummingbird(network, schedule).analyze()
+    forensics = result.path_forensics()
+    explained = [
+        forensics.explain(name)
+        for name in sorted(result.algorithm1.slacks.capture)
+    ]
+    json_doc = forensics.to_json(explained)
+    html_doc = forensics.render_html(explained)
+    return {
+        "endpoints": len(explained),
+        "json_bytes": len(json_doc),
+        "html_bytes": len(html_doc),
+        "borrow_links": sum(len(f.borrow_chain) for f in explained),
+    }
+
+
+@bench("manifest_diff")
+def bench_manifest_diff(quick: bool) -> Dict[str, object]:
+    """Build two run manifests and diff them (the CI primitive)."""
+    network, schedule = _pipeline(quick)
+    analyzer = Hummingbird(network, schedule)
+    result = analyzer.analyze()
+    manifest_a = build_manifest(analyzer, result, label="a")
+    manifest_b = build_manifest(analyzer, result, label="b")
+    diff = diff_manifests(manifest_a, manifest_b)
+    return {
+        "endpoints": len(diff.endpoints),
+        "has_regression": diff.has_regression,
+    }
+
+
+def run_one(
+    name: str, workload: Workload, quick: bool, repeat: int
+) -> Dict[str, object]:
+    best_wall: Optional[float] = None
+    counters: Dict[str, float] = {}
+    extra: Dict[str, object] = {}
+    for __ in range(max(1, repeat)):
+        with obs.recording() as recorder:
+            start = time.perf_counter()
+            extra = workload(quick)
+            wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            counters = {
+                key: recorder.counters[key]
+                for key in KEY_COUNTERS
+                if recorder.counters.get(key)
+            }
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "wall_s": round(best_wall or 0.0, 6),
+        "peak_rss_kb": int(peak_rss_kb),
+        "counters": counters,
+        "extra": extra,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized workloads"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="runs per bench; best wall time is kept (default 2)",
+    )
+    parser.add_argument(
+        "--only", action="append",
+        help="run only this bench (repeatable)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_PR2.json"),
+        help="output JSON path (default: BENCH_PR2.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = [
+        (name, workload)
+        for name, workload in _REGISTRY
+        if not args.only or name in args.only
+    ]
+    if not selected:
+        known = ", ".join(name for name, __ in _REGISTRY)
+        parser.error(f"no such bench (known: {known})")
+
+    benches: Dict[str, object] = {}
+    for name, workload in selected:
+        row = run_one(name, workload, args.quick, args.repeat)
+        benches[name] = row
+        print(
+            f"{name:<20} wall {row['wall_s']:>9.4f}s  "
+            f"rss {row['peak_rss_kb']:>8} kB  "
+            f"{row['extra']}"
+        )
+
+    document = {
+        "schema": "repro.bench/1",
+        "quick": bool(args.quick),
+        "repeat": args.repeat,
+        "python": platform.python_version(),
+        "benches": benches,
+    }
+    out = Path(args.out)
+    out.write_text(
+        json.dumps(
+            document, indent=2, sort_keys=True, separators=(",", ": ")
+        )
+        + "\n"
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,9 +5,13 @@ clock description, run the analysis, print the report::
 
     repro-sta analyze design.json --clocks clocks.json
     repro-sta analyze design.blif --clocks clocks.json --min-delay
+    repro-sta analyze design.json --clocks clocks.json \
+        --manifest runs/ --audit audit.json
     repro-sta constraints design.json --clocks clocks.json --net n42
     repro-sta maxfreq design.json --clocks clocks.json
-    repro-sta stats design.json --clocks clocks.json
+    repro-sta report design.json --clocks clocks.json --endpoint s1_l
+    repro-sta diff runs/a.manifest.json runs/b.manifest.json
+    repro-sta stats design.json --clocks clocks.json --json
     repro-sta simulate design.json --clocks clocks.json --cycles 16
     repro-sta waveforms --clocks clocks.json
 
@@ -26,7 +30,10 @@ Every subcommand accepts the observability flags (see
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 from typing import List, Optional
 
@@ -88,11 +95,37 @@ def _common_arguments(parser: argparse.ArgumentParser, with_netlist=True):
     )
 
 
+def _json_num(value: Optional[float]) -> object:
+    """JSON-safe numeric encoding (infinities become strings)."""
+    if value is None:
+        return None
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.report import auditing, write_audit_json, write_manifest
+
     network = _read_network(args.netlist, args.default_clock)
     schedule = load_schedule(args.clocks)
     analyzer = Hummingbird(network, schedule)
-    result = analyzer.analyze(slow_path_limit=args.limit)
+    audit_ctx = auditing() if args.audit else nullcontext()
+    with audit_ctx as trail:
+        result = analyzer.analyze(slow_path_limit=args.limit)
+    if args.audit:
+        path = write_audit_json(trail, args.audit)
+        print(f"audit trail written to {path}", file=sys.stderr)
+    if args.manifest:
+        manifest = result.manifest(
+            netlist_path=args.netlist,
+            clocks_path=args.clocks,
+            recorder=obs.active(),
+            label=args.label,
+        )
+        path = write_manifest(manifest, args.manifest)
+        print(f"manifest written to {path}", file=sys.stderr)
     print(result.report(limit=args.limit or 20))
     status = 0 if result.intended else 1
     if args.min_delay:
@@ -164,10 +197,103 @@ def cmd_stats(args: argparse.Namespace) -> int:
     schedule = load_schedule(args.clocks)
     analyzer = Hummingbird(network, schedule)
     result = analyzer.analyze()
+    stats = analyzer.statistics(histogram_bins=args.bins)
+    if args.json:
+        manifest = result.manifest(
+            netlist_path=args.netlist, clocks_path=args.clocks
+        )
+        payload = {
+            "schema": "repro.stats/1",
+            "design": manifest["design"],
+            # The same machine-readable timing block the run manifest
+            # embeds (intended flag, WNS/TNS, per-endpoint slacks).
+            "timing": manifest["timing"],
+            "by_clock": {
+                name: {
+                    "endpoints": group.endpoints,
+                    "violating": group.violating,
+                    "worst_slack": _json_num(group.worst_slack),
+                    "total_negative_slack": group.total_negative_slack,
+                }
+                for name, group in sorted(stats.by_clock.items())
+            },
+            "histogram": [
+                {"lower": lower, "count": count}
+                for lower, count in stats.histogram
+            ],
+        }
+        print(
+            json.dumps(
+                payload, indent=2, sort_keys=True, separators=(",", ": ")
+            )
+        )
+        return 0 if result.intended else 1
     print(result.summary())
     print()
-    print(analyzer.statistics(histogram_bins=args.bins).format())
+    print(stats.format())
     return 0 if result.intended else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    network = _read_network(args.netlist, args.default_clock)
+    schedule = load_schedule(args.clocks)
+    analyzer = Hummingbird(network, schedule)
+    result = analyzer.analyze()
+    forensics = result.path_forensics()
+    if args.endpoint:
+        queries = list(args.endpoint)
+    else:
+        # Default: the worst endpoints by capture slack.
+        capture = result.algorithm1.slacks.capture
+        queries = [
+            name
+            for name, __ in sorted(capture.items(), key=lambda kv: kv[1])[
+                : args.limit
+            ]
+        ]
+    explained = []
+    for query in queries:
+        try:
+            explained.append(forensics.explain(query))
+        except KeyError as exc:
+            if args.endpoint:
+                raise SystemExit(str(exc))
+            continue  # non-endpoint instance in the default worst-N scan
+    if not explained:
+        raise SystemExit("no capture endpoints to report")
+    if args.format == "json":
+        out = forensics.to_json(explained)
+    elif args.format == "html":
+        out = forensics.render_html(explained)
+    else:
+        out = "\n\n".join(forensics.render_text(f) for f in explained)
+    if args.out:
+        Path(args.out).write_text(out if out.endswith("\n") else out + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(out)
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.report import diff_manifests
+
+    try:
+        diff = diff_manifests(args.run_a, args.run_b)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(
+            json.dumps(
+                diff.to_dict(),
+                indent=2,
+                sort_keys=True,
+                separators=(",", ": "),
+            )
+        )
+    else:
+        print(diff.render_text(limit=args.limit))
+    return 1 if diff.has_regression else 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -224,6 +350,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also check supplementary (minimum delay) constraints",
     )
+    forensics_group = analyze.add_argument_group("forensics")
+    forensics_group.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="write a run manifest (repro.manifest/1 JSON); PATH may be "
+        "a directory (runs/ convention) or an explicit file",
+    )
+    forensics_group.add_argument(
+        "--label",
+        help="run label recorded in the manifest (default: design name)",
+    )
+    forensics_group.add_argument(
+        "--audit",
+        metavar="FILE",
+        help="record the Algorithm 1 slack-transfer audit trail "
+        "(repro.audit/1 JSON) to FILE",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     constraints = sub.add_parser(
@@ -253,7 +396,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_arguments(stats)
     stats.add_argument("--bins", type=int, default=8)
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable repro.stats/1 payload (the same "
+        "timing block run manifests embed)",
+    )
     stats.set_defaults(func=cmd_stats)
+
+    report = sub.add_parser(
+        "report",
+        help="explain endpoint slacks (D_p, offsets, borrow chain)",
+    )
+    _common_arguments(report)
+    report.add_argument(
+        "--endpoint",
+        action="append",
+        help="endpoint to explain: a net, instance, cell or terminal "
+        "name (repeatable; default: the worst endpoints)",
+    )
+    report.add_argument(
+        "--format",
+        choices=("text", "json", "html"),
+        default="text",
+        help="output format (json follows the repro.report/1 schema)",
+    )
+    report.add_argument(
+        "--limit",
+        type=int,
+        default=3,
+        help="how many worst endpoints to explain when no --endpoint "
+        "is given",
+    )
+    report.add_argument(
+        "--out", metavar="FILE", help="write the report to FILE"
+    )
+    report.set_defaults(func=cmd_report)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two run manifests (exit 1 on timing regression)",
+    )
+    diff.add_argument("run_a", help="baseline manifest JSON file")
+    diff.add_argument("run_b", help="candidate manifest JSON file")
+    diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro.diff/1 JSON document instead of text",
+    )
+    diff.add_argument("--limit", type=int, default=20)
+    diff.set_defaults(func=cmd_diff)
 
     simulate = sub.add_parser(
         "simulate",

@@ -114,7 +114,13 @@ def run_algorithm1(
         while True:
             if slacks.all_positive():
                 return _finish(True, slacks, counts, converged, rec)
-            moved = sweep(instances, slacks.capture, complete_forward)
+            moved = sweep(
+                instances,
+                slacks.capture,
+                complete_forward,
+                phase="iteration1.forward",
+                cycle=counts.forward + 1,
+            )
             if moved == 0.0:
                 break
             counts.forward += 1
@@ -129,7 +135,13 @@ def run_algorithm1(
         while True:
             if slacks.all_positive():
                 return _finish(True, slacks, counts, converged, rec)
-            moved = sweep(instances, slacks.launch, complete_backward)
+            moved = sweep(
+                instances,
+                slacks.launch,
+                complete_backward,
+                phase="iteration2.backward",
+                cycle=counts.backward + 1,
+            )
             if moved == 0.0:
                 break
             counts.backward += 1
@@ -143,7 +155,12 @@ def run_algorithm1(
         for __ in range(counts.backward):
             slacks = engine.port_slacks()
             moved = sweep(
-                instances, slacks.capture, partial_forward, divisor=divisor
+                instances,
+                slacks.capture,
+                partial_forward,
+                phase="iteration3.partial_forward",
+                cycle=counts.partial_forward + 1,
+                divisor=divisor,
             )
             counts.partial_forward += 1
             if moved == 0.0:
@@ -154,7 +171,12 @@ def run_algorithm1(
         for __ in range(counts.forward):
             slacks = engine.port_slacks()
             moved = sweep(
-                instances, slacks.launch, partial_backward, divisor=divisor
+                instances,
+                slacks.launch,
+                partial_backward,
+                phase="iteration4.partial_backward",
+                cycle=counts.partial_backward + 1,
+                divisor=divisor,
             )
             counts.partial_backward += 1
             if moved == 0.0:

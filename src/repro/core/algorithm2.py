@@ -162,7 +162,13 @@ def run_algorithm2(
     with obs.span("alg2.iteration1.snatch_backward", category="alg2"):
         while True:
             slacks = engine.port_slacks()
-            moved = sweep(instances, slacks.capture, snatch_backward)
+            moved = sweep(
+                instances,
+                slacks.capture,
+                snatch_backward,
+                phase="alg2.snatch_backward",
+                cycle=backward_cycles + 1,
+            )
             if moved == 0.0:
                 break
             backward_cycles += 1
@@ -178,7 +184,13 @@ def run_algorithm2(
     with obs.span("alg2.iteration2.snatch_forward", category="alg2"):
         while True:
             slacks = engine.port_slacks()
-            moved = sweep(instances, slacks.launch, snatch_forward)
+            moved = sweep(
+                instances,
+                slacks.launch,
+                snatch_forward,
+                phase="alg2.snatch_forward",
+                cycle=forward_cycles + 1,
+            )
             if moved == 0.0:
                 break
             forward_cycles += 1

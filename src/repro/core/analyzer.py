@@ -40,6 +40,14 @@ class TimingResult:
     preprocess_seconds: float
     analysis_seconds: float
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Combined CPU seconds (pre-processing + analysis) for manifests.
+    cpu_seconds: float = 0.0
+    #: Back-reference to the analyser that produced this result; set by
+    #: :meth:`Hummingbird.analyze` and used by the forensics/manifest
+    #: accessors below (excluded from comparisons and repr).
+    analyzer: Optional["Hummingbird"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def intended(self) -> bool:
@@ -70,6 +78,54 @@ class TimingResult:
 
     def report(self, limit: int = 20) -> str:
         return self.summary() + "\n" + format_slow_paths(self.slow_paths, limit)
+
+    # ------------------------------------------------------------------
+    # forensics layer (see docs/reporting.md)
+    # ------------------------------------------------------------------
+    def _require_analyzer(self) -> "Hummingbird":
+        if self.analyzer is None:
+            raise ValueError(
+                "this TimingResult is detached from its analyzer; "
+                "forensics()/manifest() need the result returned by "
+                "Hummingbird.analyze()"
+            )
+        return self.analyzer
+
+    def forensics(self, endpoint: str):
+        """Explain one endpoint's slack (``repro.report.PathForensics``).
+
+        Returns an :class:`repro.report.EndpointForensics` with the full
+        ``D_p`` / ``O_x`` / ``O_y`` / borrow-chain breakdown.
+        """
+        return self.path_forensics().explain(endpoint)
+
+    def path_forensics(self):
+        """The :class:`repro.report.PathForensics` engine for this run."""
+        from repro.report.forensics import PathForensics
+
+        analyzer = self._require_analyzer()
+        return PathForensics(
+            analyzer.model, analyzer.engine, self.algorithm1.slacks
+        )
+
+    def manifest(
+        self,
+        netlist_path=None,
+        clocks_path=None,
+        recorder=None,
+        label: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """The run manifest (``repro.manifest/1``) of this analysis."""
+        from repro.report.manifest import build_manifest
+
+        return build_manifest(
+            self._require_analyzer(),
+            self,
+            netlist_path=netlist_path,
+            clocks_path=clocks_path,
+            recorder=recorder,
+            label=label,
+        )
 
 
 class Hummingbird:
@@ -104,6 +160,7 @@ class Hummingbird:
         # process_time) so I/O-bound and multi-threaded runs report
         # consistently; `preprocess_seconds` keeps its historical meaning.
         started = time.perf_counter()
+        started_cpu = time.process_time()
         with obs.span("analyzer.preprocess", category="analyzer"):
             with obs.span("analyzer.estimate_delays", category="analyzer"):
                 self.delays = (
@@ -118,6 +175,7 @@ class Hummingbird:
             with obs.span("analyzer.build_engine", category="analyzer"):
                 self.engine = SlackEngine(self.model)
         self.preprocess_seconds = time.perf_counter() - started
+        self.preprocess_cpu_seconds = time.process_time() - started_cpu
         rec = obs.active()
         if rec is not None:
             stats = self.model.stats()
@@ -140,9 +198,11 @@ class Hummingbird:
     ) -> TimingResult:
         """Run Algorithm 1 and extract the slow paths."""
         started = time.perf_counter()
+        started_cpu = time.process_time()
         with obs.span("analyzer.analysis", category="analyzer"):
             outcome = run_algorithm1(self.model, self.engine)
         analysis_seconds = time.perf_counter() - started
+        analysis_cpu_seconds = time.process_time() - started_cpu
         with obs.span("analyzer.slow_paths", category="analyzer"):
             slow_paths = (
                 []
@@ -165,6 +225,8 @@ class Hummingbird:
             preprocess_seconds=self.preprocess_seconds,
             analysis_seconds=analysis_seconds,
             stats=stats,
+            cpu_seconds=self.preprocess_cpu_seconds + analysis_cpu_seconds,
+            analyzer=self,
         )
         self._last_result = result
         return result

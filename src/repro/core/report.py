@@ -80,14 +80,31 @@ def extract_slow_paths(
     if limit is not None:
         violations = violations[:limit]
 
-    clusters_by_name = {c.name: c for c in model.clusters}
     paths = []
     for slack, port in violations:
-        cluster = clusters_by_name[port.cluster_name]
-        path = _trace_path(model, engine, cluster, port, slack)
+        path = trace_endpoint_path(model, engine, port, slack)
         if path is not None:
             paths.append(path)
     return paths
+
+
+def trace_endpoint_path(
+    model: AnalysisModel,
+    engine: SlackEngine,
+    port: CapturePort,
+    slack: float,
+) -> Optional[SlowPath]:
+    """Trace the critical path ending at one capture port.
+
+    Public provenance hook: :func:`extract_slow_paths` uses it for
+    violated endpoints, and :class:`repro.report.PathForensics` uses it
+    to explain *any* endpoint (passing the endpoint's current node
+    slack), not just the slow ones.
+    """
+    for cluster in model.clusters:
+        if cluster.name == port.cluster_name:
+            return _trace_path(model, engine, cluster, port, slack)
+    return None
 
 
 def _trace_path(

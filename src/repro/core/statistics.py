@@ -12,8 +12,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.core.model import AnalysisModel
 from repro.core.slack import PortSlacks
+from repro.obs.hist import bucket_counts, equal_width_edges
 
 
 @dataclass(frozen=True)
@@ -117,27 +119,27 @@ def timing_statistics(
     for clock, values in per_clock.items():
         stats.by_clock[clock] = _group(clock, values)
     stats.histogram = _histogram(all_values, histogram_bins)
+    rec = obs.active()
+    if rec is not None:
+        # Mirror the endpoint slacks into the recorder histogram so the
+        # Prometheus/metrics export carries the same distribution the
+        # text report prints (shared bucketing: repro.obs.hist).
+        for value in all_values:
+            if not math.isinf(value):
+                rec.histogram("slack.endpoint", value)
     return stats
 
 
 def _histogram(
     values: Sequence[float], bins: int
 ) -> List[Tuple[float, int]]:
+    """Equal-width slack histogram via the shared bucketing helper."""
     finite = sorted(v for v in values if not math.isinf(v))
     if not finite or bins < 1:
         return []
     low, high = finite[0], finite[-1]
     if high == low:
         return [(low, len(finite))]
-    step = (high - low) / bins
-    rows = []
-    for index in range(bins):
-        lower = low + index * step
-        upper = high if index == bins - 1 else lower + step
-        count = sum(
-            1
-            for v in finite
-            if lower <= v < upper or (index == bins - 1 and v == upper)
-        )
-        rows.append((lower, count))
-    return rows
+    edges = equal_width_edges(low, high, bins)
+    counts = bucket_counts(finite, edges)
+    return list(zip(edges[:-1], counts))

@@ -23,6 +23,7 @@ from typing import Dict, Iterable
 
 from repro import obs
 from repro.core.sync_elements import GenericInstance
+from repro.report.provenance import active_trail
 
 #: Transfers smaller than this are treated as "no slack was transferred";
 #: it bounds the fixed-point iterations against float dust.
@@ -118,37 +119,76 @@ def snatch_backward(instance: GenericInstance, input_slack: float) -> float:
     return amount
 
 
+#: Transfer direction by operator name; backward operations move the
+#: window later, so their donor is the *output*-side path.
+_BACKWARD_OPS = frozenset(
+    {"complete_backward", "partial_backward", "snatch_backward"}
+)
+
+
 def sweep(
     instances: Iterable[GenericInstance],
     slacks: Dict[str, float],
     operation,
+    phase: str = "",
+    cycle: int = 0,
     **kwargs,
 ) -> float:
     """Apply ``operation`` across all adjustable instances.
 
     ``slacks`` supplies the relevant node slack by instance name (input
     slacks for forward/partial-forward/backward-snatch, output slacks
-    otherwise).  Returns the total amount moved.
+    otherwise).  ``phase``/``cycle`` label the Algorithm 1 iteration for
+    the provenance trail.  Returns the total amount moved.
 
     When recording is enabled, each sweep publishes per-operation
     counters (``transfer.<op>.sweeps`` / ``.transfers`` / ``.moved``) --
     this is where the slack-transfer and time-snatch totals in the
-    metrics dump come from.
+    metrics dump come from.  When a :class:`repro.report.AuditTrail` is
+    installed (``repro.report.auditing()``), every individual move is
+    additionally recorded as a :class:`repro.report.TransferEvent` with
+    donor/recipient path endpoints; with no trail installed the only
+    overhead is one global read per sweep.
     """
     total = 0.0
     transfers = 0
+    trail = active_trail()
+    op_name = operation.__name__
+    backward = op_name in _BACKWARD_OPS
     for instance in instances:
         if not instance.adjustable:
             continue
         slack = slacks.get(instance.name, math.inf)
+        before = instance.w
         amount = operation(instance, slack, **kwargs)
         if amount != 0.0:
             transfers += 1
             total += amount
+            if trail is not None:
+                data_in = instance.terminal_in or f"{instance.cell_name}.D"
+                data_out = instance.terminal_out or f"{instance.cell_name}.Q"
+                # Forward moves donate input-side slack to the paths
+                # leaving the element; backward moves donate output-side
+                # slack to the paths entering it.
+                donor, recipient = (
+                    (data_out, data_in) if backward else (data_in, data_out)
+                )
+                trail.record(
+                    phase=phase,
+                    cycle=cycle,
+                    operation=op_name,
+                    instance=instance.name,
+                    cell=instance.cell_name,
+                    donor=donor,
+                    recipient=recipient,
+                    amount=amount,
+                    window_before=before,
+                    window_after=instance.w,
+                    driving_slack=slack,
+                )
     rec = obs.active()
     if rec is not None:
-        name = operation.__name__
-        rec.counter(f"transfer.{name}.sweeps")
-        rec.counter(f"transfer.{name}.transfers", transfers)
-        rec.counter(f"transfer.{name}.moved", total)
+        rec.counter(f"transfer.{op_name}.sweeps")
+        rec.counter(f"transfer.{op_name}.transfers", transfers)
+        rec.counter(f"transfer.{op_name}.moved", total)
     return total

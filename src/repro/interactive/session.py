@@ -5,12 +5,19 @@ the clock schedule and the component delays, re-analysing on demand.
 Every mutation pushes the previous state so :meth:`undo` can back out of
 an experiment -- the workflow the paper's interactive mode supported on a
 terminal.
+
+The forensics layer (``docs/reporting.md``) plugs in here: use
+:meth:`WhatIfSession.explain` to get the ``D_p``/``O_x``/``O_y``/borrow
+chain breakdown of one endpoint under the current state,
+:meth:`snapshot` to freeze the current analysis as a run manifest, and
+:meth:`compare` to see the per-endpoint slack deltas an experiment
+caused -- the same primitive as ``repro-sta diff``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.clocks.schedule import ClockSchedule
 from repro.clocks.waveform import TimeLike
@@ -42,6 +49,7 @@ class WhatIfSession:
         self._delays = delays if delays is not None else estimate_delays(network)
         self._history: List[SessionStep] = []
         self._analyzer: Optional[Hummingbird] = None
+        self._baseline_manifest: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # state
@@ -119,3 +127,45 @@ class WhatIfSession:
             lines.append("history:")
             lines.extend(f"  {step.description}" for step in self._history)
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # forensics (docs/reporting.md)
+    # ------------------------------------------------------------------
+    def explain(self, endpoint: str):
+        """Endpoint forensics under the current session state.
+
+        Returns a :class:`repro.report.EndpointForensics`; render it
+        with ``self.analyze().path_forensics().render_text(...)`` or use
+        the returned object's fields directly.
+        """
+        return self.analyze().forensics(endpoint)
+
+    def snapshot(self, label: Optional[str] = None) -> Dict[str, object]:
+        """Freeze the current analysis as a run manifest and make it the
+        baseline for :meth:`compare`."""
+        manifest = self.analyze().manifest(
+            label=label or f"session-step-{len(self._history)}"
+        )
+        self._baseline_manifest = manifest
+        return manifest
+
+    def compare(
+        self, baseline: Optional[Dict[str, object]] = None, limit: int = 20
+    ) -> str:
+        """Diff the current analysis against a manifest.
+
+        ``baseline`` defaults to the most recent :meth:`snapshot`.  The
+        rendering matches ``repro-sta diff``: per-endpoint slack deltas,
+        new/fixed violations and iteration regressions.
+        """
+        from repro.report.diff import diff_manifests
+
+        base = baseline if baseline is not None else self._baseline_manifest
+        if base is None:
+            raise ValueError(
+                "no baseline manifest: call snapshot() before compare()"
+            )
+        current = self.analyze().manifest(
+            label=f"session-step-{len(self._history)}"
+        )
+        return diff_manifests(base, current).render_text(limit=limit)

@@ -33,6 +33,12 @@ from repro.obs.metrics import (
     render_prometheus,
     write_metrics_json,
 )
+from repro.obs.hist import (
+    DEFAULT_BUCKETS,
+    HistogramStats,
+    bucket_counts,
+    equal_width_edges,
+)
 from repro.obs.recorder import (
     NULL_SPAN,
     EventRecord,
@@ -44,6 +50,7 @@ from repro.obs.recorder import (
     counter,
     event,
     gauge,
+    histogram,
     recording,
     set_recorder,
     span,
@@ -56,6 +63,10 @@ __all__ = [
     "SpanRecord",
     "SpanStats",
     "EventRecord",
+    "HistogramStats",
+    "DEFAULT_BUCKETS",
+    "bucket_counts",
+    "equal_width_edges",
     "NULL_SPAN",
     "active",
     "set_recorder",
@@ -64,6 +75,7 @@ __all__ = [
     "counter",
     "gauge",
     "event",
+    "histogram",
     "to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",

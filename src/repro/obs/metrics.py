@@ -83,10 +83,15 @@ def metrics_dict(recorder: Recorder) -> Dict[str, object]:
         }
         for name, stats in sorted(recorder.span_stats.items())
     }
+    histograms = {
+        name: stats.to_dict()
+        for name, stats in sorted(recorder.histograms.items())
+    }
     return {
         "schema": "repro.obs.metrics/1",
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(recorder.gauges.items())),
+        "histograms": histograms,
         "spans": spans,
         "dropped_spans": recorder.dropped_spans,
         "dropped_events": recorder.dropped_events,
@@ -130,4 +135,11 @@ def render_prometheus(recorder: Recorder, prefix: str = "repro") -> str:
         lines.append(f"# TYPE {metric} summary")
         lines.append(f"{metric}_count {stats['count']}")
         lines.append(f"{metric}_sum {stats['total_s']:.9f}")
+    for name, hist in sorted(recorder.histograms.items()):
+        metric = f"{prefix}_{_sanitise(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        for le, cumulative in hist.cumulative():
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{metric}_sum {hist.total:g}")
+        lines.append(f"{metric}_count {hist.count}")
     return "\n".join(lines) + "\n"

@@ -31,7 +31,9 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.hist import DEFAULT_BUCKETS, HistogramStats
 
 __all__ = [
     "Recorder",
@@ -39,6 +41,7 @@ __all__ = [
     "SpanRecord",
     "EventRecord",
     "SpanStats",
+    "HistogramStats",
     "NULL_SPAN",
     "active",
     "set_recorder",
@@ -47,6 +50,7 @@ __all__ = [
     "counter",
     "gauge",
     "event",
+    "histogram",
 ]
 
 
@@ -114,6 +118,7 @@ class Recorder:
         self.events: List[EventRecord] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramStats] = {}
         self.span_stats: Dict[str, SpanStats] = {}
         self.dropped_spans = 0
         self.dropped_events = 0
@@ -182,6 +187,24 @@ class Recorder:
         with self._lock:
             if value > self.gauges.get(name, float("-inf")):
                 self.gauges[name] = float(value)
+
+    def histogram(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Observe ``value`` in the fixed-bucket histogram ``name``.
+
+        ``buckets`` (sorted upper bounds, Prometheus ``le`` semantics)
+        is only consulted on the first observation of a name; later
+        observations reuse the histogram's existing bounds.
+        """
+        with self._lock:
+            stats = self.histograms.get(name)
+            if stats is None:
+                stats = self.histograms[name] = HistogramStats(buckets)
+            stats.observe(value)
 
     def event(self, name: str, **args: object) -> None:
         """Record an instant event (a point on the trace timeline)."""
@@ -327,3 +350,12 @@ def event(name: str, **args: object) -> None:
     rec = _recorder
     if rec is not None:
         rec.event(name, **args)
+
+
+def histogram(
+    name: str, value: float, buckets: Sequence[float] = DEFAULT_BUCKETS
+) -> None:
+    """Observe into a process-wide histogram (no-op when disabled)."""
+    rec = _recorder
+    if rec is not None:
+        rec.histogram(name, value, buckets)

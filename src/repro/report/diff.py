@@ -1,0 +1,306 @@
+"""Run-to-run comparison of two manifests (``repro-sta diff``).
+
+Answers the regression-tracking questions the resynthesis loop (paper,
+Section 9) and CI both ask after a change:
+
+* which endpoints got **slower / faster**, and by how much,
+* which violations are **new**, which are **fixed**,
+* did WNS / TNS regress,
+* did Algorithm 1 need **more iterations** (a convergence regression
+  against the Section 8 bound),
+* did the analysis get slower in wall-clock terms.
+
+Inputs are manifests produced by :mod:`repro.report.manifest` (dicts or
+file paths).  The diff itself is a plain dataclass with deterministic
+text/JSON renderings.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["RunDiff", "EndpointDelta", "diff_manifests", "load_manifest"]
+
+#: Slack changes smaller than this are reported as unchanged.
+DEFAULT_TOLERANCE = 1e-9
+
+
+def _parse(value: object) -> float:
+    """Decode the JSON-safe numeric encoding back to a float."""
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    if value is None:
+        return math.inf
+    return float(value)  # type: ignore[arg-type]
+
+
+def load_manifest(source: Union[str, Path, Dict]) -> Dict[str, object]:
+    """Accept a manifest dict or a path to a manifest JSON file."""
+    if isinstance(source, dict):
+        return source
+    data = json.loads(Path(source).read_text())
+    schema = data.get("schema", "")
+    if not str(schema).startswith("repro.manifest/"):
+        raise ValueError(
+            f"{source}: not a run manifest (schema {schema!r})"
+        )
+    return data
+
+
+@dataclass(frozen=True)
+class EndpointDelta:
+    """Per-endpoint slack change between two runs."""
+
+    endpoint: str
+    slack_a: Optional[float]
+    slack_b: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.slack_a is None or self.slack_b is None:
+            return None
+        if math.isinf(self.slack_a) and math.isinf(self.slack_b):
+            return 0.0
+        return self.slack_b - self.slack_a
+
+    @property
+    def status(self) -> str:
+        a, b = self.slack_a, self.slack_b
+        if a is None:
+            return "added"
+        if b is None:
+            return "removed"
+        a_bad, b_bad = a <= 0.0, b <= 0.0
+        if b_bad and not a_bad:
+            return "new-violation"
+        if a_bad and not b_bad:
+            return "fixed"
+        delta = self.delta or 0.0
+        if delta < -DEFAULT_TOLERANCE:
+            return "regressed"
+        if delta > DEFAULT_TOLERANCE:
+            return "improved"
+        return "unchanged"
+
+
+@dataclass
+class RunDiff:
+    """Structured comparison of two run manifests."""
+
+    label_a: str
+    label_b: str
+    same_inputs: bool
+    worst_slack_a: float
+    worst_slack_b: float
+    tns_a: float
+    tns_b: float
+    iterations_a: int
+    iterations_b: int
+    analysis_s_a: float
+    analysis_s_b: float
+    endpoints: List[EndpointDelta] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def by_status(self, status: str) -> List[EndpointDelta]:
+        return [e for e in self.endpoints if e.status == status]
+
+    @property
+    def new_violations(self) -> List[EndpointDelta]:
+        return self.by_status("new-violation")
+
+    @property
+    def fixed_violations(self) -> List[EndpointDelta]:
+        return self.by_status("fixed")
+
+    @property
+    def regressed(self) -> List[EndpointDelta]:
+        return self.by_status("regressed") + self.new_violations
+
+    @property
+    def wns_delta(self) -> float:
+        if math.isinf(self.worst_slack_a) and math.isinf(self.worst_slack_b):
+            return 0.0
+        return self.worst_slack_b - self.worst_slack_a
+
+    @property
+    def iteration_regression(self) -> int:
+        """Extra Algorithm 1 iterations run B needed (0 when none)."""
+        return max(0, self.iterations_b - self.iterations_a)
+
+    @property
+    def has_regression(self) -> bool:
+        return bool(
+            self.new_violations
+            or self.by_status("regressed")
+            or self.wns_delta < -DEFAULT_TOLERANCE
+        )
+
+    # ------------------------------------------------------------------
+    # renderers
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        def num(value: float) -> object:
+            if math.isinf(value):
+                return "inf" if value > 0 else "-inf"
+            return value
+
+        return {
+            "schema": "repro.diff/1",
+            "run_a": self.label_a,
+            "run_b": self.label_b,
+            "same_inputs": self.same_inputs,
+            "worst_slack": {
+                "a": num(self.worst_slack_a),
+                "b": num(self.worst_slack_b),
+                "delta": num(self.wns_delta),
+            },
+            "total_negative_slack": {
+                "a": num(self.tns_a),
+                "b": num(self.tns_b),
+                "delta": num(self.tns_b - self.tns_a),
+            },
+            "iterations": {
+                "a": self.iterations_a,
+                "b": self.iterations_b,
+                "regression": self.iteration_regression,
+            },
+            "analysis_s": {
+                "a": self.analysis_s_a,
+                "b": self.analysis_s_b,
+            },
+            "counts": {
+                status: len(self.by_status(status))
+                for status in (
+                    "new-violation",
+                    "fixed",
+                    "regressed",
+                    "improved",
+                    "unchanged",
+                    "added",
+                    "removed",
+                )
+            },
+            "endpoints": [
+                {
+                    "endpoint": e.endpoint,
+                    "slack_a": num(e.slack_a)
+                    if e.slack_a is not None
+                    else None,
+                    "slack_b": num(e.slack_b)
+                    if e.slack_b is not None
+                    else None,
+                    "delta": num(e.delta) if e.delta is not None else None,
+                    "status": e.status,
+                }
+                for e in self.endpoints
+                if e.status != "unchanged"
+            ],
+            "has_regression": self.has_regression,
+        }
+
+    def render_text(self, limit: int = 20) -> str:
+        def fmt(value: Optional[float]) -> str:
+            if value is None:
+                return "   n/a  "
+            if math.isinf(value):
+                return "    inf " if value > 0 else "   -inf "
+            return f"{value:8.4f}"
+
+        lines = [
+            f"run diff: {self.label_a} -> {self.label_b}"
+            + ("" if self.same_inputs else "  (DIFFERENT INPUTS)"),
+            f"  WNS {fmt(self.worst_slack_a)} -> {fmt(self.worst_slack_b)}"
+            f"  (delta {fmt(self.wns_delta)})",
+            f"  TNS {fmt(self.tns_a)} -> {fmt(self.tns_b)}"
+            f"  (delta {fmt(self.tns_b - self.tns_a)})",
+            f"  iterations {self.iterations_a} -> {self.iterations_b}"
+            + (
+                f"  (REGRESSION +{self.iteration_regression})"
+                if self.iteration_regression
+                else ""
+            ),
+            f"  analysis {self.analysis_s_a:.4f}s -> "
+            f"{self.analysis_s_b:.4f}s",
+        ]
+        interesting = [
+            e for e in self.endpoints if e.status != "unchanged"
+        ]
+        if not interesting:
+            lines.append("  endpoints: no slack changes")
+        else:
+            lines.append(
+                f"  endpoints with changes ({len(interesting)}):"
+            )
+            order = {
+                "new-violation": 0,
+                "regressed": 1,
+                "removed": 2,
+                "added": 3,
+                "fixed": 4,
+                "improved": 5,
+            }
+            interesting.sort(
+                key=lambda e: (order.get(e.status, 9), e.delta or 0.0)
+            )
+            for e in interesting[:limit]:
+                lines.append(
+                    f"    {e.status:<14} {e.endpoint:<20} "
+                    f"{fmt(e.slack_a)} -> {fmt(e.slack_b)}"
+                )
+            if len(interesting) > limit:
+                lines.append(
+                    f"    ... and {len(interesting) - limit} more"
+                )
+        verdict = (
+            "REGRESSION detected"
+            if self.has_regression
+            else "no regression"
+        )
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def diff_manifests(
+    a: Union[str, Path, Dict], b: Union[str, Path, Dict]
+) -> RunDiff:
+    """Compare two run manifests (dicts or file paths)."""
+    manifest_a = load_manifest(a)
+    manifest_b = load_manifest(b)
+    timing_a = manifest_a.get("timing", {})
+    timing_b = manifest_b.get("timing", {})
+    slacks_a: Dict[str, object] = timing_a.get("endpoint_slacks", {})
+    slacks_b: Dict[str, object] = timing_b.get("endpoint_slacks", {})
+    names = sorted(set(slacks_a) | set(slacks_b))
+    endpoints: List[EndpointDelta] = []
+    for name in names:
+        endpoints.append(
+            EndpointDelta(
+                endpoint=name,
+                slack_a=_parse(slacks_a[name]) if name in slacks_a else None,
+                slack_b=_parse(slacks_b[name]) if name in slacks_b else None,
+            )
+        )
+    return RunDiff(
+        label_a=str(manifest_a.get("label", "run_a")),
+        label_b=str(manifest_b.get("label", "run_b")),
+        same_inputs=(
+            manifest_a.get("input_digest") == manifest_b.get("input_digest")
+        ),
+        worst_slack_a=_parse(timing_a.get("worst_slack")),
+        worst_slack_b=_parse(timing_b.get("worst_slack")),
+        tns_a=_parse(timing_a.get("total_negative_slack", 0.0)),
+        tns_b=_parse(timing_b.get("total_negative_slack", 0.0)),
+        iterations_a=int(manifest_a.get("iterations", {}).get("total", 0)),
+        iterations_b=int(manifest_b.get("iterations", {}).get("total", 0)),
+        analysis_s_a=float(manifest_a.get("cost", {}).get("analysis_s", 0.0)),
+        analysis_s_b=float(manifest_b.get("cost", {}).get("analysis_s", 0.0)),
+        endpoints=endpoints,
+    )

@@ -1,0 +1,603 @@
+"""Explainable path reports: why is this endpoint's slack what it is?
+
+For any capture endpoint (a net, a generic instance or a synchroniser
+cell name) :class:`PathForensics` reconstructs the full Section 4-6
+story behind the number:
+
+* the **ideal path constraint** ``D_p`` between the launch and capture
+  instances' ideal edges (Section 4),
+* the **terminal offsets** ``O_x`` (launch assertion offset, with its
+  ``max(O_zc, O_zd)`` decomposition) and ``O_y`` (capture closure
+  offset, ``min(O_dc, O_dz)``) -- Section 5's simplified model,
+* the traversed combinational arcs with cumulative arrivals,
+* the **borrow chain**: the transparent latches upstream whose windows
+  ended up input-limited (``O_zd > O_zc``), i.e. through which an
+  upstream path borrowed time from this one (Section 6's slack
+  transfer at its fixed point),
+* the **binding constraint**: setup (the ordinary max-delay path
+  constraint), supplementary min-delay (Section 4's ``dmin_p`` bound),
+  or a synchronising-element bound (a window pinned at its limit, so no
+  further transfer was possible).
+
+Renderers: plain text, JSON (schema ``repro.report/1``) and a static
+HTML page with an embedded slack histogram.  See ``docs/reporting.md``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ideal_constraints import ideal_path_constraint
+from repro.core.mindelay import check_min_delays
+from repro.core.model import AnalysisModel, CapturePort
+from repro.core.report import PathStep, trace_endpoint_path
+from repro.core.slack import PortSlacks, SlackEngine
+from repro.core.statistics import timing_statistics
+from repro.core.sync_elements import GenericInstance, InstanceKind
+
+__all__ = ["BorrowLink", "EndpointForensics", "PathForensics"]
+
+#: Schema identifier of the JSON report payload.
+REPORT_SCHEMA = "repro.report/1"
+
+#: Window positions closer than this to a bound count as "pinned".
+_BOUND_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class BorrowLink:
+    """One transparent latch of the borrow chain.
+
+    ``borrowed`` is ``max(0, O_zd - O_zc)``: how much later the output
+    asserts because of *input timing* rather than control -- exactly the
+    time the upstream path borrowed from the path leaving this latch.
+    ``donor`` names the path endpoint that ceded the time (the latch's
+    data output side), ``recipient`` the one that gained it (the data
+    input side).
+    """
+
+    latch: str
+    cell: str
+    window: float  # transparency width W
+    position: float  # final window position w = O_zd in [0, W]
+    control_offset: float  # O_zc = control arrival + D_cq
+    borrowed: float
+    donor: str
+    recipient: str
+
+    @property
+    def pinned(self) -> Optional[str]:
+        """Which window bound (if any) the position is pinned at."""
+        if self.position <= _BOUND_EPSILON:
+            return "leading"
+        if self.position >= self.window - _BOUND_EPSILON:
+            return "trailing"
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "latch": self.latch,
+            "cell": self.cell,
+            "window": self.window,
+            "position": self.position,
+            "control_offset": self.control_offset,
+            "borrowed": self.borrowed,
+            "donor": self.donor,
+            "recipient": self.recipient,
+            "pinned": self.pinned,
+        }
+
+
+@dataclass
+class EndpointForensics:
+    """The full arrival/required breakdown of one capture endpoint."""
+
+    endpoint: str  # the query string
+    capture_instance: str
+    capture_cell: str
+    capture_net: str
+    cluster: str
+    pass_index: int
+    slack: float
+    arrival: float
+    closure: float
+    launch_instance: Optional[str]
+    ideal_constraint: Optional[float]  # D_p
+    launch_offset: Optional[float]  # O_x
+    capture_offset: float  # O_y
+    launch_offset_parts: Dict[str, object] = field(default_factory=dict)
+    capture_offset_parts: Dict[str, object] = field(default_factory=dict)
+    available_time: Optional[float] = None  # D_p - O_x + O_y
+    steps: Tuple[PathStep, ...] = ()
+    borrow_chain: Tuple[BorrowLink, ...] = ()
+    binding_constraint: str = "setup"
+    binding_detail: str = ""
+    min_delay_margin: Optional[float] = None
+
+    @property
+    def violated(self) -> bool:
+        return self.slack <= 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "endpoint": self.endpoint,
+            "capture_instance": self.capture_instance,
+            "capture_cell": self.capture_cell,
+            "capture_net": self.capture_net,
+            "cluster": self.cluster,
+            "pass_index": self.pass_index,
+            "slack": _num(self.slack),
+            "arrival": _num(self.arrival),
+            "closure": _num(self.closure),
+            "launch_instance": self.launch_instance,
+            "ideal_constraint": _num(self.ideal_constraint),
+            "launch_offset": _num(self.launch_offset),
+            "capture_offset": _num(self.capture_offset),
+            "launch_offset_parts": self.launch_offset_parts,
+            "capture_offset_parts": self.capture_offset_parts,
+            "available_time": _num(self.available_time),
+            "violated": self.violated,
+            "steps": [
+                {
+                    "cell": step.cell_name,
+                    "in_pin": step.in_pin,
+                    "out_pin": step.out_pin,
+                    "net": step.net_name,
+                    "arrival": _num(step.arrival),
+                }
+                for step in self.steps
+            ],
+            "borrow_chain": [link.to_dict() for link in self.borrow_chain],
+            "binding_constraint": self.binding_constraint,
+            "binding_detail": self.binding_detail,
+            "min_delay_margin": _num(self.min_delay_margin),
+        }
+
+
+def _num(value: Optional[float]) -> object:
+    """JSON-safe numeric encoding (infinities become strings)."""
+    if value is None:
+        return None
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):  # pragma: no cover - defensive
+        return "nan"
+    return value
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return f"{value:.4f}"
+
+
+class PathForensics:
+    """Endpoint explanation engine over one finished analysis.
+
+    Parameters
+    ----------
+    model, engine:
+        The analysed model and its slack engine (offsets as left by
+        Algorithm 1 -- the explanation is about *those* offsets).
+    slacks:
+        Algorithm 1's final node slacks (``result.algorithm1.slacks``).
+    """
+
+    def __init__(
+        self,
+        model: AnalysisModel,
+        engine: SlackEngine,
+        slacks: PortSlacks,
+    ) -> None:
+        self._model = model
+        self._engine = engine
+        self._slacks = slacks
+        self._instances: Dict[str, GenericInstance] = {
+            inst.name: inst for inst in model.all_instances()
+        }
+        # instance name -> its capture ports (an instance may capture in
+        # several clusters; keep all and pick the worst when walking).
+        self._capture_ports: Dict[str, List[CapturePort]] = {}
+        for cluster in model.clusters:
+            for port in model.capture_ports[cluster.name]:
+                self._capture_ports.setdefault(
+                    port.instance.name, []
+                ).append(port)
+
+    # ------------------------------------------------------------------
+    # endpoint resolution
+    # ------------------------------------------------------------------
+    def endpoints(self) -> List[str]:
+        """All capture endpoints, as ``instance (net)`` labels."""
+        labels = []
+        for ports in self._capture_ports.values():
+            for port in ports:
+                labels.append(f"{port.instance.name} ({port.net_name})")
+        return sorted(labels)
+
+    def _resolve(self, endpoint: str) -> CapturePort:
+        """Match an endpoint query against nets, instances and cells."""
+        matches: List[CapturePort] = []
+        for ports in self._capture_ports.values():
+            for port in ports:
+                if endpoint in (
+                    port.net_name,
+                    port.instance.name,
+                    port.instance.cell_name,
+                    port.terminal_name,
+                ):
+                    matches.append(port)
+        if not matches:
+            known = ", ".join(self.endpoints()[:10])
+            raise KeyError(
+                f"no capture endpoint matches {endpoint!r} "
+                f"(known endpoints include: {known})"
+            )
+        # Several generic instances may match one cell/net: explain the
+        # worst (smallest slack) one.
+        return min(matches, key=self._port_slack)
+
+    def _port_slack(self, port: CapturePort) -> float:
+        return self._slacks.capture.get(port.instance.name, math.inf)
+
+    # ------------------------------------------------------------------
+    # explanation
+    # ------------------------------------------------------------------
+    def explain(self, endpoint: str) -> EndpointForensics:
+        port = self._resolve(endpoint)
+        model, engine = self._model, self._engine
+        slack = self._port_slack(port)
+        path = trace_endpoint_path(model, engine, port, slack)
+        capture = port.instance
+        launch_name = path.launch_instance if path is not None else None
+        launch = self._instances.get(launch_name) if launch_name else None
+
+        ideal = None
+        launch_offset = None
+        launch_parts: Dict[str, object] = {}
+        available = None
+        if launch is not None and launch.assertion_edge is not None:
+            ideal = float(
+                ideal_path_constraint(
+                    launch, capture, model.schedule.overall_period
+                )
+            )
+            launch_offset = launch.assertion_offset
+            if launch.kind is InstanceKind.FIXED_SOURCE:
+                launch_parts = {
+                    "fixed_offset": launch.fixed_offset,
+                    "bound": "fixed",
+                }
+            else:
+                launch_parts = {
+                    "o_zc": launch.o_zc,
+                    "o_zd": launch.o_zd,
+                    "bound": (
+                        "input (O_zd)"
+                        if launch.o_zd > launch.o_zc
+                        else "control (O_zc)"
+                    ),
+                }
+
+        if capture.kind is InstanceKind.FIXED_SINK:
+            capture_offset = capture.fixed_offset
+            capture_parts: Dict[str, object] = {
+                "fixed_offset": capture.fixed_offset,
+                "bound": "fixed",
+            }
+        else:
+            capture_offset = capture.closure_offset
+            capture_parts = {
+                "o_dc": capture.o_dc,
+                "o_dz": capture.o_dz,
+                "bound": (
+                    "setup (O_dc)"
+                    if capture.o_dc <= capture.o_dz
+                    else "window (O_dz)"
+                ),
+            }
+        if ideal is not None and launch_offset is not None:
+            available = ideal - launch_offset + capture_offset
+
+        chain = self._borrow_chain(launch)
+        arrival = path.arrival if path is not None else math.nan
+        closure = path.closure if path is not None else math.nan
+        binding, detail, min_margin = self._binding_constraint(
+            port, slack, chain
+        )
+        return EndpointForensics(
+            endpoint=endpoint,
+            capture_instance=capture.name,
+            capture_cell=capture.cell_name,
+            capture_net=port.net_name,
+            cluster=port.cluster_name,
+            pass_index=port.pass_index,
+            slack=slack,
+            arrival=arrival,
+            closure=closure,
+            launch_instance=launch_name,
+            ideal_constraint=ideal,
+            launch_offset=launch_offset,
+            capture_offset=capture_offset,
+            launch_offset_parts=launch_parts,
+            capture_offset_parts=capture_parts,
+            available_time=available,
+            steps=path.steps if path is not None else (),
+            borrow_chain=chain,
+            binding_constraint=binding,
+            binding_detail=detail,
+            min_delay_margin=min_margin,
+        )
+
+    def _borrow_chain(
+        self, launch: Optional[GenericInstance], max_links: int = 32
+    ) -> Tuple[BorrowLink, ...]:
+        """Walk upstream across input-limited transparent latches."""
+        chain: List[BorrowLink] = []
+        visited = set()
+        current = launch
+        while (
+            current is not None
+            and current.name not in visited
+            and len(chain) < max_links
+        ):
+            visited.add(current.name)
+            if current.kind is not InstanceKind.TRANSPARENT:
+                break
+            borrowed = max(0.0, current.o_zd - current.o_zc)
+            chain.append(
+                BorrowLink(
+                    latch=current.name,
+                    cell=current.cell_name,
+                    window=current.width,
+                    position=current.w,
+                    control_offset=current.o_zc,
+                    borrowed=borrowed,
+                    donor=current.terminal_out or f"{current.cell_name}.Q",
+                    recipient=current.terminal_in or f"{current.cell_name}.D",
+                )
+            )
+            if borrowed <= _BOUND_EPSILON:
+                break  # control-limited: nothing was borrowed through it
+            current = self._upstream_launch(current)
+        return tuple(chain)
+
+    def _upstream_launch(
+        self, instance: GenericInstance
+    ) -> Optional[GenericInstance]:
+        """The launch instance of the critical path *into* ``instance``."""
+        ports = self._capture_ports.get(instance.name)
+        if not ports:
+            return None
+        port = min(ports, key=self._port_slack)
+        path = trace_endpoint_path(
+            self._model, self._engine, port, self._port_slack(port)
+        )
+        if path is None or path.launch_instance is None:
+            return None
+        return self._instances.get(path.launch_instance)
+
+    def _binding_constraint(
+        self,
+        port: CapturePort,
+        slack: float,
+        chain: Tuple[BorrowLink, ...],
+    ) -> Tuple[str, str, Optional[float]]:
+        """Classify what limits this endpoint."""
+        min_margin: Optional[float] = None
+        for violation in check_min_delays(self._model, self._engine):
+            if (
+                violation.capture_instance == port.instance.name
+                and violation.capture_net == port.net_name
+            ):
+                margin = -violation.amount
+                if min_margin is None or margin < min_margin:
+                    min_margin = margin
+        if min_margin is not None and min_margin < min(slack, 0.0):
+            return (
+                "supplementary-min-delay",
+                f"earliest arrival {(-min_margin):.4f} too early "
+                f"(Section 4 supplementary constraint)",
+                min_margin,
+            )
+        if slack <= 0.0:
+            pinned = [
+                link for link in chain if link.pinned == "trailing"
+            ]
+            if pinned:
+                names = ", ".join(link.latch for link in pinned)
+                return (
+                    "sync-element-bound",
+                    f"window(s) pinned at the trailing bound ({names}): "
+                    "no further backward transfer was possible",
+                    min_margin,
+                )
+            return (
+                "setup",
+                "max-delay path constraint violated "
+                "(d_p >= D_p - O_x + O_y)",
+                min_margin,
+            )
+        return (
+            "setup",
+            f"met with {slack:.4f} margin",
+            min_margin,
+        )
+
+    # ------------------------------------------------------------------
+    # renderers
+    # ------------------------------------------------------------------
+    def render_text(self, forensics: EndpointForensics) -> str:
+        f = forensics
+        lines = [
+            f"endpoint {f.endpoint}: capture {f.capture_instance} "
+            f"on net {f.capture_net}",
+            f"  cluster {f.cluster}, analysis pass {f.pass_index}",
+            f"  slack     {_fmt(f.slack)}   "
+            f"({'VIOLATED' if f.violated else 'met'})",
+            f"  arrival   {_fmt(f.arrival)}   closure {_fmt(f.closure)}",
+            f"  D_p       {_fmt(f.ideal_constraint)}   "
+            f"(ideal path constraint, Section 4)",
+            f"  O_x       {_fmt(f.launch_offset)}   "
+            f"{_parts(f.launch_offset_parts)}",
+            f"  O_y       {_fmt(f.capture_offset)}   "
+            f"{_parts(f.capture_offset_parts)}",
+            f"  available {_fmt(f.available_time)}   (D_p - O_x + O_y)",
+            f"  binding   {f.binding_constraint}: {f.binding_detail}",
+        ]
+        if f.launch_instance:
+            lines.append(f"  launched by {f.launch_instance}")
+        if f.steps:
+            lines.append("  path (capture side first):")
+            for step in f.steps:
+                lines.append(
+                    f"    {step.cell_name:<14} {step.in_pin}->{step.out_pin} "
+                    f"net {step.net_name:<14} arrival {_fmt(step.arrival)}"
+                )
+        if f.borrow_chain:
+            lines.append("  borrow chain (downstream first):")
+            for link in f.borrow_chain:
+                pinned = f" [pinned {link.pinned}]" if link.pinned else ""
+                lines.append(
+                    f"    {link.latch:<16} w={_fmt(link.position)}/"
+                    f"{_fmt(link.window)} borrowed={_fmt(link.borrowed)} "
+                    f"{link.donor} -> {link.recipient}{pinned}"
+                )
+        if f.min_delay_margin is not None:
+            lines.append(
+                f"  min-delay margin {_fmt(f.min_delay_margin)} "
+                "(supplementary constraint)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(
+        self, forensics_list: Sequence[EndpointForensics]
+    ) -> Dict[str, object]:
+        """The ``repro.report/1`` JSON document for one or more endpoints."""
+        stats = timing_statistics(self._model, self._slacks)
+        return {
+            "schema": REPORT_SCHEMA,
+            "design": self._model.network.name,
+            "worst_slack": _num(stats.overall.worst_slack),
+            "total_negative_slack": _num(
+                stats.overall.total_negative_slack
+            ),
+            "endpoints": [f.to_dict() for f in forensics_list],
+        }
+
+    def to_json(
+        self, forensics_list: Sequence[EndpointForensics]
+    ) -> str:
+        return json.dumps(
+            self.to_dict(forensics_list),
+            indent=2,
+            sort_keys=True,
+            separators=(",", ": "),
+        )
+
+    def render_html(
+        self, forensics_list: Sequence[EndpointForensics]
+    ) -> str:
+        """A static, dependency-free HTML report with a slack histogram."""
+        stats = timing_statistics(self._model, self._slacks)
+        rows = []
+        peak = max((count for __, count in stats.histogram), default=1) or 1
+        for lower, count in stats.histogram:
+            width_pct = 100.0 * count / peak
+            rows.append(
+                f'<div class="bar-row"><span class="bar-label">'
+                f"&ge; {lower:.2f}</span>"
+                f'<span class="bar" style="width:{width_pct:.1f}%"></span>'
+                f'<span class="bar-count">{count}</span></div>'
+            )
+        sections = []
+        for f in forensics_list:
+            badge = "violated" if f.violated else "met"
+            chain_rows = "".join(
+                f"<tr><td>{html.escape(link.latch)}</td>"
+                f"<td>{_fmt(link.position)} / {_fmt(link.window)}</td>"
+                f"<td>{_fmt(link.borrowed)}</td>"
+                f"<td>{html.escape(link.donor)} &rarr; "
+                f"{html.escape(link.recipient)}</td>"
+                f"<td>{html.escape(link.pinned or '-')}</td></tr>"
+                for link in f.borrow_chain
+            )
+            step_rows = "".join(
+                f"<tr><td>{html.escape(step.cell_name)}</td>"
+                f"<td>{html.escape(step.in_pin)}&rarr;"
+                f"{html.escape(step.out_pin)}</td>"
+                f"<td>{html.escape(step.net_name)}</td>"
+                f"<td>{_fmt(step.arrival)}</td></tr>"
+                for step in f.steps
+            )
+            sections.append(
+                f"""
+<section class="endpoint {badge}">
+  <h2>{html.escape(f.endpoint)}
+      <span class="badge">{badge}</span></h2>
+  <table class="facts">
+    <tr><th>slack</th><td>{_fmt(f.slack)}</td>
+        <th>arrival</th><td>{_fmt(f.arrival)}</td>
+        <th>closure</th><td>{_fmt(f.closure)}</td></tr>
+    <tr><th>D<sub>p</sub></th><td>{_fmt(f.ideal_constraint)}</td>
+        <th>O<sub>x</sub></th><td>{_fmt(f.launch_offset)}</td>
+        <th>O<sub>y</sub></th><td>{_fmt(f.capture_offset)}</td></tr>
+    <tr><th>available</th><td>{_fmt(f.available_time)}</td>
+        <th>binding</th>
+        <td colspan="3">{html.escape(f.binding_constraint)}:
+            {html.escape(f.binding_detail)}</td></tr>
+    <tr><th>launch</th>
+        <td colspan="5">{html.escape(f.launch_instance or 'n/a')}
+            &rarr; {html.escape(f.capture_instance)}</td></tr>
+  </table>
+  {'<h3>borrow chain</h3><table><tr><th>latch</th><th>w / W</th>'
+   '<th>borrowed</th><th>donor &rarr; recipient</th><th>pinned</th></tr>'
+   + chain_rows + '</table>' if chain_rows else ''}
+  {'<h3>path</h3><table><tr><th>cell</th><th>arc</th><th>net</th>'
+   '<th>arrival</th></tr>' + step_rows + '</table>' if step_rows else ''}
+</section>"""
+            )
+        design = html.escape(self._model.network.name)
+        return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>timing forensics: {design}</title>
+<style>
+body {{ font-family: monospace; margin: 2em; color: #222; }}
+h1 {{ border-bottom: 2px solid #444; }}
+table {{ border-collapse: collapse; margin: 0.5em 0; }}
+td, th {{ border: 1px solid #bbb; padding: 2px 8px; text-align: left; }}
+.badge {{ font-size: 0.6em; padding: 2px 6px; border-radius: 4px;
+         background: #2a2; color: #fff; vertical-align: middle; }}
+.violated .badge {{ background: #c22; }}
+.bar-row {{ display: flex; align-items: center; margin: 1px 0; }}
+.bar-label {{ width: 8em; }}
+.bar {{ background: #48f; height: 0.8em; display: inline-block; }}
+.bar-count {{ margin-left: 0.5em; }}
+.histogram {{ max-width: 40em; }}
+</style></head><body>
+<h1>timing forensics: {design}</h1>
+<p>WNS {_fmt(stats.overall.worst_slack)}
+ | TNS {_fmt(stats.overall.total_negative_slack)}
+ | endpoints {stats.overall.endpoints}
+ | violating {stats.overall.violating}</p>
+<h2>slack histogram</h2>
+<div class="histogram">{''.join(rows)}</div>
+{''.join(sections)}
+</body></html>
+"""
+
+
+def _parts(parts: Dict[str, object]) -> str:
+    if not parts:
+        return ""
+    inner = ", ".join(
+        f"{key}={_fmt(value) if isinstance(value, float) else value}"
+        for key, value in parts.items()
+    )
+    return f"({inner})"

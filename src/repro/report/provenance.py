@@ -1,0 +1,308 @@
+"""Slack-transfer provenance: the audit trail of Algorithm 1.
+
+Section 6's slack transfer iteratively shifts transparent-latch windows;
+the *result* (final offsets, final slacks) does not say **why** a window
+ended up where it did.  The audit trail answers that: every offset move
+performed by a :func:`repro.core.transfer.sweep` is recorded as one
+:class:`TransferEvent` naming the latch instance, the donor and
+recipient paths, the amount moved, and the Algorithm 1 iteration/cycle
+that performed it.
+
+Donor/recipient semantics follow the paper's description of slack
+transfer as "the donation of spare time ... by one combinational logic
+path to an adjacent one":
+
+* **forward** transfer (and forward snatching) moves the window earlier:
+  the paths *entering* the element donate to the paths *leaving* it --
+  donor is the element's data input terminal, recipient its data output;
+* **backward** transfer (and backward snatching) moves the window later:
+  the output-side paths donate to the input-side ones.
+
+Enable pattern mirrors :mod:`repro.obs.recorder`: a process-wide trail
+that is ``None`` by default, so instrumented code paths degrade to a
+single global read when auditing is disabled (strictly no-op).  Memory
+is bounded by a ring buffer (:class:`collections.deque` with ``maxlen``):
+a long resynthesis loop keeps only the newest ``capacity`` events while
+aggregate totals keep counting.
+
+Typical usage::
+
+    from repro import report
+
+    with report.auditing() as trail:
+        run_algorithm1(model)
+    for event in trail.events:
+        print(event.describe())
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "TransferEvent",
+    "AuditTrail",
+    "active_trail",
+    "set_trail",
+    "auditing",
+    "trail_to_dict",
+    "write_audit_json",
+]
+
+#: Schema identifier of the serialised audit trail.
+AUDIT_SCHEMA = "repro.audit/1"
+
+#: Operation name -> transfer direction ("forward" moves the window
+#: earlier, "backward" later).
+_DIRECTIONS = {
+    "complete_forward": "forward",
+    "partial_forward": "forward",
+    "snatch_forward": "forward",
+    "complete_backward": "backward",
+    "partial_backward": "backward",
+    "snatch_backward": "backward",
+}
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One recorded offset move of a transparent latch window.
+
+    ``donor``/``recipient`` are the terminal names of the combinational
+    paths the slack moved between (see the module docstring for the
+    direction convention).  ``window_before``/``window_after`` are the
+    free offset ``w = O_zd`` around the move; ``driving_slack`` is the
+    node slack that sized the move (input-side for forward operations,
+    output-side for backward ones).
+    """
+
+    sequence: int
+    phase: str  # Algorithm 1 phase, e.g. "iteration1.forward"
+    cycle: int  # complete-transfer cycle within the phase (1-based)
+    operation: str  # transfer operator name, e.g. "complete_forward"
+    instance: str  # generic-instance name, e.g. "s0_l@0"
+    cell: str  # the synchroniser cell, e.g. "s0_l"
+    donor: str  # terminal name of the donating path's endpoint
+    recipient: str  # terminal name of the receiving path's endpoint
+    amount: float  # time moved (always > 0)
+    window_before: float
+    window_after: float
+    driving_slack: float
+
+    @property
+    def direction(self) -> str:
+        return _DIRECTIONS.get(self.operation, "unknown")
+
+    def describe(self) -> str:
+        return (
+            f"#{self.sequence:<5} {self.phase:<28} cycle {self.cycle:<3} "
+            f"{self.instance:<16} {self.direction:<8} "
+            f"{self.donor} -> {self.recipient}  "
+            f"amount={self.amount:.4f} w: {self.window_before:.4f} -> "
+            f"{self.window_after:.4f}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sequence": self.sequence,
+            "phase": self.phase,
+            "cycle": self.cycle,
+            "operation": self.operation,
+            "direction": self.direction,
+            "instance": self.instance,
+            "cell": self.cell,
+            "donor": self.donor,
+            "recipient": self.recipient,
+            "amount": self.amount,
+            "window_before": self.window_before,
+            "window_after": self.window_after,
+            "driving_slack": _json_float(self.driving_slack),
+        }
+
+
+def _json_float(value: float) -> object:
+    """Infinities are not valid JSON; encode them as strings."""
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    return value
+
+
+class AuditTrail:
+    """Bounded collection point for :class:`TransferEvent` records.
+
+    ``capacity`` bounds the ring buffer (oldest events are dropped
+    first); the aggregate totals (``total_events``, ``total_moved``,
+    per-direction sums) keep counting past the cap so summary questions
+    stay answerable even on very long runs.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self.capacity = capacity
+        self._events: Deque[TransferEvent] = deque(maxlen=capacity)
+        self.total_events = 0
+        self.dropped_events = 0
+        self.total_moved = 0.0
+        self.moved_by_direction: Dict[str, float] = {
+            "forward": 0.0,
+            "backward": 0.0,
+        }
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # recording (called from repro.core.transfer.sweep)
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        phase: str,
+        cycle: int,
+        operation: str,
+        instance: str,
+        cell: str,
+        donor: str,
+        recipient: str,
+        amount: float,
+        window_before: float,
+        window_after: float,
+        driving_slack: float,
+    ) -> None:
+        event = TransferEvent(
+            sequence=self._sequence,
+            phase=phase,
+            cycle=cycle,
+            operation=operation,
+            instance=instance,
+            cell=cell,
+            donor=donor,
+            recipient=recipient,
+            amount=amount,
+            window_before=window_before,
+            window_after=window_after,
+            driving_slack=driving_slack,
+        )
+        self._sequence += 1
+        self.total_events += 1
+        if len(self._events) == self.capacity:
+            self.dropped_events += 1
+        self.total_moved += amount
+        direction = event.direction
+        self.moved_by_direction[direction] = (
+            self.moved_by_direction.get(direction, 0.0) + amount
+        )
+        self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[TransferEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def for_instance(self, name: str) -> List[TransferEvent]:
+        """All retained events of one generic instance (or its cell)."""
+        return [
+            e for e in self._events if e.instance == name or e.cell == name
+        ]
+
+    def net_movement(self) -> Dict[str, float]:
+        """Net signed window movement per instance (+later, -earlier)."""
+        net: Dict[str, float] = {}
+        for event in self._events:
+            sign = 1.0 if event.direction == "backward" else -1.0
+            net[event.instance] = net.get(event.instance, 0.0) + (
+                sign * event.amount
+            )
+        return net
+
+    def describe(self, limit: int = 50) -> str:
+        lines = [
+            f"audit trail: {self.total_events} event(s), "
+            f"{self.total_moved:.4f} total moved "
+            f"(forward {self.moved_by_direction.get('forward', 0.0):.4f}, "
+            f"backward {self.moved_by_direction.get('backward', 0.0):.4f})"
+        ]
+        if self.dropped_events:
+            lines.append(f"  ({self.dropped_events} oldest event(s) dropped)")
+        for event in list(self._events)[:limit]:
+            lines.append("  " + event.describe())
+        if len(self._events) > limit:
+            lines.append(f"  ... and {len(self._events) - limit} more")
+        return "\n".join(lines)
+
+
+#: The process-wide trail; ``None`` means "auditing disabled" (default).
+_trail: Optional[AuditTrail] = None
+
+
+def active_trail() -> Optional[AuditTrail]:
+    """The process-wide audit trail, or ``None`` when disabled.
+
+    Hot loops fetch this once per sweep and guard their instrumentation
+    on ``trail is not None`` -- the same pattern as ``obs.active()``.
+    """
+    return _trail
+
+
+def set_trail(trail: Optional[AuditTrail]) -> Optional[AuditTrail]:
+    """Install (or, with ``None``, remove) the process-wide audit trail.
+
+    Returns the previously installed trail.
+    """
+    global _trail
+    previous = _trail
+    _trail = trail
+    return previous
+
+
+@contextmanager
+def auditing(
+    trail: Optional[AuditTrail] = None, capacity: int = 100_000
+) -> Iterator[AuditTrail]:
+    """Enable slack-transfer auditing for the duration of the block."""
+    active = trail if trail is not None else AuditTrail(capacity=capacity)
+    previous = set_trail(active)
+    try:
+        yield active
+    finally:
+        set_trail(previous)
+
+
+def trail_to_dict(trail: AuditTrail) -> Dict[str, object]:
+    """Serialise the trail (deterministic for deterministic runs)."""
+    return {
+        "schema": AUDIT_SCHEMA,
+        "capacity": trail.capacity,
+        "total_events": trail.total_events,
+        "dropped_events": trail.dropped_events,
+        "total_moved": trail.total_moved,
+        "moved_by_direction": dict(sorted(trail.moved_by_direction.items())),
+        "events": [event.to_dict() for event in trail.events],
+    }
+
+
+def write_audit_json(trail: AuditTrail, path: Union[str, Path]) -> Path:
+    """Write :func:`trail_to_dict` as JSON to ``path``; returns the path.
+
+    The encoding is fully deterministic (sorted keys, fixed separators),
+    so two identical runs produce byte-identical files -- the regression
+    property ``tests/report/test_provenance.py`` locks in.
+    """
+    path = Path(path)
+    path.write_text(
+        json.dumps(
+            trail_to_dict(trail),
+            indent=2,
+            sort_keys=True,
+            separators=(",", ": "),
+        )
+    )
+    return path

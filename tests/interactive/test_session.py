@@ -70,3 +70,35 @@ class TestReport:
 
     def test_report_without_history(self, session):
         assert "history:" not in session.report()
+
+
+class TestForensics:
+    def test_explain_endpoint(self, session):
+        forensics = session.explain("dout")
+        assert forensics.capture_instance == "dout@pad"
+        capture = session.analyze().algorithm1.slacks.capture
+        assert forensics.slack == pytest.approx(capture["dout@pad"])
+
+    def test_snapshot_then_compare_clean(self, session):
+        session.snapshot("base")
+        text = session.compare()
+        assert "no regression" in text
+        assert "base" in text
+
+    def test_compare_detects_regression(self, session):
+        session.snapshot("base")
+        session.scale_cell_delay("inv0", 10.0)
+        text = session.compare()
+        assert "REGRESSION detected" in text
+        session.undo()
+        assert "no regression" in session.compare()
+
+    def test_compare_without_baseline_raises(self, session):
+        with pytest.raises(ValueError, match="snapshot"):
+            session.compare()
+
+    def test_explicit_baseline_argument(self, session):
+        base = session.snapshot("explicit")
+        session.scale_clocks(2)
+        text = session.compare(baseline=base)
+        assert "explicit" in text

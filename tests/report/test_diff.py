@@ -1,0 +1,166 @@
+"""Tests for run-to-run manifest diffs (repro.report.diff)."""
+
+import json
+
+import pytest
+
+from repro.core.analyzer import Hummingbird
+from repro.generators.pipelines import latch_pipeline
+from repro.report import diff_manifests, write_manifest
+
+
+def _manifest(endpoint_slacks, label="run", iterations=3, wns=None):
+    values = [v for v in endpoint_slacks.values() if isinstance(v, float)]
+    return {
+        "schema": "repro.manifest/1",
+        "label": label,
+        "input_digest": "d" * 64,
+        "timing": {
+            "worst_slack": wns if wns is not None else min(values),
+            "total_negative_slack": sum(v for v in values if v <= 0),
+            "endpoint_slacks": endpoint_slacks,
+        },
+        "iterations": {"total": iterations},
+        "cost": {"analysis_s": 0.01},
+    }
+
+
+@pytest.fixture
+def golden_pair():
+    """One fixed endpoint, one regressed into violation, plus noise."""
+    a = _manifest(
+        {
+            "fixed_ep": -0.5,   # violated in A, met in B
+            "broken_ep": 1.0,   # met in A, violated in B
+            "slower_ep": 2.0,   # met, loses slack
+            "faster_ep": 1.0,   # met, gains slack
+            "stable_ep": 3.0,   # unchanged
+            "gone_ep": 0.7,     # removed in B
+        },
+        label="baseline",
+    )
+    b = _manifest(
+        {
+            "fixed_ep": 0.4,
+            "broken_ep": -0.2,
+            "slower_ep": 1.5,
+            "faster_ep": 1.6,
+            "stable_ep": 3.0,
+            "new_ep": 0.9,      # added in B
+        },
+        label="candidate",
+        iterations=5,
+    )
+    return a, b
+
+
+class TestGoldenPair:
+    def test_statuses(self, golden_pair):
+        diff = diff_manifests(*golden_pair)
+        status = {e.endpoint: e.status for e in diff.endpoints}
+        assert status == {
+            "fixed_ep": "fixed",
+            "broken_ep": "new-violation",
+            "slower_ep": "regressed",
+            "faster_ep": "improved",
+            "stable_ep": "unchanged",
+            "gone_ep": "removed",
+            "new_ep": "added",
+        }
+
+    def test_violation_lists(self, golden_pair):
+        diff = diff_manifests(*golden_pair)
+        assert [e.endpoint for e in diff.new_violations] == ["broken_ep"]
+        assert [e.endpoint for e in diff.fixed_violations] == ["fixed_ep"]
+        assert diff.has_regression
+
+    def test_deltas(self, golden_pair):
+        diff = diff_manifests(*golden_pair)
+        by_name = {e.endpoint: e for e in diff.endpoints}
+        assert by_name["slower_ep"].delta == pytest.approx(-0.5)
+        assert by_name["faster_ep"].delta == pytest.approx(0.6)
+        assert by_name["gone_ep"].delta is None
+        # WNS moves from fixed_ep's -0.5 to broken_ep's -0.2.
+        assert diff.wns_delta == pytest.approx(0.3)
+
+    def test_iteration_regression(self, golden_pair):
+        diff = diff_manifests(*golden_pair)
+        assert diff.iteration_regression == 2
+
+    def test_render_text_verdict_and_order(self, golden_pair):
+        text = diff_manifests(*golden_pair).render_text()
+        assert "baseline -> candidate" in text
+        assert "REGRESSION detected" in text
+        assert "(REGRESSION +2)" in text
+        # New violations are listed before improvements.
+        assert text.index("broken_ep") < text.index("faster_ep")
+
+    def test_to_dict_schema(self, golden_pair):
+        doc = diff_manifests(*golden_pair).to_dict()
+        assert doc["schema"] == "repro.diff/1"
+        assert doc["has_regression"] is True
+        assert doc["counts"]["new-violation"] == 1
+        assert doc["counts"]["fixed"] == 1
+        # Unchanged endpoints are elided from the endpoint listing.
+        listed = {e["endpoint"] for e in doc["endpoints"]}
+        assert "stable_ep" not in listed
+        json.dumps(doc)  # must be JSON-serialisable
+
+
+class TestIdenticalRuns:
+    def test_no_regression(self):
+        a = _manifest({"ep": 1.0}, label="a")
+        b = _manifest({"ep": 1.0}, label="b")
+        diff = diff_manifests(a, b)
+        assert not diff.has_regression
+        assert diff.endpoints[0].status == "unchanged"
+        assert "no regression" in diff.render_text()
+
+    def test_sub_tolerance_jitter_is_unchanged(self):
+        a = _manifest({"ep": 1.0}, label="a")
+        b = _manifest({"ep": 1.0 + 1e-12}, label="b")
+        assert diff_manifests(a, b).endpoints[0].status == "unchanged"
+
+
+class TestInfinities:
+    def test_unconstrained_endpoints_compare_equal(self):
+        a = _manifest({"ep": "inf"}, label="a", wns="inf")
+        b = _manifest({"ep": "inf"}, label="b", wns="inf")
+        diff = diff_manifests(a, b)
+        assert diff.endpoints[0].delta == 0.0
+        assert diff.wns_delta == 0.0
+        assert not diff.has_regression
+
+
+class TestRealManifests:
+    """End-to-end: two analyzer runs at different clock periods."""
+
+    @staticmethod
+    def _manifest_for(period, label, tmp_path):
+        network, schedule = latch_pipeline(
+            stages=4, stage_lengths=[12, 1, 1, 1], period=period
+        )
+        result = Hummingbird(network, schedule).analyze()
+        return write_manifest(
+            result.manifest(label=label), tmp_path / f"{label}.json"
+        )
+
+    def test_tightened_clock_regresses(self, tmp_path):
+        slow = self._manifest_for(12.0, "slow", tmp_path)
+        fast = self._manifest_for(7.0, "fast", tmp_path)
+        diff = diff_manifests(slow, fast)
+        assert not diff.same_inputs  # different schedules
+        assert diff.has_regression
+        # s0_l@0 goes negative at period 7: a new violation.
+        assert "s0_l@0" in [e.endpoint for e in diff.new_violations]
+        # The reverse diff reports it as fixed.
+        reverse = diff_manifests(fast, slow)
+        assert "s0_l@0" in [e.endpoint for e in reverse.fixed_violations]
+
+    def test_identical_runs_diff_clean(self, tmp_path):
+        a = self._manifest_for(12.0, "a", tmp_path)
+        b = self._manifest_for(12.0, "b", tmp_path)
+        diff = diff_manifests(a, b)
+        assert diff.same_inputs
+        assert not diff.has_regression
+        assert all(e.status == "unchanged" for e in diff.endpoints)

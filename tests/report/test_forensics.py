@@ -1,0 +1,195 @@
+"""Tests for the explainable path reports (repro.report.forensics).
+
+The borrow-pipeline numbers asserted here are hand-computed from the
+two-phase schedule ``ClockSchedule.two_phase(12)``:
+
+* phi1 pulse ``[3/5, 27/5)``, phi2 pulse ``[33/5, 57/5)``, so every
+  latch window is ``W = 24/5 = 4.8`` wide;
+* endpoint ``s1_l`` is captured on phi2 (closure edge ``57/5``) and
+  launched from ``s0_l`` on phi1 (assertion edge ``3/5``), hence the
+  ideal path constraint ``D_p = 57/5 - 3/5 = 54/5 = 10.8`` (Section 4);
+* ``O_x = max(O_zc, O_zd)`` and ``O_y = min(O_dc, O_dz)`` are the
+  Section 5 terminal-offset decompositions, and the borrowed time
+  through a latch is ``max(0, O_zd - O_zc)``.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.analyzer import Hummingbird
+from repro.generators.pipelines import latch_pipeline
+from repro.report import PathForensics
+
+from tests.conftest import build_ff_stage
+
+
+@pytest.fixture(scope="module")
+def borrow_result():
+    """Long first stage: the upstream path borrows through the latches."""
+    network, schedule = latch_pipeline(
+        stages=4, stage_lengths=[12, 1, 1, 1], period=12.0
+    )
+    return Hummingbird(network, schedule).analyze()
+
+
+@pytest.fixture(scope="module")
+def forensics(borrow_result):
+    return borrow_result.path_forensics()
+
+
+class TestHandComputedOffsets:
+    def test_ideal_path_constraint(self, forensics):
+        f = forensics.explain("s1_l")
+        # D_p = capture closure edge - launch assertion edge
+        #     = 57/5 - 3/5 = 10.8 for a phi1 -> phi2 stage.
+        assert f.ideal_constraint == pytest.approx(10.8)
+
+    def test_launch_offset_is_max_of_parts(self, forensics):
+        f = forensics.explain("s1_l")
+        parts = f.launch_offset_parts
+        assert f.launch_offset == pytest.approx(
+            max(parts["o_zc"], parts["o_zd"])
+        )
+        # The long first stage makes the latch input-limited.
+        assert parts["o_zd"] > parts["o_zc"]
+        assert parts["bound"] == "input (O_zd)"
+
+    def test_capture_offset_is_min_of_parts(self, forensics):
+        f = forensics.explain("s1_l")
+        parts = f.capture_offset_parts
+        assert f.capture_offset == pytest.approx(
+            min(parts["o_dc"], parts["o_dz"])
+        )
+        assert parts["bound"] in ("setup (O_dc)", "window (O_dz)")
+
+    def test_available_time_identity(self, forensics):
+        f = forensics.explain("s1_l")
+        # available = D_p - O_x + O_y (the Section 5 path budget).
+        assert f.available_time == pytest.approx(
+            f.ideal_constraint - f.launch_offset + f.capture_offset
+        )
+
+    def test_slack_is_closure_minus_arrival(self, forensics):
+        f = forensics.explain("s1_l")
+        assert f.slack == pytest.approx(f.closure - f.arrival)
+        assert not f.violated
+        assert f.binding_constraint == "setup"
+
+
+class TestBorrowChain:
+    def test_immediate_donor(self, forensics):
+        f = forensics.explain("s1_l")
+        assert f.launch_instance == "s0_l@0"
+        assert f.borrow_chain, "expected a borrow chain"
+        link = f.borrow_chain[0]
+        assert link.latch == "s0_l@0"
+        # borrowed = max(0, O_zd - O_zc): the window position is O_zd.
+        assert link.borrowed == pytest.approx(
+            link.position - link.control_offset
+        )
+        assert link.borrowed > 0
+        assert link.window == pytest.approx(4.8)  # phi1 pulse width
+        assert link.donor.endswith("/Q")
+        assert link.recipient.endswith("/D")
+
+    def test_figure2_style_chain_walks_upstream(self, forensics):
+        # The long stage feeds s0_l; every later latch is input-limited
+        # because the borrow propagates: s3_l's path chains back
+        # s2_l -> s1_l -> s0_l (downstream first).
+        f = forensics.explain("s3_l")
+        latches = [link.latch for link in f.borrow_chain]
+        assert latches == ["s2_l@0", "s1_l@0", "s0_l@0"]
+        for link in f.borrow_chain:
+            assert link.borrowed > 0
+            assert link.donor == f"{link.cell}/Q"
+            assert link.recipient == f"{link.cell}/D"
+
+    def test_edge_triggered_design_has_no_chain(self, lib):
+        network, schedule = build_ff_stage(lib, chain=2, period=100.0)
+        result = Hummingbird(network, schedule).analyze()
+        f = result.forensics("dout")
+        assert f.borrow_chain == ()
+        assert f.capture_offset_parts.get("bound") == "fixed"
+
+
+class TestEndpointResolution:
+    def test_resolves_net_instance_cell_names(self, forensics):
+        by_cell = forensics.explain("s1_l")
+        by_instance = forensics.explain("s1_l@0")
+        by_net = forensics.explain(by_cell.capture_net)
+        assert (
+            by_cell.capture_instance
+            == by_instance.capture_instance
+            == by_net.capture_instance
+        )
+
+    def test_unknown_endpoint_raises(self, forensics):
+        with pytest.raises(KeyError, match="no capture endpoint"):
+            forensics.explain("nonexistent_net_42")
+
+    def test_endpoints_listing(self, forensics):
+        labels = forensics.endpoints()
+        assert labels == sorted(labels)
+        assert any("s1_l@0" in label for label in labels)
+
+
+class TestRenderers:
+    def test_text_mentions_the_story(self, forensics):
+        f = forensics.explain("s1_l")
+        text = forensics.render_text(f)
+        assert "D_p" in text
+        assert "O_x" in text and "O_y" in text
+        assert "borrow chain" in text
+        assert "launched by s0_l@0" in text
+
+    def test_json_schema_round_trip(self, forensics):
+        explained = [forensics.explain("s1_l"), forensics.explain("s3_l")]
+        doc = json.loads(forensics.to_json(explained))
+        assert doc["schema"] == "repro.report/1"
+        assert doc["design"] == "latch_pipeline"
+        assert len(doc["endpoints"]) == 2
+        first = doc["endpoints"][0]
+        for key in (
+            "endpoint", "slack", "ideal_constraint", "launch_offset",
+            "capture_offset", "available_time", "borrow_chain", "steps",
+            "binding_constraint",
+        ):
+            assert key in first
+        # Re-serialising the parsed document must be stable.
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_json_encodes_infinities_as_strings(self, forensics):
+        f = forensics.explain("s1_l")
+        payload = f.to_dict()
+        patched = json.dumps(payload)  # must never raise
+        assert "Infinity" not in patched
+
+    def test_html_is_static_and_escaped(self, forensics):
+        explained = [forensics.explain("s1_l")]
+        page = forensics.render_html(explained)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "latch_pipeline" in page
+        assert "slack histogram" in page
+        assert "<script" not in page  # static, dependency-free
+
+    def test_result_accessor(self, borrow_result):
+        direct = borrow_result.forensics("s1_l")
+        assert direct.capture_instance == "s1_l@0"
+        assert isinstance(borrow_result.path_forensics(), PathForensics)
+
+
+class TestWorstEndpointSelection:
+    def test_multiple_matches_pick_worst(self, forensics, borrow_result):
+        # Querying a cell name with several generic instances must
+        # explain the worst-slack one.
+        f = forensics.explain("s1_l")
+        capture = borrow_result.algorithm1.slacks.capture
+        candidates = [
+            value
+            for name, value in capture.items()
+            if name.startswith("s1_l")
+        ]
+        assert f.slack == pytest.approx(min(candidates))
+        assert not math.isinf(f.slack)

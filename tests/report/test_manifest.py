@@ -1,0 +1,130 @@
+"""Tests for run manifests (repro.report.manifest)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.clocks.serialize import save_schedule
+from repro.core.analyzer import Hummingbird
+from repro.generators.pipelines import latch_pipeline
+from repro.netlist.persistence import save_network
+from repro.report import (
+    build_manifest,
+    load_manifest,
+    manifest_digest,
+    write_manifest,
+)
+
+
+def _design(period=12.0):
+    return latch_pipeline(
+        stages=4, stage_lengths=[12, 1, 1, 1], period=period
+    )
+
+
+def _run(period=12.0):
+    network, schedule = _design(period)
+    analyzer = Hummingbird(network, schedule)
+    return analyzer, analyzer.analyze()
+
+
+class TestBuildManifest:
+    def test_schema_and_sections(self):
+        analyzer, result = _run()
+        manifest = build_manifest(analyzer, result)
+        assert manifest["schema"] == "repro.manifest/1"
+        assert manifest["design"] == "latch_pipeline"
+        for key in (
+            "input_digest", "clock_schedule", "config", "design_stats",
+            "timing", "iterations", "cost", "created_at",
+        ):
+            assert key in manifest
+        timing = manifest["timing"]
+        assert timing["intended"] is True
+        assert timing["endpoints"] == len(timing["endpoint_slacks"])
+        assert timing["worst_slack"] == pytest.approx(1.0)
+
+    def test_endpoint_slacks_are_sorted(self):
+        analyzer, result = _run()
+        manifest = build_manifest(analyzer, result)
+        names = list(manifest["timing"]["endpoint_slacks"])
+        assert names == sorted(names)
+
+    def test_result_accessor_and_label(self):
+        __, result = _run()
+        manifest = result.manifest(label="nightly")
+        assert manifest["label"] == "nightly"
+        assert manifest["schema"] == "repro.manifest/1"
+
+    def test_obs_snapshot_optional(self):
+        network, schedule = _design()
+        with obs.recording() as recorder:
+            analyzer = Hummingbird(network, schedule)
+            result = analyzer.analyze()
+        plain = build_manifest(analyzer, result)
+        assert "obs" not in plain
+        instrumented = build_manifest(analyzer, result, recorder=recorder)
+        assert instrumented["obs"]["counters"]["alg1.runs"] == 1.0
+        # Zero-valued counters are elided from the snapshot.
+        assert all(instrumented["obs"]["counters"].values())
+
+
+class TestDigests:
+    def test_identical_runs_same_content_digest(self):
+        digests = [manifest_digest(build_manifest(*_run())) for __ in range(2)]
+        assert digests[0] == digests[1]
+
+    def test_different_schedule_different_digest(self):
+        fast = manifest_digest(build_manifest(*_run(period=8.0)))
+        slow = manifest_digest(build_manifest(*_run(period=12.0)))
+        assert fast != slow
+
+    def test_input_digest_prefers_files(self, tmp_path):
+        network, schedule = _design()
+        netlist = tmp_path / "design.json"
+        clocks = tmp_path / "clocks.json"
+        save_network(network, netlist)
+        save_schedule(schedule, clocks)
+        analyzer = Hummingbird(network, schedule)
+        result = analyzer.analyze()
+        from_files = build_manifest(
+            analyzer, result, netlist_path=netlist, clocks_path=clocks
+        )
+        in_memory = build_manifest(analyzer, result)
+        # Both digests are stable but hash different byte streams.
+        assert from_files["input_digest"] != in_memory["input_digest"]
+        again = build_manifest(
+            analyzer, result, netlist_path=netlist, clocks_path=clocks
+        )
+        assert from_files["input_digest"] == again["input_digest"]
+
+
+class TestWriteAndLoad:
+    def test_write_to_directory_uses_label(self, tmp_path):
+        __, result = _run()
+        manifest = result.manifest(label="base")
+        path = write_manifest(manifest, tmp_path / "runs")
+        assert path.name == "base.manifest.json"
+        loaded = load_manifest(path)
+        assert loaded["label"] == "base"
+
+    def test_write_to_explicit_file(self, tmp_path):
+        __, result = _run()
+        target = tmp_path / "deep" / "run.json"
+        path = write_manifest(result.manifest(), target)
+        assert path == target
+        assert path.exists()
+
+    def test_deterministic_serialisation(self, tmp_path):
+        analyzer, result = _run()
+        manifest = build_manifest(analyzer, result)
+        a = write_manifest(dict(manifest), tmp_path / "a.json")
+        b = write_manifest(dict(manifest), tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_load_rejects_non_manifest(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "repro.obs.metrics/1"}))
+        with pytest.raises(ValueError, match="not a run manifest"):
+            load_manifest(bogus)

@@ -1,0 +1,217 @@
+"""Tests for the slack-transfer audit trail (repro.report.provenance)."""
+
+import json
+
+import pytest
+
+from repro.core.analyzer import Hummingbird
+from repro.generators.pipelines import latch_pipeline
+from repro.report import (
+    AuditTrail,
+    TransferEvent,
+    active_trail,
+    auditing,
+    set_trail,
+    trail_to_dict,
+    write_audit_json,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leak():
+    """Every test must leave the process-wide trail disabled."""
+    assert active_trail() is None
+    yield
+    assert active_trail() is None
+
+
+@pytest.fixture
+def borrowing_design():
+    """Uneven stage lengths force slack transfer through the latches."""
+    return latch_pipeline(
+        stages=4, stage_lengths=[12, 1, 1, 1], period=12.0
+    )
+
+
+def _run(design):
+    network, schedule = design
+    return Hummingbird(network, schedule).analyze()
+
+
+class TestEnablePattern:
+    def test_disabled_by_default(self, borrowing_design):
+        # Analysis without auditing must neither fail nor install a trail.
+        result = _run(borrowing_design)
+        assert result.intended
+        assert active_trail() is None
+
+    def test_auditing_context_installs_and_restores(self):
+        outer = AuditTrail()
+        set_trail(outer)
+        try:
+            with auditing() as inner:
+                assert active_trail() is inner
+                assert inner is not outer
+            assert active_trail() is outer
+        finally:
+            set_trail(None)
+
+    def test_set_trail_returns_previous(self):
+        trail = AuditTrail()
+        assert set_trail(trail) is None
+        assert set_trail(None) is trail
+
+
+class TestRecordedEvents:
+    def test_transfers_are_recorded(self, borrowing_design):
+        with auditing() as trail:
+            result = _run(borrowing_design)
+        assert result.intended
+        assert trail.total_events > 0
+        assert len(trail.events) == trail.total_events
+        for event in trail.events:
+            assert event.amount > 0.0
+            assert event.direction in ("forward", "backward")
+            assert event.instance
+            assert event.donor and event.recipient
+            assert event.phase.startswith(("iteration", "alg2"))
+            assert event.cycle >= 1
+
+    def test_forward_donor_is_the_data_input(self, borrowing_design):
+        with auditing() as trail:
+            _run(borrowing_design)
+        forward = [e for e in trail.events if e.direction == "forward"]
+        backward = [e for e in trail.events if e.direction == "backward"]
+        assert forward and backward
+        for event in forward:
+            # Input-side paths donate to output-side ones.
+            assert event.donor.endswith("/D") or ".D" in event.donor
+            assert event.recipient.endswith("/Q") or ".Q" in event.recipient
+        for event in backward:
+            assert event.donor.endswith("/Q") or ".Q" in event.donor
+            assert event.recipient.endswith("/D") or ".D" in event.recipient
+
+    def test_window_moves_match_direction(self, borrowing_design):
+        with auditing() as trail:
+            _run(borrowing_design)
+        for event in trail.events:
+            delta = event.window_after - event.window_before
+            if event.direction == "forward":
+                assert delta == pytest.approx(-event.amount)
+            else:
+                assert delta == pytest.approx(event.amount)
+
+    def test_sequence_is_gapless(self, borrowing_design):
+        with auditing() as trail:
+            _run(borrowing_design)
+        assert [e.sequence for e in trail.events] == list(
+            range(trail.total_events)
+        )
+
+    def test_aggregate_totals(self, borrowing_design):
+        with auditing() as trail:
+            _run(borrowing_design)
+        assert trail.total_moved == pytest.approx(
+            sum(e.amount for e in trail.events)
+        )
+        assert trail.moved_by_direction["forward"] == pytest.approx(
+            sum(e.amount for e in trail.events if e.direction == "forward")
+        )
+
+
+class TestRingBuffer:
+    @staticmethod
+    def _record(trail, n):
+        for i in range(n):
+            trail.record(
+                phase="iteration1.forward",
+                cycle=1,
+                operation="complete_forward",
+                instance=f"l{i}@0",
+                cell=f"l{i}",
+                donor=f"l{i}/D",
+                recipient=f"l{i}/Q",
+                amount=1.0,
+                window_before=5.0,
+                window_after=4.0,
+                driving_slack=1.0,
+            )
+
+    def test_capacity_bounds_retained_events(self):
+        trail = AuditTrail(capacity=4)
+        self._record(trail, 10)
+        assert len(trail) == 4
+        assert trail.total_events == 10
+        assert trail.dropped_events == 6
+        # The *newest* events are retained.
+        assert [e.instance for e in trail.events] == [
+            "l6@0", "l7@0", "l8@0", "l9@0",
+        ]
+        # Aggregates keep counting past the cap.
+        assert trail.total_moved == pytest.approx(10.0)
+
+    def test_net_movement_signs(self):
+        trail = AuditTrail()
+        self._record(trail, 1)
+        trail.record(
+            phase="iteration2.backward", cycle=1,
+            operation="complete_backward", instance="l0@0", cell="l0",
+            donor="l0/Q", recipient="l0/D", amount=0.25,
+            window_before=4.0, window_after=4.25, driving_slack=2.0,
+        )
+        net = trail.net_movement()
+        # forward 1.0 earlier, backward 0.25 later -> net -0.75.
+        assert net["l0@0"] == pytest.approx(-0.75)
+
+
+class TestSerialisation:
+    def test_byte_identical_across_identical_runs(
+        self, borrowing_design, tmp_path
+    ):
+        paths = []
+        for name in ("a.json", "b.json"):
+            with auditing() as trail:
+                _run(borrowing_design)
+            paths.append(write_audit_json(trail, tmp_path / name))
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_schema_and_round_trip(self, borrowing_design, tmp_path):
+        with auditing() as trail:
+            _run(borrowing_design)
+        path = write_audit_json(trail, tmp_path / "audit.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.audit/1"
+        assert data["total_events"] == trail.total_events
+        assert len(data["events"]) == len(trail.events)
+        first = data["events"][0]
+        for key in (
+            "sequence", "phase", "cycle", "operation", "direction",
+            "instance", "cell", "donor", "recipient", "amount",
+            "window_before", "window_after", "driving_slack",
+        ):
+            assert key in first
+
+    def test_infinite_driving_slack_encoded_as_string(self):
+        event = TransferEvent(
+            sequence=0, phase="p", cycle=1, operation="complete_forward",
+            instance="l@0", cell="l", donor="l/D", recipient="l/Q",
+            amount=1.0, window_before=1.0, window_after=0.0,
+            driving_slack=float("inf"),
+        )
+        payload = event.to_dict()
+        assert payload["driving_slack"] == "inf"
+        json.dumps(payload)  # must be valid JSON
+
+    def test_describe_mentions_the_move(self):
+        trail = AuditTrail()
+        TestRingBuffer._record(trail, 2)
+        text = trail.describe()
+        assert "2 event(s)" in text
+        assert "l0@0" in text and "l1@0" in text
+
+    def test_trail_to_dict_sorted_directions(self):
+        trail = AuditTrail()
+        data = trail_to_dict(trail)
+        assert list(data["moved_by_direction"]) == sorted(
+            data["moved_by_direction"]
+        )

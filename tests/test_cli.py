@@ -214,3 +214,185 @@ class TestVerilogAndCorners:
         save_schedule(schedule, clocks)
         code = main(["corners", str(netlist), "--clocks", str(clocks)])
         assert code == 1
+
+
+@pytest.fixture
+def borrow_workspace(tmp_path):
+    """A cycle-borrowing latch pipeline saved to disk."""
+    from repro.generators.pipelines import latch_pipeline
+
+    network, schedule = latch_pipeline(
+        stages=4, stage_lengths=[12, 1, 1, 1], period=12.0
+    )
+    netlist = tmp_path / "pipeline.json"
+    clocks = tmp_path / "clocks.json"
+    save_network(network, netlist)
+    save_schedule(schedule, clocks)
+    return netlist, clocks, tmp_path
+
+
+class TestForensicsCommands:
+    def test_analyze_manifest_and_audit(self, borrow_workspace, capsys):
+        netlist, clocks, tmp_path = borrow_workspace
+        code = main(
+            [
+                "analyze", str(netlist), "--clocks", str(clocks),
+                "--manifest", str(tmp_path / "runs"),
+                "--label", "base",
+                "--audit", str(tmp_path / "audit.json"),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "manifest written" in err and "audit trail written" in err
+        manifest = json.loads(
+            (tmp_path / "runs" / "base.manifest.json").read_text()
+        )
+        assert manifest["schema"] == "repro.manifest/1"
+        audit = json.loads((tmp_path / "audit.json").read_text())
+        assert audit["schema"] == "repro.audit/1"
+        assert audit["total_events"] > 0
+
+    def test_report_named_endpoint(self, borrow_workspace, capsys):
+        netlist, clocks, __ = borrow_workspace
+        code = main(
+            [
+                "report", str(netlist), "--clocks", str(clocks),
+                "--endpoint", "s1_l",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "D_p" in out and "borrow chain" in out
+
+    def test_report_default_worst_endpoints(self, borrow_workspace, capsys):
+        netlist, clocks, __ = borrow_workspace
+        code = main(
+            ["report", str(netlist), "--clocks", str(clocks), "--limit", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("endpoint ") >= 1
+
+    def test_report_json_to_file(self, borrow_workspace, capsys):
+        netlist, clocks, tmp_path = borrow_workspace
+        target = tmp_path / "report.json"
+        code = main(
+            [
+                "report", str(netlist), "--clocks", str(clocks),
+                "--format", "json", "--out", str(target),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == "repro.report/1"
+        assert doc["endpoints"]
+
+    def test_report_html(self, borrow_workspace, capsys):
+        netlist, clocks, __ = borrow_workspace
+        code = main(
+            [
+                "report", str(netlist), "--clocks", str(clocks),
+                "--format", "html", "--endpoint", "s1_l",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("<!DOCTYPE html>")
+
+    def test_report_unknown_endpoint_exits(self, borrow_workspace):
+        netlist, clocks, __ = borrow_workspace
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "report", str(netlist), "--clocks", str(clocks),
+                    "--endpoint", "no_such_net",
+                ]
+            )
+
+    def test_diff_identical_runs(self, borrow_workspace, capsys):
+        netlist, clocks, tmp_path = borrow_workspace
+        for label in ("a", "b"):
+            main(
+                [
+                    "analyze", str(netlist), "--clocks", str(clocks),
+                    "--manifest", str(tmp_path / f"{label}.json"),
+                    "--label", label,
+                ]
+            )
+        capsys.readouterr()
+        code = main(
+            ["diff", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no regression" in out
+
+    def test_diff_regression_exit_code(self, borrow_workspace, capsys):
+        from repro.clocks.serialize import load_schedule as _load
+        from repro.generators.pipelines import latch_pipeline
+
+        netlist, clocks, tmp_path = borrow_workspace
+        main(
+            [
+                "analyze", str(netlist), "--clocks", str(clocks),
+                "--manifest", str(tmp_path / "slow.json"), "--label", "slow",
+            ]
+        )
+        # Re-save a tighter schedule and rerun: endpoints regress.
+        network, fast_schedule = latch_pipeline(
+            stages=4, stage_lengths=[12, 1, 1, 1], period=8.0
+        )
+        fast_clocks = tmp_path / "fast_clocks.json"
+        save_schedule(fast_schedule, fast_clocks)
+        main(
+            [
+                "analyze", str(netlist), "--clocks", str(fast_clocks),
+                "--manifest", str(tmp_path / "fast.json"), "--label", "fast",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "diff", str(tmp_path / "slow.json"),
+                str(tmp_path / "fast.json"), "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["schema"] == "repro.diff/1"
+        assert doc["has_regression"] is True
+
+    def test_diff_rejects_non_manifest(self, tmp_path, capsys):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"schema": "other/1"}))
+        with pytest.raises(SystemExit):
+            main(["diff", str(bogus), str(bogus)])
+
+    def test_stats_json(self, borrow_workspace, capsys):
+        netlist, clocks, __ = borrow_workspace
+        code = main(
+            ["stats", str(netlist), "--clocks", str(clocks), "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["schema"] == "repro.stats/1"
+        assert doc["timing"]["endpoint_slacks"]
+        assert doc["histogram"]
+
+    def test_stats_json_matches_manifest_timing(self, borrow_workspace, capsys):
+        netlist, clocks, tmp_path = borrow_workspace
+        main(
+            [
+                "analyze", str(netlist), "--clocks", str(clocks),
+                "--manifest", str(tmp_path / "m.json"),
+            ]
+        )
+        capsys.readouterr()
+        main(["stats", str(netlist), "--clocks", str(clocks), "--json"])
+        out = capsys.readouterr().out
+        stats_doc = json.loads(out)
+        manifest = json.loads((tmp_path / "m.json").read_text())
+        assert stats_doc["timing"] == manifest["timing"]
