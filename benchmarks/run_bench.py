@@ -5,11 +5,13 @@ Unlike the pytest-benchmark suites next to it (which reproduce paper
 tables interactively), this harness is built for CI perf tracking: it
 runs a fixed registry of workloads with no test framework in the way,
 measures wall time, peak RSS and the key :mod:`repro.obs` counters, and
-writes a machine-readable ``BENCH_PR2.json`` at the repo root::
+writes a machine-readable ``BENCH_PR<current>.json`` at the repo root
+(override with ``--output``)::
 
     python benchmarks/run_bench.py             # full workloads
     python benchmarks/run_bench.py --quick     # CI-sized workloads
     python benchmarks/run_bench.py --only analyze_pipeline --repeat 3
+    python benchmarks/run_bench.py --output /tmp/bench.json
 
 Output schema (``repro.bench/1``)::
 
@@ -44,6 +46,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: The PR this harness currently reports for; bump alongside new
+#: workloads so every PR leaves its own ``BENCH_PR<n>.json`` artifact.
+CURRENT_PR = 3
+DEFAULT_OUTPUT = REPO_ROOT / f"BENCH_PR{CURRENT_PR}.json"
 
 from repro import obs  # noqa: E402
 from repro.core.analyzer import Hummingbird  # noqa: E402
@@ -154,6 +161,91 @@ def bench_forensics_report(quick: bool) -> Dict[str, object]:
     }
 
 
+def _write_job_set(
+    directory: Path, quick: bool, n_jobs: int
+) -> "List[object]":
+    """Materialise ``n_jobs`` distinct designs + a batch job list."""
+    from repro.clocks.serialize import save_schedule
+    from repro.netlist.persistence import save_network
+    from repro.service import BatchJob
+
+    jobs = []
+    for index in range(n_jobs):
+        banks, gates = (2, 40) if quick else (4, 120)
+        network, schedule = random_design(
+            seed=3000 + index,
+            n_banks=banks,
+            gates_per_bank=gates,
+            bits=4,
+            style="latch",
+        )
+        netlist = directory / f"job{index}.json"
+        clocks = directory / f"job{index}.clocks.json"
+        save_network(network, netlist)
+        save_schedule(schedule, clocks)
+        jobs.append(
+            BatchJob(f"job{index}", str(netlist), str(clocks))
+        )
+    return jobs
+
+
+@bench("batch_cold_vs_warm")
+def bench_batch_cold_vs_warm(quick: bool) -> Dict[str, object]:
+    """The PR-3 headline: a batch re-run of an unchanged job set must be
+    served entirely from the content-addressed cache -- zero Algorithm 1
+    iterations -- and be >=5x faster than the cold run."""
+    import tempfile
+
+    from repro.service import BatchEngine, ResultCache
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        directory = Path(tmp)
+        jobs = _write_job_set(directory, quick, n_jobs=3 if quick else 6)
+        engine = BatchEngine(
+            cache=ResultCache(directory / "cache"), max_workers=2
+        )
+        started = time.perf_counter()
+        cold = engine.run(jobs)
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = engine.run(jobs)
+        warm_s = time.perf_counter() - started
+    return {
+        "jobs": cold.jobs,
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "cold_iterations": cold.total_iterations,
+        "warm_iterations": warm.total_iterations,
+        "warm_hit_rate": warm.hit_rate,
+    }
+
+
+@bench("batch_throughput")
+def bench_batch_throughput(quick: bool) -> Dict[str, object]:
+    """Distinct-design batch throughput through the worker pool."""
+    import tempfile
+
+    from repro.service import BatchEngine, ResultCache
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        directory = Path(tmp)
+        jobs = _write_job_set(directory, quick, n_jobs=4 if quick else 8)
+        engine = BatchEngine(
+            cache=ResultCache(directory / "cache"), max_workers=4
+        )
+        started = time.perf_counter()
+        report = engine.run(jobs)
+        wall = time.perf_counter() - started
+    return {
+        "jobs": report.jobs,
+        "computed": report.computed,
+        "failed": report.failed,
+        "jobs_per_s": round(report.jobs / wall, 3) if wall else None,
+        "iterations": report.total_iterations,
+    }
+
+
 @bench("manifest_diff")
 def bench_manifest_diff(quick: bool) -> Dict[str, object]:
     """Build two run manifests and diff them (the CI primitive)."""
@@ -210,8 +302,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run only this bench (repeatable)",
     )
     parser.add_argument(
-        "--out", default=str(REPO_ROOT / "BENCH_PR2.json"),
-        help="output JSON path (default: BENCH_PR2.json at repo root)",
+        "--output", "--out", dest="output",
+        default=str(DEFAULT_OUTPUT),
+        help="output JSON path "
+        f"(default: BENCH_PR{CURRENT_PR}.json at repo root)",
     )
     args = parser.parse_args(argv)
 
@@ -236,12 +330,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     document = {
         "schema": "repro.bench/1",
+        "pr": CURRENT_PR,
         "quick": bool(args.quick),
         "repeat": args.repeat,
         "python": platform.python_version(),
         "benches": benches,
     }
-    out = Path(args.out)
+    out = Path(args.output)
     out.write_text(
         json.dumps(
             document, indent=2, sort_keys=True, separators=(",", ": ")

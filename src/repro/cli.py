@@ -14,6 +14,9 @@ clock description, run the analysis, print the report::
     repro-sta stats design.json --clocks clocks.json --json
     repro-sta simulate design.json --clocks clocks.json --cycles 16
     repro-sta waveforms --clocks clocks.json
+    repro-sta batch jobs.json --cache-dir .repro-cache --workers 4
+    repro-sta serve --socket /tmp/repro.sock
+    repro-sta query --socket /tmp/repro.sock '{"op": "ping"}'
 
 (Equivalently ``python -m repro.cli ...``.)  Netlist format is selected
 by extension: ``.json`` (:mod:`repro.netlist.persistence`), ``.blif``
@@ -335,6 +338,94 @@ def cmd_waveforms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(args: argparse.Namespace):
+    from repro.service import ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir, max_entries=args.cache_entries)
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.report import write_manifest
+    from repro.service import BatchEngine, load_jobs
+
+    try:
+        jobs = load_jobs(args.jobs)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(str(exc))
+    engine = BatchEngine(
+        cache=_make_cache(args),
+        max_workers=args.workers,
+        job_timeout=args.timeout,
+        retries=args.retries,
+        serial=args.serial,
+    )
+    report = engine.run(jobs)
+    print(report.render_text())
+    if args.manifest_dir:
+        for outcome in report.outcomes:
+            if outcome.manifest:
+                write_manifest(outcome.manifest, args.manifest_dir)
+        print(
+            f"manifests written to {args.manifest_dir}", file=sys.stderr
+        )
+    if args.stats_out:
+        Path(args.stats_out).write_text(
+            json.dumps(
+                report.to_dict(),
+                indent=2,
+                sort_keys=True,
+                separators=(",", ": "),
+            )
+            + "\n"
+        )
+        print(f"batch stats written to {args.stats_out}", file=sys.stderr)
+    return report.exit_code()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import TimingDaemon
+
+    daemon = TimingDaemon(
+        args.socket,
+        cache=_make_cache(args),
+        slow_path_limit=args.limit,
+    )
+    print(
+        f"repro-sta daemon listening on {args.socket} "
+        f"(pid {__import__('os').getpid()}); "
+        'stop with {"op": "shutdown"} or Ctrl-C',
+        file=sys.stderr,
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.stop()
+        print("daemon stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.service import DaemonClient
+
+    try:
+        request = json.loads(args.request)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"request is not valid JSON: {exc}")
+    try:
+        with DaemonClient(args.socket, timeout=args.timeout) as client:
+            response = client.request(request)
+    except (OSError, ConnectionError) as exc:
+        raise SystemExit(f"cannot reach daemon at {args.socket}: {exc}")
+    print(
+        json.dumps(
+            response, indent=2, sort_keys=True, separators=(",", ": ")
+        )
+    )
+    return 0 if response.get("ok") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sta",
@@ -459,6 +550,107 @@ def build_parser() -> argparse.ArgumentParser:
     waveforms = sub.add_parser("waveforms", help="render the clock schedule")
     _common_arguments(waveforms, with_netlist=False)
     waveforms.set_defaults(func=cmd_waveforms)
+
+    def _cache_arguments(parser: argparse.ArgumentParser) -> None:
+        group = parser.add_argument_group("result cache")
+        group.add_argument(
+            "--cache-dir",
+            default=".repro-cache",
+            help="content-addressed result cache directory "
+            "(default: .repro-cache)",
+        )
+        group.add_argument(
+            "--cache-entries",
+            type=int,
+            default=256,
+            help="LRU bound on cached results (default: 256)",
+        )
+        group.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the result cache entirely",
+        )
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a repro.batch/1 job set through the cache + worker pool",
+    )
+    batch.add_argument(
+        "jobs", help="job-set JSON file (schema repro.batch/1)"
+    )
+    _cache_arguments(batch)
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width (default: cpu count)",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job seconds before the job is retried",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="worker re-dispatches before in-process fallback "
+        "(default: 1)",
+    )
+    batch.add_argument(
+        "--serial",
+        action="store_true",
+        help="run jobs in-process (no worker pool)",
+    )
+    batch.add_argument(
+        "--manifest-dir",
+        metavar="DIR",
+        help="write each job's repro.manifest/1 into DIR",
+    )
+    batch.add_argument(
+        "--stats-out",
+        metavar="FILE",
+        help="write the repro.batchstats/1 summary to FILE",
+    )
+    obs_batch = batch.add_argument_group("observability")
+    obs_batch.add_argument("--trace", metavar="FILE", help=argparse.SUPPRESS)
+    obs_batch.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a flat metrics JSON dump (cache/scheduler counters)",
+    )
+    obs_batch.add_argument(
+        "--verbose", action="store_true", help="print the phase tree"
+    )
+    batch.set_defaults(func=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the timing daemon on a Unix socket (JSON-lines)",
+    )
+    serve.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="Unix-domain socket path to listen on",
+    )
+    serve.add_argument("--limit", type=int, default=50)
+    _cache_arguments(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    query = sub.add_parser(
+        "query",
+        help="send one JSON request to a running daemon, print the reply",
+    )
+    query.add_argument("--socket", required=True, metavar="PATH")
+    query.add_argument(
+        "request",
+        help='request JSON, e.g. \'{"op": "ping"}\' or \'{"op": '
+        '"analyze", "netlist": "p.json", "clocks": "c.json"}\'',
+    )
+    query.add_argument("--timeout", type=float, default=60.0)
+    query.set_defaults(func=cmd_query)
 
     return parser
 

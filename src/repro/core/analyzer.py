@@ -79,6 +79,55 @@ class TimingResult:
     def report(self, limit: int = 20) -> str:
         return self.summary() + "\n" + format_slow_paths(self.slow_paths, limit)
 
+    def payload(self) -> Dict[str, object]:
+        """Serialisable record of this result (``repro.result/1``).
+
+        This is the document :class:`repro.service.cache.ResultCache`
+        stores and the batch/daemon layers return: everything a client
+        needs to *consume* an analysis (verdict, worst slack,
+        per-endpoint slacks, iteration counts, cost) without the live
+        model objects.  Infinities are encoded as ``"inf"``/``"-inf"``
+        strings so the payload is strict JSON.
+        """
+
+        def _num(value: float) -> object:
+            if isinstance(value, float) and math.isinf(value):
+                return "inf" if value > 0 else "-inf"
+            return value
+
+        iterations = self.algorithm1.iterations
+        return {
+            "schema": "repro.result/1",
+            "intended": self.intended,
+            "converged": self.algorithm1.converged,
+            "worst_slack": _num(self.worst_slack),
+            "summary": self.summary(),
+            "slow_paths": len(self.slow_paths),
+            "endpoint_slacks": {
+                name: _num(value)
+                for name, value in sorted(
+                    self.algorithm1.slacks.capture.items()
+                )
+            },
+            "stats": {
+                key: value
+                for key, value in sorted(self.stats.items())
+                if isinstance(value, (int, float))
+            },
+            "iterations": {
+                "forward": iterations.forward,
+                "backward": iterations.backward,
+                "partial_forward": iterations.partial_forward,
+                "partial_backward": iterations.partial_backward,
+                "total": iterations.total,
+            },
+            "cost": {
+                "preprocess_s": self.preprocess_seconds,
+                "analysis_s": self.analysis_seconds,
+                "cpu_s": self.cpu_seconds,
+            },
+        }
+
     # ------------------------------------------------------------------
     # forensics layer (see docs/reporting.md)
     # ------------------------------------------------------------------

@@ -3,10 +3,13 @@
 Algorithm 3 re-runs timing analysis after every module change.  Because
 Algorithm 1 may start from *any* set of offsets satisfying the
 synchronising element constraints ("Initialise: Select any set of
-offsets..."), re-analysis can warm-start from the previous fixed point:
-after a small delay change, the old offsets are already close to a new
-fixed point, so the complete-transfer iterations converge in fewer
-cycles.
+offsets..."), a *repeat* query can warm-start from the previous fixed
+point and converge immediately.  After a **delay change** the cached
+fixed point is discarded: latch networks can admit several
+self-consistent fixed points, and iterating from offsets that belonged
+to the old delay map may land on a non-canonical one, making the answer
+depend on query history.  Determinism wins -- the next run re-seeds the
+windows, while the expensive pre-processing is still reused.
 
 Pre-processing is also reused: clusters, requirement arcs and break-open
 plans depend only on the network structure and the clocks, not on the
@@ -18,6 +21,7 @@ instances, so such changes trigger a full model rebuild (tracked in
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Set
 
 from repro import obs
@@ -48,8 +52,14 @@ class IncrementalAnalyzer:
         self._build()
 
     def _build(self) -> None:
+        started = time.perf_counter()
+        started_cpu = time.process_time()
         self.model = AnalysisModel(self.network, self.schedule, self._delays)
         self.engine = SlackEngine(self.model)
+        #: Wall/CPU seconds of the most recent model build (the
+        #: pre-processing cost the warm path amortises away).
+        self.preprocess_seconds = time.perf_counter() - started
+        self.preprocess_cpu_seconds = time.process_time() - started_cpu
         self._control_cells: Set[str] = set()
         for trace in self.model.validation.control_traces.values():
             self._control_cells.update(trace.comb_cells)
@@ -78,6 +88,15 @@ class IncrementalAnalyzer:
             self.swaps += 1
             obs.counter("incremental.swaps")
             self.model.delays = self._delays
+            # The previous fixed point belongs to the *old* delay map.
+            # Algorithm 1 accepts any valid initial offsets, but latch
+            # networks can have several self-consistent fixed points and
+            # iterating from stale offsets may land on a non-canonical
+            # one -- the answer would then depend on query history.
+            # Re-seed the next run so re-analysis is byte-identical to a
+            # from-scratch run; the expensive preprocessing (positions,
+            # plans, instances) is still reused.
+            self._warm = False
 
     def set_delays(self, delays: DelayMap) -> None:
         """Replace the whole delay map (conservatively rebuilds)."""
@@ -105,3 +124,52 @@ class IncrementalAnalyzer:
             result = run_algorithm1(self.model, self.engine, reset=reset)
         self._warm = True
         return result
+
+    def timing_result(
+        self,
+        warm: bool = True,
+        slow_path_limit: Optional[int] = 50,
+        tolerance: float = 0.0,
+    ):
+        """Run :meth:`analyze` and wrap the outcome as a full
+        :class:`repro.core.analyzer.TimingResult`.
+
+        The wrapper carries slow paths, model stats and this analyzer as
+        the back-reference, so ``forensics()`` / ``manifest()`` /
+        ``payload()`` work exactly as on a one-shot
+        :class:`~repro.core.analyzer.Hummingbird` result.  This is the
+        primitive the service daemon uses to answer mutate-and-requery
+        traffic without rebuilding the model.
+        """
+        from repro.core.analyzer import TimingResult
+        from repro.core.report import extract_slow_paths
+
+        started = time.perf_counter()
+        started_cpu = time.process_time()
+        outcome = self.analyze(warm=warm)
+        analysis_seconds = time.perf_counter() - started
+        analysis_cpu_seconds = time.process_time() - started_cpu
+        slow_paths = (
+            []
+            if outcome.intended
+            else extract_slow_paths(
+                self.model,
+                self.engine,
+                outcome.slacks.capture,
+                tolerance=tolerance,
+                limit=slow_path_limit,
+            )
+        )
+        stats = self.model.stats()
+        stats["algorithm1_iterations"] = outcome.iterations.total
+        stats["algorithm1_forward_cycles"] = outcome.iterations.forward
+        stats["algorithm1_backward_cycles"] = outcome.iterations.backward
+        return TimingResult(
+            algorithm1=outcome,
+            slow_paths=slow_paths,
+            preprocess_seconds=self.preprocess_seconds,
+            analysis_seconds=analysis_seconds,
+            stats=stats,
+            cpu_seconds=self.preprocess_cpu_seconds + analysis_cpu_seconds,
+            analyzer=self,
+        )

@@ -66,6 +66,23 @@ WELL_KNOWN_COUNTERS = (
     # Delay estimation.
     "delay.cells_estimated",
     "delay.arcs_estimated",
+    # Serving layer (repro.service; docs/service.md).
+    "service.cache.hits",
+    "service.cache.misses",
+    "service.cache.stores",
+    "service.cache.evictions",
+    "service.cache.corrupt",
+    "service.batch.jobs",
+    "service.batch.retries",
+    "service.batch.timeouts",
+    "service.batch.worker_crashes",
+    "service.batch.serial_fallbacks",
+    "service.batch.failures",
+    "service.daemon.requests",
+    "service.daemon.errors",
+    "service.daemon.designs_loaded",
+    "service.daemon.mutations",
+    "service.daemon.incremental_hits",
 )
 
 

@@ -34,6 +34,7 @@ from repro.report.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
     manifest_digest,
+    timing_digest,
     write_manifest,
 )
 from repro.report.provenance import (
@@ -60,6 +61,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "build_manifest",
     "manifest_digest",
+    "timing_digest",
     "write_manifest",
     "RunDiff",
     "diff_manifests",

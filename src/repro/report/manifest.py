@@ -33,6 +33,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "build_manifest",
     "manifest_digest",
+    "timing_digest",
     "write_manifest",
 ]
 
@@ -172,6 +173,25 @@ def manifest_digest(manifest: Dict[str, object]) -> str:
         key: value
         for key, value in manifest.items()
         if key not in ("created_at", "cost", "obs")
+    }
+    return hashlib.sha256(_canonical(stable).encode()).hexdigest()
+
+
+def timing_digest(manifest: Dict[str, object]) -> str:
+    """Digest of the timing *outcome* only.
+
+    Unlike :func:`manifest_digest` this also excludes the iteration
+    counts: a warm-started incremental re-analysis may reach the same
+    fixed point in fewer Algorithm 1 cycles than a cold run, and two
+    runs that agree on design, configuration, clocks and every endpoint
+    slack are the *same answer* regardless of how many transfer sweeps
+    it took.  The service daemon reports this digest so clients can
+    check that incremental answers match one-shot CLI runs.
+    """
+    stable = {
+        key: manifest.get(key)
+        for key in ("schema", "design", "input_digest", "clock_schedule",
+                    "config", "timing")
     }
     return hashlib.sha256(_canonical(stable).encode()).hexdigest()
 

@@ -1,0 +1,60 @@
+"""``repro.service`` -- the serving layer around the analyzer.
+
+The paper's program was a one-shot batch tool (read the design, run
+Algorithm 1, print the report).  This package turns it into a serving
+engine for repeated and concurrent timing queries:
+
+* :mod:`repro.service.digest` -- canonical content digests of the three
+  analysis inputs (network, clock schedule, configuration) that form
+  the content-addressed cache key,
+* :mod:`repro.service.cache` -- :class:`ResultCache`, an on-disk LRU
+  store of ``repro.result/1`` payloads + ``repro.manifest/1`` records
+  with integrity-checked loads (corrupt entries are evicted, never
+  crash),
+* :mod:`repro.service.batch` / :mod:`repro.service.workers` --
+  :class:`BatchEngine`, a clock-domain-aware scheduler that fans
+  cache-miss jobs out over a ``ProcessPoolExecutor`` with per-job
+  timeout, bounded retry and graceful degradation to in-process serial
+  execution,
+* :mod:`repro.service.daemon` -- :class:`TimingDaemon` /
+  :class:`DaemonClient`, a long-lived engine behind a JSON-lines Unix
+  socket that keeps parsed networks warm and answers
+  analyze / what-if / report queries through the incremental engine.
+
+See ``docs/service.md`` for the cache key scheme, batch semantics and
+the daemon protocol.
+"""
+
+from repro.service.batch import (
+    BatchEngine,
+    BatchJob,
+    BatchReport,
+    JobOutcome,
+    load_jobs,
+)
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.daemon import DaemonClient, TimingDaemon
+from repro.service.digest import (
+    analysis_config,
+    cache_key,
+    config_digest,
+    network_digest,
+    schedule_digest,
+)
+
+__all__ = [
+    "BatchEngine",
+    "BatchJob",
+    "BatchReport",
+    "CacheStats",
+    "DaemonClient",
+    "JobOutcome",
+    "ResultCache",
+    "TimingDaemon",
+    "analysis_config",
+    "cache_key",
+    "config_digest",
+    "load_jobs",
+    "network_digest",
+    "schedule_digest",
+]

@@ -1,0 +1,675 @@
+"""Batch scheduler: many designs through the analyzer, in parallel.
+
+The engine runs a *job set* -- (netlist, clocks, config) triples --
+through four phases:
+
+1. **Plan** -- every design is parsed once in the parent, its content
+   digests computed (:mod:`repro.service.digest`) and a cheap
+   structural fingerprint extracted: the clock-domain set
+   (:func:`repro.core.domains.clock_domains`) and the cluster profile
+   (:func:`repro.core.clusters.extract_clusters`).  Jobs are grouped by
+   clock-domain *partition* and ordered largest-cluster-first inside
+   each partition (LPT), so heavy jobs start early and jobs that share
+   clocking structure land on the same worker wave.
+2. **Cache probe** -- each job's content address is looked up in the
+   :class:`repro.service.cache.ResultCache`; hits are answered without
+   touching a worker (zero Algorithm 1 iterations).
+3. **Fan-out** -- misses are submitted to a ``ProcessPoolExecutor``
+   (:func:`repro.service.workers.run_job`) with a per-job timeout and a
+   bounded retry budget.  A dead worker (``BrokenProcessPool``) poisons
+   the whole pool, so the engine collects what finished, rebuilds the
+   pool and resubmits the survivors.  Jobs that exhaust their retries
+   degrade gracefully to in-process serial execution -- the batch always
+   completes.
+4. **Store** -- computed results (payload + manifest) are written back
+   to the cache and, optionally, to a manifest directory.
+
+Everything is observable: ``service.batch.*`` counters, a
+``service.batch.queue_depth`` gauge and a ``service.batch.job_seconds``
+histogram (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
+from repro.service.cache import ResultCache
+from repro.service.digest import (
+    analysis_config,
+    cache_key,
+    config_digest,
+    network_digest,
+    schedule_digest,
+)
+from repro.service.workers import job_spec, run_job
+
+try:  # BrokenProcessPool moved in 3.7; guard for exotic builds.
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = RuntimeError  # type: ignore[misc,assignment]
+
+__all__ = [
+    "BATCH_SCHEMA",
+    "BatchEngine",
+    "BatchJob",
+    "BatchReport",
+    "JobOutcome",
+    "load_jobs",
+]
+
+#: Schema identifier of a batch job-set file.
+BATCH_SCHEMA = "repro.batch/1"
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of batch work: a design under a clock schedule."""
+
+    name: str
+    netlist: str
+    clocks: str
+    default_clock: Optional[str] = None
+    slow_path_limit: Optional[int] = 50
+    tolerance: float = 0.0
+    #: Fault-injection hooks, forwarded verbatim to the worker spec
+    #: (tests/CI only; see :mod:`repro.service.workers`).
+    inject: Tuple[Tuple[str, object], ...] = ()
+
+    def spec(self) -> Dict[str, object]:
+        return job_spec(
+            self.name,
+            self.netlist,
+            self.clocks,
+            default_clock=self.default_clock,
+            slow_path_limit=self.slow_path_limit,
+            tolerance=self.tolerance,
+            **dict(self.inject),
+        )
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job."""
+
+    job: BatchJob
+    #: ``"cached"`` | ``"computed"`` | ``"failed"``
+    status: str
+    key: Optional[str] = None
+    partition: Optional[Tuple[str, ...]] = None
+    payload: Optional[Dict[str, object]] = None
+    manifest: Optional[Dict[str, object]] = None
+    attempts: int = 0
+    seconds: float = 0.0
+    worker_pid: Optional[int] = None
+    #: True when the job ran in-process after worker retries ran out.
+    serial_fallback: bool = False
+    error: Optional[str] = None
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("cached", "computed")
+
+    @property
+    def intended(self) -> Optional[bool]:
+        if self.payload is None:
+            return None
+        return bool(self.payload.get("intended"))
+
+
+@dataclass
+class BatchReport:
+    """Aggregate of one :meth:`BatchEngine.run`."""
+
+    outcomes: List[JobOutcome]
+    wall_seconds: float
+    cache_stats: Dict[str, int]
+
+    @property
+    def jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "computed")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for o in self.outcomes if o.intended is False)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.jobs if self.jobs else 0.0
+
+    @property
+    def total_iterations(self) -> int:
+        """Algorithm 1 iterations actually *run* by this batch (cache
+        hits contribute zero -- the whole point of the cache)."""
+        return int(
+            sum(
+                o.counters.get("alg1.iterations_total", 0)
+                for o in self.outcomes
+                if o.status == "computed"
+            )
+        )
+
+    def exit_code(self) -> int:
+        """CLI convention: 0 clean, 1 timing violations, 2 failures."""
+        if self.failed:
+            return 2
+        if self.violations:
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """The ``repro.batchstats/1`` document (CI artifact)."""
+        return {
+            "schema": "repro.batchstats/1",
+            "jobs": self.jobs,
+            "cached": self.cached,
+            "computed": self.computed,
+            "failed": self.failed,
+            "violations": self.violations,
+            "hit_rate": round(self.hit_rate, 4),
+            "wall_s": round(self.wall_seconds, 6),
+            "alg1_iterations_total": self.total_iterations,
+            "cache": self.cache_stats,
+            "outcomes": [
+                {
+                    "name": o.job.name,
+                    "status": o.status,
+                    "key": o.key,
+                    "partition": list(o.partition or ()),
+                    "attempts": o.attempts,
+                    "seconds": round(o.seconds, 6),
+                    "serial_fallback": o.serial_fallback,
+                    "intended": o.intended,
+                    "worst_slack": (o.payload or {}).get("worst_slack"),
+                    "manifest_digest": _maybe_manifest_digest(o.manifest),
+                    "error": o.error,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        for o in self.outcomes:
+            verdict = (
+                "intended"
+                if o.intended
+                else ("VIOLATED" if o.intended is False else "-")
+            )
+            note = " [serial-fallback]" if o.serial_fallback else ""
+            err = f" ({o.error})" if o.error else ""
+            lines.append(
+                f"{o.job.name:<24} {o.status:<9} {o.seconds:>8.3f}s "
+                f"attempts={o.attempts} {verdict}{note}{err}"
+            )
+        lines.append(
+            f"batch: {self.jobs} job(s), {self.cached} cached, "
+            f"{self.computed} computed, {self.failed} failed | "
+            f"hit rate {self.hit_rate:.0%} | "
+            f"alg1 iterations {self.total_iterations} | "
+            f"wall {self.wall_seconds:.3f}s"
+        )
+        return "\n".join(lines)
+
+
+def _maybe_manifest_digest(manifest):
+    if not manifest:
+        return None
+    from repro.report.manifest import manifest_digest
+
+    return manifest_digest(manifest)
+
+
+def load_jobs(path: Union[str, Path]) -> List[BatchJob]:
+    """Parse a ``repro.batch/1`` job-set file.
+
+    Relative netlist/clock paths are resolved against the job file's
+    directory, so a job set is a self-contained artifact.
+    """
+    path = Path(path)
+    data = json.loads(path.read_text())
+    if data.get("schema") != BATCH_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BATCH_SCHEMA} job set "
+            f"(schema={data.get('schema')!r})"
+        )
+    base = path.parent
+    jobs = []
+    seen = set()
+    for index, entry in enumerate(data.get("jobs", ())):
+        name = str(entry.get("name") or f"job_{index}")
+        if name in seen:
+            raise ValueError(f"{path}: duplicate job name {name!r}")
+        seen.add(name)
+        for field_name in ("netlist", "clocks"):
+            if field_name not in entry:
+                raise ValueError(
+                    f"{path}: job {name!r} missing {field_name!r}"
+                )
+        jobs.append(
+            BatchJob(
+                name=name,
+                netlist=str(base / entry["netlist"]),
+                clocks=str(base / entry["clocks"]),
+                default_clock=entry.get("default_clock"),
+                slow_path_limit=entry.get("slow_path_limit", 50),
+                tolerance=float(entry.get("tolerance", 0.0)),
+            )
+        )
+    if not jobs:
+        raise ValueError(f"{path}: empty job set")
+    return jobs
+
+
+@dataclass
+class _Plan:
+    """Parent-side planning facts for one job."""
+
+    job: BatchJob
+    key: str
+    partition: Tuple[str, ...]
+    #: Combinational cell count -- the LPT weight.
+    weight: int
+    #: Planning-time failure (unreadable file, unknown format); the job
+    #: is reported as failed without ever reaching a worker.
+    error: Optional[str] = None
+    #: Parsed network, held only until the job is weighed or answered
+    #: from the cache (dropped immediately after -- see
+    #: :meth:`BatchEngine.run`).
+    network: Optional[object] = field(default=None, repr=False)
+
+    def weigh(self) -> None:
+        """Compute the LPT weight from the held network, then drop it.
+
+        Weighing parses the cluster structure, which costs as much as
+        the digest itself -- so it is deferred until we know the job
+        actually misses the cache.
+        """
+        from repro.core.clusters import extract_clusters
+
+        if self.network is not None:
+            clusters = extract_clusters(self.network)
+            self.weight = sum(len(c.cells) for c in clusters)
+            self.network = None
+
+
+class BatchEngine:
+    """Schedule a job set over cache + worker pool.
+
+    Parameters
+    ----------
+    cache:
+        Result cache; ``None`` disables caching (every job computes).
+    max_workers:
+        Process-pool width (default: ``os.cpu_count()`` capped at 8).
+    job_timeout:
+        Per-job seconds before the job is considered hung and retried;
+        ``None`` waits forever.
+    retries:
+        How many times a crashed/timed-out/failed job is re-dispatched
+        to a worker before degrading to in-process serial execution.
+    serial:
+        Force in-process execution (no worker pool at all).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        max_workers: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        retries: int = 1,
+        serial: bool = False,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.cache = cache
+        self.max_workers = max_workers
+        self.job_timeout = job_timeout
+        self.retries = retries
+        self.serial = serial
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(
+        self, jobs: Sequence[BatchJob], weigh: bool = True
+    ) -> List[_Plan]:
+        """Digest + fingerprint every job, then order the queue.
+
+        Jobs are grouped by clock-domain partition and sorted
+        largest-first within a partition (longest-processing-time
+        heuristic), so stragglers start early.  With ``weigh=False``
+        the cluster weight is left for :meth:`_Plan.weigh` -- the
+        warm-run fast path, where cache hits never need it.
+        """
+        from repro.core.domains import clock_domains
+
+        plans: List[_Plan] = []
+        with obs.span("service.batch.plan", category="service"):
+            for job in jobs:
+                try:
+                    network, schedule = _load_design(job)
+                except (OSError, ValueError, KeyError) as exc:
+                    obs.counter("service.batch.failures")
+                    obs.event(
+                        "service.batch.plan_error",
+                        job=job.name,
+                        error=str(exc),
+                    )
+                    plans.append(_Plan(job, "", (), 0, error=str(exc)))
+                    continue
+                config = analysis_config(
+                    slow_path_limit=job.slow_path_limit,
+                    tolerance=job.tolerance,
+                )
+                key = cache_key(
+                    network_digest(network),
+                    schedule_digest(schedule),
+                    config_digest(config),
+                )
+                partition = clock_domains(network)
+                plan = _Plan(job, key, partition, 0, network=network)
+                if weigh:
+                    plan.weigh()
+                plans.append(plan)
+        plans.sort(key=lambda p: (p.partition, -p.weight, p.job.name))
+        return plans
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[BatchJob]) -> BatchReport:
+        """Run the whole job set; always returns a complete report."""
+        started = time.perf_counter()
+        with obs.span("service.batch.run", category="service"):
+            plans = self.plan(jobs, weigh=False)
+            outcomes: Dict[str, JobOutcome] = {}
+            misses: List[_Plan] = []
+            for plan in plans:
+                obs.counter("service.batch.jobs")
+                if plan.error is not None:
+                    outcomes[plan.job.name] = JobOutcome(
+                        job=plan.job,
+                        status="failed",
+                        key=None,
+                        partition=plan.partition,
+                        error=plan.error,
+                    )
+                    continue
+                hit = (
+                    self.cache.get(plan.key)
+                    if self.cache is not None
+                    else None
+                )
+                if hit is not None:
+                    plan.network = None  # hits never need the weight
+                    outcomes[plan.job.name] = JobOutcome(
+                        job=plan.job,
+                        status="cached",
+                        key=plan.key,
+                        partition=plan.partition,
+                        payload=hit.get("payload"),  # type: ignore[arg-type]
+                        manifest=hit.get("manifest"),  # type: ignore[arg-type]
+                    )
+                else:
+                    misses.append(plan)
+            if misses:
+                # Weigh only the jobs that actually run, then re-apply
+                # the LPT order within each partition.
+                for plan in misses:
+                    plan.weigh()
+                misses.sort(
+                    key=lambda p: (p.partition, -p.weight, p.job.name)
+                )
+                self._execute(misses, outcomes)
+        report = BatchReport(
+            outcomes=[outcomes[plan.job.name] for plan in plans],
+            wall_seconds=time.perf_counter() - started,
+            cache_stats=(
+                self.cache.stats.to_dict()
+                if self.cache is not None
+                else {}
+            ),
+        )
+        rec = obs.active()
+        if rec is not None:
+            rec.gauge("service.batch.hit_rate", report.hit_rate)
+        return report
+
+    def _execute(
+        self,
+        misses: List[_Plan],
+        outcomes: Dict[str, JobOutcome],
+    ) -> None:
+        attempts = {plan.job.name: 0 for plan in misses}
+        pending = list(misses)
+        while pending:
+            obs.gauge("service.batch.queue_depth", len(pending))
+            if self.serial:
+                for plan in pending:
+                    self._run_serial(
+                        plan, attempts, outcomes, fallback=False
+                    )
+                break
+            retry: List[_Plan] = []
+            fallback: List[_Plan] = []
+            pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            broken = False
+            try:
+                futures = {}
+                for plan in pending:
+                    attempts[plan.job.name] += 1
+                    futures[pool.submit(run_job, plan.job.spec())] = (
+                        plan,
+                        time.perf_counter(),
+                    )
+                for future, (plan, submitted) in futures.items():
+                    name = plan.job.name
+                    try:
+                        document = future.result(
+                            timeout=self.job_timeout
+                        )
+                    except concurrent.futures.TimeoutError:
+                        obs.counter("service.batch.timeouts")
+                        broken = True  # hung worker: rebuild the pool
+                        self._reschedule(
+                            plan, attempts, retry, fallback, "timeout"
+                        )
+                        continue
+                    except BrokenProcessPool:
+                        obs.counter("service.batch.worker_crashes")
+                        broken = True
+                        self._reschedule(
+                            plan, attempts, retry, fallback,
+                            "worker crashed",
+                        )
+                        continue
+                    except Exception as exc:  # pragma: no cover
+                        self._reschedule(
+                            plan, attempts, retry, fallback, str(exc)
+                        )
+                        continue
+                    seconds = time.perf_counter() - submitted
+                    if document.get("ok"):
+                        self._record_success(
+                            plan,
+                            document,
+                            attempts[name],
+                            seconds,
+                            outcomes,
+                        )
+                    else:
+                        self._reschedule(
+                            plan,
+                            attempts,
+                            retry,
+                            fallback,
+                            document.get("error", "worker error"),
+                        )
+            finally:
+                if broken:
+                    # Don't wait on a broken/hung pool; reclaim slots.
+                    procs = list(
+                        (getattr(pool, "_processes", None) or {}).values()
+                    )
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for proc in procs:
+                        try:
+                            proc.terminate()
+                        except (OSError, ValueError):  # pragma: no cover
+                            pass
+                else:
+                    pool.shutdown(wait=True)
+            for plan in fallback:
+                self._run_serial(plan, attempts, outcomes)
+            if retry:
+                obs.counter("service.batch.retries", len(retry))
+            pending = retry
+        obs.gauge("service.batch.queue_depth", 0)
+
+    def _reschedule(
+        self,
+        plan: _Plan,
+        attempts: Dict[str, int],
+        retry: List[_Plan],
+        fallback: List[_Plan],
+        reason: str,
+    ) -> None:
+        obs.event(
+            "service.batch.job_retry",
+            job=plan.job.name,
+            attempt=attempts[plan.job.name],
+            reason=reason,
+        )
+        if attempts[plan.job.name] <= self.retries:
+            retry.append(plan)
+        else:
+            fallback.append(plan)
+
+    def _run_serial(
+        self,
+        plan: _Plan,
+        attempts: Dict[str, int],
+        outcomes: Dict[str, JobOutcome],
+        fallback: bool = True,
+    ) -> None:
+        """Run the job in this process.
+
+        ``fallback=True`` is the graceful-degradation path (worker
+        retries exhausted); ``fallback=False`` is the engine's forced
+        ``serial=True`` mode, which is not a degradation and is not
+        counted as one.
+        """
+        if fallback:
+            obs.counter("service.batch.serial_fallbacks")
+        attempts[plan.job.name] += 1
+        started = time.perf_counter()
+        document = run_job(plan.job.spec())
+        seconds = time.perf_counter() - started
+        if document.get("ok"):
+            self._record_success(
+                plan,
+                document,
+                attempts[plan.job.name],
+                seconds,
+                outcomes,
+                serial=fallback,
+            )
+        else:
+            obs.counter("service.batch.failures")
+            outcomes[plan.job.name] = JobOutcome(
+                job=plan.job,
+                status="failed",
+                key=plan.key,
+                partition=plan.partition,
+                attempts=attempts[plan.job.name],
+                seconds=seconds,
+                serial_fallback=fallback,
+                error=document.get("error"),  # type: ignore[arg-type]
+            )
+
+    def _record_success(
+        self,
+        plan: _Plan,
+        document: Dict[str, object],
+        attempts: int,
+        seconds: float,
+        outcomes: Dict[str, JobOutcome],
+        serial: bool = False,
+    ) -> None:
+        obs.histogram("service.batch.job_seconds", seconds)
+        payload = document.get("payload")
+        manifest = document.get("manifest")
+        counters = document.get("counters") or {}
+        outcomes[plan.job.name] = JobOutcome(
+            job=plan.job,
+            status="computed",
+            key=plan.key,
+            partition=plan.partition,
+            payload=payload,  # type: ignore[arg-type]
+            manifest=manifest,  # type: ignore[arg-type]
+            attempts=attempts,
+            seconds=seconds,
+            worker_pid=document.get("worker_pid"),  # type: ignore[arg-type]
+            serial_fallback=serial,
+            counters=dict(counters),  # type: ignore[arg-type]
+        )
+        if self.cache is not None and isinstance(payload, dict):
+            # Sanity: the worker's own digests must agree with the
+            # parent's plan (same code, same inputs); if they don't,
+            # something raced the input files -- skip the store.
+            worker_key = (document.get("digests") or {}).get("key")
+            if worker_key in (None, plan.key):
+                self.cache.put(
+                    plan.key,
+                    payload,
+                    manifest if isinstance(manifest, dict) else None,
+                )
+            else:
+                obs.counter("service.cache.key_races")
+
+
+def _load_design(job: BatchJob):
+    """Parse one job's design + schedule in the parent (plan phase)."""
+    from pathlib import Path as _Path
+
+    from repro.cells import standard_library
+    from repro.clocks.serialize import load_schedule
+    from repro.netlist.blif import load_blif
+    from repro.netlist.persistence import load_network
+    from repro.netlist.verilog import load_verilog
+
+    suffix = _Path(job.netlist).suffix.lower()
+    library = standard_library()
+    if suffix == ".blif":
+        network = load_blif(job.netlist, library, job.default_clock)
+    elif suffix == ".v":
+        network = load_verilog(job.netlist, library, job.default_clock)
+    elif suffix == ".json":
+        network = load_network(job.netlist, library)
+    else:
+        raise ValueError(
+            f"unknown netlist format {suffix!r} (use .json, .blif or .v)"
+        )
+    return network, load_schedule(job.clocks)

@@ -1,0 +1,519 @@
+"""The timing daemon: a long-lived engine behind a Unix socket.
+
+``repro-sta serve --socket /tmp/repro.sock`` starts a
+:class:`TimingDaemon`; clients (``repro-sta query``, the
+:class:`DaemonClient` helper, or ten lines of any language) speak a
+**JSON-lines protocol**: one request object per line in, one response
+object per line out, over a ``SOCK_STREAM`` Unix-domain socket.  A
+connection may issue any number of requests.
+
+The daemon keeps one :class:`repro.core.incremental.IncrementalAnalyzer`
+warm per loaded design, so the expensive work -- parsing the netlist,
+estimating delays, extracting clusters and break-open plans -- happens
+once.  ``analyze`` answers from the warm engine (cold only on first
+load), ``mutate`` applies delay/clock edits through the incremental
+engine (cheap delay swap when outside control cones, tracked rebuild
+otherwise) and the next ``analyze`` warm-starts Algorithm 1 from the
+previous fixed point.  An optional :class:`repro.service.cache.
+ResultCache` short-circuits repeated cold loads across daemon restarts.
+
+Requests (see ``docs/service.md`` for the full protocol)::
+
+    {"op": "ping"}
+    {"op": "analyze", "netlist": "p.json", "clocks": "c.json"}
+    {"op": "mutate",  "netlist": "p.json", "clocks": "c.json",
+     "action": "scale_cell", "cell": "s0_i1", "factor": 1.5}
+    {"op": "report",  "netlist": "p.json", "clocks": "c.json",
+     "endpoint": "s1_l"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Responses always carry ``"ok"``; errors come back as
+``{"ok": false, "error": ..., "error_type": ...}`` -- a malformed
+request never takes the daemon down.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import socket
+import socketserver
+import threading
+import time
+from typing import Dict, Optional, Tuple, Union
+
+from repro import obs
+from repro.service.cache import ResultCache
+from repro.service.digest import (
+    analysis_config,
+    cache_key,
+    config_digest,
+    network_digest,
+    schedule_digest,
+)
+
+__all__ = ["DaemonClient", "TimingDaemon", "PROTOCOL_VERSION"]
+
+#: Bumped when the request/response shapes change incompatibly.
+PROTOCOL_VERSION = 1
+
+
+def _json_num(value) -> object:
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+class _DesignState:
+    """One warm design: parsed network + incremental engine."""
+
+    def __init__(self, netlist: str, clocks: str, default_clock=None):
+        from repro.cells import standard_library
+        from repro.clocks.serialize import load_schedule
+        from repro.core.incremental import IncrementalAnalyzer
+        from repro.netlist.blif import load_blif
+        from repro.netlist.persistence import load_network
+        from repro.netlist.verilog import load_verilog
+        from pathlib import Path
+
+        self.netlist = netlist
+        self.clocks = clocks
+        suffix = Path(netlist).suffix.lower()
+        library = standard_library()
+        if suffix == ".blif":
+            self.network = load_blif(netlist, library, default_clock)
+        elif suffix == ".v":
+            self.network = load_verilog(netlist, library, default_clock)
+        elif suffix == ".json":
+            self.network = load_network(netlist, library)
+        else:
+            raise ValueError(
+                f"unknown netlist format {suffix!r} "
+                "(use .json, .blif or .v)"
+            )
+        self.schedule = load_schedule(clocks)
+        self.analyzer = IncrementalAnalyzer(self.network, self.schedule)
+        self.lock = threading.Lock()
+        self.mutations = 0
+        self.analyses = 0
+        #: Has the *current* engine answered at least once?  Reset on a
+        #: full rebuild (clock edits), kept across delay mutations.
+        self.served = False
+
+    @property
+    def warm(self) -> bool:
+        """Served by the live incremental engine (model reuse)?
+
+        This is *engine* warmth -- the design is parsed and its analysis
+        model built -- not fixed-point warmth: a delay mutation drops
+        the cached fixed point (see
+        :meth:`repro.core.incremental.IncrementalAnalyzer.scale_cell`)
+        yet the next answer still comes from the incremental engine.
+        """
+        return self.served
+
+    def content_key(self, slow_path_limit, tolerance) -> str:
+        config = analysis_config(
+            slow_path_limit=slow_path_limit, tolerance=tolerance
+        )
+        return cache_key(
+            network_digest(self.network),
+            schedule_digest(self.schedule),
+            config_digest(config),
+        )
+
+
+class TimingDaemon:
+    """Long-lived analyze/what-if/report engine on a Unix socket."""
+
+    def __init__(
+        self,
+        socket_path: Union[str, "os.PathLike[str]"],
+        cache: Optional[ResultCache] = None,
+        slow_path_limit: Optional[int] = 50,
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self.cache = cache
+        self.slow_path_limit = slow_path_limit
+        self.started_at = time.time()
+        self.requests = 0
+        self._designs: Dict[Tuple[str, str], _DesignState] = {}
+        self._designs_lock = threading.Lock()
+        self._server: Optional[socketserver.ThreadingUnixStreamServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _make_server(self) -> socketserver.ThreadingUnixStreamServer:
+        if os.path.exists(self.socket_path):
+            # A previous daemon may have crashed without unlinking.
+            os.unlink(self.socket_path)
+        daemon = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # one connection, many requests
+                while True:
+                    line = self.rfile.readline()
+                    if not line:
+                        return
+                    line = line.strip()
+                    if not line:
+                        continue
+                    response = daemon.handle_line(line)
+                    self.wfile.write(
+                        json.dumps(
+                            response, sort_keys=True,
+                            separators=(",", ":"),
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                    self.wfile.flush()
+                    if response.get("__shutdown__"):
+                        # Shut the server down from a helper thread so
+                        # this handler can finish its response first.
+                        threading.Thread(
+                            target=daemon.stop, daemon=True
+                        ).start()
+                        return
+
+        server = socketserver.ThreadingUnixStreamServer(
+            self.socket_path, Handler
+        )
+        server.daemon_threads = True
+        return server
+
+    def start(self) -> None:
+        """Serve in a background thread (returns once listening)."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        self._server = self._make_server()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop`/shutdown op."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        self._server = self._make_server()
+        try:
+            self._server.serve_forever(poll_interval=0.05)
+        finally:
+            self._cleanup()
+
+    def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TimingDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle_line(self, line: bytes) -> Dict[str, object]:
+        """Parse one request line and answer it (never raises)."""
+        started = time.perf_counter()
+        self.requests += 1
+        obs.counter("service.daemon.requests")
+        request: Dict[str, object] = {}
+        try:
+            parsed = json.loads(line.decode("utf-8"))
+            if not isinstance(parsed, dict):
+                raise ValueError("request must be a JSON object")
+            request = parsed
+            op = str(request.get("op", ""))
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None or op.startswith("_"):
+                raise ValueError(f"unknown op {op!r}")
+            response = handler(request)
+        except Exception as exc:  # noqa: BLE001 -- protocol boundary
+            obs.counter("service.daemon.errors")
+            response = {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }
+        if "id" in request:
+            response.setdefault("id", request["id"])
+        obs.histogram(
+            "service.daemon.request_seconds",
+            time.perf_counter() - started,
+        )
+        return response
+
+    # ------------------------------------------------------------------
+    # state helpers
+    # ------------------------------------------------------------------
+    def _design(self, request: Dict[str, object]) -> _DesignState:
+        netlist = request.get("netlist")
+        clocks = request.get("clocks")
+        if not netlist or not clocks:
+            raise ValueError("request needs 'netlist' and 'clocks' paths")
+        key = (str(netlist), str(clocks))
+        with self._designs_lock:
+            state = self._designs.get(key)
+            if state is None:
+                with obs.span("service.daemon.load", category="service"):
+                    state = _DesignState(
+                        key[0], key[1], request.get("default_clock")
+                    )
+                self._designs[key] = state
+                obs.counter("service.daemon.designs_loaded")
+        return state
+
+    def _analyze_state(
+        self, state: _DesignState, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        from repro.report.manifest import manifest_digest, timing_digest
+
+        limit = request.get("slow_path_limit", self.slow_path_limit)
+        tolerance = float(request.get("tolerance", 0.0) or 0.0)
+        engine = "incremental-warm" if state.warm else "cold"
+        if engine == "incremental-warm":
+            obs.counter("service.daemon.incremental_hits")
+        result = state.analyzer.timing_result(
+            warm=True, slow_path_limit=limit, tolerance=tolerance
+        )
+        state.analyses += 1
+        state.served = True
+        manifest = result.manifest(
+            netlist_path=state.netlist,
+            clocks_path=state.clocks,
+            label=request.get("label"),
+        )
+        if self.cache is not None:
+            key = state.content_key(limit, tolerance)
+            if state.mutations == 0 and key not in self.cache:
+                self.cache.put(key, result.payload(), manifest)
+        return {
+            "ok": True,
+            "engine": engine,
+            "design": state.network.name,
+            "intended": result.intended,
+            "worst_slack": _json_num(result.worst_slack),
+            "slow_paths": len(result.slow_paths),
+            "iterations": result.algorithm1.iterations.total,
+            "summary": result.summary(),
+            "payload": result.payload(),
+            "manifest": manifest,
+            "manifest_digest": manifest_digest(manifest),
+            "timing_digest": timing_digest(manifest),
+        }
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _op_ping(self, request: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "pong": True,
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+
+    def _op_analyze(self, request: Dict[str, object]) -> Dict[str, object]:
+        state = self._design(request)
+        with state.lock:
+            with obs.span("service.daemon.analyze", category="service"):
+                return self._analyze_state(state, request)
+
+    def _op_mutate(self, request: Dict[str, object]) -> Dict[str, object]:
+        state = self._design(request)
+        action = str(request.get("action", ""))
+        with state.lock:
+            with obs.span("service.daemon.mutate", category="service"):
+                if action == "scale_cell":
+                    cell = str(request.get("cell", ""))
+                    factor = float(request["factor"])
+                    state.analyzer.scale_cell(cell, factor)
+                elif action == "scale_clocks":
+                    factor = request["factor"]
+                    state.schedule = state.schedule.scaled(factor)
+                    self._rebuild(state)
+                elif action == "set_pulse_width":
+                    state.schedule = state.schedule.with_pulse_width(
+                        str(request["clock"]), request["width"]
+                    )
+                    self._rebuild(state)
+                else:
+                    raise ValueError(
+                        f"unknown mutate action {action!r} (use "
+                        "scale_cell, scale_clocks or set_pulse_width)"
+                    )
+            state.mutations += 1
+            obs.counter("service.daemon.mutations")
+            response: Dict[str, object] = {
+                "ok": True,
+                "action": action,
+                "mutations": state.mutations,
+                "rebuilds": state.analyzer.rebuilds,
+                "swaps": state.analyzer.swaps,
+            }
+            if request.get("analyze", True):
+                response["analysis"] = self._analyze_state(state, request)
+            return response
+
+    def _rebuild(self, state: _DesignState) -> None:
+        """Clock edits change the instance windows: rebuild the engine
+        (delays are clock-independent and reused)."""
+        from repro.core.incremental import IncrementalAnalyzer
+
+        delays = state.analyzer.delays
+        state.analyzer = IncrementalAnalyzer(
+            state.network, state.schedule, delays=delays
+        )
+        state.served = False
+
+    def _op_report(self, request: Dict[str, object]) -> Dict[str, object]:
+        state = self._design(request)
+        endpoint = request.get("endpoint")
+        if not endpoint:
+            raise ValueError("report needs an 'endpoint'")
+        with state.lock:
+            result = state.analyzer.timing_result(warm=True)
+            forensics = result.path_forensics()
+            explained = forensics.explain(str(endpoint))
+            return {
+                "ok": True,
+                "endpoint": str(endpoint),
+                "text": forensics.render_text(explained),
+                "report": json.loads(forensics.to_json([explained])),
+            }
+
+    def _op_stats(self, request: Dict[str, object]) -> Dict[str, object]:
+        with self._designs_lock:
+            designs = {
+                state.network.name: {
+                    "netlist": state.netlist,
+                    "clocks": state.clocks,
+                    "warm": state.warm,
+                    "analyses": state.analyses,
+                    "mutations": state.mutations,
+                    "rebuilds": state.analyzer.rebuilds,
+                    "swaps": state.analyzer.swaps,
+                }
+                for state in self._designs.values()
+            }
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "requests": self.requests,
+            "designs": designs,
+            "cache": (
+                self.cache.stats.to_dict()
+                if self.cache is not None
+                else None
+            ),
+        }
+
+    def _op_evict(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Drop a warm design (and optionally its cache entries)."""
+        netlist = str(request.get("netlist", ""))
+        clocks = str(request.get("clocks", ""))
+        with self._designs_lock:
+            dropped = self._designs.pop((netlist, clocks), None)
+        return {"ok": True, "dropped": dropped is not None}
+
+    def _op_shutdown(self, request: Dict[str, object]) -> Dict[str, object]:
+        return {"ok": True, "stopping": True, "__shutdown__": True}
+
+
+class DaemonClient:
+    """Blocking JSON-lines client for :class:`TimingDaemon`.
+
+    >>> with DaemonClient("/tmp/repro.sock") as client:   # doctest: +SKIP
+    ...     client.request({"op": "ping"})["pong"]
+    True
+    """
+
+    def __init__(
+        self,
+        socket_path: Union[str, "os.PathLike[str]"],
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Send one request object, wait for its response object."""
+        self._file.write(
+            json.dumps(
+                request, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        response.pop("__shutdown__", None)
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- convenience wrappers ------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self.request({"op": "ping"})
+
+    def analyze(self, netlist: str, clocks: str, **kw) -> Dict[str, object]:
+        return self.request(
+            {"op": "analyze", "netlist": netlist, "clocks": clocks, **kw}
+        )
+
+    def mutate(
+        self, netlist: str, clocks: str, action: str, **kw
+    ) -> Dict[str, object]:
+        return self.request(
+            {
+                "op": "mutate",
+                "netlist": netlist,
+                "clocks": clocks,
+                "action": action,
+                **kw,
+            }
+        )
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request({"op": "shutdown"})

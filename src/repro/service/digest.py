@@ -1,0 +1,125 @@
+"""Content digests of the analysis inputs.
+
+A timing result is a pure function of three inputs: the *network*, the
+*clock schedule* and the *analysis configuration* (latch model, pass
+strategy, delay-model knobs, slow-path extraction limits).  Each input
+gets its own SHA-256 over a canonical JSON serialisation -- ``sort_keys``
+plus compact separators -- so the digests are
+
+* **byte-stable across process restarts** (no ``id()``/hash-seed
+  dependence, no floating timestamps), and
+* **insensitive to dict ordering** (two configs with the same items in
+  different insertion order digest identically).
+
+:func:`cache_key` combines the three into the content address used by
+:class:`repro.service.cache.ResultCache`.  The key also folds in
+:data:`PAYLOAD_SCHEMA_VERSION` so a change to the cached payload format
+invalidates every old entry instead of mis-reading it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "PAYLOAD_SCHEMA_VERSION",
+    "analysis_config",
+    "cache_key",
+    "canonical_json",
+    "config_digest",
+    "network_digest",
+    "schedule_digest",
+]
+
+#: Version of the cached-result payload format; bumping it invalidates
+#: every existing cache entry (their keys no longer match).
+PAYLOAD_SCHEMA_VERSION = 1
+
+
+def canonical_json(data: object) -> str:
+    """Deterministic JSON: sorted keys, compact separators."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def network_digest(network) -> str:
+    """SHA-256 of the canonical serialisation of ``network``.
+
+    Uses :func:`repro.netlist.persistence.network_to_dict`, so the
+    digest is a function of the design *content* (cells, pins, nets,
+    attrs, module definitions) -- not of the bytes of whatever file it
+    was parsed from.  Reformatting a netlist JSON file or converting
+    between ``.json``/``.blif``/``.v`` representations of the same
+    design does not change the digest.
+    """
+    from repro.netlist.persistence import network_to_dict
+
+    return _sha256(canonical_json(network_to_dict(network)))
+
+
+def schedule_digest(schedule) -> str:
+    """SHA-256 of the canonical serialisation of a clock schedule.
+
+    Times serialise as exact fraction strings (see
+    :mod:`repro.clocks.serialize`), so equal schedules digest equally
+    regardless of how their Fractions were constructed.
+    """
+    from repro.clocks.serialize import schedule_to_dict
+
+    return _sha256(canonical_json(schedule_to_dict(schedule)))
+
+
+def config_digest(config: Mapping[str, object]) -> str:
+    """SHA-256 of an analysis-configuration mapping.
+
+    Canonical JSON makes the digest insensitive to key insertion order
+    and whitespace; non-string keys are rejected by ``json`` rather
+    than silently coerced differently across versions.
+    """
+    return _sha256(canonical_json(dict(config)))
+
+
+def analysis_config(
+    latch_model: str = "transparent",
+    pass_strategy: str = "minimum",
+    exhaustive_limit: int = 4,
+    slow_path_limit: Optional[int] = 50,
+    tolerance: float = 0.0,
+    delay_params: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """The canonical configuration mapping for one analysis.
+
+    Everything that changes the *result* of an analysis belongs here;
+    anything that only changes how it is reported does not.  The
+    returned dict is plain data, suitable for :func:`config_digest` and
+    for embedding in cache entries.
+    """
+    return {
+        "latch_model": latch_model,
+        "pass_strategy": pass_strategy,
+        "exhaustive_limit": exhaustive_limit,
+        "slow_path_limit": slow_path_limit,
+        "tolerance": tolerance,
+        "delay_params": dict(delay_params) if delay_params else None,
+    }
+
+
+def cache_key(
+    network_sha: str, schedule_sha: str, config_sha: str
+) -> str:
+    """The content address of one (network, clocks, config) triple."""
+    return _sha256(
+        canonical_json(
+            {
+                "network": network_sha,
+                "schedule": schedule_sha,
+                "config": config_sha,
+                "payload_schema": PAYLOAD_SCHEMA_VERSION,
+            }
+        )
+    )

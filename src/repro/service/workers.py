@@ -1,0 +1,178 @@
+"""Worker-side execution of one batch job.
+
+:func:`run_job` is the function the :class:`repro.service.batch.
+BatchEngine` submits to its ``ProcessPoolExecutor``.  It must be a
+top-level function taking/returning plain picklable data: the *job
+spec* in, the *job result document* out.  The same function also runs
+in-process for the serial fallback path, so it never assumes it owns
+the process.
+
+Job spec (plain dict)::
+
+    {
+      "name": "des_chip",
+      "netlist": "designs/des.json",        # .json/.blif/.v
+      "clocks": "designs/clocks.json",
+      "default_clock": null,                # BLIF pads without pragmas
+      "slow_path_limit": 50,
+      "tolerance": 0.0,
+      # fault-injection hooks (tests/CI only):
+      "inject_crash_file": null,   # if this file exists: unlink + _exit
+      "inject_sleep_s": null       # sleep before analysing (timeouts)
+    }
+
+Result document (``ok=True``)::
+
+    {
+      "ok": true,
+      "payload": {... repro.result/1 ...},
+      "manifest": {... repro.manifest/1 ...},
+      "digests": {"network": ..., "schedule": ..., "config": ...,
+                  "key": ...},
+      "worker_pid": 4242,
+      "counters": {"alg1.iterations_total": 12, ...}
+    }
+
+Failures inside the worker are *reported*, not raised: an ``ok=False``
+document with ``error``/``error_type`` comes back so the scheduler can
+decide between retry and giving up.  (Crashes -- the worker process
+dying -- surface as ``BrokenProcessPool`` on the parent side instead.)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+__all__ = ["run_job", "job_spec"]
+
+#: Counters copied from the worker recorder into the result document.
+REPORTED_COUNTERS = (
+    "alg1.runs",
+    "alg1.iterations_total",
+    "alg1.forward_cycles",
+    "alg1.backward_cycles",
+    "slack.evaluations",
+    "slack.nodes_visited",
+)
+
+
+def job_spec(
+    name: str,
+    netlist: str,
+    clocks: str,
+    default_clock: Optional[str] = None,
+    slow_path_limit: Optional[int] = 50,
+    tolerance: float = 0.0,
+    **extra: object,
+) -> Dict[str, object]:
+    """Build a well-formed job spec (see module docstring)."""
+    spec: Dict[str, object] = {
+        "name": name,
+        "netlist": str(netlist),
+        "clocks": str(clocks),
+        "default_clock": default_clock,
+        "slow_path_limit": slow_path_limit,
+        "tolerance": tolerance,
+    }
+    spec.update(extra)
+    return spec
+
+
+def _maybe_inject_faults(spec: Dict[str, object]) -> None:
+    crash_file = spec.get("inject_crash_file")
+    if crash_file and os.path.exists(str(crash_file)):
+        # One-shot: remove the flag so the retried job succeeds.  A
+        # hard exit (no exception, no atexit) models a worker killed by
+        # the OS -- the parent sees BrokenProcessPool.
+        try:
+            os.unlink(str(crash_file))
+        except OSError:
+            pass
+        os._exit(13)
+    sleep_s = spec.get("inject_sleep_s")
+    if sleep_s:
+        time.sleep(float(sleep_s))
+
+
+def run_job(spec: Dict[str, object]) -> Dict[str, object]:
+    """Analyse one job spec; returns the result document."""
+    from repro import obs
+    from repro.cells import standard_library
+    from repro.clocks.serialize import load_schedule
+    from repro.core.analyzer import Hummingbird
+    from repro.netlist.blif import load_blif
+    from repro.netlist.persistence import load_network
+    from repro.netlist.verilog import load_verilog
+    from repro.service.digest import (
+        analysis_config,
+        cache_key,
+        config_digest,
+        network_digest,
+        schedule_digest,
+    )
+
+    _maybe_inject_faults(spec)
+    try:
+        with obs.recording() as recorder:
+            suffix = os.path.splitext(str(spec["netlist"]))[1].lower()
+            library = standard_library()
+            default_clock = spec.get("default_clock")
+            if suffix == ".blif":
+                network = load_blif(
+                    str(spec["netlist"]), library, default_clock
+                )
+            elif suffix == ".v":
+                network = load_verilog(
+                    str(spec["netlist"]), library, default_clock
+                )
+            elif suffix == ".json":
+                network = load_network(str(spec["netlist"]), library)
+            else:
+                raise ValueError(
+                    f"unknown netlist format {suffix!r} "
+                    "(use .json, .blif or .v)"
+                )
+            schedule = load_schedule(str(spec["clocks"]))
+            slow_path_limit = spec.get("slow_path_limit", 50)
+            tolerance = float(spec.get("tolerance", 0.0) or 0.0)
+            config = analysis_config(
+                slow_path_limit=slow_path_limit, tolerance=tolerance
+            )
+            analyzer = Hummingbird(network, schedule)
+            result = analyzer.analyze(
+                slow_path_limit=slow_path_limit, tolerance=tolerance
+            )
+            manifest = result.manifest(
+                netlist_path=str(spec["netlist"]),
+                clocks_path=str(spec["clocks"]),
+                label=str(spec.get("name", network.name)),
+            )
+            digests = {
+                "network": network_digest(network),
+                "schedule": schedule_digest(schedule),
+                "config": config_digest(config),
+            }
+            digests["key"] = cache_key(
+                digests["network"], digests["schedule"], digests["config"]
+            )
+        return {
+            "ok": True,
+            "payload": result.payload(),
+            "manifest": manifest,
+            "digests": digests,
+            "worker_pid": os.getpid(),
+            "counters": {
+                name: recorder.counters[name]
+                for name in REPORTED_COUNTERS
+                if recorder.counters.get(name)
+            },
+        }
+    except Exception as exc:  # noqa: BLE001 -- reported, not raised
+        return {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "worker_pid": os.getpid(),
+        }

@@ -234,7 +234,17 @@ def variables(expr: Expr) -> FrozenSet[str]:
 # ----------------------------------------------------------------------
 def simplify(expr: Expr) -> Expr:
     """Constant folding, double-negation and duplicate elimination,
-    associative flattening.  Purely structural -- no BDDs."""
+    associative flattening.  Purely structural -- no BDDs.
+
+    Commutative operand lists come back in a canonical (sorted)
+    order, so duplicate and complement detection is insensitive to
+    how the input was written: ``(a | d) ^ (d | a)`` folds to ``0``
+    just like ``x ^ x``.  Downstream consumers (the technology
+    mapper's subexpression cache, ``synthesize_module``'s constant
+    check) rely on this confluence -- without it, re-simplifying a
+    canonicalised expression could fold further than the first pass
+    and expose constants only after the constant check already ran.
+    """
     if isinstance(expr, (Var, Const)):
         return expr
     if isinstance(expr, Not):
@@ -274,7 +284,8 @@ def simplify(expr: Expr) -> Expr:
             return identity
         if len(flattened) == 1:
             return flattened[0]
-        return And(tuple(flattened)) if is_and else Or(tuple(flattened))
+        ordered = tuple(sorted(flattened, key=str))
+        return And(ordered) if is_and else Or(ordered)
     if isinstance(expr, Xor):
         parity = False
         flattened = []
@@ -292,7 +303,9 @@ def simplify(expr: Expr) -> Expr:
         if not remaining:
             return Const(parity)
         result: Expr = (
-            remaining[0] if len(remaining) == 1 else Xor(tuple(remaining))
+            remaining[0]
+            if len(remaining) == 1
+            else Xor(tuple(sorted(remaining, key=str)))
         )
         if not parity:
             return result

@@ -2,13 +2,15 @@
 
 import pytest
 
+from repro.core.analyzer import Hummingbird
 from repro.core.incremental import IncrementalAnalyzer
 from repro.core.model import AnalysisModel
 from repro.core.slack import SlackEngine
 from repro.core.algorithm1 import run_algorithm1
 from repro.delay import estimate_delays
-from repro.generators import latch_pipeline
+from repro.generators import ff_pipeline, latch_pipeline
 from repro.generators.gating import clock_gated_design
+from repro.generators.random_logic import random_design
 
 from tests.conftest import build_ff_stage
 
@@ -91,3 +93,95 @@ class TestWarmStart:
         inc = IncrementalAnalyzer(network, schedule)
         inc.set_delays(estimate_delays(network))
         assert inc.rebuilds == 1
+
+
+def _generator_circuits():
+    """Distinct circuit families for the mutate-matches-scratch sweep."""
+    return [
+        ("ff_pipeline", ff_pipeline(stages=3, chain_length=4, period=20.0)),
+        (
+            "latch_pipeline",
+            latch_pipeline(
+                stages=4, stage_lengths=[10, 1, 1, 1], period=12.0
+            ),
+        ),
+        (
+            "random_latch",
+            random_design(seed=7, n_banks=3, gates_per_bank=20, bits=4),
+        ),
+        (
+            "random_ff",
+            random_design(
+                seed=11, n_banks=2, gates_per_bank=15, bits=4, style="ff"
+            ),
+        ),
+    ]
+
+
+class TestMutateMatchesFromScratch:
+    """Deterministic re-analysis: after an edge-delay mutation the
+    incremental answer must be *identical* to a from-scratch run with
+    the same delays -- on every circuit family, latch or flip-flop.
+
+    This is the contract the service daemon relies on: a mutation
+    drops the cached fixed point (latch networks can admit several
+    self-consistent fixed points, and iterating from stale offsets may
+    land on a non-canonical one) while still reusing the preprocessed
+    model.
+    """
+
+    @pytest.mark.parametrize(
+        "name,design",
+        _generator_circuits(),
+        ids=[name for name, __ in _generator_circuits()],
+    )
+    def test_endpoint_slacks_match(self, name, design):
+        network, schedule = design
+        inc = IncrementalAnalyzer(network, schedule)
+        inc.analyze()
+        # Mutate a handful of combinational cells, both up and down.
+        targets = [c.name for c in network.combinational_cells][:3]
+        assert targets, f"{name}: no combinational cells to mutate"
+        for factor, cell in zip((1.5, 0.5, 2.0), targets):
+            inc.scale_cell(cell, factor)
+        warm = inc.timing_result(warm=True)
+
+        scratch = Hummingbird(
+            network, schedule, delays=inc.delays
+        ).analyze()
+
+        assert warm.intended == scratch.intended
+        assert (
+            warm.payload()["endpoint_slacks"]
+            == scratch.payload()["endpoint_slacks"]
+        )
+        assert warm.payload()["worst_slack"] == (
+            scratch.payload()["worst_slack"]
+        )
+
+    def test_mutation_invalidates_fixed_point(self, lib):
+        """A delay swap must force the next run to re-seed windows."""
+        network, schedule = latch_pipeline(
+            stages=4, stage_lengths=[10, 1, 1, 1], period=12.0,
+            library=lib,
+        )
+        inc = IncrementalAnalyzer(network, schedule)
+        inc.analyze()
+        assert inc._warm is True  # noqa: SLF001 -- deliberate
+        inc.scale_cell("s1_i0", 1.5)
+        assert inc.swaps == 1 and inc.rebuilds == 0
+        assert inc._warm is False  # noqa: SLF001 -- deliberate
+        inc.analyze(warm=True)
+        assert inc._warm is True  # noqa: SLF001 -- deliberate
+
+    def test_repeat_query_is_stable(self, lib):
+        """Unchanged delays: warm repeat answers are byte-identical."""
+        network, schedule = latch_pipeline(
+            stages=3, stage_lengths=[8, 2, 8], period=24.0, library=lib
+        )
+        inc = IncrementalAnalyzer(network, schedule)
+        first = inc.timing_result(warm=True)
+        second = inc.timing_result(warm=True)
+        assert first.payload()["endpoint_slacks"] == (
+            second.payload()["endpoint_slacks"]
+        )

@@ -1,0 +1,237 @@
+"""BatchEngine: planning, caching, crash recovery, degradation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.service import (
+    BatchEngine,
+    BatchJob,
+    ResultCache,
+    load_jobs,
+)
+
+
+@pytest.fixture
+def job(design_files):
+    netlist, clocks = design_files
+    return BatchJob("pipeline", netlist, clocks)
+
+
+class TestJobSetFile:
+    def test_load_resolves_relative_paths(self, tmp_path, design_files):
+        netlist, clocks = design_files
+        jobs_file = tmp_path / "jobs.json"
+        jobs_file.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.batch/1",
+                    "jobs": [
+                        {"name": "a", "netlist": "pipeline.json",
+                         "clocks": "clocks.json"},
+                        {"netlist": "pipeline.json",
+                         "clocks": "clocks.json",
+                         "slow_path_limit": 5},
+                    ],
+                }
+            )
+        )
+        jobs = load_jobs(jobs_file)
+        assert [j.name for j in jobs] == ["a", "job_1"]
+        assert jobs[0].netlist == netlist
+        assert jobs[1].slow_path_limit == 5
+
+    def test_rejects_bad_schema(self, tmp_path):
+        bad = tmp_path / "jobs.json"
+        bad.write_text(json.dumps({"schema": "nope", "jobs": []}))
+        with pytest.raises(ValueError, match="repro.batch/1"):
+            load_jobs(bad)
+
+    def test_rejects_duplicates_and_missing_fields(self, tmp_path):
+        dup = tmp_path / "dup.json"
+        dup.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.batch/1",
+                    "jobs": [
+                        {"name": "a", "netlist": "x", "clocks": "y"},
+                        {"name": "a", "netlist": "x", "clocks": "y"},
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            load_jobs(dup)
+        missing = tmp_path / "missing.json"
+        missing.write_text(
+            json.dumps(
+                {"schema": "repro.batch/1", "jobs": [{"name": "a"}]}
+            )
+        )
+        with pytest.raises(ValueError, match="missing"):
+            load_jobs(missing)
+
+    def test_rejects_empty(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"schema": "repro.batch/1", "jobs": []}))
+        with pytest.raises(ValueError, match="empty"):
+            load_jobs(empty)
+
+
+class TestPlanning:
+    def test_plan_carries_partition_and_key(self, job):
+        engine = BatchEngine(serial=True)
+        plans = engine.plan([job])
+        assert len(plans) == 1
+        assert plans[0].partition == ("phi1", "phi2")
+        assert len(plans[0].key) == 64
+        assert plans[0].weight > 0
+
+    def test_equal_content_means_equal_key(self, design_files):
+        netlist, clocks = design_files
+        engine = BatchEngine(serial=True)
+        a = engine.plan([BatchJob("a", netlist, clocks)])[0]
+        b = engine.plan([BatchJob("b", netlist, clocks)])[0]
+        assert a.key == b.key
+        c = engine.plan(
+            [BatchJob("c", netlist, clocks, slow_path_limit=3)]
+        )[0]
+        assert c.key != a.key, "config is part of the content address"
+
+
+class TestColdWarm:
+    def test_warm_rerun_is_all_hits_and_zero_iterations(
+        self, tmp_path, design_files
+    ):
+        netlist, clocks = design_files
+        cache = ResultCache(tmp_path / "cache")
+        engine = BatchEngine(cache=cache, serial=True)
+        jobs = [
+            BatchJob("a", netlist, clocks),
+            BatchJob("b", netlist, clocks, slow_path_limit=9),
+            BatchJob("c", netlist, clocks, tolerance=0.01),
+        ]
+        cold = engine.run(jobs)
+        assert cold.computed == 3 and cold.cached == 0
+        assert cold.total_iterations > 0
+        warm = engine.run(jobs)
+        assert warm.cached == 3 and warm.computed == 0
+        assert warm.hit_rate == 1.0
+        # The acceptance criterion: a warm batch runs zero Algorithm 1
+        # iterations -- everything is served from the content cache.
+        assert warm.total_iterations == 0
+        # Hits return the same payload the cold run computed.
+        for before, after in zip(cold.outcomes, warm.outcomes):
+            assert after.payload["endpoint_slacks"] == (
+                before.payload["endpoint_slacks"]
+            )
+            assert after.manifest["timing"] == before.manifest["timing"]
+
+    def test_mutated_input_misses(self, tmp_path, design_files):
+        netlist, clocks = design_files
+        cache = ResultCache(tmp_path / "cache")
+        engine = BatchEngine(cache=cache, serial=True)
+        engine.run([BatchJob("a", netlist, clocks)])
+        # Change the clock schedule on disk: content address changes.
+        data = json.loads(open(clocks).read())
+        for clock in data["clocks"]:
+            clock["period"] = "999"
+        with open(clocks, "w") as handle:
+            json.dump(data, handle)
+        again = engine.run([BatchJob("a", netlist, clocks)])
+        assert again.computed == 1 and again.cached == 0
+
+    def test_exit_codes(self, tmp_path, design_files):
+        netlist, clocks = design_files
+        engine = BatchEngine(serial=True)
+        ok = engine.run([BatchJob("a", netlist, clocks)])
+        assert ok.exit_code() == 0
+        missing = engine.run(
+            [BatchJob("gone", str(tmp_path / "missing.json"), clocks)]
+        )
+        assert missing.failed == 1
+        assert missing.exit_code() == 2
+        assert missing.outcomes[0].error
+
+
+class TestFaultTolerance:
+    def test_worker_crash_is_retried_to_completion(
+        self, tmp_path, design_files
+    ):
+        netlist, clocks = design_files
+        flag = tmp_path / "crash.flag"
+        flag.write_text("boom")
+        jobs = [
+            BatchJob(
+                "crashy",
+                netlist,
+                clocks,
+                inject=(("inject_crash_file", str(flag)),),
+            ),
+            BatchJob("steady", netlist, clocks, slow_path_limit=9),
+        ]
+        with obs.recording() as recorder:
+            report = BatchEngine(
+                cache=ResultCache(tmp_path / "cache"),
+                max_workers=2,
+                retries=2,
+            ).run(jobs)
+        assert report.failed == 0
+        assert report.computed == 2
+        assert not flag.exists(), "crash injection fired exactly once"
+        crashy = next(
+            o for o in report.outcomes if o.job.name == "crashy"
+        )
+        assert crashy.attempts >= 2, "the crashed job was re-dispatched"
+        assert crashy.payload["intended"] is True
+        assert recorder.counters.get("service.batch.worker_crashes", 0) >= 1
+
+    def test_degrades_to_serial_when_retries_exhausted(
+        self, tmp_path, design_files
+    ):
+        netlist, clocks = design_files
+        flag = tmp_path / "crash.flag"
+        flag.write_text("boom")
+        jobs = [
+            BatchJob(
+                "crashy",
+                netlist,
+                clocks,
+                inject=(("inject_crash_file", str(flag)),),
+            )
+        ]
+        with obs.recording() as recorder:
+            report = BatchEngine(max_workers=1, retries=0).run(jobs)
+        assert report.failed == 0 and report.computed == 1
+        assert report.outcomes[0].serial_fallback is True
+        assert (
+            recorder.counters.get("service.batch.serial_fallbacks", 0)
+            >= 1
+        )
+
+    def test_worker_error_reported_not_raised(self, tmp_path, design_files):
+        __, clocks = design_files
+        bogus = tmp_path / "bogus.xyz"
+        bogus.write_text("?")
+        report = BatchEngine(max_workers=1, retries=0).run(
+            [BatchJob("bad", str(bogus), clocks)]
+        )
+        assert report.failed == 1
+        assert "unknown netlist format" in report.outcomes[0].error
+
+    def test_report_document_shape(self, tmp_path, design_files):
+        netlist, clocks = design_files
+        report = BatchEngine(
+            cache=ResultCache(tmp_path / "cache"), serial=True
+        ).run([BatchJob("a", netlist, clocks)])
+        doc = report.to_dict()
+        assert doc["schema"] == "repro.batchstats/1"
+        assert doc["jobs"] == 1
+        assert doc["cache"]["stores"] == 1
+        row = doc["outcomes"][0]
+        assert row["status"] == "computed"
+        assert row["manifest_digest"]
+        assert "batch: 1 job(s)" in report.render_text()

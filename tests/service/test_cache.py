@@ -1,0 +1,150 @@
+"""ResultCache: round-trips, integrity checks, LRU eviction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cache import CACHE_SCHEMA, ResultCache
+
+
+def _key(tag: str) -> str:
+    """A syntactically valid 64-hex cache key."""
+    return (tag * 64)[:64]
+
+
+PAYLOAD = {
+    "schema": "repro.result/1",
+    "intended": True,
+    "worst_slack": 1.25,
+    "endpoint_slacks": {"s1_l": 1.25, "s2_l": "inf"},
+}
+MANIFEST = {"schema": "repro.manifest/1", "design": "unit"}
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(_key("a"), PAYLOAD, MANIFEST)
+        entry = cache.get(_key("a"))
+        assert entry is not None
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["payload"] == PAYLOAD
+        assert entry["manifest"] == MANIFEST
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(_key("b")) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_survives_reopen(self, tmp_path):
+        ResultCache(tmp_path / "cache").put(_key("a"), PAYLOAD)
+        fresh = ResultCache(tmp_path / "cache")
+        entry = fresh.get(_key("a"))
+        assert entry is not None and entry["payload"] == PAYLOAD
+
+    def test_contains_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert _key("a") not in cache
+        cache.put(_key("a"), PAYLOAD)
+        cache.put(_key("b"), PAYLOAD)
+        assert _key("a") in cache
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_malformed_key_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        for bad in ("", "../../etc/passwd", "a/b", "x.json"):
+            with pytest.raises(ValueError):
+                cache.put(bad, PAYLOAD)
+
+
+class TestIntegrity:
+    """Corrupt entries are evicted and counted -- never raised."""
+
+    def _entry_path(self, cache, key):
+        return cache._entry_path(key)  # noqa: SLF001 -- deliberate
+
+    def test_truncated_file_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(_key("a"), PAYLOAD)
+        path = self._entry_path(cache, _key("a"))
+        path.write_text(path.read_text()[: 40])
+        assert cache.get(_key("a")) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists(), "corrupt entry must be removed"
+
+    def test_garbage_json_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(_key("a"), PAYLOAD)
+        self._entry_path(cache, _key("a")).write_text("not json {")
+        assert cache.get(_key("a")) is None
+        assert cache.stats.corrupt == 1
+
+    def test_tampered_payload_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(_key("a"), PAYLOAD)
+        path = self._entry_path(cache, _key("a"))
+        entry = json.loads(path.read_text())
+        entry["payload"]["worst_slack"] = -999.0  # bit-flip simulation
+        path.write_text(json.dumps(entry))
+        assert cache.get(_key("a")) is None
+        assert cache.stats.corrupt == 1
+
+    def test_wrong_schema_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        path = self._entry_path(cache, _key("a"))
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": "bogus/9", "key": _key("a")}))
+        assert cache.get(_key("a")) is None
+        assert cache.stats.corrupt == 1
+
+    def test_corrupt_index_is_rebuilt(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(_key("a"), PAYLOAD)
+        (tmp_path / "cache" / "index.json").write_text("}{ garbage")
+        fresh = ResultCache(tmp_path / "cache")
+        entry = fresh.get(_key("a"))
+        assert entry is not None and entry["payload"] == PAYLOAD
+
+
+class TestEviction:
+    def test_lru_bound(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", max_entries=2)
+        cache.put(_key("a"), PAYLOAD)
+        cache.put(_key("b"), PAYLOAD)
+        cache.put(_key("c"), PAYLOAD)
+        assert len(cache) == 2
+        assert cache.get(_key("a")) is None, "oldest entry evicted"
+        assert cache.get(_key("c")) is not None
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", max_entries=2)
+        cache.put(_key("a"), PAYLOAD)
+        cache.put(_key("b"), PAYLOAD)
+        assert cache.get(_key("a")) is not None  # refresh "a"
+        cache.put(_key("c"), PAYLOAD)  # evicts "b", not "a"
+        assert cache.get(_key("a")) is not None
+        assert cache.get(_key("b")) is None
+
+    def test_explicit_evict(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(_key("a"), PAYLOAD)
+        assert cache.evict(_key("a")) is True
+        assert cache.evict(_key("a")) is False
+        assert cache.get(_key("a")) is None
+
+    def test_unbounded_when_none(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", max_entries=None)
+        for tag in "abcdef":
+            cache.put(_key(tag), PAYLOAD)
+        assert len(cache) == 6
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "cache", max_entries=0)

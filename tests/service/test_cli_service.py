@@ -1,0 +1,165 @@
+"""CLI integration: ``repro-sta batch`` / ``serve`` / ``query``."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.service import DaemonClient, TimingDaemon
+
+
+@pytest.fixture
+def jobs_file(tmp_path, design_files):
+    netlist, clocks = design_files
+    path = tmp_path / "jobs.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema": "repro.batch/1",
+                "jobs": [
+                    {"name": "a", "netlist": "pipeline.json",
+                     "clocks": "clocks.json"},
+                    {"name": "b", "netlist": "pipeline.json",
+                     "clocks": "clocks.json", "slow_path_limit": 9},
+                ],
+            }
+        )
+    )
+    return str(path)
+
+
+class TestBatchCommand:
+    def test_cold_then_warm_run(self, tmp_path, jobs_file, capsys):
+        cache_dir = str(tmp_path / "cache")
+        stats = tmp_path / "stats.json"
+        argv = [
+            "batch",
+            jobs_file,
+            "--cache-dir",
+            cache_dir,
+            "--serial",
+            "--manifest-dir",
+            str(tmp_path / "runs"),
+            "--stats-out",
+            str(stats),
+        ]
+        assert main(argv) == 0
+        cold = json.loads(stats.read_text())
+        assert cold["computed"] == 2 and cold["cached"] == 0
+        manifests = sorted((tmp_path / "runs").glob("*.manifest.json"))
+        assert [p.name for p in manifests] == [
+            "a.manifest.json",
+            "b.manifest.json",
+        ]
+
+        assert main(argv) == 0
+        warm = json.loads(stats.read_text())
+        assert warm["cached"] == 2 and warm["computed"] == 0
+        assert warm["hit_rate"] == 1.0
+        assert warm["alg1_iterations_total"] == 0
+        # Manifests served from cache are identical records.
+        for cold_row, warm_row in zip(
+            cold["outcomes"], warm["outcomes"]
+        ):
+            assert (
+                cold_row["manifest_digest"] == warm_row["manifest_digest"]
+            )
+        out = capsys.readouterr().out
+        assert "hit rate 100%" in out
+
+    def test_batch_with_metrics_export(self, tmp_path, jobs_file):
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "batch",
+                    jobs_file,
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--serial",
+                    "--metrics",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        dump = json.loads(metrics.read_text())
+        assert dump["counters"]["service.batch.jobs"] == 2
+        assert dump["counters"]["service.cache.misses"] == 2
+
+    def test_bad_jobs_file(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        with pytest.raises(SystemExit):
+            main(["batch", str(bogus)])
+
+
+class TestQueryCommand:
+    def test_query_against_live_daemon(
+        self, tmp_path, design_files, capsys
+    ):
+        netlist, clocks = design_files
+        sock = str(tmp_path / "repro.sock")
+        with TimingDaemon(sock):
+            assert main(["query", "--socket", sock, '{"op": "ping"}']) == 0
+            out = capsys.readouterr().out
+            assert json.loads(out)["pong"] is True
+            request = json.dumps(
+                {"op": "analyze", "netlist": netlist, "clocks": clocks}
+            )
+            assert main(["query", "--socket", sock, request]) == 0
+            analyzed = json.loads(capsys.readouterr().out)
+            assert analyzed["engine"] == "cold"
+            assert analyzed["intended"] is True
+
+    def test_query_bad_json(self, tmp_path):
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["query", "--socket", str(tmp_path / "x.sock"), "{"])
+
+    def test_query_no_daemon(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot reach daemon"):
+            main(
+                [
+                    "query",
+                    "--socket",
+                    str(tmp_path / "nothing.sock"),
+                    '{"op": "ping"}',
+                ]
+            )
+
+
+class TestServeCommand:
+    def test_serve_foreground_until_shutdown(
+        self, tmp_path, design_files
+    ):
+        sock = str(tmp_path / "serve.sock")
+        done = threading.Event()
+        status = {}
+
+        def run():
+            status["code"] = main(
+                ["serve", "--socket", sock, "--no-cache"]
+            )
+            done.set()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        # Wait for the socket to appear, then drive it.
+        import time
+
+        for __ in range(200):
+            try:
+                client = DaemonClient(sock, timeout=5.0)
+                break
+            except OSError:
+                time.sleep(0.05)
+        else:  # pragma: no cover
+            pytest.fail("serve never came up")
+        with client:
+            assert client.ping()["pong"]
+            client.shutdown()
+        assert done.wait(timeout=10.0)
+        assert status["code"] == 0

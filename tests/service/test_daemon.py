@@ -1,0 +1,189 @@
+"""TimingDaemon: protocol, warm serving, incremental re-query."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.cells import standard_library
+from repro.clocks.serialize import load_schedule
+from repro.core.analyzer import Hummingbird
+from repro.delay.estimator import estimate_delays
+from repro.netlist.persistence import load_network
+from repro.report.manifest import manifest_digest, timing_digest
+from repro.service import DaemonClient, ResultCache, TimingDaemon
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    sock = str(tmp_path / "repro.sock")
+    with TimingDaemon(
+        sock, cache=ResultCache(tmp_path / "cache")
+    ) as server:
+        yield server
+
+
+@pytest.fixture
+def client(daemon):
+    with DaemonClient(daemon.socket_path, timeout=30.0) as c:
+        yield c
+
+
+class TestProtocol:
+    def test_ping(self, client):
+        response = client.ping()
+        assert response["ok"] and response["pong"]
+        assert response["protocol"] == 1
+
+    def test_unknown_op_is_an_error_response(self, client):
+        response = client.request({"op": "frobnicate"})
+        assert response["ok"] is False
+        assert "unknown op" in response["error"]
+
+    def test_malformed_json_does_not_kill_the_daemon(self, daemon):
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.settimeout(10.0)
+        raw.connect(daemon.socket_path)
+        raw.sendall(b"this is not json\n")
+        reply = json.loads(raw.makefile("rb").readline())
+        assert reply["ok"] is False
+        raw.close()
+        # The daemon still answers on a fresh connection.
+        with DaemonClient(daemon.socket_path) as again:
+            assert again.ping()["pong"]
+
+    def test_request_id_is_echoed(self, client):
+        response = client.request({"op": "ping", "id": "req-42"})
+        assert response["id"] == "req-42"
+
+    def test_missing_paths_rejected(self, client):
+        response = client.request({"op": "analyze"})
+        assert response["ok"] is False
+        assert "netlist" in response["error"]
+
+    def test_shutdown_op_stops_the_server(self, tmp_path, design_files):
+        sock = str(tmp_path / "down.sock")
+        daemon = TimingDaemon(sock)
+        daemon.start()
+        with DaemonClient(sock) as client:
+            assert client.shutdown()["stopping"]
+        # The socket disappears shortly after.
+        import time
+
+        for __ in range(100):
+            try:
+                DaemonClient(sock, timeout=0.2).close()
+            except OSError:
+                break
+            time.sleep(0.05)
+        else:  # pragma: no cover
+            pytest.fail("daemon kept listening after shutdown")
+
+
+class TestServing:
+    def test_analyze_cold_then_warm(self, client, design_files):
+        netlist, clocks = design_files
+        first = client.analyze(netlist, clocks)
+        assert first["ok"] and first["engine"] == "cold"
+        assert first["intended"] is True
+        second = client.analyze(netlist, clocks)
+        assert second["engine"] == "incremental-warm"
+        # Same fixed point, same answer.
+        assert second["timing_digest"] == first["timing_digest"]
+
+    def test_cold_manifest_matches_one_shot_cli_run(
+        self, client, design_files
+    ):
+        netlist, clocks = design_files
+        served = client.analyze(netlist, clocks)
+        network = load_network(netlist, standard_library())
+        schedule = load_schedule(clocks)
+        result = Hummingbird(network, schedule).analyze()
+        manifest = result.manifest(
+            netlist_path=netlist, clocks_path=clocks
+        )
+        assert served["manifest_digest"] == manifest_digest(manifest)
+        assert served["timing_digest"] == timing_digest(manifest)
+
+    def test_analyze_mutate_reanalyze_sequence(
+        self, client, design_files
+    ):
+        """The acceptance sequence: analyze -> mutate -> re-analyze,
+        second answer from the incremental engine, result identical to
+        a from-scratch run with the mutated delays."""
+        netlist, clocks = design_files
+        baseline = client.analyze(netlist, clocks)
+        assert baseline["engine"] == "cold"
+
+        mutated = client.mutate(
+            netlist, clocks, "scale_cell", cell="s1_i0", factor=1.5
+        )
+        assert mutated["ok"]
+        assert mutated["swaps"] + mutated["rebuilds"] == 1
+        answer = mutated["analysis"]
+        assert answer["engine"] == "incremental-warm"
+
+        # From-scratch reference with the same delay mutation.
+        network = load_network(netlist, standard_library())
+        schedule = load_schedule(clocks)
+        delays = estimate_delays(network).with_scaled_cell("s1_i0", 1.5)
+        result = Hummingbird(network, schedule, delays=delays).analyze()
+        manifest = result.manifest(
+            netlist_path=netlist, clocks_path=clocks
+        )
+        assert answer["timing_digest"] == timing_digest(manifest)
+        assert answer["payload"]["endpoint_slacks"] == (
+            result.payload()["endpoint_slacks"]
+        )
+
+    def test_report_endpoint(self, client, design_files):
+        netlist, clocks = design_files
+        analyzed = client.analyze(netlist, clocks)
+        endpoint = next(
+            iter(analyzed["payload"]["endpoint_slacks"])
+        )
+        response = client.request(
+            {
+                "op": "report",
+                "netlist": netlist,
+                "clocks": clocks,
+                "endpoint": endpoint,
+            }
+        )
+        assert response["ok"]
+        assert endpoint in response["text"]
+        assert response["report"]["schema"].startswith("repro.report/")
+
+    def test_stats_reflects_serving_state(self, client, design_files):
+        netlist, clocks = design_files
+        client.analyze(netlist, clocks)
+        client.mutate(
+            netlist, clocks, "scale_cell", cell="s1_i0", factor=1.1,
+            analyze=False,
+        )
+        stats = client.stats()
+        assert stats["ok"]
+        design = stats["designs"]["latch_pipeline"]
+        assert design["analyses"] >= 1
+        assert design["mutations"] == 1
+        assert design["warm"] is True
+        assert stats["cache"] is not None
+
+    def test_mutate_unknown_action(self, client, design_files):
+        netlist, clocks = design_files
+        response = client.mutate(netlist, clocks, "teleport")
+        assert response["ok"] is False
+        assert "unknown mutate action" in response["error"]
+
+    def test_clock_mutation_rebuilds(self, client, design_files):
+        netlist, clocks = design_files
+        client.analyze(netlist, clocks)
+        response = client.mutate(
+            netlist, clocks, "scale_clocks", factor=2
+        )
+        assert response["ok"]
+        answer = response["analysis"]
+        # A rebuilt engine starts cold again but still answers.
+        assert answer["ok"] and "worst_slack" in answer

@@ -1,0 +1,130 @@
+"""Digest stability: the content-addressing contract.
+
+The cache key must be a pure function of the analysis *content*:
+byte-stable across process restarts (no hash randomisation leaking in)
+and insensitive to dict insertion order.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.clocks.schedule import ClockSchedule
+from repro.generators import fig1_circuit, fig1_schedule, latch_pipeline
+from repro.service.digest import (
+    PAYLOAD_SCHEMA_VERSION,
+    analysis_config,
+    cache_key,
+    config_digest,
+    network_digest,
+    schedule_digest,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestConfigDigest:
+    def test_insensitive_to_dict_ordering(self):
+        forward = {"latch_model": "transparent", "tolerance": 0.0,
+                   "slow_path_limit": 50}
+        backward = {"slow_path_limit": 50, "tolerance": 0.0,
+                    "latch_model": "transparent"}
+        assert list(forward) != list(backward)
+        assert config_digest(forward) == config_digest(backward)
+
+    def test_sensitive_to_values(self):
+        base = analysis_config()
+        changed = analysis_config(tolerance=0.1)
+        assert config_digest(base) != config_digest(changed)
+
+    def test_nested_delay_params_order(self):
+        a = analysis_config(delay_params={"x": 1, "y": 2})
+        b = analysis_config(delay_params={"y": 2, "x": 1})
+        assert config_digest(a) == config_digest(b)
+
+
+class TestNetworkAndScheduleDigests:
+    def test_equal_for_equal_content(self):
+        net_a, sched_a = fig1_circuit()
+        net_b, sched_b = fig1_circuit()
+        assert network_digest(net_a) == network_digest(net_b)
+        assert schedule_digest(sched_a) == schedule_digest(sched_b)
+        assert schedule_digest(fig1_schedule()) == schedule_digest(sched_a)
+
+    def test_differs_for_different_designs(self):
+        net_a, __ = fig1_circuit()
+        net_b, __ = latch_pipeline(stages=2)
+        assert network_digest(net_a) != network_digest(net_b)
+
+    def test_schedule_digest_sees_clock_changes(self):
+        base = ClockSchedule.two_phase(100)
+        scaled = base.scaled(2)
+        assert schedule_digest(base) != schedule_digest(scaled)
+
+    def test_digest_is_hex_sha256(self):
+        digest = network_digest(fig1_circuit()[0])
+        assert len(digest) == 64
+        int(digest, 16)  # raises on non-hex
+
+
+class TestProcessRestartStability:
+    """The key must survive a fresh interpreter (fresh hash seed)."""
+
+    SCRIPT = """
+import json, sys
+from repro.generators import fig1_circuit, fig1_schedule
+from repro.service.digest import (
+    analysis_config, cache_key, config_digest, network_digest,
+    schedule_digest,
+)
+network, __ = fig1_circuit()
+schedule = fig1_schedule()
+config = analysis_config(slow_path_limit=7, tolerance=0.25)
+n, s, c = (network_digest(network), schedule_digest(schedule),
+           config_digest(config))
+print(json.dumps({"network": n, "schedule": s, "config": c,
+                  "key": cache_key(n, s, c)}))
+"""
+
+    def _run_subprocess(self, hash_seed: str) -> dict:
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": str(REPO_SRC),
+                "PYTHONHASHSEED": hash_seed,
+                "PATH": "/usr/bin:/bin",
+            },
+            check=True,
+        )
+        return json.loads(proc.stdout)
+
+    def test_byte_stable_across_restarts_and_hash_seeds(self):
+        network, __ = fig1_circuit()
+        schedule = fig1_schedule()
+        config = analysis_config(slow_path_limit=7, tolerance=0.25)
+        here = {
+            "network": network_digest(network),
+            "schedule": schedule_digest(schedule),
+            "config": config_digest(config),
+        }
+        here["key"] = cache_key(
+            here["network"], here["schedule"], here["config"]
+        )
+        for seed in ("0", "12345"):
+            there = self._run_subprocess(seed)
+            assert there == here, f"digest drift with hash seed {seed}"
+
+
+class TestCacheKey:
+    def test_folds_in_payload_schema_version(self):
+        # Reaching into the preimage: the key must change when any
+        # component changes, including the payload schema version.
+        key_a = cache_key("n" * 64, "s" * 64, "c" * 64)
+        key_b = cache_key("n" * 64, "s" * 64, "d" * 64)
+        assert key_a != key_b
+        assert PAYLOAD_SCHEMA_VERSION >= 1
