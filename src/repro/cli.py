@@ -15,8 +15,12 @@ clock description, run the analysis, print the report::
     repro-sta simulate design.json --clocks clocks.json --cycles 16
     repro-sta waveforms --clocks clocks.json
     repro-sta batch jobs.json --cache-dir .repro-cache --workers 4
-    repro-sta serve --socket /tmp/repro.sock
+    repro-sta serve --socket /tmp/repro.sock --http-port 8080 \
+        --access-log daemon.access.jsonl
     repro-sta query --socket /tmp/repro.sock '{"op": "ping"}'
+    repro-sta query --socket /tmp/repro.sock --trace merged.trace.json \
+        '{"op": "analyze", "netlist": "p.json", "clocks": "c.json"}'
+    repro-sta top --socket /tmp/repro.sock
 
 (Equivalently ``python -m repro.cli ...``.)  Netlist format is selected
 by extension: ``.json`` (:mod:`repro.netlist.persistence`), ``.blif``
@@ -360,8 +364,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
         job_timeout=args.timeout,
         retries=args.retries,
         serial=args.serial,
+        access_log=args.access_log,
     )
-    report = engine.run(jobs)
+    try:
+        report = engine.run(jobs)
+    finally:
+        if engine.access_log is not None:
+            engine.access_log.close()
     print(report.render_text())
     if args.manifest_dir:
         for outcome in report.outcomes:
@@ -391,6 +400,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         args.socket,
         cache=_make_cache(args),
         slow_path_limit=args.limit,
+        telemetry=not args.no_telemetry,
+        http_port=args.http_port,
+        access_log=args.access_log,
+        slow_threshold_s=args.slow_threshold,
     )
     print(
         f"repro-sta daemon listening on {args.socket} "
@@ -398,6 +411,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         'stop with {"op": "shutdown"} or Ctrl-C',
         file=sys.stderr,
     )
+    if args.http_port is not None:
+        print(
+            f"telemetry http on 127.0.0.1:{args.http_port} "
+            "(GET /healthz, GET /metrics)",
+            file=sys.stderr,
+        )
+    if args.access_log:
+        print(f"access log: {args.access_log}", file=sys.stderr)
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:
@@ -424,6 +445,48 @@ def cmd_query(args: argparse.Namespace) -> int:
         )
     )
     return 0 if response.get("ok") else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service import DaemonClient
+    from repro.service.top import fetch_frame, render_top
+
+    previous = None
+    iterations = 1 if args.once else args.iterations
+    rendered = 0
+    try:
+        while iterations is None or rendered < iterations:
+            try:
+                with DaemonClient(
+                    args.socket, timeout=args.timeout
+                ) as client:
+                    frame = fetch_frame(client)
+            except (OSError, ConnectionError) as exc:
+                if args.once:
+                    raise SystemExit(
+                        f"cannot reach daemon at {args.socket}: {exc}"
+                    )
+                print(
+                    f"waiting for daemon at {args.socket} ({exc})",
+                    file=sys.stderr,
+                )
+                _time.sleep(args.interval)
+                continue
+            text = render_top(frame, previous)
+            if args.once or args.iterations is not None:
+                print(text)
+            else:  # live mode: clear + home, redraw in place
+                sys.stdout.write("\x1b[H\x1b[2J" + text + "\n")
+                sys.stdout.flush()
+            previous = frame
+            rendered += 1
+            if iterations is None or rendered < iterations:
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -613,6 +676,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the repro.batchstats/1 summary to FILE",
     )
+    batch.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="append one repro.accesslog/1 JSON line per job to FILE",
+    )
     obs_batch = batch.add_argument_group("observability")
     obs_batch.add_argument("--trace", metavar="FILE", help=argparse.SUPPRESS)
     obs_batch.add_argument(
@@ -637,6 +705,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--limit", type=int, default=50)
     _cache_arguments(serve)
+    telemetry = serve.add_argument_group("telemetry")
+    telemetry.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve GET /healthz and GET /metrics on "
+        "127.0.0.1:PORT (localhost only)",
+    )
+    telemetry.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="append one repro.accesslog/1 JSON line per request to FILE",
+    )
+    telemetry.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="requests at least this slow get their full span tree "
+        "attached to the access-log line (default: 1.0)",
+    )
+    telemetry.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable the always-on service recorder (health stays, "
+        "metrics op and /metrics refuse)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     query = sub.add_parser(
@@ -650,7 +746,53 @@ def build_parser() -> argparse.ArgumentParser:
         '"analyze", "netlist": "p.json", "clocks": "c.json"}\'',
     )
     query.add_argument("--timeout", type=float, default=60.0)
+    obs_query = query.add_argument_group("observability")
+    obs_query.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record the request and merge the daemon's span snapshot "
+        "into one cross-process Chrome trace at FILE",
+    )
+    obs_query.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the merged metrics JSON dump (includes daemon "
+        "counters shipped back with the response)",
+    )
+    obs_query.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print the merged phase tree (client + daemon spans)",
+    )
     query.set_defaults(func=cmd_query)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard for a running daemon (req/s, latency "
+        "quantiles, cache hit rate, per-design table)",
+    )
+    top.add_argument("--socket", required=True, metavar="PATH")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll/redraw period (default: 2.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame to stdout and exit (no redraw)",
+    )
+    top.add_argument("--timeout", type=float, default=10.0)
+    top.set_defaults(func=cmd_top)
 
     return parser
 

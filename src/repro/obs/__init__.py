@@ -22,6 +22,8 @@ catalogue).  Enable it around any workload with::
     print(obs.render_phase_tree(rec))
 """
 
+from repro.obs import live
+from repro.obs.accesslog import ACCESS_LOG_SCHEMA, AccessLog
 from repro.obs.chrome_trace import (
     to_chrome_trace,
     validate_chrome_trace,
@@ -35,13 +37,16 @@ from repro.obs.metrics import (
 )
 from repro.obs.hist import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     HistogramStats,
     bucket_counts,
     equal_width_edges,
+    quantile_from_counts,
 )
 from repro.obs.recorder import (
     NULL_SPAN,
     EventRecord,
+    FlowRecord,
     Recorder,
     Span,
     SpanRecord,
@@ -63,10 +68,16 @@ __all__ = [
     "SpanRecord",
     "SpanStats",
     "EventRecord",
+    "FlowRecord",
     "HistogramStats",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "bucket_counts",
     "equal_width_edges",
+    "quantile_from_counts",
+    "live",
+    "AccessLog",
+    "ACCESS_LOG_SCHEMA",
     "NULL_SPAN",
     "active",
     "set_recorder",

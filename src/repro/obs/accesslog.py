@@ -1,0 +1,195 @@
+"""Structured access logs for the service layer.
+
+One JSON object per line (schema ``repro.accesslog/1``), one line per
+daemon request or batch job -- greppable with ``jq`` while the daemon is
+alive, no log parser required::
+
+    {"schema": "repro.accesslog/1", "ts": 1754500000.123,
+     "kind": "daemon", "op": "analyze", "design": "pipeline",
+     "engine": "incremental-warm", "cache_hit": false,
+     "queue_wait_s": 0.0002, "handle_s": 0.0131,
+     "status": "ok", "pid": 4242, "trace_id": null}
+
+Required keys (always present, ``None`` when not applicable): ``schema``
+``ts`` ``kind`` ``op`` ``design`` ``status`` ``duration_s``.  Optional
+facts (``engine``, ``cache_hit``, ``queue_wait_s``, ``handle_s``,
+``attempts``, ``worker_pid``, ``error``, ``trace_id``) appear when the
+caller supplies them.
+
+**Slow-request forensics:** entries whose duration exceeds
+``slow_threshold_s`` additionally carry a ``spans`` tree (name,
+start/duration, children) rebuilt from the request's recorder snapshot
+-- full detail for the outliers, one flat line for everyone else.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+__all__ = ["ACCESS_LOG_SCHEMA", "AccessLog", "span_tree_from_snapshot"]
+
+#: Schema identifier stamped on every access-log line.
+ACCESS_LOG_SCHEMA = "repro.accesslog/1"
+
+#: Keys every line carries (the parseable contract; tests assert this).
+REQUIRED_KEYS = (
+    "schema",
+    "ts",
+    "kind",
+    "op",
+    "design",
+    "status",
+    "duration_s",
+)
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def span_tree_from_snapshot(
+    snap: Optional[Dict[str, object]], max_spans: int = 200
+) -> Optional[List[Dict[str, object]]]:
+    """Rebuild a nested span tree from a ``repro.obs.snapshot/1`` doc.
+
+    Spans nest by ``depth`` within each thread (the recorder's own
+    invariant); the result is a forest of ``{"name", "start_s",
+    "duration_s", "children": [...]}`` nodes, capped at ``max_spans``
+    records so one pathological request cannot bloat the log.
+    """
+    if not isinstance(snap, dict):
+        return None
+    spans = snap.get("spans")
+    if not isinstance(spans, list) or not spans:
+        return None
+    forest: List[Dict[str, object]] = []
+    stacks: Dict[int, List[Dict[str, object]]] = {}
+    for entry in sorted(
+        spans[:max_spans], key=lambda e: e.get("start", 0.0)
+    ):
+        try:
+            node = {
+                "name": str(entry["name"]),
+                "start_s": round(float(entry["start"]), 6),
+                "duration_s": round(float(entry["dur"]), 6),
+                "children": [],
+            }
+            depth = int(entry.get("depth", 0))
+            tid = int(entry.get("tid", 0))
+        except (KeyError, TypeError, ValueError):
+            continue
+        stack = stacks.setdefault(tid, [])
+        del stack[depth:]
+        if depth and stack:
+            stack[-1]["children"].append(node)
+        else:
+            forest.append(node)
+        stack.append(node)
+    return forest or None
+
+
+class AccessLog:
+    """Append-only JSON-lines access log with a slow-request threshold.
+
+    Parameters
+    ----------
+    path:
+        File to append to (opened lazily, line-buffered).  Pass an open
+        file-like object instead to log into a test buffer.
+    slow_threshold_s:
+        Entries at least this slow also carry their full ``spans`` tree
+        (when the caller provides the request's recorder snapshot).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, IO[str]],
+        slow_threshold_s: float = 1.0,
+    ) -> None:
+        self.slow_threshold_s = float(slow_threshold_s)
+        self.lines_written = 0
+        self._lock = threading.Lock()
+        if hasattr(path, "write"):
+            self.path: Optional[Path] = None
+            self._handle: Optional[IO[str]] = path  # type: ignore[assignment]
+        else:
+            self.path = Path(path)  # type: ignore[arg-type]
+            self._handle = None
+
+    def _file(self) -> IO[str]:
+        if self._handle is None:
+            assert self.path is not None
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", buffering=1)
+        return self._handle
+
+    def record(
+        self,
+        kind: str,
+        op: str,
+        design: Optional[str],
+        status: str,
+        duration_s: float,
+        snapshot: Optional[Dict[str, object]] = None,
+        **facts: object,
+    ) -> Dict[str, object]:
+        """Write one line; returns the entry (handy for tests).
+
+        Never raises: an unwritable log is reported once via the
+        ``error`` counter path and then dropped -- telemetry must not
+        take the serving path down.
+        """
+        from repro import obs
+
+        entry: Dict[str, object] = {
+            "schema": ACCESS_LOG_SCHEMA,
+            "ts": round(time.time(), 6),
+            "kind": kind,
+            "op": op,
+            "design": design,
+            "status": status,
+            "duration_s": round(float(duration_s), 6),
+        }
+        for key, value in facts.items():
+            if value is not None:
+                entry[key] = _json_safe(value)
+        slow = duration_s >= self.slow_threshold_s
+        if slow:
+            entry["slow"] = True
+            tree = span_tree_from_snapshot(snapshot)
+            if tree is not None:
+                entry["spans"] = tree
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        try:
+            with self._lock:
+                handle = self._file()
+                handle.write(line + "\n")
+                self.lines_written += 1
+        except OSError:
+            return entry
+        obs.counter("service.accesslog.lines")
+        return entry
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and self.path is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

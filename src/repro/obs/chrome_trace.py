@@ -23,37 +23,59 @@ _SECONDS_TO_US = 1_000_000.0
 
 
 def to_chrome_trace(recorder: Recorder) -> Dict[str, object]:
-    """The recorder's contents as a trace-event JSON object."""
+    """The recorder's contents as a trace-event JSON object.
+
+    Spans and events merged in from other processes (see
+    :mod:`repro.obs.live`) keep their originating ``pid``, so a stitched
+    client/daemon/worker trace renders as separate process tracks;
+    :class:`~repro.obs.recorder.FlowRecord` pairs become flow arrows
+    (``"ph": "s"``/``"f"``) linking parent spans to child work.
+    """
     pid = os.getpid()
     events: List[Dict[str, object]] = []
     threads = set()
     for record in recorder.spans:
-        threads.add(record.thread_id)
+        record_pid = record.pid if record.pid is not None else pid
+        threads.add((record_pid, record.thread_id))
         entry: Dict[str, object] = {
             "name": record.name,
             "cat": record.category,
             "ph": "X",
             "ts": record.start * _SECONDS_TO_US,
             "dur": record.duration * _SECONDS_TO_US,
-            "pid": pid,
+            "pid": record_pid,
             "tid": record.thread_id,
         }
         if record.args:
             entry["args"] = dict(record.args)
         events.append(entry)
     for record in recorder.events:
-        threads.add(record.thread_id)
+        record_pid = record.pid if record.pid is not None else pid
+        threads.add((record_pid, record.thread_id))
         entry = {
             "name": record.name,
             "cat": "event",
             "ph": "i",
             "ts": record.timestamp * _SECONDS_TO_US,
-            "pid": pid,
+            "pid": record_pid,
             "tid": record.thread_id,
             "s": "t",
         }
         if record.args:
             entry["args"] = dict(record.args)
+        events.append(entry)
+    for flow in recorder.flows:
+        entry = {
+            "name": "trace",
+            "cat": "trace",
+            "ph": flow.phase,
+            "id": flow.flow_id,
+            "ts": flow.timestamp * _SECONDS_TO_US,
+            "pid": flow.pid if flow.pid is not None else pid,
+            "tid": flow.thread_id,
+        }
+        if flow.phase == "f":
+            entry["bp"] = "e"  # bind to the enclosing slice
         events.append(entry)
     # Final counter values as one counter sample each (visible as tracks).
     final_ts = max(
@@ -72,25 +94,39 @@ def to_chrome_trace(recorder: Recorder) -> Dict[str, object]:
                 "args": {"value": recorder.counters[name]},
             }
         )
-    # Thread names so Perfetto shows something meaningful.
-    for tid in sorted(threads):
+    # Thread/process names so Perfetto shows something meaningful.
+    for thread_pid, tid in sorted(threads):
         events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": pid,
+                "pid": thread_pid,
                 "tid": tid,
                 "args": {"name": f"thread-{tid}"},
             }
         )
+    for process_pid in sorted({p for p, __ in threads}):
+        label = "parent" if process_pid == pid else "child"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": process_pid,
+                "tid": 0,
+                "args": {"name": f"repro-{label}-{process_pid}"},
+            }
+        )
+    other_data: Dict[str, object] = {
+        "producer": "repro.obs",
+        "dropped_spans": recorder.dropped_spans,
+        "dropped_events": recorder.dropped_events,
+    }
+    if recorder.trace_id:
+        other_data["trace_id"] = recorder.trace_id
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "producer": "repro.obs",
-            "dropped_spans": recorder.dropped_spans,
-            "dropped_events": recorder.dropped_events,
-        },
+        "otherData": other_data,
     }
 
 
@@ -120,8 +156,12 @@ def validate_chrome_trace(data: object) -> List[str]:
         if not isinstance(entry.get("name"), str):
             problems.append(f"{where}: missing string 'name'")
         ph = entry.get("ph")
-        if ph not in ("X", "B", "E", "i", "C", "M"):
+        if ph not in ("X", "B", "E", "i", "C", "M", "s", "t", "f"):
             problems.append(f"{where}: unsupported phase {ph!r}")
+        if ph in ("s", "t", "f") and not isinstance(
+            entry.get("id"), (str, int)
+        ):
+            problems.append(f"{where}: flow event needs an 'id'")
         if ph != "M":
             ts = entry.get("ts")
             if not isinstance(ts, (int, float)) or ts < 0:

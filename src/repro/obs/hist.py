@@ -22,9 +22,11 @@ from typing import Dict, List, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "HistogramStats",
     "equal_width_edges",
     "bucket_counts",
+    "quantile_from_counts",
 ]
 
 #: Default upper bounds for recorder histograms (slack-flavoured:
@@ -48,6 +50,61 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     50.0,
     100.0,
 )
+
+
+#: Upper bounds for latency histograms (seconds; sub-millisecond to a
+#: minute, roughly log-spaced).  Used by the service layer for request,
+#: queue-wait and job-duration timings.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+def quantile_from_counts(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile from fixed-bucket counts.
+
+    ``bounds`` are sorted upper bounds; ``counts`` are the per-bucket
+    (non-cumulative) counts with one extra trailing ``+Inf`` overflow
+    bucket, exactly the shape :meth:`HistogramStats.to_dict` exports.
+    Linear interpolation inside the winning bucket (Prometheus
+    ``histogram_quantile`` semantics); the overflow bucket clamps to the
+    last finite bound.  Returns ``0.0`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    running = 0.0
+    for index, count in enumerate(counts):
+        previous = running
+        running += count
+        if running >= rank and count:
+            if index >= len(bounds):  # +Inf overflow bucket
+                return float(bounds[-1])
+            upper = float(bounds[index])
+            lower = float(bounds[index - 1]) if index else min(0.0, upper)
+            fraction = (rank - previous) / count
+            return lower + (upper - lower) * fraction
+    return float(bounds[-1])
 
 
 def equal_width_edges(
@@ -122,6 +179,48 @@ class HistogramStats:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (see :func:`quantile_from_counts`)."""
+        return quantile_from_counts(self.bounds, self.counts, q)
+
+    def merge(self, other: "HistogramStats") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        Matching bounds merge bucket-by-bucket (exact); mismatched
+        bounds re-bucket the other histogram's counts at each of its
+        upper bounds (a conservative approximation used when a child
+        process chose different buckets).
+        """
+        if other.bounds == self.bounds:
+            for index, count in enumerate(other.counts):
+                self.counts[index] += count
+        else:  # re-bucket at the other histogram's upper bounds
+            for bound, count in zip(other.bounds, other.counts):
+                if count:
+                    index = bisect_left(self.bounds, bound)
+                    self.counts[index] += count
+            self.counts[-1] += other.counts[-1]  # +Inf overflow
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HistogramStats":
+        """Rebuild from a :meth:`to_dict` document (snapshot restore)."""
+        stats = cls(data["bounds"])  # type: ignore[arg-type]
+        counts = list(data.get("counts") or ())
+        if len(counts) != len(stats.counts):
+            raise ValueError("histogram counts do not match bounds")
+        stats.counts = [int(c) for c in counts]
+        stats.count = int(data.get("count", sum(stats.counts)))
+        stats.total = float(data.get("sum", 0.0))
+        if stats.count:
+            stats.minimum = float(data.get("min", 0.0))
+            stats.maximum = float(data.get("max", 0.0))
+        return stats
 
     def cumulative(self) -> List[Tuple[str, int]]:
         """Prometheus-style cumulative ``(le, count)`` rows ending with

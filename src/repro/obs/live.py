@@ -1,0 +1,380 @@
+"""Cross-process trace propagation and recorder snapshots.
+
+PR 1 gave the pipeline in-process spans; PR 3 put the pipeline behind a
+daemon and a worker pool.  This module stitches the two together so a
+client -> daemon -> warm-analyzer round trip (or a batch plan ->
+worker -> cache-store fan-out) renders as **one** Chrome trace tree:
+
+* **trace context** (wire schema ``repro.trace/1``) -- a ``trace_id``
+  plus the ``parent_span`` id the remote work should hang under,
+  carried inside :class:`repro.service.daemon.DaemonClient` requests
+  and :class:`repro.service.batch.BatchEngine` job specs;
+* **snapshots** (schema ``repro.obs.snapshot/1``) -- a JSON-safe dump
+  of a child :class:`~repro.obs.recorder.Recorder` that ships back in
+  the response/result document;
+* **merge** -- :func:`merge_snapshot` folds a child snapshot into the
+  parent recorder: spans/events keep their originating ``pid``,
+  counters sum, histograms merge bucket-by-bucket, and a *flow link*
+  (:class:`~repro.obs.recorder.FlowRecord` pair) connects the parent
+  span to the child's first span so Perfetto draws the arrow.
+
+Typical client-side pattern::
+
+    ctx = live.trace_context()                  # None when not recording
+    with obs.span("service.client.request", category="service",
+                  **live.span_args(ctx)):
+        response = send(request | {"trace": ctx})
+    live.merge_snapshot(obs.active(), response.get("trace"))
+
+and worker-side::
+
+    rec = live.child_recorder(spec.get("trace"))
+    with obs.recording(rec):
+        ...do the work...
+    document["trace"] = live.snapshot(rec)
+
+Clock alignment uses the recorders' wall-clock epochs
+(``Recorder.epoch_wall``), so merged timestamps are accurate to
+cross-process wall-clock skew -- good enough to see queue waits and
+worker overlap, which is the point.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.hist import HistogramStats
+from repro.obs.recorder import (
+    EventRecord,
+    FlowRecord,
+    Recorder,
+    SpanRecord,
+    SpanStats,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "new_trace_id",
+    "new_span_id",
+    "trace_context",
+    "span_args",
+    "child_recorder",
+    "adopt",
+    "snapshot",
+    "merge_snapshot",
+]
+
+#: Wire schema of the trace context carried in requests/job specs.
+TRACE_SCHEMA = "repro.trace/1"
+#: Schema of a serialised recorder snapshot.
+SNAPSHOT_SCHEMA = "repro.obs.snapshot/1"
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 hex chars)."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 hex chars)."""
+    return secrets.token_hex(8)
+
+
+def trace_context(
+    recorder: Optional[Recorder] = None,
+    parent_span: Optional[str] = None,
+) -> Optional[Dict[str, str]]:
+    """Build a ``repro.trace/1`` wire context from ``recorder``.
+
+    Uses the process-wide recorder when ``recorder`` is omitted;
+    returns ``None`` when recording is disabled (no context is
+    propagated, remote telemetry stays off the wire).  Lazily assigns
+    the recorder its ``trace_id`` and mints a fresh ``parent_span`` id
+    unless one is given -- tag the local span wrapping the remote call
+    with it (:func:`span_args`) so the merge can anchor the flow arrow.
+    """
+    if recorder is None:
+        from repro.obs.recorder import active
+
+        recorder = active()
+    if recorder is None:
+        return None
+    if recorder.trace_id is None:
+        recorder.trace_id = new_trace_id()
+    return {
+        "schema": TRACE_SCHEMA,
+        "trace_id": recorder.trace_id,
+        "parent_span": parent_span or new_span_id(),
+    }
+
+
+def span_args(ctx: Optional[Dict[str, str]]) -> Dict[str, str]:
+    """Span kwargs tagging a local span as the parent of ``ctx``."""
+    if not ctx:
+        return {}
+    return {"span_id": ctx["parent_span"]}
+
+
+def child_recorder(
+    ctx: Optional[Dict[str, object]] = None,
+    max_spans: int = 20_000,
+    max_events: int = 5_000,
+) -> Recorder:
+    """A fresh recorder for remote work, adopting ``ctx`` when given.
+
+    Bounds default much lower than the in-process recorder's: the
+    snapshot travels over a socket / pickle boundary, so a runaway
+    child degrades to aggregates instead of a megabyte response.
+    """
+    recorder = Recorder(max_spans=max_spans, max_events=max_events)
+    adopt(recorder, ctx)
+    return recorder
+
+
+def adopt(recorder: Recorder, ctx: Optional[Dict[str, object]]) -> Recorder:
+    """Join ``recorder`` to the trace described by ``ctx`` (if any)."""
+    if ctx:
+        trace_id = ctx.get("trace_id")
+        if trace_id:
+            recorder.trace_id = str(trace_id)
+        parent = ctx.get("parent_span")
+        if parent:
+            recorder.parent_span_id = str(parent)
+    if recorder.trace_id is None:
+        recorder.trace_id = new_trace_id()
+    return recorder
+
+
+def _safe(value: object) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _args_out(args) -> Optional[Dict[str, object]]:
+    if not args:
+        return None
+    return {str(key): _safe(value) for key, value in args}
+
+
+def snapshot(recorder: Recorder) -> Dict[str, object]:
+    """Serialise ``recorder`` as a ``repro.obs.snapshot/1`` document.
+
+    JSON-safe and picklable: plain dicts/lists/scalars only, so it can
+    ride in a daemon response line or a worker result document.
+    """
+    with recorder._lock:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "trace_id": recorder.trace_id,
+            "parent_span": recorder.parent_span_id,
+            "pid": os.getpid(),
+            "epoch_wall": recorder.epoch_wall,
+            "spans": [
+                {
+                    "name": record.name,
+                    "cat": record.category,
+                    "start": record.start,
+                    "dur": record.duration,
+                    "depth": record.depth,
+                    "tid": record.thread_id,
+                    "args": _args_out(record.args),
+                }
+                for record in recorder.spans
+            ],
+            "events": [
+                {
+                    "name": record.name,
+                    "ts": record.timestamp,
+                    "tid": record.thread_id,
+                    "args": _args_out(record.args),
+                }
+                for record in recorder.events
+            ],
+            "counters": dict(recorder.counters),
+            "gauges": dict(recorder.gauges),
+            "histograms": {
+                name: stats.to_dict()
+                for name, stats in recorder.histograms.items()
+            },
+            "span_stats": {
+                name: {
+                    "count": stats.count,
+                    "total": stats.total,
+                    "min": stats.minimum if stats.count else 0.0,
+                    "max": stats.maximum,
+                }
+                for name, stats in recorder.span_stats.items()
+            },
+            "dropped_spans": recorder.dropped_spans,
+            "dropped_events": recorder.dropped_events,
+        }
+
+
+def _find_anchor(
+    recorder: Recorder, span_id: str
+) -> Optional[Tuple[float, int, Optional[int]]]:
+    """Locate the (ts, tid, pid) of the span/event tagged ``span_id``."""
+    for record in reversed(recorder.spans):
+        if record.args:
+            for key, value in record.args:
+                if key == "span_id" and value == span_id:
+                    return record.start, record.thread_id, record.pid
+    for record in reversed(recorder.events):
+        if record.args:
+            for key, value in record.args:
+                if key == "span_id" and value == span_id:
+                    return record.timestamp, record.thread_id, record.pid
+    return None
+
+
+def merge_snapshot(
+    recorder: Optional[Recorder],
+    snap: Optional[Dict[str, object]],
+) -> int:
+    """Fold a child snapshot into ``recorder``; returns spans merged.
+
+    No-ops (returning 0) on a missing recorder, a missing/malformed
+    snapshot, or a trace-id mismatch -- a telemetry bug must never take
+    down the serving path.  Aggregates (counters, histograms, span
+    stats) always merge in full; per-span records respect the parent's
+    ``max_spans`` bound.
+    """
+    if recorder is None or not isinstance(snap, dict):
+        return 0
+    if snap.get("schema") != SNAPSHOT_SCHEMA:
+        return 0
+    snap_trace = snap.get("trace_id")
+    if recorder.trace_id is None and snap_trace:
+        recorder.trace_id = str(snap_trace)
+    elif snap_trace and recorder.trace_id != snap_trace:
+        return 0  # different trace: refuse to interleave
+    pid = snap.get("pid")
+    pid = int(pid) if isinstance(pid, (int, float)) else None
+    try:
+        offset = float(snap.get("epoch_wall", 0.0)) - recorder.epoch_wall
+    except (TypeError, ValueError):
+        offset = 0.0
+    if offset < 0.0:
+        offset = 0.0
+    merged = 0
+    first_child: Optional[Tuple[float, int]] = None
+    with recorder._lock:
+        for entry in snap.get("spans") or ():
+            try:
+                start = float(entry["start"]) + offset
+                record = SpanRecord(
+                    name=str(entry["name"]),
+                    category=str(entry.get("cat", "repro")),
+                    start=start,
+                    duration=float(entry["dur"]),
+                    depth=int(entry.get("depth", 0)),
+                    thread_id=int(entry.get("tid", 0)),
+                    index=recorder._next_index,
+                    args=(
+                        tuple(sorted(entry["args"].items()))
+                        if entry.get("args")
+                        else None
+                    ),
+                    pid=pid,
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            if first_child is None or start < first_child[0]:
+                first_child = (start, record.thread_id)
+            if len(recorder.spans) >= recorder.max_spans:
+                recorder.dropped_spans += 1
+                continue
+            recorder._next_index += 1
+            recorder.spans.append(record)
+            merged += 1
+        for entry in snap.get("events") or ():
+            try:
+                record = EventRecord(
+                    name=str(entry["name"]),
+                    timestamp=float(entry["ts"]) + offset,
+                    thread_id=int(entry.get("tid", 0)),
+                    args=(
+                        tuple(sorted(entry["args"].items()))
+                        if entry.get("args")
+                        else None
+                    ),
+                    pid=pid,
+                )
+            except (KeyError, TypeError, ValueError):
+                continue
+            if len(recorder.events) >= recorder.max_events:
+                recorder.dropped_events += 1
+                continue
+            recorder.events.append(record)
+        for name, value in (snap.get("counters") or {}).items():
+            try:
+                recorder.counters[name] = (
+                    recorder.counters.get(name, 0.0) + float(value)
+                )
+            except (TypeError, ValueError):
+                continue
+        for name, value in (snap.get("gauges") or {}).items():
+            try:
+                recorder.gauges.setdefault(name, float(value))
+            except (TypeError, ValueError):
+                continue
+        for name, data in (snap.get("histograms") or {}).items():
+            try:
+                incoming = HistogramStats.from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                continue
+            existing = recorder.histograms.get(name)
+            if existing is None:
+                recorder.histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+        for name, data in (snap.get("span_stats") or {}).items():
+            try:
+                count = int(data["count"])
+                total = float(data["total"])
+                minimum = float(data.get("min", 0.0))
+                maximum = float(data.get("max", 0.0))
+            except (KeyError, TypeError, ValueError):
+                continue
+            stats = recorder.span_stats.get(name)
+            if stats is None:
+                stats = recorder.span_stats[name] = SpanStats()
+            stats.count += count
+            stats.total += total
+            if count:
+                stats.minimum = min(stats.minimum, minimum)
+                stats.maximum = max(stats.maximum, maximum)
+        recorder.dropped_spans += int(snap.get("dropped_spans") or 0)
+        recorder.dropped_events += int(snap.get("dropped_events") or 0)
+        recorder.counters["obs.snapshots_merged"] = (
+            recorder.counters.get("obs.snapshots_merged", 0.0) + 1.0
+        )
+    # Parent/child flow link (outside the lock: only appends).
+    parent_span = snap.get("parent_span")
+    if parent_span and first_child is not None:
+        anchor = _find_anchor(recorder, str(parent_span))
+        if anchor is not None:
+            flow_id = str(parent_span)
+            recorder.flows.append(
+                FlowRecord(
+                    phase="s",
+                    flow_id=flow_id,
+                    timestamp=anchor[0],
+                    thread_id=anchor[1],
+                    pid=anchor[2],
+                )
+            )
+            recorder.flows.append(
+                FlowRecord(
+                    phase="f",
+                    flow_id=flow_id,
+                    timestamp=first_child[0],
+                    thread_id=first_child[1],
+                    pid=pid,
+                )
+            )
+    return merged

@@ -83,6 +83,11 @@ WELL_KNOWN_COUNTERS = (
     "service.daemon.designs_loaded",
     "service.daemon.mutations",
     "service.daemon.incremental_hits",
+    # Service-level telemetry (PR 4; docs/observability.md).
+    "service.daemon.http_requests",
+    "service.daemon.slow_requests",
+    "service.accesslog.lines",
+    "obs.snapshots_merged",
 )
 
 
@@ -106,6 +111,7 @@ def metrics_dict(recorder: Recorder) -> Dict[str, object]:
     }
     return {
         "schema": "repro.obs.metrics/1",
+        "trace_id": recorder.trace_id,
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(recorder.gauges.items())),
         "histograms": histograms,

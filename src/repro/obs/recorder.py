@@ -40,6 +40,7 @@ __all__ = [
     "Span",
     "SpanRecord",
     "EventRecord",
+    "FlowRecord",
     "SpanStats",
     "HistogramStats",
     "NULL_SPAN",
@@ -66,6 +67,9 @@ class SpanRecord:
     thread_id: int
     index: int
     args: Optional[Tuple[Tuple[str, object], ...]] = None
+    #: Originating process, set only for records merged in from another
+    #: process's snapshot (``None`` means "this process").
+    pid: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,25 @@ class EventRecord:
     timestamp: float
     thread_id: int
     args: Optional[Tuple[Tuple[str, object], ...]] = None
+    #: Originating process (see :class:`SpanRecord`).
+    pid: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One endpoint of a cross-process parent/child link.
+
+    A pair of flow records sharing ``flow_id`` -- one ``phase="s"``
+    (start, at the parent span) and one ``phase="f"`` (finish, at the
+    first child span) -- renders as an arrow between processes in
+    Perfetto.  Produced by :func:`repro.obs.live.merge_snapshot`.
+    """
+
+    phase: str  # "s" (start) | "f" (finish)
+    flow_id: str
+    timestamp: float
+    thread_id: int
+    pid: Optional[int] = None
 
 
 @dataclass
@@ -114,6 +137,14 @@ class Recorder:
         self.epoch_wall = time.time()
         self.max_spans = max_spans
         self.max_events = max_events
+        #: Cross-process trace identity (``None`` until the recorder
+        #: joins a trace -- see :mod:`repro.obs.live`).
+        self.trace_id: Optional[str] = None
+        #: Parent span id this recorder's work hangs under (wire field
+        #: ``parent_span`` of ``repro.trace/1``); set in child processes.
+        self.parent_span_id: Optional[str] = None
+        #: Cross-process parent/child links added by snapshot merges.
+        self.flows: List[FlowRecord] = []
         self.spans: List[SpanRecord] = []
         self.events: List[EventRecord] = []
         self.counters: Dict[str, float] = {}

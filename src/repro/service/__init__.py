@@ -19,10 +19,15 @@ engine for repeated and concurrent timing queries:
 * :mod:`repro.service.daemon` -- :class:`TimingDaemon` /
   :class:`DaemonClient`, a long-lived engine behind a JSON-lines Unix
   socket that keeps parsed networks warm and answers
-  analyze / what-if / report queries through the incremental engine.
+  analyze / what-if / report queries through the incremental engine,
+* :mod:`repro.service.httpmon` -- :class:`TelemetrySidecar`, the
+  localhost-only HTTP server behind ``repro-sta serve --http-port``
+  exposing ``/healthz`` and ``/metrics``,
+* :mod:`repro.service.top` -- frame fetch + pure renderer for the
+  ``repro-sta top`` live daemon dashboard.
 
-See ``docs/service.md`` for the cache key scheme, batch semantics and
-the daemon protocol.
+See ``docs/service.md`` for the cache key scheme, batch semantics,
+the daemon protocol and the monitoring walkthrough.
 """
 
 from repro.service.batch import (
@@ -41,6 +46,8 @@ from repro.service.digest import (
     network_digest,
     schedule_digest,
 )
+from repro.service.httpmon import TelemetrySidecar
+from repro.service.top import fetch_frame, render_top
 
 __all__ = [
     "BatchEngine",
@@ -50,7 +57,10 @@ __all__ = [
     "DaemonClient",
     "JobOutcome",
     "ResultCache",
+    "TelemetrySidecar",
     "TimingDaemon",
+    "fetch_frame",
+    "render_top",
     "analysis_config",
     "cache_key",
     "config_digest",

@@ -40,6 +40,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
+from repro.obs import live
+from repro.obs.accesslog import AccessLog
+from repro.obs.hist import LATENCY_BUCKETS
 from repro.service.cache import ResultCache
 from repro.service.digest import (
     analysis_config,
@@ -112,6 +115,9 @@ class JobOutcome:
     serial_fallback: bool = False
     error: Optional[str] = None
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Submit -> worker-pickup wall seconds (``None`` for cache hits
+    #: and untraced runs; wall-clock, so cross-process skew applies).
+    queue_wait_s: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -329,6 +335,10 @@ class BatchEngine:
         to a worker before degrading to in-process serial execution.
     serial:
         Force in-process execution (no worker pool at all).
+    access_log:
+        Optional :class:`repro.obs.accesslog.AccessLog` (or a path to
+        open one); :meth:`run` appends one ``kind="batch"`` JSON line
+        per job outcome.
     """
 
     def __init__(
@@ -338,6 +348,7 @@ class BatchEngine:
         job_timeout: Optional[float] = None,
         retries: int = 1,
         serial: bool = False,
+        access_log: Union[AccessLog, str, Path, None] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -348,6 +359,10 @@ class BatchEngine:
         self.job_timeout = job_timeout
         self.retries = retries
         self.serial = serial
+        if access_log is None or isinstance(access_log, AccessLog):
+            self.access_log: Optional[AccessLog] = access_log
+        else:
+            self.access_log = AccessLog(access_log)
 
     # ------------------------------------------------------------------
     # planning
@@ -455,7 +470,48 @@ class BatchEngine:
         rec = obs.active()
         if rec is not None:
             rec.gauge("service.batch.hit_rate", report.hit_rate)
+        self._log_outcomes(report)
         return report
+
+    def _spec(self, plan: _Plan) -> Dict[str, object]:
+        """Build the worker spec, stamping trace context + submit time.
+
+        When a recorder is active, each job gets its own
+        ``repro.trace/1`` context (one parent-span id per dispatch) and
+        a ``service.batch.submit`` event anchors the Chrome flow arrow
+        from the batch run to the worker's ``service.worker.job`` span.
+        ``submitted_wall`` lets the worker report queue wait.
+        """
+        spec = plan.job.spec()
+        spec["submitted_wall"] = time.time()
+        ctx = live.trace_context()
+        if ctx is not None:
+            spec["trace"] = ctx
+            obs.event(
+                "service.batch.submit",
+                job=plan.job.name,
+                **live.span_args(ctx),
+            )
+        return spec
+
+    def _log_outcomes(self, report: BatchReport) -> None:
+        if self.access_log is None:
+            return
+        for o in report.outcomes:
+            self.access_log.record(
+                "batch",
+                "job",
+                o.job.name,
+                "ok" if o.ok else "error",
+                o.seconds,
+                cache_hit=o.status == "cached",
+                job_status=o.status,
+                attempts=o.attempts,
+                worker_pid=o.worker_pid,
+                queue_wait_s=o.queue_wait_s,
+                serial_fallback=o.serial_fallback,
+                error=o.error,
+            )
 
     def _execute(
         self,
@@ -480,7 +536,7 @@ class BatchEngine:
                 futures = {}
                 for plan in pending:
                     attempts[plan.job.name] += 1
-                    futures[pool.submit(run_job, plan.job.spec())] = (
+                    futures[pool.submit(run_job, self._spec(plan))] = (
                         plan,
                         time.perf_counter(),
                     )
@@ -585,7 +641,7 @@ class BatchEngine:
             obs.counter("service.batch.serial_fallbacks")
         attempts[plan.job.name] += 1
         started = time.perf_counter()
-        document = run_job(plan.job.spec())
+        document = run_job(self._spec(plan))
         seconds = time.perf_counter() - started
         if document.get("ok"):
             self._record_success(
@@ -619,6 +675,17 @@ class BatchEngine:
         serial: bool = False,
     ) -> None:
         obs.histogram("service.batch.job_seconds", seconds)
+        live.merge_snapshot(obs.active(), document.get("trace"))
+        queue_wait = document.get("queue_wait_s")
+        if isinstance(queue_wait, (int, float)):
+            queue_wait = float(queue_wait)
+            obs.histogram(
+                "service.batch.queue_wait_seconds",
+                queue_wait,
+                LATENCY_BUCKETS,
+            )
+        else:
+            queue_wait = None
         payload = document.get("payload")
         manifest = document.get("manifest")
         counters = document.get("counters") or {}
@@ -634,6 +701,7 @@ class BatchEngine:
             worker_pid=document.get("worker_pid"),  # type: ignore[arg-type]
             serial_fallback=serial,
             counters=dict(counters),  # type: ignore[arg-type]
+            queue_wait_s=queue_wait,
         )
         if self.cache is not None and isinstance(payload, dict):
             # Sanity: the worker's own digests must agree with the

@@ -26,11 +26,25 @@ Requests (see ``docs/service.md`` for the full protocol)::
     {"op": "report",  "netlist": "p.json", "clocks": "c.json",
      "endpoint": "s1_l"}
     {"op": "stats"}
+    {"op": "health"}
+    {"op": "metrics"}
     {"op": "shutdown"}
 
 Responses always carry ``"ok"``; errors come back as
 ``{"ok": false, "error": ..., "error_type": ...}`` -- a malformed
 request never takes the daemon down.
+
+**Service telemetry** (PR 4; see ``docs/observability.md``): the daemon
+keeps an always-on, low-overhead *service recorder* feeding the
+``health``/``metrics`` ops and the optional localhost HTTP sidecar
+(``--http-port``: ``GET /healthz``, ``GET /metrics``).  A request that
+carries a ``repro.trace/1`` context (any :class:`DaemonClient` call made
+while the client records) is handled under a per-request recorder whose
+snapshot ships back in the response and merges into the client trace --
+one Chrome trace across both processes.  With ``--access-log`` every
+request appends one ``repro.accesslog/1`` JSON line (op, design, warm
+vs rebuild, queue-wait vs handle time, status, duration); requests
+slower than the threshold attach their full span tree.
 """
 
 from __future__ import annotations
@@ -45,6 +59,9 @@ import time
 from typing import Dict, Optional, Tuple, Union
 
 from repro import obs
+from repro.obs import live
+from repro.obs.accesslog import AccessLog
+from repro.obs.hist import LATENCY_BUCKETS
 from repro.service.cache import ResultCache
 from repro.service.digest import (
     analysis_config,
@@ -98,6 +115,8 @@ class _DesignState:
         self.lock = threading.Lock()
         self.mutations = 0
         self.analyses = 0
+        #: Requests currently queued on / holding this design's lock.
+        self.in_flight = 0
         #: Has the *current* engine answered at least once?  Reset on a
         #: full rebuild (clock edits), kept across delay mutations.
         self.served = False
@@ -126,23 +145,100 @@ class _DesignState:
 
 
 class TimingDaemon:
-    """Long-lived analyze/what-if/report engine on a Unix socket."""
+    """Long-lived analyze/what-if/report engine on a Unix socket.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix-domain socket to listen on.
+    cache:
+        Optional :class:`ResultCache` short-circuiting cold loads.
+    slow_path_limit:
+        Default ``analyze`` slow-path limit.
+    telemetry:
+        Keep an always-on service :class:`repro.obs.Recorder` feeding
+        the ``health``/``metrics`` ops and the HTTP sidecar (default
+        on; ``False`` strips the daemon back to PR-3 behaviour).
+    http_port:
+        When not ``None``, serve ``/healthz`` and ``/metrics`` over
+        localhost HTTP on this port (``0`` picks an ephemeral port;
+        see :attr:`http_address`).
+    access_log:
+        Path or :class:`repro.obs.AccessLog`; one ``repro.accesslog/1``
+        JSON line per request.
+    slow_threshold_s:
+        Requests at least this slow log their full span tree (traced
+        requests only -- the span detail comes from the per-request
+        recorder).
+    """
 
     def __init__(
         self,
         socket_path: Union[str, "os.PathLike[str]"],
         cache: Optional[ResultCache] = None,
         slow_path_limit: Optional[int] = 50,
+        telemetry: bool = True,
+        http_port: Optional[int] = None,
+        access_log: Union[None, str, "os.PathLike[str]", AccessLog] = None,
+        slow_threshold_s: float = 1.0,
     ) -> None:
         self.socket_path = str(socket_path)
         self.cache = cache
         self.slow_path_limit = slow_path_limit
         self.started_at = time.time()
         self.requests = 0
+        self.errors = 0
+        self.in_flight = 0
+        self.last_error: Optional[Dict[str, object]] = None
+        #: Always-on service recorder (``None`` with telemetry off).
+        self.recorder: Optional[obs.Recorder] = (
+            obs.Recorder(max_spans=10_000, max_events=2_000)
+            if telemetry
+            else None
+        )
+        self.http_port = http_port
+        self._sidecar = None
+        if isinstance(access_log, AccessLog):
+            # Adopt the caller's threshold -- it owns the log.
+            self.access_log: Optional[AccessLog] = access_log
+            self.slow_threshold_s = access_log.slow_threshold_s
+        elif access_log is not None:
+            self.access_log = AccessLog(
+                access_log, slow_threshold_s=slow_threshold_s
+            )
+            self.slow_threshold_s = float(slow_threshold_s)
+        else:
+            self.access_log = None
+            self.slow_threshold_s = float(slow_threshold_s)
         self._designs: Dict[Tuple[str, str], _DesignState] = {}
         self._designs_lock = threading.Lock()
+        self._state_lock = threading.Lock()  # requests/errors/in_flight
+        #: Serialises *traced* requests: handling one means temporarily
+        #: installing its per-request recorder process-wide, so two
+        #: concurrent traces would interleave their pipeline spans.
+        self._trace_lock = threading.Lock()
+        self._local = threading.local()
         self._server: Optional[socketserver.ThreadingUnixStreamServer] = None
         self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # telemetry plumbing
+    # ------------------------------------------------------------------
+    def _counter(self, name: str, value: float = 1.0) -> None:
+        """Count into the service recorder *and* any ambient recorder."""
+        if self.recorder is not None:
+            self.recorder.counter(name, value)
+        obs.counter(name, value)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.recorder is not None:
+            self.recorder.gauge(name, value)
+        obs.gauge(name, value)
+
+    def _histogram(self, name: str, value: float) -> None:
+        if self.recorder is not None:
+            self.recorder.histogram(name, value, LATENCY_BUCKETS)
+        obs.histogram(name, value, LATENCY_BUCKETS)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -185,11 +281,65 @@ class TimingDaemon:
         server.daemon_threads = True
         return server
 
+    def _start_sidecar(self) -> None:
+        if self.http_port is None or self._sidecar is not None:
+            return
+        from repro.service.httpmon import TelemetrySidecar
+
+        self._sidecar = TelemetrySidecar(
+            routes={
+                "/healthz": self._http_healthz,
+                "/metrics": self._http_metrics,
+            },
+            port=self.http_port,
+            on_request=lambda path: self._counter(
+                "service.daemon.http_requests"
+            ),
+        )
+        self._sidecar.start()
+
+    @property
+    def http_address(self) -> Optional[Tuple[str, int]]:
+        """``(host, port)`` of the live HTTP sidecar, or ``None``."""
+        return self._sidecar.address if self._sidecar else None
+
+    def _http_healthz(self) -> Tuple[str, str]:
+        body = json.dumps(
+            {"ok": True, "status": "ok", **self._snapshot()},
+            sort_keys=True,
+        )
+        return "application/json", body + "\n"
+
+    def _http_metrics(self) -> Tuple[str, str]:
+        from repro.obs.metrics import render_prometheus
+
+        if self.recorder is None:
+            raise RuntimeError("telemetry disabled (no service recorder)")
+        self._sync_gauges()
+        return (
+            "text/plain; version=0.0.4",
+            render_prometheus(self.recorder),
+        )
+
+    def _sync_gauges(self) -> None:
+        """Refresh point-in-time gauges before a metrics export."""
+        if self.recorder is None:
+            return
+        with self._designs_lock:
+            designs_loaded = len(self._designs)
+        self.recorder.gauge("service.daemon.in_flight", self.in_flight)
+        self.recorder.gauge("service.daemon.designs", designs_loaded)
+        self.recorder.gauge(
+            "service.daemon.uptime_seconds",
+            time.time() - self.started_at,
+        )
+
     def start(self) -> None:
         """Serve in a background thread (returns once listening)."""
         if self._server is not None:
             raise RuntimeError("daemon already started")
         self._server = self._make_server()
+        self._start_sidecar()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -202,6 +352,7 @@ class TimingDaemon:
         if self._server is not None:
             raise RuntimeError("daemon already started")
         self._server = self._make_server()
+        self._start_sidecar()
         try:
             self._server.serve_forever(poll_interval=0.05)
         finally:
@@ -218,6 +369,11 @@ class TimingDaemon:
         self._cleanup()
 
     def _cleanup(self) -> None:
+        sidecar, self._sidecar = self._sidecar, None
+        if sidecar is not None:
+            sidecar.stop()
+        if self.access_log is not None:
+            self.access_log.close()
         try:
             os.unlink(self.socket_path)
         except OSError:
@@ -234,11 +390,32 @@ class TimingDaemon:
     # dispatch
     # ------------------------------------------------------------------
     def handle_line(self, line: bytes) -> Dict[str, object]:
-        """Parse one request line and answer it (never raises)."""
-        started = time.perf_counter()
-        self.requests += 1
-        obs.counter("service.daemon.requests")
+        """Parse one request line and answer it (never raises).
+
+        Requests are timestamped **on arrival**; handlers that queue on
+        a per-design lock report arrival -> lock-acquired as
+        ``service.daemon.queue_wait_seconds`` and the remainder as
+        ``service.daemon.handle_seconds`` -- the split the ROADMAP's
+        daemon-concurrency work needs.  A request carrying a
+        ``repro.trace/1`` context runs under a per-request recorder
+        (traced requests serialise on an internal lock) and ships the
+        recorder snapshot back under ``"trace"``.
+        """
+        arrival = time.perf_counter()
+        local = self._local
+        local.queue_wait = None
+        local.design = None
+        local.engine = None
+        with self._state_lock:
+            self.requests += 1
+            self.in_flight += 1
+        self._counter("service.daemon.requests")
         request: Dict[str, object] = {}
+        op = ""
+        status = "ok"
+        error: Optional[str] = None
+        req_rec: Optional[obs.Recorder] = None
+        snapshot_doc: Optional[Dict[str, object]] = None
         try:
             parsed = json.loads(line.decode("utf-8"))
             if not isinstance(parsed, dict):
@@ -248,21 +425,93 @@ class TimingDaemon:
             handler = getattr(self, f"_op_{op}", None)
             if handler is None or op.startswith("_"):
                 raise ValueError(f"unknown op {op!r}")
-            response = handler(request)
+            ctx = request.get("trace")
+            if isinstance(ctx, dict) and ctx.get("trace_id"):
+                req_rec = live.child_recorder(ctx)
+                with self._trace_lock:
+                    previous = obs.set_recorder(req_rec)
+                    try:
+                        with req_rec.span(
+                            "service.daemon.request",
+                            category="service",
+                            op=op,
+                        ):
+                            response = handler(request)
+                    finally:
+                        obs.set_recorder(previous)
+                snapshot_doc = live.snapshot(req_rec)
+                response["trace"] = snapshot_doc
+            else:
+                response = handler(request)
         except Exception as exc:  # noqa: BLE001 -- protocol boundary
-            obs.counter("service.daemon.errors")
+            status = "error"
+            error = str(exc)
+            self._counter("service.daemon.errors")
+            with self._state_lock:
+                self.errors += 1
+                self.last_error = {
+                    "error": error,
+                    "error_type": type(exc).__name__,
+                    "op": op or None,
+                    "ts": round(time.time(), 3),
+                }
             response = {
                 "ok": False,
-                "error": str(exc),
+                "error": error,
                 "error_type": type(exc).__name__,
             }
+        finally:
+            with self._state_lock:
+                self.in_flight -= 1
         if "id" in request:
             response.setdefault("id", request["id"])
-        obs.histogram(
-            "service.daemon.request_seconds",
-            time.perf_counter() - started,
+        duration = time.perf_counter() - arrival
+        queue_wait = getattr(local, "queue_wait", None)
+        handle_s = (
+            duration - queue_wait if queue_wait is not None else duration
         )
+        self._histogram("service.daemon.request_seconds", duration)
+        self._histogram("service.daemon.handle_seconds", handle_s)
+        if duration >= self.slow_threshold_s:
+            self._counter("service.daemon.slow_requests")
+        if self.access_log is not None:
+            self.access_log.record(
+                "daemon",
+                op or "?",
+                getattr(local, "design", None),
+                status,
+                duration,
+                snapshot=snapshot_doc,
+                engine=getattr(local, "engine", None),
+                queue_wait_s=(
+                    round(queue_wait, 6) if queue_wait is not None else None
+                ),
+                handle_s=round(handle_s, 6),
+                error=error,
+                pid=os.getpid(),
+                trace_id=req_rec.trace_id if req_rec else None,
+            )
         return response
+
+    def _acquire_design(self, state: _DesignState) -> None:
+        """Acquire the per-design lock, recording the queue wait.
+
+        The wait from the request's arrival at the lock to acquiring it
+        *is* the per-design-lock contention -- the number the ROADMAP
+        "daemon concurrency" item needs data for.
+        """
+        waited_from = time.perf_counter()
+        with self._state_lock:
+            state.in_flight += 1
+        state.lock.acquire()
+        queue_wait = time.perf_counter() - waited_from
+        self._local.queue_wait = queue_wait
+        self._histogram("service.daemon.queue_wait_seconds", queue_wait)
+
+    def _release_design(self, state: _DesignState) -> None:
+        with self._state_lock:
+            state.in_flight -= 1
+        state.lock.release()
 
     # ------------------------------------------------------------------
     # state helpers
@@ -281,7 +530,8 @@ class TimingDaemon:
                         key[0], key[1], request.get("default_clock")
                     )
                 self._designs[key] = state
-                obs.counter("service.daemon.designs_loaded")
+                self._counter("service.daemon.designs_loaded")
+        self._local.design = state.network.name
         return state
 
     def _analyze_state(
@@ -292,8 +542,9 @@ class TimingDaemon:
         limit = request.get("slow_path_limit", self.slow_path_limit)
         tolerance = float(request.get("tolerance", 0.0) or 0.0)
         engine = "incremental-warm" if state.warm else "cold"
+        self._local.engine = engine
         if engine == "incremental-warm":
-            obs.counter("service.daemon.incremental_hits")
+            self._counter("service.daemon.incremental_hits")
         result = state.analyzer.timing_result(
             warm=True, slow_path_limit=limit, tolerance=tolerance
         )
@@ -326,25 +577,76 @@ class TimingDaemon:
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
+    def _snapshot(self) -> Dict[str, object]:
+        """The shared liveness facts behind ping, stats and health.
+
+        One source of truth -- ``uptime_s`` and friends cannot drift
+        between the three ops (they used to be hand-rolled per op).
+        """
+        with self._designs_lock:
+            designs_loaded = len(self._designs)
+        with self._state_lock:
+            return {
+                "protocol": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "requests": self.requests,
+                "errors": self.errors,
+                "in_flight": self.in_flight,
+                "designs_loaded": designs_loaded,
+                "last_error": self.last_error,
+            }
+
     def _op_ping(self, request: Dict[str, object]) -> Dict[str, object]:
+        snapshot = self._snapshot()
         return {
             "ok": True,
             "pong": True,
-            "protocol": PROTOCOL_VERSION,
-            "pid": os.getpid(),
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "protocol": snapshot["protocol"],
+            "pid": snapshot["pid"],
+            "uptime_s": snapshot["uptime_s"],
+        }
+
+    def _op_health(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Liveness probe: the same JSON ``GET /healthz`` serves."""
+        return {
+            "ok": True,
+            "status": "ok",
+            "telemetry": self.recorder is not None,
+            "http": list(self.http_address) if self.http_address else None,
+            **self._snapshot(),
+        }
+
+    def _op_metrics(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The service recorder's contents: Prometheus text + JSON."""
+        from repro.obs.metrics import metrics_dict, render_prometheus
+
+        if self.recorder is None:
+            raise ValueError(
+                "telemetry is disabled on this daemon (no service "
+                "recorder); restart without telemetry=False"
+            )
+        self._sync_gauges()
+        return {
+            "ok": True,
+            "text": render_prometheus(self.recorder),
+            "metrics": metrics_dict(self.recorder),
         }
 
     def _op_analyze(self, request: Dict[str, object]) -> Dict[str, object]:
         state = self._design(request)
-        with state.lock:
+        self._acquire_design(state)
+        try:
             with obs.span("service.daemon.analyze", category="service"):
                 return self._analyze_state(state, request)
+        finally:
+            self._release_design(state)
 
     def _op_mutate(self, request: Dict[str, object]) -> Dict[str, object]:
         state = self._design(request)
         action = str(request.get("action", ""))
-        with state.lock:
+        self._acquire_design(state)
+        try:
             with obs.span("service.daemon.mutate", category="service"):
                 if action == "scale_cell":
                     cell = str(request.get("cell", ""))
@@ -365,7 +667,7 @@ class TimingDaemon:
                         "scale_cell, scale_clocks or set_pulse_width)"
                     )
             state.mutations += 1
-            obs.counter("service.daemon.mutations")
+            self._counter("service.daemon.mutations")
             response: Dict[str, object] = {
                 "ok": True,
                 "action": action,
@@ -376,6 +678,8 @@ class TimingDaemon:
             if request.get("analyze", True):
                 response["analysis"] = self._analyze_state(state, request)
             return response
+        finally:
+            self._release_design(state)
 
     def _rebuild(self, state: _DesignState) -> None:
         """Clock edits change the instance windows: rebuild the engine
@@ -393,7 +697,8 @@ class TimingDaemon:
         endpoint = request.get("endpoint")
         if not endpoint:
             raise ValueError("report needs an 'endpoint'")
-        with state.lock:
+        self._acquire_design(state)
+        try:
             result = state.analyzer.timing_result(warm=True)
             forensics = result.path_forensics()
             explained = forensics.explain(str(endpoint))
@@ -403,6 +708,8 @@ class TimingDaemon:
                 "text": forensics.render_text(explained),
                 "report": json.loads(forensics.to_json([explained])),
             }
+        finally:
+            self._release_design(state)
 
     def _op_stats(self, request: Dict[str, object]) -> Dict[str, object]:
         with self._designs_lock:
@@ -415,14 +722,13 @@ class TimingDaemon:
                     "mutations": state.mutations,
                     "rebuilds": state.analyzer.rebuilds,
                     "swaps": state.analyzer.swaps,
+                    "in_flight": state.in_flight,
                 }
                 for state in self._designs.values()
             }
         return {
             "ok": True,
-            "protocol": PROTOCOL_VERSION,
-            "uptime_s": round(time.time() - self.started_at, 3),
-            "requests": self.requests,
+            **self._snapshot(),
             "designs": designs,
             "cache": (
                 self.cache.stats.to_dict()
@@ -463,19 +769,41 @@ class DaemonClient:
         self._file = self._sock.makefile("rwb")
 
     def request(self, request: Dict[str, object]) -> Dict[str, object]:
-        """Send one request object, wait for its response object."""
-        self._file.write(
-            json.dumps(
-                request, sort_keys=True, separators=(",", ":")
-            ).encode("utf-8")
-            + b"\n"
-        )
-        self._file.flush()
-        line = self._file.readline()
+        """Send one request object, wait for its response object.
+
+        While the calling process records (``obs.recording()``), the
+        request automatically carries a ``repro.trace/1`` context; the
+        daemon handles it under a per-request recorder and ships the
+        snapshot back, which is merged into the local trace -- the
+        client span and the daemon's handler spans share one trace id
+        in the resulting Chrome trace (see ``docs/observability.md``).
+        """
+        recorder = obs.active()
+        ctx = None
+        if recorder is not None and "trace" not in request:
+            ctx = live.trace_context(recorder)
+            request = dict(request)
+            request["trace"] = ctx
+        with obs.span(
+            "service.client.request",
+            category="service",
+            op=str(request.get("op", "")),
+            **live.span_args(ctx),
+        ):
+            self._file.write(
+                json.dumps(
+                    request, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+                + b"\n"
+            )
+            self._file.flush()
+            line = self._file.readline()
         if not line:
             raise ConnectionError("daemon closed the connection")
         response = json.loads(line.decode("utf-8"))
         response.pop("__shutdown__", None)
+        if ctx is not None:
+            live.merge_snapshot(recorder, response.pop("trace", None))
         return response
 
     def close(self) -> None:
@@ -514,6 +842,12 @@ class DaemonClient:
 
     def stats(self) -> Dict[str, object]:
         return self.request({"op": "stats"})
+
+    def health(self) -> Dict[str, object]:
+        return self.request({"op": "health"})
+
+    def metrics(self) -> Dict[str, object]:
+        return self.request({"op": "metrics"})
 
     def shutdown(self) -> Dict[str, object]:
         return self.request({"op": "shutdown"})

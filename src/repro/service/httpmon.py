@@ -1,0 +1,139 @@
+"""Localhost HTTP telemetry sidecar for the timing daemon.
+
+``repro-sta serve --http-port 8080`` attaches a
+:class:`TelemetrySidecar` to the daemon: a tiny threading HTTP server
+bound to **127.0.0.1 only** (telemetry is not an external API) with two
+routes wired by :class:`repro.service.daemon.TimingDaemon`:
+
+* ``GET /healthz`` -- liveness JSON (uptime, in-flight requests,
+  designs loaded, last error), and
+* ``GET /metrics`` -- Prometheus exposition text straight from the
+  daemon's always-on service recorder,
+
+so a running daemon is scrapeable with ``curl`` or a Prometheus
+``scrape_config`` without touching the Unix socket or a log file.
+Everything is standard library (``http.server``); requests never block
+the JSON-lines serving path.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["TelemetrySidecar"]
+
+#: A route renders ``() -> (content_type, body_text)``.
+Route = Callable[[], Tuple[str, str]]
+
+
+class TelemetrySidecar:
+    """Serve read-only telemetry routes over localhost HTTP.
+
+    Parameters
+    ----------
+    routes:
+        Mapping of exact path -> zero-argument callable returning
+        ``(content_type, body)``.  A raising route answers 500 with the
+        error message; unknown paths answer 404 listing the routes.
+    port:
+        TCP port on 127.0.0.1 (``0`` picks an ephemeral port; read the
+        bound address back from :attr:`address`).
+    on_request:
+        Optional hook called with the request path (used by the daemon
+        to count ``service.daemon.http_requests``).
+    """
+
+    def __init__(
+        self,
+        routes: Dict[str, Route],
+        port: int = 0,
+        host: str = "127.0.0.1",
+        on_request: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.routes = dict(routes)
+        self.host = host
+        self.port = int(port)
+        self.on_request = on_request
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The bound ``(host, port)``, or ``None`` before :meth:`start`."""
+        if self._server is None:
+            return None
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve in a daemon thread; returns the address."""
+        if self._server is not None:
+            raise RuntimeError("sidecar already started")
+        sidecar = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 -- http.server API
+                path = self.path.split("?", 1)[0]
+                if sidecar.on_request is not None:
+                    try:
+                        sidecar.on_request(path)
+                    except Exception:  # noqa: BLE001 -- hook must not 500
+                        pass
+                route = sidecar.routes.get(path)
+                if route is None:
+                    known = " ".join(sorted(sidecar.routes))
+                    self._reply(
+                        404, "text/plain", f"unknown path (routes: {known})\n"
+                    )
+                    return
+                try:
+                    content_type, body = route()
+                except Exception as exc:  # noqa: BLE001 -- report, don't die
+                    self._reply(500, "text/plain", f"{exc}\n")
+                    return
+                self._reply(200, content_type, body)
+
+            def _reply(
+                self, status: int, content_type: str, body: str
+            ) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args) -> None:  # silence stderr
+                return
+
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+        )
+        self._thread.start()
+        address = self.address
+        assert address is not None
+        return address
+
+    def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetrySidecar":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

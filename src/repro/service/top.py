@@ -1,0 +1,221 @@
+"""``repro-sta top`` -- a live dashboard for a running timing daemon.
+
+Split in two so the interesting part is testable without a terminal:
+
+* :func:`fetch_frame` -- one poll over the Unix socket: the ``health``,
+  ``stats`` and ``metrics`` ops plus a wall timestamp, bundled into a
+  plain *frame* dict,
+* :func:`render_top` -- a **pure** renderer: frame (+ the previous
+  frame for rates) in, multi-line text out.  No ANSI, no sleeping, no
+  sockets -- the CLI wrapper (:mod:`repro.cli`) owns the
+  clear-screen/redraw loop.
+
+The renderer derives everything from daemon telemetry:
+
+* request throughput (``requests`` delta between frames / elapsed),
+* p50/p95 request, handle and queue-wait latency from the
+  ``service.daemon.*_seconds`` histogram buckets
+  (:func:`repro.obs.hist.quantile_from_counts` -- same linear
+  interpolation Prometheus' ``histogram_quantile`` uses),
+* cache hit rate, per-design warm/in-flight table, worker liveness.
+
+A daemon started with ``telemetry=False`` still renders: the latency
+block degrades to ``telemetry disabled``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.hist import quantile_from_counts
+
+__all__ = ["fetch_frame", "render_top"]
+
+#: Histograms rendered in the latency block, in display order.
+_LATENCY_ROWS = (
+    ("request", "service.daemon.request_seconds"),
+    ("handle", "service.daemon.handle_seconds"),
+    ("queue-wait", "service.daemon.queue_wait_seconds"),
+)
+
+
+def fetch_frame(client) -> Dict[str, object]:
+    """Poll one dashboard frame from a :class:`DaemonClient`.
+
+    Never raises on an ``ok=False`` op response (e.g. ``metrics`` with
+    telemetry disabled) -- the degraded sub-document is kept so the
+    renderer can say why a block is empty.  Socket-level errors *do*
+    propagate; the CLI loop reports them and retries.
+    """
+    return {
+        "ts": time.time(),
+        "health": client.health(),
+        "stats": client.stats(),
+        "metrics": client.metrics(),
+    }
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _fmt_uptime(seconds: float) -> str:
+    seconds = max(0.0, float(seconds))
+    minutes, secs = divmod(int(seconds), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m{secs:02d}s"
+    if minutes:
+        return f"{minutes}m{secs:02d}s"
+    return f"{seconds:.1f}s"
+
+
+def _quantiles(histogram: Dict[str, object]) -> Dict[str, float]:
+    bounds = list(histogram.get("bounds") or ())
+    counts = list(histogram.get("counts") or ())
+    if not bounds or len(counts) != len(bounds) + 1:
+        return {}
+    return {
+        "p50": quantile_from_counts(bounds, counts, 0.50),
+        "p95": quantile_from_counts(bounds, counts, 0.95),
+        "count": float(histogram.get("count", 0)),
+        "mean": (
+            float(histogram.get("sum", 0.0)) / float(histogram["count"])
+            if histogram.get("count")
+            else 0.0
+        ),
+        "max": float(histogram.get("max", 0.0)),
+    }
+
+
+def _rate(
+    frame: Dict[str, object], previous: Optional[Dict[str, object]]
+) -> Optional[float]:
+    """Requests per second between two frames (``None`` on frame 1)."""
+    if not previous:
+        return None
+    try:
+        dt = float(frame["ts"]) - float(previous["ts"])
+        dreq = int(frame["health"]["requests"]) - int(
+            previous["health"]["requests"]
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+    if dt <= 0.0:
+        return None
+    return max(0.0, dreq / dt)
+
+
+def render_top(
+    frame: Dict[str, object],
+    previous: Optional[Dict[str, object]] = None,
+    width: int = 72,
+) -> str:
+    """Render one dashboard frame as plain text (pure function)."""
+    health = frame.get("health") or {}
+    stats = frame.get("stats") or {}
+    metrics_doc = frame.get("metrics") or {}
+    lines: List[str] = []
+    rule = "-" * width
+
+    clock = time.strftime("%H:%M:%S", time.localtime(frame.get("ts", 0)))
+    lines.append(
+        f"repro top | daemon pid {health.get('pid', '?')} | "
+        f"up {_fmt_uptime(health.get('uptime_s', 0.0))} | {clock}"
+    )
+    lines.append(rule)
+
+    rate = _rate(frame, previous)
+    rate_text = f"{rate:6.2f} req/s" if rate is not None else "  --  req/s"
+    lines.append(
+        f"requests {int(health.get('requests', 0)):>7}   "
+        f"{rate_text}   errors {int(health.get('errors', 0)):>4}   "
+        f"in-flight {int(health.get('in_flight', 0)):>3}   "
+        f"designs {int(health.get('designs_loaded', 0)):>3}"
+    )
+
+    # -- latency (histogram quantiles from the service recorder) -------
+    if metrics_doc.get("ok"):
+        histograms = (metrics_doc.get("metrics") or {}).get(
+            "histograms"
+        ) or {}
+        lines.append(rule)
+        lines.append(
+            f"{'latency':<12}{'count':>7}{'p50':>10}{'p95':>10}"
+            f"{'mean':>10}{'max':>10}"
+        )
+        for label, name in _LATENCY_ROWS:
+            q = _quantiles(histograms.get(name) or {})
+            if not q:
+                lines.append(f"{label:<12}{'-':>7}")
+                continue
+            lines.append(
+                f"{label:<12}{int(q['count']):>7}"
+                f"{_fmt_seconds(q['p50']):>10}"
+                f"{_fmt_seconds(q['p95']):>10}"
+                f"{_fmt_seconds(q['mean']):>10}"
+                f"{_fmt_seconds(q['max']):>10}"
+            )
+        counters = (metrics_doc.get("metrics") or {}).get("counters") or {}
+        lines.append(
+            f"warm hits {int(counters.get('service.daemon.incremental_hits', 0))}"
+            f" | mutations {int(counters.get('service.daemon.mutations', 0))}"
+            f" | slow {int(counters.get('service.daemon.slow_requests', 0))}"
+            f" | http {int(counters.get('service.daemon.http_requests', 0))}"
+        )
+    else:
+        lines.append(rule)
+        lines.append("latency: telemetry disabled on this daemon")
+
+    # -- result cache --------------------------------------------------
+    cache = stats.get("cache")
+    lines.append(rule)
+    if isinstance(cache, dict):
+        lookups = int(cache.get("hits", 0)) + int(cache.get("misses", 0))
+        hit_rate = (
+            int(cache.get("hits", 0)) / lookups if lookups else 0.0
+        )
+        lines.append(
+            f"cache    hits {int(cache.get('hits', 0)):>6}   "
+            f"misses {int(cache.get('misses', 0)):>6}   "
+            f"hit rate {hit_rate:6.1%}   "
+            f"entries {int(cache.get('entries', 0)):>5}"
+        )
+    else:
+        lines.append("cache    (no result cache attached)")
+
+    # -- per-design table ----------------------------------------------
+    designs = stats.get("designs") or {}
+    lines.append(rule)
+    if designs:
+        lines.append(
+            f"{'design':<24}{'warm':>6}{'analyses':>10}{'mutations':>11}"
+            f"{'in-flight':>11}"
+        )
+        for name in sorted(designs):
+            d = designs[name] or {}
+            lines.append(
+                f"{name[:24]:<24}"
+                f"{('yes' if d.get('warm') else 'no'):>6}"
+                f"{int(d.get('analyses', 0)):>10}"
+                f"{int(d.get('mutations', 0)):>11}"
+                f"{int(d.get('in_flight', 0)):>11}"
+            )
+    else:
+        lines.append("no designs loaded yet")
+
+    last_error = health.get("last_error")
+    if isinstance(last_error, dict) and last_error.get("error"):
+        lines.append(rule)
+        lines.append(
+            f"last error [{last_error.get('op', '?')}]: "
+            f"{str(last_error.get('error'))[: width - 20]}"
+        )
+    return "\n".join(lines)

@@ -30,8 +30,17 @@ Result document (``ok=True``)::
       "digests": {"network": ..., "schedule": ..., "config": ...,
                   "key": ...},
       "worker_pid": 4242,
-      "counters": {"alg1.iterations_total": 12, ...}
+      "counters": {"alg1.iterations_total": 12, ...},
+      # when the spec carried a repro.trace/1 context ("trace" key):
+      "trace": {... repro.obs.snapshot/1 ...},
+      # when the spec carried "submitted_wall" (parent submit time):
+      "queue_wait_s": 0.0123
     }
+
+A spec carrying a ``"trace"`` context (see :mod:`repro.obs.live`) makes
+the worker record into a trace-joined recorder and ship its snapshot
+back, so the parent can merge worker spans -- load, analyze, store --
+into one cross-process Chrome trace.
 
 Failures inside the worker are *reported*, not raised: an ``ok=False``
 document with ``error``/``error_type`` comes back so the scheduler can
@@ -105,6 +114,7 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
     from repro.netlist.blif import load_blif
     from repro.netlist.persistence import load_network
     from repro.netlist.verilog import load_verilog
+    from repro.obs import live
     from repro.service.digest import (
         analysis_config,
         cache_key,
@@ -114,8 +124,20 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
     )
 
     _maybe_inject_faults(spec)
+    ctx = spec.get("trace")
+    traced = isinstance(ctx, dict) and bool(ctx.get("trace_id"))
+    submitted_wall = spec.get("submitted_wall")
+    queue_wait_s = None
+    if isinstance(submitted_wall, (int, float)):
+        queue_wait_s = max(0.0, time.time() - float(submitted_wall))
     try:
-        with obs.recording() as recorder:
+        with obs.recording(
+            live.child_recorder(ctx) if traced else None
+        ) as recorder, obs.span(
+            "service.worker.job",
+            category="service",
+            job=str(spec.get("name", "")),
+        ):
             suffix = os.path.splitext(str(spec["netlist"]))[1].lower()
             library = standard_library()
             default_clock = spec.get("default_clock")
@@ -157,7 +179,7 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
             digests["key"] = cache_key(
                 digests["network"], digests["schedule"], digests["config"]
             )
-        return {
+        document: Dict[str, object] = {
             "ok": True,
             "payload": result.payload(),
             "manifest": manifest,
@@ -169,6 +191,11 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
                 if recorder.counters.get(name)
             },
         }
+        if traced:
+            document["trace"] = live.snapshot(recorder)
+        if queue_wait_s is not None:
+            document["queue_wait_s"] = round(queue_wait_s, 6)
+        return document
     except Exception as exc:  # noqa: BLE001 -- reported, not raised
         return {
             "ok": False,

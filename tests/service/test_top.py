@@ -1,0 +1,150 @@
+"""Tests for the ``repro-sta top`` dashboard (renderer + CLI loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.service import DaemonClient, TimingDaemon
+from repro.service.top import fetch_frame, render_top
+
+
+def _frame(ts=1000.0, requests=10, **over):
+    health = {
+        "ok": True,
+        "pid": 4242,
+        "uptime_s": 75.0,
+        "requests": requests,
+        "errors": 1,
+        "in_flight": 2,
+        "designs_loaded": 1,
+        "last_error": None,
+    }
+    health.update(over.pop("health", {}))
+    metrics = over.pop(
+        "metrics",
+        {
+            "ok": True,
+            "metrics": {
+                "counters": {
+                    "service.daemon.incremental_hits": 3,
+                    "service.daemon.mutations": 1,
+                    "service.daemon.slow_requests": 0,
+                    "service.daemon.http_requests": 5,
+                },
+                "histograms": {
+                    "service.daemon.request_seconds": {
+                        "bounds": [0.001, 0.01, 0.1],
+                        "counts": [0, 10, 0, 0],
+                        "count": 10,
+                        "sum": 0.05,
+                        "min": 0.002,
+                        "max": 0.009,
+                        "mean": 0.005,
+                    }
+                },
+            },
+        },
+    )
+    stats = over.pop(
+        "stats",
+        {
+            "ok": True,
+            "designs": {
+                "chip_a": {
+                    "warm": True,
+                    "analyses": 4,
+                    "mutations": 1,
+                    "in_flight": 0,
+                }
+            },
+            "cache": {
+                "hits": 8,
+                "misses": 2,
+                "stores": 2,
+                "entries": 2,
+            },
+        },
+    )
+    return {"ts": ts, "health": health, "stats": stats, "metrics": metrics}
+
+
+class TestRenderTop:
+    def test_renders_all_blocks(self):
+        text = render_top(_frame())
+        assert "daemon pid 4242" in text
+        assert "1m15s" in text  # uptime formatting
+        assert "requests" in text and "in-flight" in text
+        assert "request" in text and "p50" in text and "p95" in text
+        assert "hit rate  80.0%" in text
+        assert "chip_a" in text
+
+    def test_rate_from_previous_frame(self):
+        previous = _frame(ts=1000.0, requests=10)
+        text = render_top(_frame(ts=1002.0, requests=20), previous)
+        assert "5.00 req/s" in text
+        # Without a previous frame the rate column is a placeholder.
+        assert "req/s" in render_top(_frame())
+        assert "5.00" not in render_top(_frame())
+
+    def test_quantiles_from_histogram_buckets(self):
+        text = render_top(_frame())
+        # All 10 samples in (0.001, 0.01]: p50 interpolates to 5.5ms.
+        assert "5.5ms" in text
+
+    def test_degrades_without_telemetry(self):
+        frame = _frame(metrics={"ok": False, "error": "disabled"})
+        text = render_top(frame)
+        assert "telemetry disabled" in text
+
+    def test_degrades_without_cache_or_designs(self):
+        frame = _frame(stats={"ok": True, "designs": {}, "cache": None})
+        text = render_top(frame)
+        assert "no result cache" in text
+        assert "no designs loaded yet" in text
+
+    def test_last_error_shown(self):
+        frame = _frame(
+            health={
+                "last_error": {"op": "analyze", "error": "netlist gone"}
+            }
+        )
+        text = render_top(frame)
+        assert "last error [analyze]: netlist gone" in text
+
+    def test_renderer_is_pure(self):
+        frame = _frame()
+        assert render_top(frame) == render_top(frame)
+
+
+class TestTopAgainstLiveDaemon:
+    def test_fetch_frame_shape(self, tmp_path, design_files):
+        socket_path = str(tmp_path / "top.sock")
+        netlist, clocks = design_files
+        with TimingDaemon(socket_path):
+            with DaemonClient(socket_path) as client:
+                client.analyze(netlist, clocks)
+                frame = fetch_frame(client)
+        assert frame["health"]["ok"]
+        assert frame["stats"]["ok"]
+        assert frame["metrics"]["ok"]
+        assert frame["ts"] > 0
+
+    def test_cli_top_once(self, tmp_path, design_files, capsys):
+        socket_path = str(tmp_path / "top.sock")
+        netlist, clocks = design_files
+        with TimingDaemon(socket_path):
+            with DaemonClient(socket_path) as client:
+                client.analyze(netlist, clocks)
+            status = main(["top", "--socket", socket_path, "--once"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "latch_pipeline" in out
+        assert "\x1b" not in out  # --once never emits escape codes
+
+    def test_cli_top_unreachable_socket(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["top", "--socket", str(tmp_path / "absent.sock"), "--once"]
+            )
