@@ -350,6 +350,23 @@ def _make_cache(args: argparse.Namespace):
     return ResultCache(args.cache_dir, max_entries=args.cache_entries)
 
 
+def _make_cluster_cache(args: argparse.Namespace):
+    """Cluster-granular sub-key cache, conventionally placed next to
+    the triple cache at ``<cache-dir>/clusters``.  Disabled alongside
+    the triple cache (``--no-cache``) or on its own
+    (``--no-cluster-cache``)."""
+    from repro.service import ClusterCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "no_cluster_cache", False):
+        return None
+    return ClusterCache(
+        Path(args.cache_dir) / "clusters",
+        max_entries=args.cluster_cache_entries,
+    )
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.report import write_manifest
     from repro.service import BatchEngine, load_jobs
@@ -360,6 +377,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc))
     engine = BatchEngine(
         cache=_make_cache(args),
+        cluster_cache=_make_cluster_cache(args),
         max_workers=args.workers,
         job_timeout=args.timeout,
         retries=args.retries,
@@ -399,6 +417,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     daemon = TimingDaemon(
         args.socket,
         cache=_make_cache(args),
+        cluster_cache=_make_cluster_cache(args),
         slow_path_limit=args.limit,
         telemetry=not args.no_telemetry,
         http_port=args.http_port,
@@ -632,6 +651,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache",
             action="store_true",
             help="disable the result cache entirely",
+        )
+        group.add_argument(
+            "--no-cluster-cache",
+            action="store_true",
+            help="disable the cluster-granular sub-key cache "
+            "(kept under <cache-dir>/clusters); with it on, a "
+            "one-gate edit recomputes only the touched cluster",
+        )
+        group.add_argument(
+            "--cluster-cache-entries",
+            type=int,
+            default=4096,
+            help="LRU bound on cached cluster artifacts "
+            "(default: 4096)",
         )
 
     batch = sub.add_parser(

@@ -193,6 +193,10 @@ class Hummingbird:
         Estimation knobs (only used when ``delays`` is omitted).
     exhaustive_limit:
         Largest break-set size tried exhaustively in pass selection.
+    clusters:
+        Precomputed cluster partition of ``network`` (e.g. warmed from
+        the cluster cache so reachability BFS is skipped); extracted
+        from the network when omitted.
     """
 
     def __init__(
@@ -202,6 +206,7 @@ class Hummingbird:
         delays: Optional[DelayMap] = None,
         delay_params: Optional[DelayParameters] = None,
         exhaustive_limit: int = 4,
+        clusters=None,
     ) -> None:
         self.network = network
         self.schedule = schedule
@@ -219,7 +224,11 @@ class Hummingbird:
                 )
             with obs.span("analyzer.build_model", category="analyzer"):
                 self.model = AnalysisModel(
-                    network, schedule, self.delays, exhaustive_limit
+                    network,
+                    schedule,
+                    self.delays,
+                    exhaustive_limit,
+                    clusters=clusters,
                 )
             with obs.span("analyzer.build_engine", category="analyzer"):
                 self.engine = SlackEngine(self.model)

@@ -22,7 +22,7 @@ instances, so such changes trigger a full model rebuild (tracked in
 from __future__ import annotations
 
 import time
-from typing import Optional, Set
+from typing import Dict, Optional, Set
 
 from repro import obs
 from repro.clocks.schedule import ClockSchedule
@@ -49,6 +49,12 @@ class IncrementalAnalyzer:
         self.rebuilds = 0
         #: Cheap delay swaps performed (data-path changes).
         self.swaps = 0
+        #: Cluster touched by the most recent :meth:`scale_cell`
+        #: (``None`` before any mutation, or when the touched cell is
+        #: not combinational -- e.g. a synchroniser, whose timing sits
+        #: on every adjacent cluster's boundary).  Survives the model
+        #: rebuild a control-cone edit triggers.
+        self.last_touched_cluster: Optional[str] = None
         self._build()
 
     def _build(self) -> None:
@@ -64,6 +70,9 @@ class IncrementalAnalyzer:
         for trace in self.model.validation.control_traces.values():
             self._control_cells.update(trace.comb_cells)
         self._warm = False
+        # Lazy cell -> cluster ownership map; reset on rebuild (the
+        # rebuilt model re-extracts the partition).
+        self._cell_to_cluster: Optional[Dict[str, str]] = None
 
     # ------------------------------------------------------------------
     # delay changes
@@ -72,9 +81,28 @@ class IncrementalAnalyzer:
     def delays(self) -> DelayMap:
         return self._delays
 
+    def cluster_of(self, cell_name: str) -> Optional[str]:
+        """The cluster owning a combinational cell, or ``None``.
+
+        Built lazily from :attr:`model.clusters` (the same partition
+        the analysis uses), so the cache layer's invalidation map and
+        the analysis agree on ownership by construction.
+        """
+        if self._cell_to_cluster is None:
+            self._cell_to_cluster = {
+                cell.name: cluster.name
+                for cluster in self.model.clusters
+                for cell in cluster.cells
+            }
+        return self._cell_to_cluster.get(cell_name)
+
     def scale_cell(self, cell_name: str, factor: float) -> None:
         """Scale one cell's delays (the re-synthesis loop's operation)."""
         self.network.cell(cell_name)
+        # Record which cluster the edit lands in *before* mutating, so
+        # the service layer can drop exactly that cluster's cache
+        # sub-entry (see repro.service.cluster_cache).
+        self.last_touched_cluster = self.cluster_of(cell_name)
         self._delays = self._delays.with_scaled_cell(cell_name, factor)
         if cell_name in self._control_cells:
             # Control-path delays shape O_ac; rebuild the instances.

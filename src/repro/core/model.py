@@ -64,12 +64,18 @@ class AnalysisModel:
         exhaustive_limit: int = 4,
         latch_model: str = "transparent",
         pass_strategy: str = "minimum",
+        clusters: Optional[Tuple[Cluster, ...]] = None,
     ) -> None:
         """``latch_model="edge"`` degrades every transparent latch to an
         edge-triggered element (the McWilliams-style baseline of Section
         2); ``pass_strategy="per_edge"`` analyses every cluster once per
         clock edge instead of the Section 7 minimum (the per-edge
-        settling-time attribution of Wallace/Szymanski)."""
+        settling-time attribution of Wallace/Szymanski).
+
+        ``clusters`` accepts a precomputed partition of *this* network
+        (e.g. one whose reachability maps were seeded from the cluster
+        cache); when omitted the partition is extracted here.  Passing
+        clusters of a different network is undefined."""
         if latch_model not in ("transparent", "edge"):
             raise ValueError(f"unknown latch model {latch_model!r}")
         if pass_strategy not in ("minimum", "per_edge"):
@@ -89,7 +95,9 @@ class AnalysisModel:
         if latch_model == "edge":
             self._degrade_to_edge_triggered()
 
-        self.clusters: Tuple[Cluster, ...] = extract_clusters(network)
+        self.clusters: Tuple[Cluster, ...] = (
+            clusters if clusters is not None else extract_clusters(network)
+        )
         self.plans: Dict[str, BreakOpenPlan] = {}
         self.launch_ports: Dict[str, Tuple[LaunchPort, ...]] = {}
         self.capture_ports: Dict[str, Tuple[CapturePort, ...]] = {}

@@ -38,10 +38,17 @@ from repro.service.batch import (
     load_jobs,
 )
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.cluster_cache import (
+    ClusterCache,
+    ClusterMap,
+    ClusterWarmup,
+    build_cluster_map,
+)
 from repro.service.daemon import DaemonClient, TimingDaemon
 from repro.service.digest import (
     analysis_config,
     cache_key,
+    cluster_digest,
     config_digest,
     network_digest,
     schedule_digest,
@@ -54,6 +61,11 @@ __all__ = [
     "BatchJob",
     "BatchReport",
     "CacheStats",
+    "ClusterCache",
+    "ClusterMap",
+    "ClusterWarmup",
+    "build_cluster_map",
+    "cluster_digest",
     "DaemonClient",
     "JobOutcome",
     "ResultCache",

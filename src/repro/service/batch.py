@@ -44,6 +44,7 @@ from repro.obs import live
 from repro.obs.accesslog import AccessLog
 from repro.obs.hist import LATENCY_BUCKETS
 from repro.service.cache import ResultCache
+from repro.service.cluster_cache import ClusterCache
 from repro.service.digest import (
     analysis_config,
     cache_key,
@@ -118,6 +119,10 @@ class JobOutcome:
     #: Submit -> worker-pickup wall seconds (``None`` for cache hits
     #: and untraced runs; wall-clock, so cross-process skew applies).
     queue_wait_s: Optional[float] = None
+    #: Cluster-cache summary from the worker (``None`` when the
+    #: cluster cache is disabled or the job was a full-triple hit):
+    #: ``{"clusters": n, "hits": h, "recomputed": r, "hit_rate": f}``.
+    cluster_cache: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -174,6 +179,31 @@ class BatchReport:
             )
         )
 
+    @property
+    def cluster_hits(self) -> int:
+        """Cluster-level sub-key hits across computed jobs."""
+        return int(
+            sum(
+                (o.cluster_cache or {}).get("hits", 0)
+                for o in self.outcomes
+            )
+        )
+
+    @property
+    def cluster_recomputed(self) -> int:
+        """Dirty clusters whose artifacts had to be recomputed."""
+        return int(
+            sum(
+                (o.cluster_cache or {}).get("recomputed", 0)
+                for o in self.outcomes
+            )
+        )
+
+    @property
+    def cluster_hit_rate(self) -> float:
+        total = self.cluster_hits + self.cluster_recomputed
+        return self.cluster_hits / total if total else 0.0
+
     def exit_code(self) -> int:
         """CLI convention: 0 clean, 1 timing violations, 2 failures."""
         if self.failed:
@@ -195,6 +225,11 @@ class BatchReport:
             "wall_s": round(self.wall_seconds, 6),
             "alg1_iterations_total": self.total_iterations,
             "cache": self.cache_stats,
+            "cluster_cache": {
+                "hits": self.cluster_hits,
+                "recomputed": self.cluster_recomputed,
+                "hit_rate": round(self.cluster_hit_rate, 4),
+            },
             "outcomes": [
                 {
                     "name": o.job.name,
@@ -207,6 +242,7 @@ class BatchReport:
                     "intended": o.intended,
                     "worst_slack": (o.payload or {}).get("worst_slack"),
                     "manifest_digest": _maybe_manifest_digest(o.manifest),
+                    "cluster_cache": o.cluster_cache,
                     "error": o.error,
                 }
                 for o in self.outcomes
@@ -234,6 +270,12 @@ class BatchReport:
             f"alg1 iterations {self.total_iterations} | "
             f"wall {self.wall_seconds:.3f}s"
         )
+        if self.cluster_hits or self.cluster_recomputed:
+            lines.append(
+                f"clusters: {self.cluster_hits} cached, "
+                f"{self.cluster_recomputed} recomputed | "
+                f"cluster hit rate {self.cluster_hit_rate:.0%}"
+            )
         return "\n".join(lines)
 
 
@@ -339,6 +381,14 @@ class BatchEngine:
         Optional :class:`repro.obs.accesslog.AccessLog` (or a path to
         open one); :meth:`run` appends one ``kind="batch"`` JSON line
         per job outcome.
+    cluster_cache:
+        Optional :class:`repro.service.cluster_cache.ClusterCache` (or
+        a directory path to open one).  When set, every *miss* job's
+        worker probes the per-cluster sub-key store: clean clusters
+        load their artifacts, only dirty clusters recompute.  Workers
+        open their own handle on the same directory (atomic writes +
+        advisory index make concurrent access safe), so only the root
+        path travels in the job spec.
     """
 
     def __init__(
@@ -349,6 +399,7 @@ class BatchEngine:
         retries: int = 1,
         serial: bool = False,
         access_log: Union[AccessLog, str, Path, None] = None,
+        cluster_cache: Union[ClusterCache, str, Path, None] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -363,6 +414,12 @@ class BatchEngine:
             self.access_log: Optional[AccessLog] = access_log
         else:
             self.access_log = AccessLog(access_log)
+        if cluster_cache is None or isinstance(
+            cluster_cache, ClusterCache
+        ):
+            self.cluster_cache: Optional[ClusterCache] = cluster_cache
+        else:
+            self.cluster_cache = ClusterCache(cluster_cache)
 
     # ------------------------------------------------------------------
     # planning
@@ -470,6 +527,11 @@ class BatchEngine:
         rec = obs.active()
         if rec is not None:
             rec.gauge("service.batch.hit_rate", report.hit_rate)
+        # Persist write-behind recency from the probe phase's hits.
+        if self.cache is not None:
+            self.cache.flush()
+        if self.cluster_cache is not None:
+            self.cluster_cache.flush()
         self._log_outcomes(report)
         return report
 
@@ -484,6 +546,11 @@ class BatchEngine:
         """
         spec = plan.job.spec()
         spec["submitted_wall"] = time.time()
+        if self.cluster_cache is not None:
+            spec["cluster_cache"] = {
+                "root": str(self.cluster_cache.root),
+                "max_entries": self.cluster_cache.max_entries,
+            }
         ctx = live.trace_context()
         if ctx is not None:
             spec["trace"] = ctx
@@ -689,6 +756,12 @@ class BatchEngine:
         payload = document.get("payload")
         manifest = document.get("manifest")
         counters = document.get("counters") or {}
+        # Worker-side cluster-cache tallies arrive both as summary
+        # (for the outcome row) and as counters inside the worker's
+        # obs snapshot, which live.merge_snapshot above already folded
+        # into this recorder -- no extra mirroring here or the
+        # `batch --metrics` dump would double-count.
+        cluster_info = document.get("cluster_cache")
         outcomes[plan.job.name] = JobOutcome(
             job=plan.job,
             status="computed",
@@ -702,6 +775,11 @@ class BatchEngine:
             serial_fallback=serial,
             counters=dict(counters),  # type: ignore[arg-type]
             queue_wait_s=queue_wait,
+            cluster_cache=(
+                dict(cluster_info)
+                if isinstance(cluster_info, dict)
+                else None
+            ),
         )
         if self.cache is not None and isinstance(payload, dict):
             # Sanity: the worker's own digests must agree with the

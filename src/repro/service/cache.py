@@ -29,6 +29,16 @@ Eviction is LRU by last *use* (hits refresh recency), bounded by
 ``max_entries``.  All mutations bump :mod:`repro.obs` counters
 (``service.cache.hits`` / ``.misses`` / ``.stores`` / ``.evictions`` /
 ``.corrupt``) so batch runs and the daemon can report hit rates.
+
+Hot-path contract (regression-tested): a ``get`` **hit** performs no
+``objects/`` directory iteration and no index-file write.  The entry
+count is maintained incrementally from index mutations, and recency
+bumps are *write-behind*: hits mark the in-memory index dirty and the
+index file is flushed on the next ``put`` / ``evict`` / ``clear`` /
+``flush`` / ``close``.  Because the index is advisory (``_load_index``
+rebuilds it from the object store on corruption or loss), deferring
+recency persistence costs at most some LRU precision after a crash,
+never correctness.
 """
 
 from __future__ import annotations
@@ -99,12 +109,18 @@ class ResultCache:
         Cache directory (created on first use).
     max_entries:
         LRU bound; ``None`` disables eviction.
+    counter_prefix:
+        Namespace for :mod:`repro.obs` counters.  The triple-keyed
+        result cache uses the default ``service.cache``; the
+        cluster-granular sub-key cache reuses this class under
+        ``service.cluster_cache``.
     """
 
     def __init__(
         self,
         root: Union[str, Path],
         max_entries: Optional[int] = 256,
+        counter_prefix: str = "service.cache",
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
@@ -114,6 +130,10 @@ class ResultCache:
         self._objects = self.root / "objects"
         self._index_path = self.root / "index.json"
         self._index: Optional[Dict[str, float]] = None
+        self._prefix = counter_prefix
+        #: True when the in-memory index has recency updates that have
+        #: not been written to ``index.json`` yet (write-behind).
+        self._dirty = False
 
     # ------------------------------------------------------------------
     # public API
@@ -139,10 +159,13 @@ class ResultCache:
             self._quarantine(key, path, "digest-mismatch")
             return None
         self.stats.hits += 1
-        obs.counter("service.cache.hits")
+        obs.counter(f"{self._prefix}.hits")
+        # Write-behind recency: bump the in-memory clock only.  The
+        # index file is advisory, so persisting the bump can wait for
+        # the next put/evict/flush without risking correctness.
         index = self._load_index()
         index[key] = self._next_seq(index)
-        self._save_index(index)
+        self._dirty = True
         return entry
 
     def put(
@@ -169,7 +192,7 @@ class ResultCache:
             json.dumps(entry, sort_keys=True, separators=(",", ":")),
         )
         self.stats.stores += 1
-        obs.counter("service.cache.stores")
+        obs.counter(f"{self._prefix}.stores")
         index = self._load_index()
         index[key] = self._next_seq(index)
         self._evict_lru(index)
@@ -179,11 +202,12 @@ class ResultCache:
     def evict(self, key: str) -> bool:
         """Drop one entry; returns True when something was removed."""
         removed = self._remove_entry(key)
+        index = self._load_index()
+        dropped = index.pop(key, None) is not None
         if removed:
             self.stats.evictions += 1
-            obs.counter("service.cache.evictions")
-            index = self._load_index()
-            index.pop(key, None)
+            obs.counter(f"{self._prefix}.evictions")
+        if removed or dropped or self._dirty:
             self._save_index(index)
         return removed
 
@@ -199,6 +223,21 @@ class ResultCache:
         self._index = {}
         self._save_index(self._index)
         return count
+
+    def flush(self) -> None:
+        """Persist any write-behind recency updates to ``index.json``."""
+        if self._dirty and self._index is not None:
+            self._save_index(self._index)
+
+    def close(self) -> None:
+        """Flush pending index updates (alias kept for symmetry)."""
+        self.flush()
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __len__(self) -> int:
         return sum(1 for __ in self._iter_entries())
@@ -243,13 +282,13 @@ class ResultCache:
 
     def _miss(self, key: str) -> None:
         self.stats.misses += 1
-        obs.counter("service.cache.misses")
+        obs.counter(f"{self._prefix}.misses")
 
     def _quarantine(self, key: str, path: Path, reason: str) -> None:
         """Evict a corrupt entry and account for it as a miss."""
         self.stats.corrupt += 1
-        obs.counter("service.cache.corrupt")
-        obs.event("service.cache.corrupt_entry", key=key, reason=reason)
+        obs.counter(f"{self._prefix}.corrupt")
+        obs.event(f"{self._prefix}.corrupt_entry", key=key, reason=reason)
         try:
             path.unlink()
         except OSError:
@@ -269,17 +308,20 @@ class ResultCache:
     def _evict_lru(self, index: Dict[str, float]) -> None:
         if self.max_entries is None:
             return
-        # Trust the index for recency but the filesystem for existence.
-        live = {key for key in index if key in self}
-        overflow = len(live) - self.max_entries
+        # Trust the index outright: stat-ing every entry per put turned
+        # eviction into an O(N) filesystem scan.  If the index names a
+        # file that is already gone, ``_remove_entry``'s OSError path
+        # reconciles it -- the stale index row is dropped without
+        # counting an eviction.
+        overflow = len(index) - self.max_entries
         if overflow <= 0:
             return
-        for key in sorted(live, key=lambda k: index.get(k, 0.0))[
+        for key in sorted(index, key=lambda k: index.get(k, 0.0))[
             :overflow
         ]:
             if self._remove_entry(key):
                 self.stats.evictions += 1
-                obs.counter("service.cache.evictions")
+                obs.counter(f"{self._prefix}.evictions")
             index.pop(key, None)
 
     # -- index ---------------------------------------------------------
@@ -307,11 +349,15 @@ class ResultCache:
                 path.stem: path.stat().st_mtime
                 for path in self._iter_entries()
             }
+        self.stats.entries = len(self._index)
         return self._index
 
     def _save_index(self, index: Dict[str, float]) -> None:
         self._index = index
-        self.stats.entries = sum(1 for __ in self._iter_entries())
+        # Maintained incrementally: the index is the entry count.  The
+        # previous full ``objects/`` walk here made every get/put O(N).
+        self.stats.entries = len(index)
+        self._dirty = False
         self.root.mkdir(parents=True, exist_ok=True)
         self._atomic_write(
             self._index_path,

@@ -24,10 +24,12 @@ import json
 from typing import Dict, Mapping, Optional
 
 __all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
     "PAYLOAD_SCHEMA_VERSION",
     "analysis_config",
     "cache_key",
     "canonical_json",
+    "cluster_digest",
     "config_digest",
     "network_digest",
     "schedule_digest",
@@ -36,6 +38,11 @@ __all__ = [
 #: Version of the cached-result payload format; bumping it invalidates
 #: every existing cache entry (their keys no longer match).
 PAYLOAD_SCHEMA_VERSION = 1
+
+#: Version of the per-cluster artifact format (``repro.clusterart/1``);
+#: folded into :func:`cluster_digest` so a format change invalidates
+#: every old sub-key instead of mis-reading it.
+ARTIFACT_SCHEMA_VERSION = 1
 
 
 def canonical_json(data: object) -> str:
@@ -107,6 +114,157 @@ def analysis_config(
         "tolerance": tolerance,
         "delay_params": dict(delay_params) if delay_params else None,
     }
+
+
+def _fraction_str(value) -> str:
+    """Exact string form of a Fraction (mirrors clocks.serialize)."""
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _boundary_clock(cell):
+    """(clock name, sense) binding of a boundary cell, best effort.
+
+    Pads carry their clock as an attribute; synchronisers get theirs
+    through the control pin, so it has to be *traced*
+    (:func:`repro.netlist.validate.trace_control` -- the same
+    resolution the analysis model uses, so digest and model agree on
+    the binding by construction).  Returns ``(None, None)`` when the
+    cell has no resolvable clock; analysis would reject such a network
+    anyway, and an unresolved binding merely makes the digest
+    conservative.
+    """
+    clock = cell.attrs.get("clock")
+    if clock is not None:
+        return str(clock), None
+    if cell.is_synchroniser:
+        from repro.netlist.validate import ValidationError, trace_control
+
+        try:
+            # trace_control walks terminal-to-terminal; the network
+            # argument exists only for API symmetry with the validator.
+            trace = trace_control(None, cell)
+        except (ValidationError, AttributeError):
+            return None, None
+        return trace.clock, trace.sense.value
+    return None, None
+
+
+def _terminal_binding(terminal, schedule, delays) -> Dict[str, object]:
+    """The timing-relevant description of one boundary terminal.
+
+    A cluster's timing answer depends not only on its own gates but on
+    the *clock bindings* of the synchronisers at its boundary: which
+    clock each boundary cell is on (traced through the control cone for
+    synchronisers), the control sense, that clock's exact waveform
+    (period, leading and trailing edge as exact rationals -- the pulse
+    width), and the synchroniser's timing parameters.  All of it is
+    folded into the sub-key so a schedule edit or a
+    ``set_pulse_width`` mutation invalidates exactly the clusters whose
+    boundary it touches.
+    """
+    cell = terminal.cell
+    record: Dict[str, object] = {
+        "terminal": terminal.full_name,
+        "role": cell.role.value,
+        "net": terminal.net.name if terminal.net is not None else None,
+    }
+    clock, sense = _boundary_clock(cell)
+    record["clock"] = clock
+    if sense is not None:
+        record["sense"] = sense
+    if clock is not None:
+        try:
+            waveform = schedule.waveform(str(clock))
+        except (KeyError, ValueError):
+            record["waveform"] = None
+        else:
+            record["waveform"] = {
+                "period": _fraction_str(waveform.period),
+                "leading": _fraction_str(waveform.leading),
+                "trailing": _fraction_str(waveform.trailing),
+            }
+    if cell.is_synchroniser:
+        try:
+            sync = delays.sync_timing(cell)
+        except KeyError:
+            record["sync"] = None
+        else:
+            record["sync"] = {
+                "setup": sync.setup,
+                "d_to_q": sync.d_to_q,
+                "c_to_q": sync.c_to_q,
+                "hold": sync.hold,
+                "c_to_q_min": sync.c_to_q_min,
+            }
+    return record
+
+
+def cluster_digest(cluster, schedule, delays, config_sha: str) -> str:
+    """The content address of one cluster's timing sub-problem.
+
+    SHA-256 over the canonical serialisation of
+
+    * the cluster's combinational cells -- name, spec, pin-to-net
+      connectivity and every timing arc's max/min rise-fall delays and
+      unateness (taken from the live :class:`~repro.delay.estimator.DelayMap`,
+      so a ``scale_cell`` mutation changes exactly one cluster's digest);
+    * its net names (the internal topology);
+    * its boundary terminals with their owning cells' clock bindings,
+      exact clock waveforms and synchroniser timing parameters;
+    * the analysis-configuration digest; and
+    * :data:`ARTIFACT_SCHEMA_VERSION`.
+
+    Deliberately *excludes* the cluster's extraction-order name
+    (``cluster_3``): the digest is a function of the sub-circuit's
+    content, not of how many clusters happen to precede it.
+    """
+    cells = []
+    for cell in cluster.cells:
+        arcs = []
+        for in_pin, out_pin in delays.arcs_of(cell):
+            dmax = delays.arc_delay(cell, in_pin, out_pin)
+            dmin = delays.arc_delay_min(cell, in_pin, out_pin)
+            sense = delays.arc_unateness(cell, in_pin, out_pin)
+            arcs.append(
+                [
+                    in_pin,
+                    out_pin,
+                    [dmax.rise, dmax.fall],
+                    [dmin.rise, dmin.fall],
+                    sense.value,
+                ]
+            )
+        pins = {
+            terminal.pin: (
+                terminal.net.name if terminal.net is not None else None
+            )
+            for terminal in cell.terminals()
+        }
+        cells.append(
+            {
+                "name": cell.name,
+                "spec": getattr(cell.spec, "name", type(cell.spec).__name__),
+                "pins": pins,
+                "arcs": arcs,
+            }
+        )
+    doc = {
+        "artifact_schema": ARTIFACT_SCHEMA_VERSION,
+        "config": config_sha,
+        "cells": cells,
+        "nets": sorted(cluster.net_names),
+        "sources": [
+            _terminal_binding(t, schedule, delays)
+            for t in sorted(cluster.sources, key=lambda t: t.full_name)
+        ],
+        "captures": [
+            _terminal_binding(t, schedule, delays)
+            for t in sorted(cluster.captures, key=lambda t: t.full_name)
+        ],
+    }
+    return _sha256(canonical_json(doc))
 
 
 def cache_key(

@@ -16,6 +16,10 @@ Job spec (plain dict)::
       "default_clock": null,                # BLIF pads without pragmas
       "slow_path_limit": 50,
       "tolerance": 0.0,
+      # cluster-granular sub-key cache (optional; see
+      # repro.service.cluster_cache):
+      "cluster_cache": {"root": ".repro-cache/clusters",
+                        "max_entries": 4096},
       # fault-injection hooks (tests/CI only):
       "inject_crash_file": null,   # if this file exists: unlink + _exit
       "inject_sleep_s": null       # sleep before analysing (timeouts)
@@ -64,6 +68,11 @@ REPORTED_COUNTERS = (
     "alg1.backward_cycles",
     "slack.evaluations",
     "slack.nodes_visited",
+    "service.cluster_cache.hits",
+    "service.cluster_cache.misses",
+    "service.cluster_cache.seeded",
+    "service.cluster_cache.recomputed",
+    "service.cluster_cache.stores",
 )
 
 
@@ -162,7 +171,39 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
             config = analysis_config(
                 slow_path_limit=slow_path_limit, tolerance=tolerance
             )
-            analyzer = Hummingbird(network, schedule)
+            # Cluster-granular warm-up: when the spec carries a
+            # ``cluster_cache`` descriptor, probe the on-disk sub-key
+            # store.  Clean clusters load their artifacts (reach maps
+            # seeded, BFS skipped); dirty clusters recompute and store.
+            # Delays are estimated here with the same defaults the
+            # analyzer would use, so the handoff is byte-identical.
+            delays = None
+            clusters = None
+            cluster_info = None
+            cc_spec = spec.get("cluster_cache")
+            if isinstance(cc_spec, dict) and cc_spec.get("root"):
+                from repro.delay.estimator import estimate_delays
+                from repro.service.cluster_cache import ClusterCache
+
+                with obs.span(
+                    "service.worker.cluster_warm", category="service"
+                ):
+                    delays = estimate_delays(network)
+                    cluster_store = ClusterCache(
+                        str(cc_spec["root"]),
+                        max_entries=cc_spec.get("max_entries", 4096),
+                    )
+                    warmup = cluster_store.warm(
+                        network,
+                        schedule,
+                        delays,
+                        config_digest(config),
+                    )
+                    clusters = warmup.map.clusters
+                    cluster_info = warmup.to_dict()
+            analyzer = Hummingbird(
+                network, schedule, delays=delays, clusters=clusters
+            )
             result = analyzer.analyze(
                 slow_path_limit=slow_path_limit, tolerance=tolerance
             )
@@ -191,6 +232,8 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
                 if recorder.counters.get(name)
             },
         }
+        if cluster_info is not None:
+            document["cluster_cache"] = cluster_info
         if traced:
             document["trace"] = live.snapshot(recorder)
         if queue_wait_s is not None:
