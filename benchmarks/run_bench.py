@@ -49,7 +49,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: The PR this harness currently reports for; bump alongside new
 #: workloads so every PR leaves its own ``BENCH_PR<n>.json`` artifact.
-CURRENT_PR = 5
+CURRENT_PR = 6
 DEFAULT_OUTPUT = REPO_ROOT / f"BENCH_PR{CURRENT_PR}.json"
 
 from repro import obs  # noqa: E402
@@ -318,6 +318,67 @@ def bench_service_telemetry_overhead(quick: bool) -> Dict[str, object]:
         "warm_analyze_accesslog_s": round(log_s, 6),
         "overhead_pct": round(overhead_pct, 2),
         "accesslog_overhead_pct": round(log_pct, 2),
+    }
+
+
+@bench("profiler_overhead")
+def bench_profiler_overhead(quick: bool) -> Dict[str, object]:
+    """The PR-6 headline: the span-attributed sampling profiler must be
+    effectively free when off and cost <= 5% at the default 100 Hz.
+
+    Three arms over the same traced pipeline analysis, compared at the
+    minimum wall time (the deterministic floor, same methodology as
+    ``service_telemetry_overhead``):
+
+    * ``baseline`` -- recorder active, no profiler (the span-stack
+      bookkeeping the profiler reads is always on, so this arm prices
+      it in);
+    * ``on`` -- a :class:`repro.obs.SamplingProfiler` running at
+      100 Hz for the whole arm;
+    * attribution -- from the ``on`` arm's profile document: the share
+      of samples landing inside an open span must stay >= 90% for the
+      phase table to mean anything.
+    """
+    rounds = 12 if quick else 30
+    network, schedule = _random(quick)
+
+    def _floor(hz: Optional[float]) -> Tuple[float, Optional[dict]]:
+        """Minimum per-round analyze wall under one recorder, with the
+        profiler (when ``hz``) running across the *whole* arm -- the
+        way ``repro-sta analyze --profile`` runs it."""
+        samples = []
+        with obs.recording() as recorder:
+            profiler = (
+                obs.SamplingProfiler(hz=hz, recorder=recorder)
+                if hz
+                else None
+            )
+            if profiler is not None:
+                profiler.start()
+            try:
+                for __ in range(rounds):
+                    started = time.perf_counter()
+                    Hummingbird(network, schedule).analyze()
+                    samples.append(time.perf_counter() - started)
+            finally:
+                doc = profiler.stop() if profiler is not None else None
+        return min(samples), doc
+
+    off_s, __ = _floor(None)
+    on_s, doc = _floor(100.0)
+    total = int(doc["samples"]) if doc else 0
+    attributed_pct = (
+        int(doc["attributed"]) / total * 100.0 if total else 0.0
+    )
+    overhead_pct = ((on_s - off_s) / off_s * 100.0) if off_s else 0.0
+    return {
+        "rounds": rounds,
+        "hz": 100.0,
+        "analyze_off_s": round(off_s, 6),
+        "analyze_on_s": round(on_s, 6),
+        "overhead_pct": round(overhead_pct, 2),
+        "profile_samples": total,
+        "attributed_pct": round(attributed_pct, 2),
     }
 
 

@@ -21,6 +21,8 @@ clock description, run the analysis, print the report::
     repro-sta query --socket /tmp/repro.sock --trace merged.trace.json \
         '{"op": "analyze", "netlist": "p.json", "clocks": "c.json"}'
     repro-sta top --socket /tmp/repro.sock
+    repro-sta top --socket /tmp/repro.sock --once --json
+    repro-sta perf-diff BENCH_PR5.json bench.candidate.json
 
 (Equivalently ``python -m repro.cli ...``.)  Netlist format is selected
 by extension: ``.json`` (:mod:`repro.netlist.persistence`), ``.blif``
@@ -32,6 +34,8 @@ Every subcommand accepts the observability flags (see
 
     repro-sta analyze design.json --clocks clocks.json \
         --trace out.trace.json --metrics out.metrics.json --verbose
+    repro-sta analyze design.json --clocks clocks.json \
+        --profile profile.speedscope.json
 """
 
 from __future__ import annotations
@@ -99,6 +103,24 @@ def _common_arguments(parser: argparse.ArgumentParser, with_netlist=True):
         "--verbose",
         action="store_true",
         help="print a phase-tree timing summary to stderr",
+    )
+    _profile_arguments(obs_group)
+
+
+def _profile_arguments(group) -> None:
+    group.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="sample the run with the span-attributed profiler and "
+        "write a speedscope JSON profile to FILE "
+        "(open at https://www.speedscope.app)",
+    )
+    group.add_argument(
+        "--profile-hz",
+        type=float,
+        default=100.0,
+        metavar="HZ",
+        help="profiler sampling rate (default: 100)",
     )
 
 
@@ -368,6 +390,7 @@ def _make_cluster_cache(args: argparse.Namespace):
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.report import write_manifest
     from repro.service import BatchEngine, load_jobs
 
@@ -383,13 +406,40 @@ def cmd_batch(args: argparse.Namespace) -> int:
         retries=args.retries,
         serial=args.serial,
         access_log=args.access_log,
+        profile_hz=args.profile_hz if args.profile else None,
     )
+    # ``--profile``: sample the parent alongside the per-job worker
+    # profilers, then export one merged speedscope (one tab per pid).
+    parent_profiler = None
+    if args.profile:
+        parent_profiler = obs.SamplingProfiler(
+            hz=args.profile_hz, recorder=obs.active()
+        )
+        parent_profiler.start()
     try:
         report = engine.run(jobs)
     finally:
+        parent_doc = (
+            parent_profiler.stop() if parent_profiler is not None else None
+        )
         if engine.access_log is not None:
             engine.access_log.close()
     print(report.render_text())
+    if args.profile:
+        merged = report.merged_profile(parent_doc)
+        if merged is not None:
+            path = obs.write_speedscope(merged, args.profile)
+            pids = merged.get("pids") or [merged.get("pid")]
+            print(
+                f"profile written to {path} ({len(pids)} process(es))",
+                file=sys.stderr,
+            )
+            print(
+                obs.render_profile_table(merged, limit=10),
+                file=sys.stderr,
+            )
+        else:  # pragma: no cover -- profiler produced nothing
+            print("no profile samples collected", file=sys.stderr)
     if args.manifest_dir:
         for outcome in report.outcomes:
             if outcome.manifest:
@@ -433,16 +483,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.http_port is not None:
         print(
             f"telemetry http on 127.0.0.1:{args.http_port} "
-            "(GET /healthz, GET /metrics)",
+            "(GET /healthz, /metrics, /metrics/history, /profile, "
+            "/buildz)",
             file=sys.stderr,
         )
     if args.access_log:
         print(f"access log: {args.access_log}", file=sys.stderr)
+    if args.profile:
+        daemon.start_profiler(hz=args.profile_hz)
+        print(
+            f"profiler sampling at {args.profile_hz:g} Hz "
+            f"(profile written to {args.profile} on shutdown)",
+            file=sys.stderr,
+        )
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:
         daemon.stop()
         print("daemon stopped", file=sys.stderr)
+    if args.profile:
+        from repro import obs
+
+        # serve_forever's cleanup stopped the sampler and kept the doc.
+        doc = daemon.stop_profiler() or daemon._last_profile
+        if doc is not None:
+            path = obs.write_speedscope(doc, args.profile)
+            print(f"profile written to {path}", file=sys.stderr)
     return 0
 
 
@@ -455,7 +521,27 @@ def cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit(f"request is not valid JSON: {exc}")
     try:
         with DaemonClient(args.socket, timeout=args.timeout) as client:
+            # ``--profile``: sample the *daemon* while it handles this
+            # request, then export its repro.profile/1 as speedscope.
+            # A profiler someone else already started is left running
+            # (fetch instead of stop).
+            started = False
+            if args.profile:
+                start_resp = client.profile("start", hz=args.profile_hz)
+                started = bool(start_resp.get("started"))
             response = client.request(request)
+            if args.profile:
+                from repro import obs
+
+                action = "stop" if started else "fetch"
+                profile_resp = client.profile(action)
+                doc = profile_resp.get("profile")
+                if isinstance(doc, dict):
+                    path = obs.write_speedscope(doc, args.profile)
+                    print(
+                        f"daemon profile written to {path}",
+                        file=sys.stderr,
+                    )
     except (OSError, ConnectionError) as exc:
         raise SystemExit(f"cannot reach daemon at {args.socket}: {exc}")
     print(
@@ -470,7 +556,7 @@ def cmd_top(args: argparse.Namespace) -> int:
     import time as _time
 
     from repro.service import DaemonClient
-    from repro.service.top import fetch_frame, render_top
+    from repro.service.top import fetch_frame, json_frame, render_top
 
     previous = None
     iterations = 1 if args.once else args.iterations
@@ -493,12 +579,23 @@ def cmd_top(args: argparse.Namespace) -> int:
                 )
                 _time.sleep(args.interval)
                 continue
-            text = render_top(frame, previous)
-            if args.once or args.iterations is not None:
-                print(text)
-            else:  # live mode: clear + home, redraw in place
-                sys.stdout.write("\x1b[H\x1b[2J" + text + "\n")
+            if args.json:
+                # One machine-readable frame per refresh (JSON lines).
+                print(
+                    json.dumps(
+                        json_frame(frame, previous),
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                )
                 sys.stdout.flush()
+            else:
+                text = render_top(frame, previous)
+                if args.once or args.iterations is not None:
+                    print(text)
+                else:  # live mode: clear + home, redraw in place
+                    sys.stdout.write("\x1b[H\x1b[2J" + text + "\n")
+                    sys.stdout.flush()
             previous = frame
             rendered += 1
             if iterations is None or rendered < iterations:
@@ -506,6 +603,48 @@ def cmd_top(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def cmd_perf_diff(args: argparse.Namespace) -> int:
+    from repro.report import diff_bench, load_bench
+
+    per_workload = {}
+    for override in args.tolerance or ():
+        name, sep, value = override.partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"--tolerance wants NAME=PCT, got {override!r}"
+            )
+        try:
+            per_workload[name] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"--tolerance {override!r}: {value!r} is not a number"
+            )
+    try:
+        base = load_bench(args.base)
+        cand = load_bench(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(str(exc))
+    diff = diff_bench(
+        base,
+        cand,
+        default_tolerance_pct=args.default_tolerance,
+        per_workload=per_workload,
+        workloads=args.workload or None,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                diff.to_dict(),
+                indent=2,
+                sort_keys=True,
+                separators=(",", ": "),
+            )
+        )
+    else:
+        print(diff.render_text())
+    return diff.exit_code()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -724,6 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs_batch.add_argument(
         "--verbose", action="store_true", help="print the phase tree"
     )
+    _profile_arguments(obs_batch)
     batch.set_defaults(func=cmd_batch)
 
     serve = sub.add_parser(
@@ -766,6 +906,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the always-on service recorder (health stays, "
         "metrics op and /metrics refuse)",
     )
+    telemetry.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="run the in-daemon sampling profiler from boot and write "
+        "a speedscope JSON profile to FILE on shutdown (also "
+        "controllable at runtime via the 'profile' op)",
+    )
+    telemetry.add_argument(
+        "--profile-hz",
+        type=float,
+        default=100.0,
+        metavar="HZ",
+        help="profiler sampling rate (default: 100)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     query = sub.add_parser(
@@ -797,6 +951,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the merged phase tree (client + daemon spans)",
     )
+    obs_query.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="profile the daemon while it handles this request and "
+        "write its speedscope JSON profile to FILE",
+    )
+    obs_query.add_argument(
+        "--profile-hz",
+        type=float,
+        default=100.0,
+        metavar="HZ",
+        help="daemon profiler sampling rate (default: 100)",
+    )
     query.set_defaults(func=cmd_query)
 
     top = sub.add_parser(
@@ -825,7 +992,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a single frame to stdout and exit (no redraw)",
     )
     top.add_argument("--timeout", type=float, default=10.0)
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable repro.topframe/1 JSON document "
+        "per refresh instead of the rendered dashboard",
+    )
     top.set_defaults(func=cmd_top)
+
+    perf_diff = sub.add_parser(
+        "perf-diff",
+        help="compare two repro.bench/1 documents and gate on "
+        "wall-time regressions (exit 1 on regression)",
+    )
+    perf_diff.add_argument(
+        "base", metavar="BASE.json", help="baseline bench document"
+    )
+    perf_diff.add_argument(
+        "candidate", metavar="CAND.json", help="candidate bench document"
+    )
+    perf_diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro.perfdiff/1 document instead of text",
+    )
+    perf_diff.add_argument(
+        "--tolerance",
+        action="append",
+        metavar="NAME=PCT",
+        help="per-workload tolerance override (repeatable), e.g. "
+        "--tolerance analyze_random=50",
+    )
+    perf_diff.add_argument(
+        "--default-tolerance",
+        type=float,
+        default=30.0,
+        metavar="PCT",
+        help="allowed wall-time growth before a workload counts as "
+        "regressed (default: 30)",
+    )
+    perf_diff.add_argument(
+        "--workload",
+        action="append",
+        metavar="NAME",
+        help="compare only this workload (repeatable; default: all)",
+    )
+    perf_diff.set_defaults(func=cmd_perf_diff)
 
     return parser
 
@@ -834,16 +1046,50 @@ def _run_instrumented(args: argparse.Namespace) -> int:
     """Run the subcommand under a recorder and export as requested."""
     from repro import obs
 
+    # ``batch --profile`` owns its profiler (it must merge the worker
+    # documents before exporting), and ``serve``/``query --profile``
+    # drive the *daemon's* in-process profiler; every other command
+    # samples here.
+    profile_path = (
+        getattr(args, "profile", None)
+        if args.command not in ("batch", "serve", "query")
+        else None
+    )
+    if getattr(args, "profile_hz", None) is not None and args.profile_hz <= 0:
+        print(
+            f"repro-sta: error: --profile-hz must be > 0, "
+            f"got {args.profile_hz:g}",
+            file=sys.stderr,
+        )
+        return 2
+    profiler = None
     with obs.recording() as recorder:
-        with obs.span(f"cli.{args.command}", category="cli"):
-            status = args.func(args)
-    if args.trace:
+        if profile_path:
+            profiler = obs.SamplingProfiler(
+                hz=args.profile_hz, recorder=recorder
+            )
+            profiler.start()
+        try:
+            with obs.span(f"cli.{args.command}", category="cli"):
+                status = args.func(args)
+        finally:
+            if profiler is not None:
+                profile_doc = profiler.stop()
+    if profiler is not None:
+        path = obs.write_speedscope(profile_doc, profile_path)
+        print(f"profile written to {path}", file=sys.stderr)
+        print(
+            obs.render_profile_table(profile_doc, limit=10),
+            file=sys.stderr,
+        )
+    # serve/query define --profile without the full obs flag set.
+    if getattr(args, "trace", None):
         path = obs.write_chrome_trace(recorder, args.trace)
         print(f"trace written to {path}", file=sys.stderr)
-    if args.metrics:
+    if getattr(args, "metrics", None):
         path = obs.write_metrics_json(recorder, args.metrics)
         print(f"metrics written to {path}", file=sys.stderr)
-    if args.verbose:
+    if getattr(args, "verbose", False):
         print(obs.render_phase_tree(recorder), file=sys.stderr)
     return status
 
@@ -853,6 +1099,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if (
         getattr(args, "trace", None)
         or getattr(args, "metrics", None)
+        or getattr(args, "profile", None)
         or getattr(args, "verbose", False)
     ):
         return _run_instrumented(args)

@@ -7,7 +7,11 @@ pipeline.
   trace-event JSON export,
 * :mod:`repro.obs.metrics` -- flat metrics JSON and Prometheus text,
 * :mod:`repro.obs.summary` -- human-readable phase trees
-  (``repro-sta ... --verbose``).
+  (``repro-sta ... --verbose``) and the profiler self-time table,
+* :mod:`repro.obs.profile` -- span-attributed sampling profiler with
+  collapsed-stack / speedscope exporters (``repro.profile/1``),
+* :mod:`repro.obs.tsdb` -- ring-buffer metrics history served by the
+  daemon (``repro.metrics.history/1``).
 
 Recording is **disabled by default**: every instrumentation site in the
 analysis pipeline degrades to a single global read (see
@@ -43,6 +47,14 @@ from repro.obs.hist import (
     equal_width_edges,
     quantile_from_counts,
 )
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    SamplingProfiler,
+    merge_profiles,
+    to_collapsed,
+    to_speedscope,
+    write_speedscope,
+)
 from repro.obs.recorder import (
     NULL_SPAN,
     EventRecord,
@@ -60,7 +72,13 @@ from repro.obs.recorder import (
     set_recorder,
     span,
 )
-from repro.obs.summary import build_phase_tree, render_phase_tree
+from repro.obs.summary import (
+    build_phase_tree,
+    profile_table,
+    render_phase_tree,
+    render_profile_table,
+)
+from repro.obs.tsdb import HISTORY_SCHEMA, MetricsHistory
 
 __all__ = [
     "Recorder",
@@ -96,4 +114,14 @@ __all__ = [
     "WELL_KNOWN_COUNTERS",
     "build_phase_tree",
     "render_phase_tree",
+    "PROFILE_SCHEMA",
+    "SamplingProfiler",
+    "merge_profiles",
+    "to_collapsed",
+    "to_speedscope",
+    "write_speedscope",
+    "profile_table",
+    "render_profile_table",
+    "HISTORY_SCHEMA",
+    "MetricsHistory",
 ]

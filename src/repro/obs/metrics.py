@@ -88,6 +88,13 @@ WELL_KNOWN_COUNTERS = (
     "service.daemon.slow_requests",
     "service.accesslog.lines",
     "obs.snapshots_merged",
+    # Continuous profiling + metrics history (PR 6;
+    # docs/observability.md).
+    "service.profile.starts",
+    "service.profile.stops",
+    "service.profile.fetches",
+    "service.profile.samples",
+    "service.tsdb.reads",
 )
 
 

@@ -1,0 +1,195 @@
+"""In-process ring-buffer metrics history (``repro.metrics.history/1``).
+
+The daemon's ``/metrics`` endpoint and ``metrics`` op expose *current*
+counter and histogram values; anything trending -- request rate ramping,
+cache hit rate decaying after an edit storm, p95 creeping -- is
+invisible unless the operator polls and diffs by hand.
+:class:`MetricsHistory` closes that gap with the smallest thing that
+works: a fixed-capacity :class:`collections.deque` of periodic
+snapshots taken from a live :class:`~repro.obs.recorder.Recorder`,
+readable as JSON for the ``history`` daemon op, the
+``GET /metrics/history`` sidecar endpoint, and the sparkline columns in
+``repro-sta top``.
+
+Each snapshot point is flat and small on purpose::
+
+    {"ts": 1754650000.0,
+     "counters": {"service.daemon.requests": 41, ...},
+     "gauges": {"service.daemon.in_flight": 0, ...},
+     "histograms": {"service.daemon.request_seconds":
+                    {"count": 41, "p50": 0.004, "p95": 0.021}, ...}}
+
+Full bucket vectors stay out of the ring so a day of 5-second cadence
+(17k points) is still only a few MB.  Use :meth:`MetricsHistory.start`
+for the self-driving background thread (the daemon does), or call
+:meth:`record` from an existing loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.recorder import Recorder
+
+__all__ = ["HISTORY_SCHEMA", "MetricsHistory"]
+
+#: Schema identifier of a serialised history document.
+HISTORY_SCHEMA = "repro.metrics.history/1"
+
+
+class MetricsHistory:
+    """Fixed-capacity ring buffer of periodic metrics snapshots.
+
+    Parameters
+    ----------
+    capacity:
+        Points retained (oldest evicted first, default 720 -- one hour
+        at the default 5-second cadence).
+    interval_s:
+        Snapshot cadence of the background thread (default 5.0); also
+        recorded in the exported document so consumers can label the
+        x-axis.
+    """
+
+    def __init__(self, capacity: int = 720, interval_s: float = 5.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.capacity = int(capacity)
+        self.interval_s = float(interval_s)
+        self._points: Deque[Dict[str, object]] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.snapshots = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._points)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, recorder: Recorder) -> Dict[str, object]:
+        """Append one snapshot point taken from ``recorder``.
+
+        Counter/gauge dicts and histogram quantiles are copied under
+        the recorder's lock, so a point is internally consistent even
+        while worker threads keep writing.
+        """
+        with recorder._lock:
+            counters = dict(recorder.counters)
+            gauges = dict(recorder.gauges)
+            histograms = {
+                name: {
+                    "count": stats.count,
+                    "p50": round(stats.quantile(0.5), 6),
+                    "p95": round(stats.quantile(0.95), 6),
+                }
+                for name, stats in recorder.histograms.items()
+            }
+        point: Dict[str, object] = {
+            "ts": time.time(),
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+        with self._lock:
+            self._points.append(point)
+            self.snapshots += 1
+        return point
+
+    # ------------------------------------------------------------------
+    # background thread
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, recorder: Recorder) -> "MetricsHistory":
+        """Snapshot ``recorder`` every ``interval_s`` until :meth:`stop`.
+
+        One boot point is recorded immediately so readers see a
+        non-empty history without waiting out the first interval.
+        """
+        if self._thread is not None:
+            raise RuntimeError("history thread already started")
+        self._stop.clear()
+
+        def _run() -> None:
+            try:
+                self.record(recorder)
+            except Exception:  # pragma: no cover -- never kill host
+                pass
+            while not self._stop.wait(self.interval_s):
+                try:
+                    self.record(recorder)
+                except Exception:  # pragma: no cover -- never kill host
+                    pass
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-tsdb", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def points(self, last: Optional[int] = None) -> List[Dict[str, object]]:
+        """The most recent ``last`` points, oldest first (all if None)."""
+        with self._lock:
+            points = list(self._points)
+        if last is not None and last >= 0:
+            points = points[-last:] if last else []
+        return points
+
+    def series(
+        self, name: str, last: Optional[int] = None
+    ) -> List[float]:
+        """One metric's values over time, oldest first.
+
+        ``name`` resolves against counters first, then gauges; for a
+        histogram use ``<name>.p50`` / ``<name>.p95`` / ``<name>.count``.
+        Points that lack the metric contribute ``0.0`` so the series
+        always aligns with :meth:`points`.
+        """
+        base, dot, field = name.rpartition(".")
+        values: List[float] = []
+        for point in self.points(last):
+            counters = point.get("counters") or {}
+            gauges = point.get("gauges") or {}
+            if name in counters:
+                values.append(float(counters[name]))
+                continue
+            if name in gauges:
+                values.append(float(gauges[name]))
+                continue
+            histograms = point.get("histograms") or {}
+            row = histograms.get(base) if dot else None
+            if row is not None and field in row:
+                values.append(float(row[field]))
+            else:
+                values.append(0.0)
+        return values
+
+    def to_dict(self, last: Optional[int] = None) -> Dict[str, object]:
+        """The ``repro.metrics.history/1`` document."""
+        points = self.points(last)
+        return {
+            "schema": HISTORY_SCHEMA,
+            "interval_s": self.interval_s,
+            "capacity": self.capacity,
+            "snapshots": self.snapshots,
+            "points": points,
+        }

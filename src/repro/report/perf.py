@@ -1,0 +1,268 @@
+"""Bench-to-bench perf regression gate (``repro-sta perf-diff``).
+
+:mod:`repro.report.diff` compares two run *manifests* (timing facts);
+this module compares two ``repro.bench/1`` documents (runtime facts)
+as produced by ``benchmarks/run_bench.py`` -- the committed
+``BENCH_PR<n>.json`` baselines at the repo root versus a fresh run.
+
+The comparison is deliberately simple: per-workload wall-time delta in
+percent against a tolerance (default 30%, per-workload overridable),
+because CI runners are noisy and wall time is the only number that
+matters for the paper's "cheap enough for the inner loop" claim.
+Counters ride along for diagnosis (a wall regression with flat
+``alg1.iterations_total`` is a code slowdown, with rising iterations a
+convergence regression) but never gate.
+
+Exit-code convention (:meth:`PerfDiff.exit_code`):
+
+* ``0`` -- every compared workload within tolerance,
+* ``1`` -- at least one workload regressed past its tolerance,
+* ``2`` -- nothing could be compared (disjoint workload sets).
+
+New workloads (present only in the candidate) and retired ones
+(present only in the baseline) are reported but never fail the gate --
+a PR that adds a bench workload must not need its own baseline to pass
+CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["PERFDIFF_SCHEMA", "PerfDiff", "PerfRow", "diff_bench", "load_bench"]
+
+#: Schema identifier of the comparison document.
+PERFDIFF_SCHEMA = "repro.perfdiff/1"
+
+#: Schema the input documents must carry.
+BENCH_SCHEMA = "repro.bench/1"
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+    """Read and validate one ``repro.bench/1`` document."""
+    path = Path(path)
+    data = json.loads(path.read_text())
+    if data.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BENCH_SCHEMA} document "
+            f"(schema={data.get('schema')!r})"
+        )
+    if not isinstance(data.get("benches"), dict):
+        raise ValueError(f"{path}: missing 'benches' table")
+    return data
+
+
+@dataclass
+class PerfRow:
+    """One workload's baseline-vs-candidate comparison."""
+
+    name: str
+    base_s: Optional[float]
+    cand_s: Optional[float]
+    tolerance_pct: float
+    #: ``"ok"`` | ``"regressed"`` | ``"new"`` | ``"removed"``
+    status: str
+    delta_pct: Optional[float] = None
+    #: Counter deltas for diagnosis (candidate minus baseline).
+    counter_deltas: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "base_s": self.base_s,
+            "cand_s": self.cand_s,
+            "delta_pct": (
+                round(self.delta_pct, 2)
+                if self.delta_pct is not None
+                else None
+            ),
+            "tolerance_pct": self.tolerance_pct,
+            "status": self.status,
+            "counter_deltas": {
+                name: round(value, 3)
+                for name, value in sorted(self.counter_deltas.items())
+            },
+        }
+
+
+@dataclass
+class PerfDiff:
+    """Comparison of two bench documents."""
+
+    rows: List[PerfRow]
+    default_tolerance_pct: float
+    base_quick: Optional[bool] = None
+    cand_quick: Optional[bool] = None
+
+    @property
+    def compared(self) -> int:
+        return sum(1 for r in self.rows if r.status in ("ok", "regressed"))
+
+    @property
+    def regressions(self) -> List[PerfRow]:
+        return [r for r in self.rows if r.status == "regressed"]
+
+    def exit_code(self) -> int:
+        if not self.compared:
+            return 2
+        return 1 if self.regressions else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": PERFDIFF_SCHEMA,
+            "default_tolerance_pct": self.default_tolerance_pct,
+            "base_quick": self.base_quick,
+            "cand_quick": self.cand_quick,
+            "compared": self.compared,
+            "regressed": len(self.regressions),
+            "exit_code": self.exit_code(),
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def render_text(self) -> str:
+        header = (
+            f"{'workload':<30} {'base':>10} {'cand':>10} "
+            f"{'delta':>9} {'tol':>6}  status"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            base = f"{row.base_s:.4f}s" if row.base_s is not None else "-"
+            cand = f"{row.cand_s:.4f}s" if row.cand_s is not None else "-"
+            delta = (
+                f"{row.delta_pct:+.1f}%"
+                if row.delta_pct is not None
+                else "-"
+            )
+            flag = (
+                "REGRESSED" if row.status == "regressed" else row.status
+            )
+            lines.append(
+                f"{row.name[:30]:<30} {base:>10} {cand:>10} "
+                f"{delta:>9} {row.tolerance_pct:>5.0f}%  {flag}"
+            )
+        regressed = self.regressions
+        if not self.compared:
+            lines.append("perf-diff: no common workloads to compare")
+        elif regressed:
+            worst = max(regressed, key=lambda r: r.delta_pct or 0.0)
+            lines.append(
+                f"perf-diff: {len(regressed)}/{self.compared} workload(s) "
+                f"regressed (worst: {worst.name} {worst.delta_pct:+.1f}%)"
+            )
+        else:
+            lines.append(
+                f"perf-diff: {self.compared} workload(s) within tolerance"
+            )
+        if (
+            self.base_quick is not None
+            and self.cand_quick is not None
+            and self.base_quick != self.cand_quick
+        ):
+            lines.append(
+                "warning: quick/full mode mismatch between the two "
+                "documents -- wall times are not directly comparable"
+            )
+        return "\n".join(lines)
+
+
+def diff_bench(
+    base: Dict[str, object],
+    cand: Dict[str, object],
+    default_tolerance_pct: float = 30.0,
+    per_workload: Optional[Dict[str, float]] = None,
+    workloads: Optional[List[str]] = None,
+) -> PerfDiff:
+    """Compare two ``repro.bench/1`` documents workload by workload.
+
+    Parameters
+    ----------
+    base, cand:
+        Baseline and candidate documents (see :func:`load_bench`).
+    default_tolerance_pct:
+        Allowed wall-time growth in percent before a workload counts as
+        regressed (default 30 -- generous on purpose: CI wall clocks
+        are noisy and the gate must not cry wolf).
+    per_workload:
+        Per-workload tolerance overrides, e.g.
+        ``{"analyze_random": 50.0}``.
+    workloads:
+        When given, only these workloads are compared (others are
+        dropped from the report entirely).
+    """
+    if default_tolerance_pct < 0:
+        raise ValueError("default_tolerance_pct must be >= 0")
+    overrides = dict(per_workload or {})
+    base_benches = base.get("benches") or {}
+    cand_benches = cand.get("benches") or {}
+    names = sorted(set(base_benches) | set(cand_benches))
+    if workloads:
+        wanted = set(workloads)
+        names = [n for n in names if n in wanted]
+    rows: List[PerfRow] = []
+    for name in names:
+        tolerance = float(overrides.get(name, default_tolerance_pct))
+        b = base_benches.get(name)
+        c = cand_benches.get(name)
+        base_s = _wall(b)
+        cand_s = _wall(c)
+        if base_s is None and cand_s is None:
+            continue
+        if base_s is None:
+            rows.append(PerfRow(name, None, cand_s, tolerance, "new"))
+            continue
+        if cand_s is None:
+            rows.append(PerfRow(name, base_s, None, tolerance, "removed"))
+            continue
+        if base_s > 0:
+            delta_pct = (cand_s - base_s) / base_s * 100.0
+        else:
+            delta_pct = 0.0 if cand_s == 0 else float("inf")
+        status = "regressed" if delta_pct > tolerance else "ok"
+        rows.append(
+            PerfRow(
+                name,
+                base_s,
+                cand_s,
+                tolerance,
+                status,
+                delta_pct=delta_pct,
+                counter_deltas=_counter_deltas(b, c),
+            )
+        )
+    return PerfDiff(
+        rows=rows,
+        default_tolerance_pct=default_tolerance_pct,
+        base_quick=base.get("quick"),
+        cand_quick=cand.get("quick"),
+    )
+
+
+def _wall(bench: Optional[Dict[str, object]]) -> Optional[float]:
+    if not isinstance(bench, dict):
+        return None
+    wall = bench.get("wall_s")
+    try:
+        return float(wall)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+def _counter_deltas(
+    base: Optional[Dict[str, object]], cand: Optional[Dict[str, object]]
+) -> Dict[str, float]:
+    base_counters = (base or {}).get("counters") or {}
+    cand_counters = (cand or {}).get("counters") or {}
+    deltas = {}
+    for name in set(base_counters) | set(cand_counters):
+        try:
+            delta = float(cand_counters.get(name, 0.0)) - float(
+                base_counters.get(name, 0.0)
+            )
+        except (TypeError, ValueError):
+            continue
+        if delta:
+            deltas[name] = delta
+    return deltas

@@ -123,6 +123,9 @@ class JobOutcome:
     #: cluster cache is disabled or the job was a full-triple hit):
     #: ``{"clusters": n, "hits": h, "recomputed": r, "hit_rate": f}``.
     cluster_cache: Optional[Dict[str, object]] = None
+    #: Worker-side ``repro.profile/1`` document (``None`` unless the
+    #: engine ran with ``profile_hz`` and the job actually computed).
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -211,6 +214,24 @@ class BatchReport:
         if self.violations:
             return 1
         return 0
+
+    def merged_profile(
+        self, *extra: Optional[Dict[str, object]]
+    ) -> Optional[Dict[str, object]]:
+        """One ``repro.profile/1`` document across every profiled worker.
+
+        ``extra`` documents (e.g. a parent-process profile captured
+        around :meth:`BatchEngine.run`) merge in too, so the exported
+        speedscope spans the whole batch -- parent and workers side by
+        side, one tab per pid.  Returns ``None`` when nothing profiled.
+        """
+        from repro.obs.profile import merge_profiles
+
+        docs = [o.profile for o in self.outcomes if o.profile]
+        docs.extend(d for d in extra if d)
+        if not docs:
+            return None
+        return merge_profiles(docs)
 
     def to_dict(self) -> Dict[str, object]:
         """The ``repro.batchstats/1`` document (CI artifact)."""
@@ -389,6 +410,12 @@ class BatchEngine:
         open their own handle on the same directory (atomic writes +
         advisory index make concurrent access safe), so only the root
         path travels in the job spec.
+    profile_hz:
+        When set, every computed job runs under a worker-side
+        :class:`repro.obs.profile.SamplingProfiler` at this rate; the
+        per-job ``repro.profile/1`` documents come back on the
+        :class:`JobOutcome` rows and merge via
+        :meth:`BatchReport.merged_profile`.
     """
 
     def __init__(
@@ -400,11 +427,15 @@ class BatchEngine:
         serial: bool = False,
         access_log: Union[AccessLog, str, Path, None] = None,
         cluster_cache: Union[ClusterCache, str, Path, None] = None,
+        profile_hz: Optional[float] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if profile_hz is not None and profile_hz <= 0:
+            raise ValueError("profile_hz must be > 0")
+        self.profile_hz = profile_hz
         self.cache = cache
         self.max_workers = max_workers
         self.job_timeout = job_timeout
@@ -546,6 +577,8 @@ class BatchEngine:
         """
         spec = plan.job.spec()
         spec["submitted_wall"] = time.time()
+        if self.profile_hz is not None:
+            spec["profile"] = {"hz": self.profile_hz}
         if self.cluster_cache is not None:
             spec["cluster_cache"] = {
                 "root": str(self.cluster_cache.root),
@@ -762,6 +795,7 @@ class BatchEngine:
         # into this recorder -- no extra mirroring here or the
         # `batch --metrics` dump would double-count.
         cluster_info = document.get("cluster_cache")
+        profile_doc = document.get("profile")
         outcomes[plan.job.name] = JobOutcome(
             job=plan.job,
             status="computed",
@@ -779,6 +813,9 @@ class BatchEngine:
                 dict(cluster_info)
                 if isinstance(cluster_info, dict)
                 else None
+            ),
+            profile=(
+                profile_doc if isinstance(profile_doc, dict) else None
             ),
         )
         if self.cache is not None and isinstance(payload, dict):

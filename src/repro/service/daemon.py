@@ -28,6 +28,9 @@ Requests (see ``docs/service.md`` for the full protocol)::
     {"op": "stats"}
     {"op": "health"}
     {"op": "metrics"}
+    {"op": "history", "last": 60}
+    {"op": "profile", "action": "start", "hz": 100}
+    {"op": "buildinfo"}
     {"op": "shutdown"}
 
 Responses always carry ``"ok"``; errors come back as
@@ -62,6 +65,8 @@ from repro import obs
 from repro.obs import live
 from repro.obs.accesslog import AccessLog
 from repro.obs.hist import LATENCY_BUCKETS
+from repro.obs.profile import SamplingProfiler
+from repro.obs.tsdb import MetricsHistory
 from repro.service.cache import ResultCache
 from repro.service.cluster_cache import ClusterCache, ClusterMap
 from repro.service.digest import (
@@ -194,6 +199,8 @@ class TimingDaemon:
         access_log: Union[None, str, "os.PathLike[str]", AccessLog] = None,
         slow_threshold_s: float = 1.0,
         cluster_cache: Union[ClusterCache, str, None] = None,
+        history_interval_s: float = 5.0,
+        history_capacity: int = 720,
     ) -> None:
         self.socket_path = str(socket_path)
         self.cache = cache
@@ -215,6 +222,19 @@ class TimingDaemon:
             if telemetry
             else None
         )
+        #: Always-on metrics ring buffer (requires the service recorder).
+        self.history: Optional[MetricsHistory] = (
+            MetricsHistory(
+                capacity=history_capacity, interval_s=history_interval_s
+            )
+            if telemetry
+            else None
+        )
+        #: In-daemon sampling profiler; started/stopped by the
+        #: ``profile`` op (one at a time -- it samples every thread).
+        self._profiler: Optional[SamplingProfiler] = None
+        self._last_profile: Optional[Dict[str, object]] = None
+        self._profiler_lock = threading.Lock()
         self.http_port = http_port
         self._sidecar = None
         if isinstance(access_log, AccessLog):
@@ -309,6 +329,9 @@ class TimingDaemon:
             routes={
                 "/healthz": self._http_healthz,
                 "/metrics": self._http_metrics,
+                "/metrics/history": self._http_history,
+                "/profile": self._http_profile,
+                "/buildz": self._http_buildz,
             },
             port=self.http_port,
             on_request=lambda path: self._counter(
@@ -317,19 +340,24 @@ class TimingDaemon:
         )
         self._sidecar.start()
 
+    def _start_history(self) -> None:
+        if self.history is not None and self.recorder is not None:
+            if not self.history.running:
+                self.history.start(self.recorder)
+
     @property
     def http_address(self) -> Optional[Tuple[str, int]]:
         """``(host, port)`` of the live HTTP sidecar, or ``None``."""
         return self._sidecar.address if self._sidecar else None
 
-    def _http_healthz(self) -> Tuple[str, str]:
+    def _http_healthz(self, params: Dict[str, str]) -> Tuple[str, str]:
         body = json.dumps(
             {"ok": True, "status": "ok", **self._snapshot()},
             sort_keys=True,
         )
         return "application/json", body + "\n"
 
-    def _http_metrics(self) -> Tuple[str, str]:
+    def _http_metrics(self, params: Dict[str, str]) -> Tuple[str, str]:
         from repro.obs.metrics import render_prometheus
 
         if self.recorder is None:
@@ -339,6 +367,72 @@ class TimingDaemon:
             "text/plain; version=0.0.4",
             render_prometheus(self.recorder),
         )
+
+    def _http_history(self, params: Dict[str, str]) -> Tuple[str, str]:
+        if self.history is None:
+            raise RuntimeError("telemetry disabled (no metrics history)")
+        last = None
+        if "last" in params:
+            try:
+                last = int(params["last"])
+            except ValueError:
+                raise ValueError(
+                    f"?last must be an integer, got {params['last']!r}"
+                ) from None
+        body = json.dumps({"ok": True, **self.history.to_dict(last=last)})
+        return "application/json", body + "\n"
+
+    def _http_profile(self, params: Dict[str, str]) -> Tuple[str, str]:
+        doc = self._profile_document()
+        if doc is None:
+            raise RuntimeError(
+                "profiler has not run (start it with the 'profile' op "
+                "or repro-sta serve --profile)"
+            )
+        body = json.dumps({"ok": True, "profile": doc})
+        return "application/json", body + "\n"
+
+    def _http_buildz(self, params: Dict[str, str]) -> Tuple[str, str]:
+        body = json.dumps(
+            {"ok": True, **self._buildinfo()}, sort_keys=True
+        )
+        return "application/json", body + "\n"
+
+    def _buildinfo(self) -> Dict[str, object]:
+        """Build/runtime identity served by ``GET /buildz``."""
+        import sys
+
+        from repro import __version__
+
+        return {
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "python": sys.version.split()[0],
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "config": {
+                "socket": self.socket_path,
+                "telemetry": self.recorder is not None,
+                "result_cache": self.cache is not None,
+                "cluster_cache": self.cluster_cache is not None,
+                "access_log": self.access_log is not None,
+                "slow_path_limit": self.slow_path_limit,
+                "slow_threshold_s": self.slow_threshold_s,
+                "history_interval_s": (
+                    self.history.interval_s if self.history else None
+                ),
+                "history_capacity": (
+                    self.history.capacity if self.history else None
+                ),
+            },
+        }
+
+    def _profile_document(self) -> Optional[Dict[str, object]]:
+        """The live profiler's snapshot, else the last stopped profile."""
+        with self._profiler_lock:
+            if self._profiler is not None:
+                return self._profiler.result()
+            return self._last_profile
 
     def _sync_gauges(self) -> None:
         """Refresh point-in-time gauges before a metrics export."""
@@ -352,6 +446,13 @@ class TimingDaemon:
             "service.daemon.uptime_seconds",
             time.time() - self.started_at,
         )
+        if self.history is not None:
+            self.recorder.gauge(
+                "service.tsdb.points", len(self.history)
+            )
+            self.recorder.gauge(
+                "service.tsdb.snapshots", self.history.snapshots
+            )
 
     def start(self) -> None:
         """Serve in a background thread (returns once listening)."""
@@ -359,6 +460,7 @@ class TimingDaemon:
             raise RuntimeError("daemon already started")
         self._server = self._make_server()
         self._start_sidecar()
+        self._start_history()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -372,6 +474,7 @@ class TimingDaemon:
             raise RuntimeError("daemon already started")
         self._server = self._make_server()
         self._start_sidecar()
+        self._start_history()
         try:
             self._server.serve_forever(poll_interval=0.05)
         finally:
@@ -391,6 +494,12 @@ class TimingDaemon:
         sidecar, self._sidecar = self._sidecar, None
         if sidecar is not None:
             sidecar.stop()
+        if self.history is not None:
+            self.history.stop()
+        with self._profiler_lock:
+            profiler, self._profiler = self._profiler, None
+        if profiler is not None:
+            self._last_profile = profiler.stop()
         if self.access_log is not None:
             self.access_log.close()
         # Persist write-behind LRU recency (advisory -- safe to lose).
@@ -681,6 +790,84 @@ class TimingDaemon:
             "metrics": metrics_dict(self.recorder),
         }
 
+    def start_profiler(self, hz: float = 100.0) -> bool:
+        """Start the in-daemon sampler (no-op if already running)."""
+        with self._profiler_lock:
+            if self._profiler is not None:
+                return False
+            profiler = SamplingProfiler(hz=hz, recorder=self.recorder)
+            profiler.start()
+            self._profiler = profiler
+        self._counter("service.profile.starts")
+        return True
+
+    def stop_profiler(self) -> Optional[Dict[str, object]]:
+        """Stop the sampler; returns (and remembers) its profile."""
+        with self._profiler_lock:
+            profiler, self._profiler = self._profiler, None
+            if profiler is None:
+                return None
+            doc = profiler.stop()
+            self._last_profile = doc
+        self._counter("service.profile.stops")
+        self._counter("service.profile.samples", doc.get("samples", 0))
+        return doc
+
+    def _op_profile(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Sampling-profiler control: ``action`` start / stop / fetch.
+
+        * ``start`` (optional ``hz``, default 100) begins sampling every
+          daemon thread, attributing to the service recorder's spans;
+          idempotent (``started: false`` when already running).
+        * ``stop`` halts sampling and returns the ``repro.profile/1``
+          document.
+        * ``fetch`` returns the live snapshot without stopping (or the
+          last stopped profile when idle).
+        """
+        action = str(request.get("action", "fetch"))
+        if action == "start":
+            hz = float(request.get("hz", 100.0) or 100.0)
+            started = self.start_profiler(hz=hz)
+            return {"ok": True, "action": action, "started": started}
+        if action == "stop":
+            doc = self.stop_profiler()
+            if doc is None:
+                raise ValueError("profiler is not running")
+            return {"ok": True, "action": action, "profile": doc}
+        if action == "fetch":
+            self._counter("service.profile.fetches")
+            doc = self._profile_document()
+            if doc is None:
+                raise ValueError(
+                    "profiler has not run (send action='start' first)"
+                )
+            with self._profiler_lock:
+                running = self._profiler is not None
+            return {
+                "ok": True,
+                "action": action,
+                "running": running,
+                "profile": doc,
+            }
+        raise ValueError(
+            f"unknown profile action {action!r} (use start, stop or fetch)"
+        )
+
+    def _op_history(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The metrics ring buffer (``last`` trims to the newest N)."""
+        if self.history is None:
+            raise ValueError(
+                "telemetry is disabled on this daemon (no metrics history)"
+            )
+        last = request.get("last")
+        last = int(last) if last is not None else None
+        self._counter("service.tsdb.reads")
+        return {"ok": True, **self.history.to_dict(last=last)}
+
+    def _op_buildinfo(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The same identity document ``GET /buildz`` serves."""
+        return {"ok": True, **self._buildinfo()}
+
     def _op_analyze(self, request: Dict[str, object]) -> Dict[str, object]:
         state = self._design(request)
         self._acquire_design(state)
@@ -961,6 +1148,18 @@ class DaemonClient:
 
     def metrics(self) -> Dict[str, object]:
         return self.request({"op": "metrics"})
+
+    def profile(self, action: str = "fetch", **kw) -> Dict[str, object]:
+        return self.request({"op": "profile", "action": action, **kw})
+
+    def history(self, last: Optional[int] = None) -> Dict[str, object]:
+        request: Dict[str, object] = {"op": "history"}
+        if last is not None:
+            request["last"] = last
+        return self.request(request)
+
+    def buildinfo(self) -> Dict[str, object]:
+        return self.request({"op": "buildinfo"})
 
     def shutdown(self) -> Dict[str, object]:
         return self.request({"op": "shutdown"})

@@ -6,26 +6,40 @@ bound to **127.0.0.1 only** (telemetry is not an external API) with two
 routes wired by :class:`repro.service.daemon.TimingDaemon`:
 
 * ``GET /healthz`` -- liveness JSON (uptime, in-flight requests,
-  designs loaded, last error), and
+  designs loaded, last error),
 * ``GET /metrics`` -- Prometheus exposition text straight from the
   daemon's always-on service recorder,
+* ``GET /metrics/history`` -- ring-buffer snapshots
+  (``repro.metrics.history/1``; ``?last=N`` trims),
+* ``GET /profile`` -- the in-daemon sampling profiler's current
+  ``repro.profile/1`` document, and
+* ``GET /buildz`` -- build/runtime identity (version, pid, uptime,
+  config summary),
 
 so a running daemon is scrapeable with ``curl`` or a Prometheus
 ``scrape_config`` without touching the Unix socket or a log file.
 Everything is standard library (``http.server``); requests never block
 the JSON-lines serving path.
+
+HTTP hygiene: ``HEAD`` answers with the same headers as ``GET`` and no
+body, any other method gets ``405`` with ``Allow: GET, HEAD``, and
+unknown paths get a JSON 404 body listing the known routes -- so probes
+from load balancers and monitoring agents behave predictably.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 __all__ = ["TelemetrySidecar"]
 
-#: A route renders ``() -> (content_type, body_text)``.
-Route = Callable[[], Tuple[str, str]]
+#: A route renders ``(query_params) -> (content_type, body_text)``.
+#: ``query_params`` holds the last value of each query-string key.
+Route = Callable[[Dict[str, str]], Tuple[str, str]]
 
 
 class TelemetrySidecar:
@@ -34,9 +48,10 @@ class TelemetrySidecar:
     Parameters
     ----------
     routes:
-        Mapping of exact path -> zero-argument callable returning
-        ``(content_type, body)``.  A raising route answers 500 with the
-        error message; unknown paths answer 404 listing the routes.
+        Mapping of exact path -> callable taking the parsed query
+        params and returning ``(content_type, body)``.  A route raising
+        :class:`ValueError` answers 400 (bad client input), anything
+        else 500; unknown paths answer 404 listing the routes.
     port:
         TCP port on 127.0.0.1 (``0`` picks an ephemeral port; read the
         bound address back from :attr:`address`).
@@ -76,8 +91,12 @@ class TelemetrySidecar:
         class Handler(BaseHTTPRequestHandler):
             protocol_version = "HTTP/1.1"
 
-            def do_GET(self) -> None:  # noqa: N802 -- http.server API
-                path = self.path.split("?", 1)[0]
+            def _serve(self, head_only: bool) -> None:
+                path, __, query = self.path.partition("?")
+                params = {
+                    key: values[-1]
+                    for key, values in parse_qs(query).items()
+                }
                 if sidecar.on_request is not None:
                     try:
                         sidecar.on_request(path)
@@ -85,27 +104,71 @@ class TelemetrySidecar:
                         pass
                 route = sidecar.routes.get(path)
                 if route is None:
-                    known = " ".join(sorted(sidecar.routes))
+                    body = json.dumps(
+                        {
+                            "ok": False,
+                            "error": f"unknown path {path!r}",
+                            "routes": sorted(sidecar.routes),
+                        },
+                        sort_keys=True,
+                    )
                     self._reply(
-                        404, "text/plain", f"unknown path (routes: {known})\n"
+                        404, "application/json", body + "\n", head_only
                     )
                     return
                 try:
-                    content_type, body = route()
-                except Exception as exc:  # noqa: BLE001 -- report, don't die
-                    self._reply(500, "text/plain", f"{exc}\n")
+                    content_type, body = route(params)
+                except ValueError as exc:  # bad client input, e.g. ?last=x
+                    self._reply(400, "text/plain", f"{exc}\n", head_only)
                     return
-                self._reply(200, content_type, body)
+                except Exception as exc:  # noqa: BLE001 -- report, don't die
+                    self._reply(500, "text/plain", f"{exc}\n", head_only)
+                    return
+                self._reply(200, content_type, body, head_only)
+
+            def do_GET(self) -> None:  # noqa: N802 -- http.server API
+                self._serve(head_only=False)
+
+            def do_HEAD(self) -> None:  # noqa: N802 -- http.server API
+                self._serve(head_only=True)
+
+            def _method_not_allowed(self) -> None:
+                body = json.dumps(
+                    {
+                        "ok": False,
+                        "error": f"method {self.command} not allowed",
+                        "allow": ["GET", "HEAD"],
+                    },
+                    sort_keys=True,
+                )
+                payload = (body + "\n").encode("utf-8")
+                self.send_response(405)
+                self.send_header("Allow", "GET, HEAD")
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            do_POST = _method_not_allowed  # noqa: N815 -- http.server API
+            do_PUT = _method_not_allowed  # noqa: N815
+            do_DELETE = _method_not_allowed  # noqa: N815
+            do_PATCH = _method_not_allowed  # noqa: N815
+            do_OPTIONS = _method_not_allowed  # noqa: N815
 
             def _reply(
-                self, status: int, content_type: str, body: str
+                self,
+                status: int,
+                content_type: str,
+                body: str,
+                head_only: bool = False,
             ) -> None:
                 payload = body.encode("utf-8")
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(payload)))
                 self.end_headers()
-                self.wfile.write(payload)
+                if not head_only:
+                    self.wfile.write(payload)
 
             def log_message(self, *args) -> None:  # silence stderr
                 return

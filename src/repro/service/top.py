@@ -17,7 +17,15 @@ The renderer derives everything from daemon telemetry:
   ``service.daemon.*_seconds`` histogram buckets
   (:func:`repro.obs.hist.quantile_from_counts` -- same linear
   interpolation Prometheus' ``histogram_quantile`` uses),
-* cache hit rate, per-design warm/in-flight table, worker liveness.
+* cache hit rate, per-design warm/in-flight table, worker liveness,
+* trend sparklines from the daemon's metrics ring buffer (the
+  ``history`` op / ``GET /metrics/history``): request rate and p95
+  latency over the retained window.
+
+``repro-sta top --json`` skips the renderer entirely and emits
+:func:`json_frame` -- one machine-readable JSON object per refresh with
+the raw sub-documents plus the derived rate/quantiles, so scripts and
+CI consume the same data the human dashboard shows without scraping.
 
 A daemon started with ``telemetry=False`` still renders: the latency
 block degrades to ``telemetry disabled``.
@@ -26,11 +34,14 @@ block degrades to ``telemetry disabled``.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.obs.hist import quantile_from_counts
 
-__all__ = ["fetch_frame", "render_top"]
+__all__ = ["fetch_frame", "json_frame", "render_top", "sparkline"]
+
+#: Eight-level bar glyphs, lowest to highest.
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 
 #: Histograms rendered in the latency block, in display order.
 _LATENCY_ROWS = (
@@ -53,7 +64,69 @@ def fetch_frame(client) -> Dict[str, object]:
         "health": client.health(),
         "stats": client.stats(),
         "metrics": client.metrics(),
+        # Ring-buffer trends for the sparkline block; ok=False on old
+        # daemons / telemetry-off, which the renderer degrades around.
+        "history": client.history(last=60),
     }
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Render ``values`` as a fixed-width unicode sparkline.
+
+    The newest ``width`` values are kept; the scale is min..max of the
+    rendered window (a flat series renders as all-low bars).  Empty
+    input yields ``width`` spaces so columns stay aligned.
+    """
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return " " * width
+    low = min(values)
+    high = max(values)
+    span = high - low
+    chars = []
+    for value in values:
+        if span <= 0.0:
+            chars.append(_SPARK_GLYPHS[0])
+            continue
+        level = int((value - low) / span * (len(_SPARK_GLYPHS) - 1))
+        chars.append(_SPARK_GLYPHS[level])
+    return "".join(chars).rjust(width)
+
+
+def _history_series(
+    frame: Dict[str, object],
+) -> Optional[Dict[str, List[float]]]:
+    """Derived trend series from the frame's history sub-document.
+
+    * ``rate``: per-interval deltas of ``service.daemon.requests``
+      (clamped at zero across daemon restarts),
+    * ``p95``: ``service.daemon.request_seconds`` p95 per snapshot.
+
+    Returns ``None`` when the daemon served no usable history.
+    """
+    history = frame.get("history") or {}
+    if not history.get("ok"):
+        return None
+    points = history.get("points") or []
+    if len(points) < 2:
+        return None
+    requests = [
+        float((p.get("counters") or {}).get("service.daemon.requests", 0.0))
+        for p in points
+    ]
+    p95 = [
+        float(
+            ((p.get("histograms") or {}).get(
+                "service.daemon.request_seconds"
+            ) or {}).get("p95", 0.0)
+        )
+        for p in points
+    ]
+    rate = [
+        max(0.0, later - earlier)
+        for earlier, later in zip(requests, requests[1:])
+    ]
+    return {"rate": rate, "p95": p95[1:]}
 
 
 def _fmt_seconds(value: Optional[float]) -> str:
@@ -82,9 +155,15 @@ def _quantiles(histogram: Dict[str, object]) -> Dict[str, float]:
     counts = list(histogram.get("counts") or ())
     if not bounds or len(counts) != len(bounds) + 1:
         return {}
+    # The observed max clamps quantiles landing in the +Inf overflow
+    # bucket, so p50/p95 stay finite even when every sample exceeded
+    # the last bound (e.g. all requests slower than 60s).
+    overflow = (
+        float(histogram["max"]) if histogram.get("count") else None
+    ) if "max" in histogram else None
     return {
-        "p50": quantile_from_counts(bounds, counts, 0.50),
-        "p95": quantile_from_counts(bounds, counts, 0.95),
+        "p50": quantile_from_counts(bounds, counts, 0.50, overflow=overflow),
+        "p95": quantile_from_counts(bounds, counts, 0.95, overflow=overflow),
         "count": float(histogram.get("count", 0)),
         "mean": (
             float(histogram.get("sum", 0.0)) / float(histogram["count"])
@@ -174,6 +253,26 @@ def render_top(
         lines.append(rule)
         lines.append("latency: telemetry disabled on this daemon")
 
+    # -- trends (metrics ring buffer) ----------------------------------
+    series = _history_series(frame)
+    if series is not None:
+        interval = float(
+            (frame.get("history") or {}).get("interval_s") or 0.0
+        )
+        window = (
+            f"~{interval * len(series['rate']):.0f}s window"
+            if interval
+            else "history window"
+        )
+        lines.append(rule)
+        lines.append(
+            f"trend  req/s  {sparkline(series['rate'])}   ({window})"
+        )
+        lines.append(
+            f"trend  p95    {sparkline(series['p95'])}   "
+            f"(now {_fmt_seconds(series['p95'][-1] if series['p95'] else None)})"
+        )
+
     # -- result cache --------------------------------------------------
     cache = stats.get("cache")
     lines.append(rule)
@@ -219,3 +318,40 @@ def render_top(
             f"{str(last_error.get('error'))[: width - 20]}"
         )
     return "\n".join(lines)
+
+
+def json_frame(
+    frame: Dict[str, object],
+    previous: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """One machine-readable dashboard frame (``repro.topframe/1``).
+
+    The raw ``health``/``stats``/``metrics``/``history`` sub-documents
+    pass through untouched; the ``derived`` block adds what the text
+    renderer computes -- request rate vs the previous frame and the
+    latency quantiles -- so consumers need no bucket arithmetic.  Pure,
+    like :func:`render_top`.
+    """
+    metrics_doc = frame.get("metrics") or {}
+    histograms = (metrics_doc.get("metrics") or {}).get("histograms") or {}
+    latency = {}
+    for label, name in _LATENCY_ROWS:
+        q = _quantiles(histograms.get(name) or {})
+        if q:
+            latency[label] = {
+                key: round(value, 6) for key, value in q.items()
+            }
+    rate = _rate(frame, previous)
+    return {
+        "schema": "repro.topframe/1",
+        "ts": frame.get("ts"),
+        "health": frame.get("health"),
+        "stats": frame.get("stats"),
+        "metrics": frame.get("metrics"),
+        "history": frame.get("history"),
+        "derived": {
+            "rate_rps": round(rate, 4) if rate is not None else None,
+            "latency": latency,
+            "trends": _history_series(frame),
+        },
+    }

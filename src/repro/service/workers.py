@@ -20,6 +20,9 @@ Job spec (plain dict)::
       # repro.service.cluster_cache):
       "cluster_cache": {"root": ".repro-cache/clusters",
                         "max_entries": 4096},
+      # per-job sampling profiler (optional; ships a repro.profile/1
+      # document back under "profile" for the parent to merge):
+      "profile": {"hz": 100},
       # fault-injection hooks (tests/CI only):
       "inject_crash_file": null,   # if this file exists: unlink + _exit
       "inject_sleep_s": null       # sleep before analysing (timeouts)
@@ -139,87 +142,104 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
     queue_wait_s = None
     if isinstance(submitted_wall, (int, float)):
         queue_wait_s = max(0.0, time.time() - float(submitted_wall))
+    profile_spec = spec.get("profile")
+    profiler = None
+    profile_doc = None
     try:
         with obs.recording(
             live.child_recorder(ctx) if traced else None
-        ) as recorder, obs.span(
-            "service.worker.job",
-            category="service",
-            job=str(spec.get("name", "")),
-        ):
-            suffix = os.path.splitext(str(spec["netlist"]))[1].lower()
-            library = standard_library()
-            default_clock = spec.get("default_clock")
-            if suffix == ".blif":
-                network = load_blif(
-                    str(spec["netlist"]), library, default_clock
-                )
-            elif suffix == ".v":
-                network = load_verilog(
-                    str(spec["netlist"]), library, default_clock
-                )
-            elif suffix == ".json":
-                network = load_network(str(spec["netlist"]), library)
-            else:
-                raise ValueError(
-                    f"unknown netlist format {suffix!r} "
-                    "(use .json, .blif or .v)"
-                )
-            schedule = load_schedule(str(spec["clocks"]))
-            slow_path_limit = spec.get("slow_path_limit", 50)
-            tolerance = float(spec.get("tolerance", 0.0) or 0.0)
-            config = analysis_config(
-                slow_path_limit=slow_path_limit, tolerance=tolerance
-            )
-            # Cluster-granular warm-up: when the spec carries a
-            # ``cluster_cache`` descriptor, probe the on-disk sub-key
-            # store.  Clean clusters load their artifacts (reach maps
-            # seeded, BFS skipped); dirty clusters recompute and store.
-            # Delays are estimated here with the same defaults the
-            # analyzer would use, so the handoff is byte-identical.
-            delays = None
-            clusters = None
-            cluster_info = None
-            cc_spec = spec.get("cluster_cache")
-            if isinstance(cc_spec, dict) and cc_spec.get("root"):
-                from repro.delay.estimator import estimate_delays
-                from repro.service.cluster_cache import ClusterCache
+        ) as recorder:
+            # Per-job sampling profiler (``{"profile": {"hz": 100}}``):
+            # the document ships back next to the trace snapshot so the
+            # parent can merge a cross-process speedscope profile.
+            if isinstance(profile_spec, dict):
+                from repro.obs.profile import SamplingProfiler
 
-                with obs.span(
-                    "service.worker.cluster_warm", category="service"
-                ):
-                    delays = estimate_delays(network)
-                    cluster_store = ClusterCache(
-                        str(cc_spec["root"]),
-                        max_entries=cc_spec.get("max_entries", 4096),
+                profiler = SamplingProfiler(
+                    hz=float(profile_spec.get("hz", 100.0) or 100.0),
+                    recorder=recorder,
+                )
+                profiler.start()
+            with obs.span(
+                "service.worker.job",
+                category="service",
+                job=str(spec.get("name", "")),
+            ):
+                suffix = os.path.splitext(str(spec["netlist"]))[1].lower()
+                library = standard_library()
+                default_clock = spec.get("default_clock")
+                if suffix == ".blif":
+                    network = load_blif(
+                        str(spec["netlist"]), library, default_clock
                     )
-                    warmup = cluster_store.warm(
-                        network,
-                        schedule,
-                        delays,
-                        config_digest(config),
+                elif suffix == ".v":
+                    network = load_verilog(
+                        str(spec["netlist"]), library, default_clock
                     )
-                    clusters = warmup.map.clusters
-                    cluster_info = warmup.to_dict()
-            analyzer = Hummingbird(
-                network, schedule, delays=delays, clusters=clusters
-            )
-            result = analyzer.analyze(
-                slow_path_limit=slow_path_limit, tolerance=tolerance
-            )
-            manifest = result.manifest(
-                netlist_path=str(spec["netlist"]),
-                clocks_path=str(spec["clocks"]),
-                label=str(spec.get("name", network.name)),
-            )
-            digests = {
-                "network": network_digest(network),
-                "schedule": schedule_digest(schedule),
-                "config": config_digest(config),
-            }
-            digests["key"] = cache_key(
-                digests["network"], digests["schedule"], digests["config"]
-            )
+                elif suffix == ".json":
+                    network = load_network(str(spec["netlist"]), library)
+                else:
+                    raise ValueError(
+                        f"unknown netlist format {suffix!r} "
+                        "(use .json, .blif or .v)"
+                    )
+                schedule = load_schedule(str(spec["clocks"]))
+                slow_path_limit = spec.get("slow_path_limit", 50)
+                tolerance = float(spec.get("tolerance", 0.0) or 0.0)
+                config = analysis_config(
+                    slow_path_limit=slow_path_limit, tolerance=tolerance
+                )
+                # Cluster-granular warm-up: when the spec carries a
+                # ``cluster_cache`` descriptor, probe the on-disk sub-key
+                # store.  Clean clusters load their artifacts (reach maps
+                # seeded, BFS skipped); dirty clusters recompute and store.
+                # Delays are estimated here with the same defaults the
+                # analyzer would use, so the handoff is byte-identical.
+                delays = None
+                clusters = None
+                cluster_info = None
+                cc_spec = spec.get("cluster_cache")
+                if isinstance(cc_spec, dict) and cc_spec.get("root"):
+                    from repro.delay.estimator import estimate_delays
+                    from repro.service.cluster_cache import ClusterCache
+
+                    with obs.span(
+                        "service.worker.cluster_warm", category="service"
+                    ):
+                        delays = estimate_delays(network)
+                        cluster_store = ClusterCache(
+                            str(cc_spec["root"]),
+                            max_entries=cc_spec.get("max_entries", 4096),
+                        )
+                        warmup = cluster_store.warm(
+                            network,
+                            schedule,
+                            delays,
+                            config_digest(config),
+                        )
+                        clusters = warmup.map.clusters
+                        cluster_info = warmup.to_dict()
+                analyzer = Hummingbird(
+                    network, schedule, delays=delays, clusters=clusters
+                )
+                result = analyzer.analyze(
+                    slow_path_limit=slow_path_limit, tolerance=tolerance
+                )
+                manifest = result.manifest(
+                    netlist_path=str(spec["netlist"]),
+                    clocks_path=str(spec["clocks"]),
+                    label=str(spec.get("name", network.name)),
+                )
+                digests = {
+                    "network": network_digest(network),
+                    "schedule": schedule_digest(schedule),
+                    "config": config_digest(config),
+                }
+                digests["key"] = cache_key(
+                    digests["network"], digests["schedule"], digests["config"]
+                )
+            if profiler is not None:
+                profile_doc = profiler.stop()
         document: Dict[str, object] = {
             "ok": True,
             "payload": result.payload(),
@@ -236,10 +256,14 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
             document["cluster_cache"] = cluster_info
         if traced:
             document["trace"] = live.snapshot(recorder)
+        if profile_doc is not None:
+            document["profile"] = profile_doc
         if queue_wait_s is not None:
             document["queue_wait_s"] = round(queue_wait_s, 6)
         return document
     except Exception as exc:  # noqa: BLE001 -- reported, not raised
+        if profiler is not None and profiler.running:
+            profiler.stop()
         return {
             "ok": False,
             "error": str(exc),

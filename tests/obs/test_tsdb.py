@@ -1,0 +1,145 @@
+"""Tests for the ring-buffer metrics history (repro.obs.tsdb)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tsdb import HISTORY_SCHEMA, MetricsHistory
+
+
+@pytest.fixture(autouse=True)
+def _no_leak():
+    assert obs.active() is None
+    yield
+    assert obs.active() is None
+
+
+class TestRecord:
+    def test_point_shape(self):
+        history = MetricsHistory(capacity=8)
+        with obs.recording() as rec:
+            obs.counter("alg1.runs", 3)
+            obs.gauge("service.daemon.in_flight", 2)
+            obs.histogram("service.daemon.request_seconds", 0.01)
+            obs.histogram("service.daemon.request_seconds", 0.03)
+            point = history.record(rec)
+        assert point["counters"]["alg1.runs"] == 3
+        assert point["gauges"]["service.daemon.in_flight"] == 2
+        hist = point["histograms"]["service.daemon.request_seconds"]
+        assert hist["count"] == 2
+        assert hist["p50"] > 0 and hist["p95"] >= hist["p50"]
+        assert point["ts"] <= time.time()
+        assert len(history) == 1
+
+    def test_capacity_evicts_oldest(self):
+        history = MetricsHistory(capacity=3)
+        with obs.recording() as rec:
+            for index in range(5):
+                obs.counter("ticks")
+                history.record(rec)
+        assert len(history) == 3
+        assert history.snapshots == 5
+        counts = history.series("ticks")
+        assert counts == [3.0, 4.0, 5.0]  # oldest evicted first
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MetricsHistory(capacity=0)
+        with pytest.raises(ValueError):
+            MetricsHistory(interval_s=0)
+
+
+class TestSeries:
+    def _filled(self):
+        history = MetricsHistory(capacity=8)
+        with obs.recording() as rec:
+            obs.counter("c", 1)
+            obs.gauge("g", 7.5)
+            obs.histogram("lat", 0.02)
+            history.record(rec)
+            obs.counter("c", 2)
+            obs.histogram("lat", 0.04)
+            history.record(rec)
+        return history
+
+    def test_counter_gauge_and_histogram_lookup(self):
+        history = self._filled()
+        assert history.series("c") == [1.0, 3.0]
+        assert history.series("g") == [7.5, 7.5]
+        p50 = history.series("lat.p50")
+        assert len(p50) == 2 and all(v > 0 for v in p50)
+        assert history.series("lat.count") == [1.0, 2.0]
+
+    def test_missing_metric_fills_zero(self):
+        history = self._filled()
+        assert history.series("nope") == [0.0, 0.0]
+        assert history.series("lat.p99") == [0.0, 0.0]
+
+    def test_last_window(self):
+        history = self._filled()
+        assert history.series("c", last=1) == [3.0]
+        assert history.points(last=0) == []
+
+
+class TestDocument:
+    def test_to_dict_schema(self):
+        history = MetricsHistory(capacity=4, interval_s=1.5)
+        with obs.recording() as rec:
+            obs.counter("c")
+            history.record(rec)
+        doc = history.to_dict()
+        assert doc["schema"] == HISTORY_SCHEMA
+        assert doc["interval_s"] == 1.5
+        assert doc["capacity"] == 4
+        assert doc["snapshots"] == 1
+        assert len(doc["points"]) == 1
+
+    def test_to_dict_last(self):
+        history = MetricsHistory(capacity=8)
+        with obs.recording() as rec:
+            for __ in range(4):
+                history.record(rec)
+        assert len(history.to_dict(last=2)["points"]) == 2
+
+
+class TestBackgroundThread:
+    def test_start_records_boot_point_and_stop_joins(self):
+        history = MetricsHistory(capacity=8, interval_s=30.0)
+        with obs.recording() as rec:
+            obs.counter("boot", 1)
+            history.start(rec)
+            try:
+                deadline = time.time() + 5.0
+                while not len(history) and time.time() < deadline:
+                    time.sleep(0.01)
+            finally:
+                history.stop()
+        # The boot point lands immediately -- no 30 s wait.
+        assert len(history) >= 1
+        assert history.series("boot")[0] == 1.0
+        assert not history.running
+
+    def test_double_start_rejected(self):
+        history = MetricsHistory(capacity=2, interval_s=30.0)
+        with obs.recording() as rec:
+            history.start(rec)
+            try:
+                with pytest.raises(RuntimeError):
+                    history.start(rec)
+            finally:
+                history.stop()
+
+    def test_periodic_snapshots(self):
+        history = MetricsHistory(capacity=16, interval_s=0.02)
+        with obs.recording() as rec:
+            history.start(rec)
+            try:
+                deadline = time.time() + 5.0
+                while len(history) < 3 and time.time() < deadline:
+                    time.sleep(0.01)
+            finally:
+                history.stop()
+        assert len(history) >= 3

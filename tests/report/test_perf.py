@@ -1,0 +1,208 @@
+"""Tests for the perf-regression gate (repro.report.perf / perf-diff)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.report.perf import (
+    BENCH_SCHEMA,
+    PERFDIFF_SCHEMA,
+    diff_bench,
+    load_bench,
+)
+
+
+def _doc(walls, quick=True, counters=None):
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "benches": {
+            name: {
+                "wall_s": wall,
+                "peak_rss_kb": 1000,
+                "counters": dict(counters or {}),
+                "extra": {},
+            }
+            for name, wall in walls.items()
+        },
+    }
+
+
+class TestLoadBench:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_doc({"a": 1.0})))
+        doc = load_bench(path)
+        assert doc["benches"]["a"]["wall_s"] == 1.0
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "benches": {}}))
+        with pytest.raises(ValueError, match="not a repro.bench/1"):
+            load_bench(path)
+
+    def test_rejects_missing_benches(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(ValueError, match="benches"):
+            load_bench(path)
+
+
+class TestDiffBench:
+    def test_within_tolerance_passes(self):
+        diff = diff_bench(_doc({"a": 1.0}), _doc({"a": 1.2}))
+        (row,) = diff.rows
+        assert row.status == "ok"
+        assert row.delta_pct == pytest.approx(20.0)
+        assert diff.exit_code() == 0
+
+    def test_regression_fails(self):
+        diff = diff_bench(_doc({"a": 1.0}), _doc({"a": 1.35}))
+        (row,) = diff.rows
+        assert row.status == "regressed"
+        assert row.delta_pct == pytest.approx(35.0)
+        assert diff.exit_code() == 1
+
+    def test_improvement_never_fails(self):
+        diff = diff_bench(_doc({"a": 1.0}), _doc({"a": 0.1}))
+        assert diff.rows[0].status == "ok"
+        assert diff.exit_code() == 0
+
+    def test_new_and_removed_never_gate(self):
+        diff = diff_bench(
+            _doc({"old": 1.0, "same": 1.0}),
+            _doc({"new": 9.0, "same": 1.0}),
+        )
+        by_name = {row.name: row for row in diff.rows}
+        assert by_name["new"].status == "new"
+        assert by_name["old"].status == "removed"
+        assert by_name["same"].status == "ok"
+        assert diff.compared == 1
+        assert diff.exit_code() == 0
+
+    def test_disjoint_sets_exit_2(self):
+        diff = diff_bench(_doc({"a": 1.0}), _doc({"b": 1.0}))
+        assert diff.compared == 0
+        assert diff.exit_code() == 2
+
+    def test_per_workload_tolerance_override(self):
+        base, cand = _doc({"a": 1.0, "b": 1.0}), _doc({"a": 1.2, "b": 1.2})
+        diff = diff_bench(base, cand, per_workload={"a": 10.0})
+        by_name = {row.name: row for row in diff.rows}
+        assert by_name["a"].status == "regressed"
+        assert by_name["b"].status == "ok"
+
+    def test_workload_filter(self):
+        diff = diff_bench(
+            _doc({"a": 1.0, "b": 1.0}),
+            _doc({"a": 5.0, "b": 1.0}),
+            workloads=["b"],
+        )
+        assert [row.name for row in diff.rows] == ["b"]
+        assert diff.exit_code() == 0
+
+    def test_counter_deltas_ride_along(self):
+        base = _doc({"a": 1.0}, counters={"alg1.iterations_total": 10})
+        cand = _doc({"a": 1.5}, counters={"alg1.iterations_total": 14})
+        diff = diff_bench(base, cand)
+        assert diff.rows[0].counter_deltas == {
+            "alg1.iterations_total": 4.0
+        }
+
+    def test_zero_baseline(self):
+        diff = diff_bench(_doc({"a": 0.0}), _doc({"a": 0.1}))
+        assert diff.rows[0].delta_pct == float("inf")
+        assert diff.exit_code() == 1
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            diff_bench(_doc({}), _doc({}), default_tolerance_pct=-1)
+
+
+class TestRendering:
+    def test_to_dict_schema(self):
+        diff = diff_bench(_doc({"a": 1.0}), _doc({"a": 1.5}))
+        doc = diff.to_dict()
+        assert doc["schema"] == PERFDIFF_SCHEMA
+        assert doc["exit_code"] == 1
+        assert doc["regressed"] == 1
+        assert doc["rows"][0]["delta_pct"] == 50.0
+        json.dumps(doc)  # must be JSON-safe
+
+    def test_render_text_flags_worst(self):
+        diff = diff_bench(
+            _doc({"a": 1.0, "b": 1.0}), _doc({"a": 1.4, "b": 2.0})
+        )
+        text = diff.render_text()
+        assert "REGRESSED" in text
+        assert "worst: b +100.0%" in text
+
+    def test_render_text_warns_on_quick_mismatch(self):
+        diff = diff_bench(
+            _doc({"a": 1.0}, quick=True), _doc({"a": 1.0}, quick=False)
+        )
+        assert "quick/full mode mismatch" in diff.render_text()
+
+    def test_render_text_nothing_comparable(self):
+        diff = diff_bench(_doc({"a": 1.0}), _doc({"b": 1.0}))
+        assert "no common workloads" in diff.render_text()
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def _run(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_self_diff_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc({"a": 1.0}))
+        code, out = self._run(["perf-diff", base, base], capsys)
+        assert code == 0
+        assert "within tolerance" in out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc({"a": 1.0}))
+        cand = self._write(tmp_path, "cand.json", _doc({"a": 1.4}))
+        code, out = self._run(["perf-diff", base, cand], capsys)
+        assert code == 1
+        assert "REGRESSED" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc({"a": 1.0}))
+        cand = self._write(tmp_path, "cand.json", _doc({"a": 1.4}))
+        code, out = self._run(
+            ["perf-diff", base, cand, "--json"], capsys
+        )
+        doc = json.loads(out)
+        assert doc["schema"] == PERFDIFF_SCHEMA
+        assert doc["exit_code"] == code == 1
+
+    def test_tolerance_override_flag(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc({"a": 1.0}))
+        cand = self._write(tmp_path, "cand.json", _doc({"a": 1.4}))
+        code, __ = self._run(
+            ["perf-diff", base, cand, "--tolerance", "a=50"], capsys
+        )
+        assert code == 0
+
+    def test_malformed_tolerance_rejected(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc({"a": 1.0}))
+        with pytest.raises(SystemExit):
+            self._run(
+                ["perf-diff", base, base, "--tolerance", "nope"], capsys
+            )
+
+    def test_invalid_document_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "x"}))
+        base = self._write(tmp_path, "base.json", _doc({"a": 1.0}))
+        with pytest.raises(SystemExit):
+            self._run(["perf-diff", str(bad), base], capsys)

@@ -240,6 +240,216 @@ class TestHttpSidecar:
             assert daemon.http_address is None
 
 
+class TestHttpHygiene:
+    """PR-6 satellite: HEAD / 405 / JSON 404 / buildz on the sidecar."""
+
+    def _request(self, address, path, method="GET"):
+        host, port = address
+        req = urllib.request.Request(
+            f"http://{host}:{port}{path}", method=method
+        )
+        with urllib.request.urlopen(req, timeout=5) as response:
+            return response.status, dict(response.headers), response.read()
+
+    def test_head_mirrors_get_without_body(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            get_status, get_headers, get_body = self._request(
+                daemon.http_address, "/healthz"
+            )
+            status, headers, body = self._request(
+                daemon.http_address, "/healthz", method="HEAD"
+            )
+        assert get_status == status == 200
+        assert body == b""
+        assert get_body
+        # Same Content-Length/Type as the GET would have sent.
+        assert headers["Content-Type"] == get_headers["Content-Type"]
+        assert int(headers["Content-Length"]) == len(get_body)
+
+    def test_post_is_405_with_allow_header(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            host, port = daemon.http_address
+            req = urllib.request.Request(
+                f"http://{host}:{port}/healthz",
+                data=b"{}",
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=5)
+            assert err.value.code == 405
+            assert err.value.headers["Allow"] == "GET, HEAD"
+            payload = json.loads(err.value.read())
+            assert payload["ok"] is False
+            assert payload["allow"] == ["GET", "HEAD"]
+
+    def test_404_lists_routes_as_json(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._request(daemon.http_address, "/nope")
+            assert err.value.code == 404
+            payload = json.loads(err.value.read())
+            assert payload["ok"] is False
+            assert "/healthz" in payload["routes"]
+            assert "/metrics/history" in payload["routes"]
+            assert "/profile" in payload["routes"]
+            assert "/buildz" in payload["routes"]
+
+    def test_buildz_route(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            status, headers, body = self._request(
+                daemon.http_address, "/buildz"
+            )
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        build = json.loads(body)
+        assert build["ok"] and build["version"]
+        assert build["pid"] == os.getpid()
+        assert build["config"]["telemetry"] is True
+
+    def test_metrics_history_route(self, daemon_socket, design_files):
+        netlist, clocks = design_files
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            with DaemonClient(daemon_socket) as client:
+                client.analyze(netlist, clocks)
+            __, __, body = self._request(
+                daemon.http_address, "/metrics/history"
+            )
+        history = json.loads(body)
+        assert history["ok"]
+        assert history["schema"] == "repro.metrics.history/1"
+        # The boot point is recorded immediately at daemon start.
+        assert history["points"]
+
+    def test_metrics_history_last_param_trims(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            daemon.history.record(daemon.recorder)
+            daemon.history.record(daemon.recorder)
+            __, __, body = self._request(
+                daemon.http_address, "/metrics/history?last=1"
+            )
+        history = json.loads(body)
+        assert len(history["points"]) == 1
+        assert history["snapshots"] >= 3
+
+    def test_metrics_history_bad_last_is_400(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._request(
+                    daemon.http_address, "/metrics/history?last=x"
+                )
+            assert err.value.code == 400
+            assert b"?last must be an integer" in err.value.read()
+
+    def test_profile_route_500_before_first_run(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._request(daemon.http_address, "/profile")
+            assert err.value.code == 500
+
+    def test_profile_route_serves_live_snapshot(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            assert daemon.start_profiler(hz=200)
+            __, __, body = self._request(daemon.http_address, "/profile")
+            daemon.stop_profiler()
+        payload = json.loads(body)
+        assert payload["ok"]
+        doc = payload["profile"]
+        assert doc["schema"] == "repro.profile/1"
+        assert doc["hz"] == 200
+
+
+class TestProfileAndHistoryOps:
+    def test_profile_lifecycle_over_socket(
+        self, daemon_socket, design_files
+    ):
+        netlist, clocks = design_files
+        with TimingDaemon(daemon_socket) as daemon:
+            with DaemonClient(daemon_socket) as client:
+                started = client.profile("start", hz=500)
+                assert started["ok"] and started["started"] is True
+                # Idempotent: a second start reports started=false.
+                again = client.profile("start")
+                assert again["ok"] and again["started"] is False
+                client.analyze(netlist, clocks)
+                fetched = client.profile("fetch")
+                assert fetched["ok"] and fetched["running"] is True
+                assert fetched["profile"]["schema"] == "repro.profile/1"
+                stopped = client.profile("stop")
+                assert stopped["ok"]
+                doc = stopped["profile"]
+                assert doc["schema"] == "repro.profile/1"
+                assert doc["hz"] == 500
+                # After stop, fetch still serves the last document.
+                idle = client.profile("fetch")
+                assert idle["ok"] and idle["running"] is False
+            assert daemon.recorder.counters[
+                "service.profile.starts"
+            ] == 1
+            assert daemon.recorder.counters["service.profile.stops"] == 1
+
+    def test_profile_attributes_daemon_spans(
+        self, daemon_socket, design_files
+    ):
+        netlist, clocks = design_files
+        with TimingDaemon(daemon_socket) as daemon:
+            with DaemonClient(daemon_socket) as client:
+                client.profile("start", hz=997)
+                for __ in range(5):
+                    client.analyze(netlist, clocks)
+                stopped = client.profile("stop")
+        doc = stopped["profile"]
+        spans = {row["span"] for row in doc["stacks"]}
+        # Either the daemon was fast enough to dodge every tick (rare)
+        # or sampled stacks attribute to daemon request spans.
+        if doc["attributed"]:
+            assert any("service.daemon" in span for span in spans), spans
+
+    def test_profile_errors(self, daemon_socket):
+        with TimingDaemon(daemon_socket):
+            with DaemonClient(daemon_socket) as client:
+                stopped = client.profile("stop")
+                assert stopped["ok"] is False
+                assert "not running" in stopped["error"]
+                fetched = client.profile("fetch")
+                assert fetched["ok"] is False
+                unknown = client.profile("bogus")
+                assert unknown["ok"] is False
+
+    def test_history_op(self, daemon_socket, design_files):
+        netlist, clocks = design_files
+        with TimingDaemon(daemon_socket) as daemon:
+            with DaemonClient(daemon_socket) as client:
+                client.analyze(netlist, clocks)
+                history = client.history()
+                assert history["ok"]
+                assert history["schema"] == "repro.metrics.history/1"
+                assert history["points"]  # boot point at least
+                trimmed = client.history(last=1)
+                assert len(trimmed["points"]) == 1
+            assert daemon.recorder.counters["service.tsdb.reads"] == 2
+
+    def test_history_refused_when_telemetry_disabled(self, daemon_socket):
+        with TimingDaemon(daemon_socket, telemetry=False):
+            with DaemonClient(daemon_socket) as client:
+                response = client.history()
+                assert response["ok"] is False
+                assert "telemetry" in response["error"]
+
+    def test_buildinfo_op(self, daemon_socket):
+        with TimingDaemon(daemon_socket) as daemon:
+            with DaemonClient(daemon_socket) as client:
+                build = client.buildinfo()
+        assert build["ok"] and build["pid"] == os.getpid()
+        assert build["config"]["socket"] == daemon_socket
+
+    def test_tsdb_gauges_in_health_metrics(self, daemon_socket):
+        with TimingDaemon(daemon_socket) as daemon:
+            with DaemonClient(daemon_socket) as client:
+                metrics = client.metrics()["metrics"]
+        assert metrics["gauges"]["service.tsdb.points"] >= 1
+        assert metrics["gauges"]["service.tsdb.snapshots"] >= 1
+
+
 class TestDaemonAccessLog:
     def test_one_line_per_request(self, daemon_socket, design_files):
         netlist, clocks = design_files

@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
 from repro.service import DaemonClient, TimingDaemon
-from repro.service.top import fetch_frame, render_top
+from repro.service.top import (
+    fetch_frame,
+    json_frame,
+    render_top,
+    sparkline,
+)
 
 
 def _frame(ts=1000.0, requests=10, **over):
@@ -66,7 +73,42 @@ def _frame(ts=1000.0, requests=10, **over):
             },
         },
     )
-    return {"ts": ts, "health": health, "stats": stats, "metrics": metrics}
+    history = over.pop("history", None)
+    frame = {
+        "ts": ts,
+        "health": health,
+        "stats": stats,
+        "metrics": metrics,
+    }
+    if history is not None:
+        frame["history"] = history
+    return frame
+
+
+def _history(requests=(10, 25, 45), p95=(0.01, 0.02, 0.03)):
+    points = [
+        {
+            "ts": 1000.0 + 5.0 * index,
+            "counters": {"service.daemon.requests": count},
+            "gauges": {},
+            "histograms": {
+                "service.daemon.request_seconds": {
+                    "count": count,
+                    "p50": quantile / 2,
+                    "p95": quantile,
+                }
+            },
+        }
+        for index, (count, quantile) in enumerate(zip(requests, p95))
+    ]
+    return {
+        "ok": True,
+        "schema": "repro.metrics.history/1",
+        "interval_s": 5.0,
+        "capacity": 720,
+        "snapshots": len(points),
+        "points": points,
+    }
 
 
 class TestRenderTop:
@@ -116,6 +158,72 @@ class TestRenderTop:
         frame = _frame()
         assert render_top(frame) == render_top(frame)
 
+    def test_trend_block_from_history(self):
+        text = render_top(_frame(history=_history()))
+        assert "trend" in text
+        # Rising request deltas and p95s render non-flat sparklines.
+        assert any(glyph in text for glyph in "▂▃▄▅▆▇█")
+
+    def test_no_trend_block_without_history(self):
+        assert "trend" not in render_top(_frame())
+        short = _history(requests=(10,), p95=(0.01,))
+        assert "trend" not in render_top(_frame(history=short))
+        refused = {"ok": False, "error": "telemetry disabled"}
+        assert "trend" not in render_top(_frame(history=refused))
+
+
+class TestSparkline:
+    def test_scales_min_to_max(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert line == "▁▃▅█"
+
+    def test_flat_series_renders_low_bars(self):
+        assert sparkline([5.0, 5.0, 5.0], width=3) == "▁▁▁"
+
+    def test_empty_is_spaces(self):
+        assert sparkline([], width=6) == " " * 6
+
+    def test_fixed_width_right_justified(self):
+        line = sparkline([1.0, 2.0], width=10)
+        assert len(line) == 10
+        assert line.startswith(" " * 8)
+
+    def test_window_keeps_newest(self):
+        # Only the last `width` values matter for the scale.
+        line = sparkline([100.0, 0.0, 1.0], width=2)
+        assert line == "▁█"
+
+
+class TestJsonFrame:
+    def test_schema_and_raw_passthrough(self):
+        frame = _frame(history=_history())
+        doc = json_frame(frame)
+        assert doc["schema"] == "repro.topframe/1"
+        assert doc["health"]["pid"] == 4242
+        assert doc["stats"]["cache"]["hits"] == 8
+        assert doc["history"]["points"]
+        json.dumps(doc)  # must be JSON-safe
+
+    def test_derived_block(self):
+        previous = _frame(ts=1000.0, requests=10)
+        doc = json_frame(_frame(ts=1002.0, requests=20), previous)
+        derived = doc["derived"]
+        assert derived["rate_rps"] == pytest.approx(5.0)
+        assert derived["latency"]["request"]["p50"] == pytest.approx(
+            0.0055
+        )
+        assert derived["trends"] is None  # no history in _frame()
+
+    def test_derived_trends_from_history(self):
+        doc = json_frame(_frame(history=_history()))
+        trends = doc["derived"]["trends"]
+        assert trends["rate"] == [15.0, 20.0]
+        assert trends["p95"] == [0.02, 0.03]
+
+    def test_rate_none_on_first_frame(self):
+        doc = json_frame(_frame())
+        assert doc["derived"]["rate_rps"] is None
+
 
 class TestTopAgainstLiveDaemon:
     def test_fetch_frame_shape(self, tmp_path, design_files):
@@ -142,6 +250,22 @@ class TestTopAgainstLiveDaemon:
         assert "repro top" in out
         assert "latch_pipeline" in out
         assert "\x1b" not in out  # --once never emits escape codes
+
+    def test_cli_top_once_json(self, tmp_path, design_files, capsys):
+        socket_path = str(tmp_path / "top.sock")
+        netlist, clocks = design_files
+        with TimingDaemon(socket_path):
+            with DaemonClient(socket_path) as client:
+                client.analyze(netlist, clocks)
+            status = main(
+                ["top", "--socket", socket_path, "--once", "--json"]
+            )
+        assert status == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.topframe/1"
+        assert doc["health"]["ok"]
+        assert doc["history"]["ok"]
+        assert "trends" in doc["derived"]
 
     def test_cli_top_unreachable_socket(self, tmp_path):
         with pytest.raises(SystemExit):
