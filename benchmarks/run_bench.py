@@ -49,7 +49,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: The PR this harness currently reports for; bump alongside new
 #: workloads so every PR leaves its own ``BENCH_PR<n>.json`` artifact.
-CURRENT_PR = 6
+CURRENT_PR = 7
 DEFAULT_OUTPUT = REPO_ROOT / f"BENCH_PR{CURRENT_PR}.json"
 
 from repro import obs  # noqa: E402
@@ -379,6 +379,71 @@ def bench_profiler_overhead(quick: bool) -> Dict[str, object]:
         "overhead_pct": round(overhead_pct, 2),
         "profile_samples": total,
         "attributed_pct": round(attributed_pct, 2),
+    }
+
+
+@bench("watchdog_overhead")
+def bench_watchdog_overhead(quick: bool) -> Dict[str, object]:
+    """The PR-7 headline: the self-diagnosis plumbing on the request
+    path -- stall-watchdog track/annotate/untrack plus one flight-ring
+    append per request -- must stay within the noise floor of a warm
+    analyze round trip.
+
+    Two arms, same min-floor methodology as
+    ``service_telemetry_overhead`` (both arms keep telemetry *on*, so
+    only the PR-7 additions differ):
+
+    * ``off`` -- watchdog and flight recorder disabled
+      (``stall_timeout_s=None``, ``flight_capacity=0``);
+    * ``on``  -- daemon defaults (30 s watchdog, 256-event ring, alert
+      engine evaluating in the history thread, off the request path).
+    """
+    import tempfile
+
+    from repro.service import DaemonClient, TimingDaemon
+
+    rounds = 150 if quick else 400
+
+    def _warm_floor(tmp: Path, label: str, **kwargs: object) -> float:
+        from repro.clocks.serialize import save_schedule
+        from repro.netlist.persistence import save_network
+
+        network, schedule = _pipeline(quick)
+        netlist = tmp / f"design_{label}.json"
+        clocks = tmp / f"clocks_{label}.json"
+        save_network(network, netlist)
+        save_schedule(schedule, clocks)
+        socket_path = tmp / f"bench_{label}.sock"
+        samples = []
+        previous = obs.set_recorder(None)  # untraced requests only
+        try:
+            with TimingDaemon(str(socket_path), **kwargs):
+                with DaemonClient(str(socket_path)) as client:
+                    for __ in range(10):  # warm the incremental engine
+                        client.analyze(str(netlist), str(clocks))
+                    for __ in range(rounds):
+                        started = time.perf_counter()
+                        response = client.analyze(
+                            str(netlist), str(clocks)
+                        )
+                        samples.append(time.perf_counter() - started)
+                        assert response["ok"]
+        finally:
+            obs.set_recorder(previous)
+        return min(samples)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        directory = Path(tmp)
+        off_s = _warm_floor(
+            directory, "off", stall_timeout_s=None, flight_capacity=0
+        )
+        on_s = _warm_floor(directory, "on")
+    overhead_pct = ((on_s - off_s) / off_s * 100.0) if off_s else 0.0
+    return {
+        "rounds": rounds,
+        "warm_analyze_off_s": round(off_s, 6),
+        "warm_analyze_on_s": round(on_s, 6),
+        "overhead_pct": round(overhead_pct, 2),
     }
 
 

@@ -22,6 +22,9 @@ clock description, run the analysis, print the report::
         '{"op": "analyze", "netlist": "p.json", "clocks": "c.json"}'
     repro-sta top --socket /tmp/repro.sock
     repro-sta top --socket /tmp/repro.sock --once --json
+    repro-sta alerts --socket /tmp/repro.sock
+    repro-sta alerts --socket /tmp/repro.sock --ack daemon.error_burn
+    repro-sta doctor --socket /tmp/repro.sock
     repro-sta perf-diff BENCH_PR5.json bench.candidate.json
 
 (Equivalently ``python -m repro.cli ...``.)  Netlist format is selected
@@ -473,6 +476,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         http_port=args.http_port,
         access_log=args.access_log,
         slow_threshold_s=args.slow_threshold,
+        alert_rules=args.alert_rules,
+        crash_dir=args.crash_dir,
+        stall_timeout_s=(
+            args.stall_timeout if args.stall_timeout > 0 else None
+        ),
+        # The serving CLI owns the process, so chaining excepthook /
+        # faulthandler into the crash dir is safe here (the embeddable
+        # TimingDaemon class leaves them alone by default).
+        install_crash_hooks=True,
     )
     print(
         f"repro-sta daemon listening on {args.socket} "
@@ -484,11 +496,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"telemetry http on 127.0.0.1:{args.http_port} "
             "(GET /healthz, /metrics, /metrics/history, /profile, "
-            "/buildz)",
+            "/buildz, /alertz, /crashz, /flightz)",
             file=sys.stderr,
         )
     if args.access_log:
         print(f"access log: {args.access_log}", file=sys.stderr)
+    if daemon.alerts is not None:
+        print(
+            f"alert engine: {len(daemon.alerts.rules)} rules"
+            + (f" (from {args.alert_rules})" if args.alert_rules else ""),
+            file=sys.stderr,
+        )
+    if daemon.crash.crash_dir is not None:
+        print(
+            f"crash reports: {daemon.crash.crash_dir}", file=sys.stderr
+        )
+    if daemon.debug_ops:
+        print(
+            "debug ops ENABLED (fail/sleep fault injection)",
+            file=sys.stderr,
+        )
     if args.profile:
         daemon.start_profiler(hz=args.profile_hz)
         print(
@@ -603,6 +630,76 @@ def cmd_top(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def cmd_alerts(args: argparse.Namespace) -> int:
+    from repro.service import DaemonClient
+
+    try:
+        with DaemonClient(args.socket, timeout=args.timeout) as client:
+            if args.ack:
+                response = client.alerts("ack", name=args.ack)
+            else:
+                response = client.alerts()
+    except (OSError, ConnectionError) as exc:
+        raise SystemExit(f"cannot reach daemon at {args.socket}: {exc}")
+    if not response.get("ok"):
+        print(
+            f"alerts: {response.get('error', 'op failed')}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                response, indent=2, sort_keys=True, separators=(",", ": ")
+            )
+        )
+        return 0
+    if args.ack:
+        print(f"acknowledged {args.ack}")
+        return 0
+    rows = [r for r in response.get("alerts") or [] if isinstance(r, dict)]
+    print(
+        f"{response.get('rules', len(rows))} rules, "
+        f"{response.get('firing', 0)} firing "
+        f"({response.get('evaluations', 0)} evaluations)"
+    )
+    print(f"{'STATE':<9}{'SEV':<9}{'NAME':<28}MESSAGE")
+    for row in rows:
+        state = str(row.get("state", "?"))
+        if row.get("acked"):
+            state += "*"
+        message = str(row.get("message") or row.get("description") or "")
+        print(
+            f"{state:<9}{str(row.get('severity', '?')):<9}"
+            f"{str(row.get('name', '?')):<28}{message}"[:100]
+        )
+    return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.service import DaemonClient
+    from repro.service.doctor import (
+        doctor_exit_code,
+        fetch_doctor,
+        render_doctor,
+    )
+
+    try:
+        with DaemonClient(args.socket, timeout=args.timeout) as client:
+            doc = fetch_doctor(client, flight_last=args.flight)
+    except (OSError, ConnectionError) as exc:
+        raise SystemExit(f"cannot reach daemon at {args.socket}: {exc}")
+    if args.json:
+        print(
+            json.dumps(
+                doc, indent=2, sort_keys=True, separators=(",", ": ")
+            )
+        )
+    else:
+        print(render_doctor(doc))
+    return doctor_exit_code(doc)
 
 
 def cmd_perf_diff(args: argparse.Namespace) -> int:
@@ -920,6 +1017,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HZ",
         help="profiler sampling rate (default: 100)",
     )
+    diagnosis = serve.add_argument_group("self-diagnosis")
+    diagnosis.add_argument(
+        "--alert-rules",
+        metavar="FILE",
+        help="TOML or JSON repro.alertrules/1 file; extends/overrides "
+        "the built-in rules (see docs/observability.md)",
+    )
+    diagnosis.add_argument(
+        "--crash-dir",
+        default="crashes",
+        metavar="DIR",
+        help="directory for repro.crash/1 postmortems on unhandled "
+        "errors (default: crashes)",
+    )
+    diagnosis.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="fire daemon.stalled when a request is in flight longer "
+        "than this; 0 disables the watchdog (default: 30)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     query = sub.add_parser(
@@ -999,6 +1118,46 @@ def build_parser() -> argparse.ArgumentParser:
         "per refresh instead of the rendered dashboard",
     )
     top.set_defaults(func=cmd_top)
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="list or acknowledge the daemon's alert-engine rows",
+    )
+    alerts.add_argument("--socket", required=True, metavar="PATH")
+    alerts.add_argument(
+        "--ack",
+        metavar="NAME",
+        help="acknowledge a firing alert instead of listing",
+    )
+    alerts.add_argument("--timeout", type=float, default=10.0)
+    alerts.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw repro.alerts/1 document",
+    )
+    alerts.set_defaults(func=cmd_alerts)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="one-shot daemon triage: firing alerts, latest crash "
+        "report, flight-recorder tail (exit 0 healthy / 1 alerts "
+        "firing / 2 crash report present)",
+    )
+    doctor.add_argument("--socket", required=True, metavar="PATH")
+    doctor.add_argument(
+        "--flight",
+        type=int,
+        default=20,
+        metavar="N",
+        help="flight-recorder events to include (default: 20)",
+    )
+    doctor.add_argument("--timeout", type=float, default=10.0)
+    doctor.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw repro.doctor/1 document",
+    )
+    doctor.set_defaults(func=cmd_doctor)
 
     perf_diff = sub.add_parser(
         "perf-diff",

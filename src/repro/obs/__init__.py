@@ -11,7 +11,12 @@ pipeline.
 * :mod:`repro.obs.profile` -- span-attributed sampling profiler with
   collapsed-stack / speedscope exporters (``repro.profile/1``),
 * :mod:`repro.obs.tsdb` -- ring-buffer metrics history served by the
-  daemon (``repro.metrics.history/1``).
+  daemon (``repro.metrics.history/1``),
+* :mod:`repro.obs.alerts` -- declarative alert rules evaluated against
+  the metrics history (``repro.alerts/1``),
+* :mod:`repro.obs.flight` -- flight recorder ring, structured error /
+  crash reports and the stall watchdog (``repro.flight/1``,
+  ``repro.error/1``, ``repro.crash/1``).
 
 Recording is **disabled by default**: every instrumentation site in the
 analysis pipeline degrades to a single global read (see
@@ -78,7 +83,25 @@ from repro.obs.summary import (
     render_phase_tree,
     render_profile_table,
 )
-from repro.obs.tsdb import HISTORY_SCHEMA, MetricsHistory
+from repro.obs.tsdb import HISTORY_SCHEMA, MetricsHistory, resolve_metric
+from repro.obs.alerts import (
+    ALERTS_SCHEMA,
+    AlertEngine,
+    AlertRule,
+    DEFAULT_RULES,
+    load_rules,
+)
+from repro.obs.flight import (
+    CRASH_SCHEMA,
+    ERROR_SCHEMA,
+    FLIGHT_SCHEMA,
+    CrashHandler,
+    FlightRecorder,
+    StallWatchdog,
+    error_document,
+    exception_frames,
+    thread_stacks,
+)
 
 __all__ = [
     "Recorder",
@@ -124,4 +147,19 @@ __all__ = [
     "render_profile_table",
     "HISTORY_SCHEMA",
     "MetricsHistory",
+    "resolve_metric",
+    "ALERTS_SCHEMA",
+    "AlertEngine",
+    "AlertRule",
+    "DEFAULT_RULES",
+    "load_rules",
+    "ERROR_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "CRASH_SCHEMA",
+    "FlightRecorder",
+    "CrashHandler",
+    "StallWatchdog",
+    "error_document",
+    "exception_frames",
+    "thread_stacks",
 ]

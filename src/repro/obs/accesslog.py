@@ -140,9 +140,14 @@ class AccessLog:
         status: str,
         duration_s: float,
         snapshot: Optional[Dict[str, object]] = None,
+        force_spans: bool = False,
         **facts: object,
     ) -> Dict[str, object]:
         """Write one line; returns the entry (handy for tests).
+
+        ``force_spans`` attaches the span tree regardless of the slow
+        threshold -- the daemon sets it for failed requests, whose
+        forensic value does not depend on their duration.
 
         Never raises: an unwritable log is reported once via the
         ``error`` counter path and then dropped -- telemetry must not
@@ -165,6 +170,7 @@ class AccessLog:
         slow = duration_s >= self.slow_threshold_s
         if slow:
             entry["slow"] = True
+        if slow or force_spans:
             tree = span_tree_from_snapshot(snapshot)
             if tree is not None:
                 entry["spans"] = tree

@@ -162,6 +162,11 @@ class Recorder:
         #: in one step (atomic under the GIL, at worst one span stale).
         self._span_stacks: Dict[int, List[Tuple[str, str]]] = {}
         self._next_index = 0
+        #: Optional hook ``(name, duration_s, thread_id)`` called when a
+        #: depth-0 span completes (the flight recorder subscribes here
+        #: to keep a ring of recent root spans).  Must not raise; called
+        #: outside the recorder lock.
+        self.on_root_span = None
 
     # ------------------------------------------------------------------
     # span lifecycle (called by Span)
@@ -190,6 +195,11 @@ class Recorder:
         stack = self._span_stacks.get(tid)
         if stack:
             stack.pop()
+        if depth == 0 and self.on_root_span is not None:
+            try:
+                self.on_root_span(name, duration, tid)
+            except Exception:  # noqa: BLE001 -- hook must not break spans
+                pass
         with self._lock:
             stats = self.span_stats.get(name)
             if stats is None:

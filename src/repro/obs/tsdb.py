@@ -30,14 +30,39 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.obs.recorder import Recorder
 
-__all__ = ["HISTORY_SCHEMA", "MetricsHistory"]
+__all__ = ["HISTORY_SCHEMA", "MetricsHistory", "resolve_metric"]
 
 #: Schema identifier of a serialised history document.
 HISTORY_SCHEMA = "repro.metrics.history/1"
+
+
+def resolve_metric(point: Dict[str, object], name: str) -> Optional[float]:
+    """Resolve a metric name against one snapshot point.
+
+    Counters win over gauges; ``<histogram>.p50`` / ``.p95`` /
+    ``.count`` reach into histogram rows.  Returns ``None`` when the
+    point has no such metric -- the distinction between "absent" and
+    "0.0" matters to absence alert rules, which is why this lives here
+    rather than inside :meth:`MetricsHistory.series` (that keeps its
+    0.0-fill contract so series always align with points).
+    """
+    counters = point.get("counters") or {}
+    if name in counters:
+        return float(counters[name])
+    gauges = point.get("gauges") or {}
+    if name in gauges:
+        return float(gauges[name])
+    base, dot, field = name.rpartition(".")
+    if dot:
+        histograms = point.get("histograms") or {}
+        row = histograms.get(base)
+        if row is not None and field in row:
+            return float(row[field])
+    return None
 
 
 class MetricsHistory:
@@ -110,26 +135,47 @@ class MetricsHistory:
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
-    def start(self, recorder: Recorder) -> "MetricsHistory":
+    def start(
+        self,
+        recorder: Recorder,
+        before_point: Optional[Callable[[], None]] = None,
+        on_point: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> "MetricsHistory":
         """Snapshot ``recorder`` every ``interval_s`` until :meth:`stop`.
 
         One boot point is recorded immediately so readers see a
         non-empty history without waiting out the first interval.
+        ``before_point`` runs just before each snapshot (the daemon
+        syncs its derived gauges there so every point carries them) and
+        ``on_point`` receives each freshly recorded point (the alert
+        engine evaluates there, giving alerting the same cadence as the
+        history it reads).  Both hooks are best-effort: an exception
+        skips the hook, never the snapshot loop.
         """
         if self._thread is not None:
             raise RuntimeError("history thread already started")
         self._stop.clear()
 
-        def _run() -> None:
-            try:
-                self.record(recorder)
-            except Exception:  # pragma: no cover -- never kill host
-                pass
-            while not self._stop.wait(self.interval_s):
+        def _tick() -> None:
+            if before_point is not None:
                 try:
-                    self.record(recorder)
+                    before_point()
                 except Exception:  # pragma: no cover -- never kill host
                     pass
+            try:
+                point = self.record(recorder)
+            except Exception:  # pragma: no cover -- never kill host
+                return
+            if on_point is not None:
+                try:
+                    on_point(point)
+                except Exception:  # pragma: no cover -- never kill host
+                    pass
+
+        def _run() -> None:
+            _tick()
+            while not self._stop.wait(self.interval_s):
+                _tick()
 
         self._thread = threading.Thread(
             target=_run, name="repro-tsdb", daemon=True
@@ -164,23 +210,10 @@ class MetricsHistory:
         Points that lack the metric contribute ``0.0`` so the series
         always aligns with :meth:`points`.
         """
-        base, dot, field = name.rpartition(".")
         values: List[float] = []
         for point in self.points(last):
-            counters = point.get("counters") or {}
-            gauges = point.get("gauges") or {}
-            if name in counters:
-                values.append(float(counters[name]))
-                continue
-            if name in gauges:
-                values.append(float(gauges[name]))
-                continue
-            histograms = point.get("histograms") or {}
-            row = histograms.get(base) if dot else None
-            if row is not None and field in row:
-                values.append(float(row[field]))
-            else:
-                values.append(0.0)
+            value = resolve_metric(point, name)
+            values.append(0.0 if value is None else value)
         return values
 
     def to_dict(self, last: Optional[int] = None) -> Dict[str, object]:

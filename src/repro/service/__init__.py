@@ -24,7 +24,10 @@ engine for repeated and concurrent timing queries:
   localhost-only HTTP server behind ``repro-sta serve --http-port``
   exposing ``/healthz`` and ``/metrics``,
 * :mod:`repro.service.top` -- frame fetch + pure renderer for the
-  ``repro-sta top`` live daemon dashboard.
+  ``repro-sta top`` live daemon dashboard,
+* :mod:`repro.service.doctor` -- one-shot triage (``repro-sta
+  doctor``): firing alerts, latest crash report and the flight-recorder
+  tail, with a CI-friendly exit code.
 
 See ``docs/service.md`` for the cache key scheme, batch semantics,
 the daemon protocol and the monitoring walkthrough.
@@ -53,6 +56,11 @@ from repro.service.digest import (
     network_digest,
     schedule_digest,
 )
+from repro.service.doctor import (
+    doctor_exit_code,
+    fetch_doctor,
+    render_doctor,
+)
 from repro.service.httpmon import TelemetrySidecar
 from repro.service.top import fetch_frame, render_top
 
@@ -73,6 +81,9 @@ __all__ = [
     "TimingDaemon",
     "fetch_frame",
     "render_top",
+    "doctor_exit_code",
+    "fetch_doctor",
+    "render_doctor",
     "analysis_config",
     "cache_key",
     "config_digest",

@@ -115,6 +115,10 @@ class JobOutcome:
     #: True when the job ran in-process after worker retries ran out.
     serial_fallback: bool = False
     error: Optional[str] = None
+    #: Worker postmortem for failed jobs (``repro.crash/1``: structured
+    #: frames + all-thread worker stacks); ``None`` on success or when
+    #: the failure happened before a worker ran (plan errors).
+    crash: Optional[Dict[str, object]] = None
     counters: Dict[str, float] = field(default_factory=dict)
     #: Submit -> worker-pickup wall seconds (``None`` for cache hits
     #: and untraced runs; wall-clock, so cross-process skew applies).
@@ -265,6 +269,7 @@ class BatchReport:
                     "manifest_digest": _maybe_manifest_digest(o.manifest),
                     "cluster_cache": o.cluster_cache,
                     "error": o.error,
+                    "crash": o.crash,
                 }
                 for o in self.outcomes
             ],
@@ -280,6 +285,15 @@ class BatchReport:
             )
             note = " [serial-fallback]" if o.serial_fallback else ""
             err = f" ({o.error})" if o.error else ""
+            crash_error = (o.crash or {}).get("error")
+            if isinstance(crash_error, dict):
+                frames = crash_error.get("frames") or []
+                if frames:
+                    last = frames[-1]
+                    err += (
+                        f" @ {last.get('file')}:{last.get('line')} "
+                        f"in {last.get('function')}"
+                    )
             lines.append(
                 f"{o.job.name:<24} {o.status:<9} {o.seconds:>8.3f}s "
                 f"attempts={o.attempts} {verdict}{note}{err}"
@@ -754,6 +768,7 @@ class BatchEngine:
             )
         else:
             obs.counter("service.batch.failures")
+            crash = document.get("crash")
             outcomes[plan.job.name] = JobOutcome(
                 job=plan.job,
                 status="failed",
@@ -763,6 +778,7 @@ class BatchEngine:
                 seconds=seconds,
                 serial_fallback=fallback,
                 error=document.get("error"),  # type: ignore[arg-type]
+                crash=crash if isinstance(crash, dict) else None,
             )
 
     def _record_success(

@@ -48,6 +48,18 @@ one Chrome trace across both processes.  With ``--access-log`` every
 request appends one ``repro.accesslog/1`` JSON line (op, design, warm
 vs rebuild, queue-wait vs handle time, status, duration); requests
 slower than the threshold attach their full span tree.
+
+**Self-diagnosis** (PR 7): an :class:`repro.obs.alerts.AlertEngine`
+evaluates declarative rules against the metrics history on every
+snapshot (``alerts`` op, ``GET /alertz``); an always-on
+:class:`repro.obs.flight.FlightRecorder` keeps a ring of recent
+requests, root spans and errors (``flight`` op, ``GET /flightz``); a
+:class:`repro.obs.flight.StallWatchdog` flags requests in flight past
+``stall_timeout_s`` (firing the ``daemon.stalled`` alert with the stuck
+thread's stack); and a :class:`repro.obs.flight.CrashHandler` dumps
+``repro.crash/1`` reports -- structured frames, all-thread stacks, the
+flight ring, active alerts, buildinfo -- for unexpected handler
+exceptions (``crash-report`` op, ``GET /crashz``, ``repro-sta doctor``).
 """
 
 from __future__ import annotations
@@ -59,11 +71,18 @@ import socket
 import socketserver
 import threading
 import time
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.obs import live
 from repro.obs.accesslog import AccessLog
+from repro.obs.alerts import AlertEngine, AlertRule, load_rules
+from repro.obs.flight import (
+    CrashHandler,
+    FlightRecorder,
+    StallWatchdog,
+    error_document,
+)
 from repro.obs.hist import LATENCY_BUCKETS
 from repro.obs.profile import SamplingProfiler
 from repro.obs.tsdb import MetricsHistory
@@ -81,6 +100,11 @@ __all__ = ["DaemonClient", "TimingDaemon", "PROTOCOL_VERSION"]
 
 #: Bumped when the request/response shapes change incompatibly.
 PROTOCOL_VERSION = 1
+
+#: Exception types that mean "bad request", not "daemon bug": they get
+#: a structured error response but no crash report.  Anything outside
+#: this set dumps a ``repro.crash/1`` postmortem.
+_EXPECTED_ERRORS = (ValueError, KeyError, TypeError, OSError)
 
 
 def _json_num(value) -> object:
@@ -187,6 +211,28 @@ class TimingDaemon:
         a ``scale_cell`` mutation then drops exactly the touched
         cluster's sub-entry instead of invalidating the whole
         (network, clocks, config) triple.
+    alert_rules:
+        ``None`` for the built-in :data:`repro.obs.alerts.DEFAULT_RULES`,
+        a path to a TOML/JSON rule file (extends/overrides the
+        defaults), or an explicit rule sequence.
+    flight_capacity:
+        Events kept in the always-on flight ring (0 disables it).
+    crash_dir:
+        Directory ``repro.crash/1`` reports are written to (``None``
+        keeps the last report in memory only).
+    stall_timeout_s:
+        Requests in flight longer than this fire the ``daemon.stalled``
+        alert with the stuck thread's stack (``None`` disables the
+        watchdog).
+    debug_ops:
+        Enable the fault-injection ops ``fail`` and ``sleep`` (CI's
+        self-diagnosis smoke uses them; also enabled by the
+        ``REPRO_DEBUG_OPS=1`` environment variable).
+    install_crash_hooks:
+        Chain ``sys.excepthook``/``threading.excepthook`` and enable
+        :mod:`faulthandler` process-wide (``repro-sta serve`` turns
+        this on; embedded/test daemons leave the process hooks alone --
+        request-handler crashes are reported either way).
     """
 
     def __init__(
@@ -201,6 +247,14 @@ class TimingDaemon:
         cluster_cache: Union[ClusterCache, str, None] = None,
         history_interval_s: float = 5.0,
         history_capacity: int = 720,
+        alert_rules: Union[
+            None, str, "os.PathLike[str]", Sequence[AlertRule]
+        ] = None,
+        flight_capacity: int = 256,
+        crash_dir: Union[None, str, "os.PathLike[str]"] = None,
+        stall_timeout_s: Optional[float] = 30.0,
+        debug_ops: bool = False,
+        install_crash_hooks: bool = False,
     ) -> None:
         self.socket_path = str(socket_path)
         self.cache = cache
@@ -229,6 +283,57 @@ class TimingDaemon:
             )
             if telemetry
             else None
+        )
+        #: Always-on flight ring of recent requests/spans/errors
+        #: (``None`` with telemetry off or ``flight_capacity=0``).
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(capacity=flight_capacity)
+            if telemetry and flight_capacity > 0
+            else None
+        )
+        if self.flight is not None and self.recorder is not None:
+            self.flight.subscribe_spans(self.recorder)
+        #: Declarative alerting over the metrics history (``None`` with
+        #: telemetry off).
+        if telemetry:
+            if alert_rules is None:
+                rules: Optional[Iterable[AlertRule]] = None
+            elif isinstance(alert_rules, (str, os.PathLike)):
+                rules = load_rules(alert_rules)
+            else:
+                rules = tuple(alert_rules)
+            self.alerts: Optional[AlertEngine] = AlertEngine(
+                rules, on_transition=self._on_alert_transition
+            )
+        else:
+            self.alerts = None
+        #: Crash forensics: builds/persists ``repro.crash/1`` reports.
+        #: Always constructed -- a stripped-down daemon still deserves a
+        #: postmortem (the report simply embeds no flight ring/alerts).
+        self.crash = CrashHandler(
+            crash_dir=crash_dir,
+            flight=self.flight,
+            alerts=(
+                (lambda: self.alerts.active())
+                if self.alerts is not None
+                else None
+            ),
+            buildinfo=self._buildinfo,
+        )
+        self._install_crash_hooks = bool(install_crash_hooks)
+        #: Stall watchdog (``None`` with telemetry off or no deadline).
+        self.watchdog: Optional[StallWatchdog] = (
+            StallWatchdog(
+                deadline_s=stall_timeout_s,
+                on_stall=self._on_stall,
+                on_clear=self._on_stall_clear,
+                on_all_clear=self._on_all_stalls_clear,
+            )
+            if telemetry and stall_timeout_s is not None
+            else None
+        )
+        self.debug_ops = bool(debug_ops) or (
+            os.environ.get("REPRO_DEBUG_OPS") == "1"
         )
         #: In-daemon sampling profiler; started/stopped by the
         #: ``profile`` op (one at a time -- it samples every thread).
@@ -320,6 +425,21 @@ class TimingDaemon:
         server.daemon_threads = True
         return server
 
+    #: Declarative sidecar route table: path -> bound-method name.
+    #: ``_start_sidecar`` builds the live dict from this, and the
+    #: sidecar's JSON 404 lists exactly these paths -- adding a route is
+    #: one line here, with no ``do_GET`` if/else chain to grow.
+    HTTP_ROUTES: Tuple[Tuple[str, str], ...] = (
+        ("/healthz", "_http_healthz"),
+        ("/metrics", "_http_metrics"),
+        ("/metrics/history", "_http_history"),
+        ("/profile", "_http_profile"),
+        ("/buildz", "_http_buildz"),
+        ("/alertz", "_http_alertz"),
+        ("/crashz", "_http_crashz"),
+        ("/flightz", "_http_flightz"),
+    )
+
     def _start_sidecar(self) -> None:
         if self.http_port is None or self._sidecar is not None:
             return
@@ -327,11 +447,8 @@ class TimingDaemon:
 
         self._sidecar = TelemetrySidecar(
             routes={
-                "/healthz": self._http_healthz,
-                "/metrics": self._http_metrics,
-                "/metrics/history": self._http_history,
-                "/profile": self._http_profile,
-                "/buildz": self._http_buildz,
+                path: getattr(self, attr)
+                for path, attr in self.HTTP_ROUTES
             },
             port=self.http_port,
             on_request=lambda path: self._counter(
@@ -343,7 +460,88 @@ class TimingDaemon:
     def _start_history(self) -> None:
         if self.history is not None and self.recorder is not None:
             if not self.history.running:
-                self.history.start(self.recorder)
+                # Gauges sync just before each snapshot (so every point
+                # carries them) and the alert engine evaluates just
+                # after (so alerting shares the history cadence).
+                self.history.start(
+                    self.recorder,
+                    before_point=self._sync_gauges,
+                    on_point=self._evaluate_alerts,
+                )
+
+    def _start_self_diagnosis(self) -> None:
+        if self.watchdog is not None and not self.watchdog.running:
+            self.watchdog.start()
+        if self._install_crash_hooks:
+            self.crash.install()
+        if self.flight is not None:
+            self.flight.record_log(
+                "daemon started",
+                pid=os.getpid(),
+                socket=self.socket_path,
+            )
+
+    def _evaluate_alerts(self, point: Dict[str, object]) -> None:
+        if self.alerts is not None and self.history is not None:
+            self.alerts.evaluate(self.history)
+
+    # ------------------------------------------------------------------
+    # self-diagnosis hooks (alert transitions, stalls)
+    # ------------------------------------------------------------------
+    def _on_alert_transition(
+        self, rule, old: str, new: str, row: Dict[str, object]
+    ) -> None:
+        self._counter("service.alerts.transitions")
+        if new == "firing":
+            self._counter("service.alerts.fired")
+        if self.flight is not None:
+            self.flight.record(
+                "log",
+                message=f"alert {rule.name}: {old} -> {new}",
+                alert=rule.name,
+                state=new,
+                severity=rule.severity,
+            )
+
+    def _on_stall(self, info: Dict[str, object]) -> None:
+        waited = float(info.get("waited_s") or 0.0)
+        self._counter("service.daemon.stalls")
+        if self.flight is not None:
+            self.flight.record(
+                "stall",
+                op=info.get("op"),
+                design=info.get("design"),
+                status="stalled",
+                waited_s=round(waited, 3),
+                thread_id=info.get("thread_id"),
+                stack=info.get("stack"),
+            )
+        if self.alerts is not None:
+            self.alerts.fire(
+                "daemon.stalled",
+                message=(
+                    f"op {info.get('op') or '?'} in flight "
+                    f"{waited:.1f}s (deadline "
+                    f"{self.watchdog.deadline_s:g}s)"
+                    if self.watchdog is not None
+                    else f"op {info.get('op') or '?'} stalled"
+                ),
+                value=round(waited, 3),
+            )
+
+    def _on_stall_clear(self, info: Dict[str, object]) -> None:
+        if self.flight is not None:
+            self.flight.record(
+                "stall",
+                op=info.get("op"),
+                design=info.get("design"),
+                status="resolved",
+                waited_s=round(float(info.get("waited_s") or 0.0), 3),
+            )
+
+    def _on_all_stalls_clear(self) -> None:
+        if self.alerts is not None:
+            self.alerts.clear("daemon.stalled")
 
     @property
     def http_address(self) -> Optional[Tuple[str, int]]:
@@ -398,6 +596,47 @@ class TimingDaemon:
         )
         return "application/json", body + "\n"
 
+    def _http_alertz(self, params: Dict[str, str]) -> Tuple[str, str]:
+        if self.alerts is None:
+            raise RuntimeError("telemetry disabled (no alert engine)")
+        body = json.dumps(
+            {"ok": True, **self.alerts.to_dict()}, sort_keys=True
+        )
+        return "application/json", body + "\n"
+
+    def _http_crashz(self, params: Dict[str, str]) -> Tuple[str, str]:
+        latest = self.crash.latest()
+        path = self.crash.latest_path()
+        body = json.dumps(
+            {
+                "ok": True,
+                "crash": latest,
+                "path": str(path) if path is not None else None,
+                "reports_written": self.crash.reports_written,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return "application/json", body + "\n"
+
+    def _http_flightz(self, params: Dict[str, str]) -> Tuple[str, str]:
+        if self.flight is None:
+            raise RuntimeError("flight recorder disabled on this daemon")
+        last = None
+        if "last" in params:
+            try:
+                last = int(params["last"])
+            except ValueError:
+                raise ValueError(
+                    f"?last must be an integer, got {params['last']!r}"
+                ) from None
+        body = json.dumps(
+            {"ok": True, **self.flight.to_dict(last=last)},
+            sort_keys=True,
+            default=str,
+        )
+        return "application/json", body + "\n"
+
     def _buildinfo(self) -> Dict[str, object]:
         """Build/runtime identity served by ``GET /buildz``."""
         import sys
@@ -424,6 +663,21 @@ class TimingDaemon:
                 "history_capacity": (
                     self.history.capacity if self.history else None
                 ),
+                "alert_rules": (
+                    len(self.alerts.rules) if self.alerts else 0
+                ),
+                "flight_capacity": (
+                    self.flight.capacity if self.flight else 0
+                ),
+                "crash_dir": (
+                    str(self.crash.crash_dir)
+                    if self.crash.crash_dir is not None
+                    else None
+                ),
+                "stall_timeout_s": (
+                    self.watchdog.deadline_s if self.watchdog else None
+                ),
+                "debug_ops": self.debug_ops,
             },
         }
 
@@ -453,6 +707,33 @@ class TimingDaemon:
             self.recorder.gauge(
                 "service.tsdb.snapshots", self.history.snapshots
             )
+        if self.watchdog is not None:
+            self.recorder.gauge(
+                "service.daemon.stalled", self.watchdog.stalled_count()
+            )
+        if self.flight is not None:
+            self.recorder.gauge(
+                "service.flight.events", len(self.flight)
+            )
+            self.recorder.gauge(
+                "service.flight.dropped", self.flight.dropped
+            )
+        if self.alerts is not None:
+            self.recorder.gauge(
+                "service.alerts.firing", self.alerts.firing_count()
+            )
+        with self._profiler_lock:
+            profiler = self._profiler
+        if profiler is not None:
+            # Cumulative, so the profiler.dropped_ticks burn-rate rule
+            # can take window deltas like any counter.
+            self.recorder.gauge(
+                "service.daemon.profiler_samples", profiler.samples
+            )
+            self.recorder.gauge(
+                "service.daemon.profiler_dropped_ticks",
+                profiler.dropped_ticks,
+            )
 
     def start(self) -> None:
         """Serve in a background thread (returns once listening)."""
@@ -461,6 +742,7 @@ class TimingDaemon:
         self._server = self._make_server()
         self._start_sidecar()
         self._start_history()
+        self._start_self_diagnosis()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -475,6 +757,7 @@ class TimingDaemon:
         self._server = self._make_server()
         self._start_sidecar()
         self._start_history()
+        self._start_self_diagnosis()
         try:
             self._server.serve_forever(poll_interval=0.05)
         finally:
@@ -496,6 +779,9 @@ class TimingDaemon:
             sidecar.stop()
         if self.history is not None:
             self.history.stop()
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        self.crash.uninstall()
         with self._profiler_lock:
             profiler, self._profiler = self._profiler, None
         if profiler is not None:
@@ -547,17 +833,23 @@ class TimingDaemon:
         op = ""
         status = "ok"
         error: Optional[str] = None
+        error_type: Optional[str] = None
         req_rec: Optional[obs.Recorder] = None
         snapshot_doc: Optional[Dict[str, object]] = None
+        local.wd_token = None
         try:
             parsed = json.loads(line.decode("utf-8"))
             if not isinstance(parsed, dict):
                 raise ValueError("request must be a JSON object")
             request = parsed
             op = str(request.get("op", ""))
-            handler = getattr(self, f"_op_{op}", None)
+            # ``crash-report`` and friends spell ops with hyphens on the
+            # wire; handler names cannot.
+            handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
             if handler is None or op.startswith("_"):
                 raise ValueError(f"unknown op {op!r}")
+            if self.watchdog is not None:
+                local.wd_token = self.watchdog.track(op=op)
             ctx = request.get("trace")
             if isinstance(ctx, dict) and ctx.get("trace_id"):
                 req_rec = live.child_recorder(ctx)
@@ -578,24 +870,49 @@ class TimingDaemon:
                 response = handler(request)
         except Exception as exc:  # noqa: BLE001 -- protocol boundary
             status = "error"
+            error_doc = error_document(exc)
             error = str(exc)
+            error_type = type(exc).__name__
             self._counter("service.daemon.errors")
             with self._state_lock:
                 self.errors += 1
                 self.last_error = {
                     "error": error,
-                    "error_type": type(exc).__name__,
+                    "error_type": error_type,
                     "op": op or None,
                     "ts": round(time.time(), 3),
+                    "frames": error_doc["frames"],
                 }
+            if self.flight is not None:
+                self.flight.record(
+                    "error",
+                    op=op or None,
+                    design=getattr(local, "design", None),
+                    error=error_doc,
+                )
+            if not isinstance(exc, _EXPECTED_ERRORS):
+                # A bad request (unknown op, missing file, wrong type)
+                # is business as usual; anything else is a bug worth a
+                # full postmortem.
+                try:
+                    self.crash.report(
+                        exc, kind="handler_exception", op=op or None
+                    )
+                    self._counter("service.daemon.crash_reports")
+                except Exception:  # noqa: BLE001 -- never mask response
+                    pass
             response = {
                 "ok": False,
                 "error": error,
-                "error_type": type(exc).__name__,
+                "error_type": error_type,
+                "error_doc": error_doc,
             }
         finally:
             with self._state_lock:
                 self.in_flight -= 1
+            token = getattr(local, "wd_token", None)
+            if token is not None and self.watchdog is not None:
+                self.watchdog.untrack(token)
         if "id" in request:
             response.setdefault("id", request["id"])
         duration = time.perf_counter() - arrival
@@ -607,6 +924,23 @@ class TimingDaemon:
         self._histogram("service.daemon.handle_seconds", handle_s)
         if duration >= self.slow_threshold_s:
             self._counter("service.daemon.slow_requests")
+        if self.flight is not None:
+            self.flight.record_request(
+                op or "?",
+                getattr(local, "design", None),
+                status,
+                duration,
+                engine=getattr(local, "engine", None),
+                error_type=error_type,
+            )
+        if snapshot_doc is None and req_rec is not None:
+            # A traced request that raised never reached the success
+            # path's snapshot; take it now so the failed access-log
+            # line still carries the spans leading up to the error.
+            try:
+                snapshot_doc = live.snapshot(req_rec)
+            except Exception:  # noqa: BLE001 -- forensics only
+                snapshot_doc = None
         if self.access_log is not None:
             self.access_log.record(
                 "daemon",
@@ -615,6 +949,9 @@ class TimingDaemon:
                 status,
                 duration,
                 snapshot=snapshot_doc,
+                # Failed requests always log their span tree -- their
+                # forensic value does not depend on being slow.
+                force_spans=status == "error",
                 engine=getattr(local, "engine", None),
                 queue_wait_s=(
                     round(queue_wait, 6) if queue_wait is not None else None
@@ -665,6 +1002,9 @@ class TimingDaemon:
                 self._designs[key] = state
                 self._counter("service.daemon.designs_loaded")
         self._local.design = state.network.name
+        token = getattr(self._local, "wd_token", None)
+        if token is not None and self.watchdog is not None:
+            self.watchdog.annotate(token, design=state.network.name)
         return state
 
     def _analyze_state(
@@ -1045,6 +1385,83 @@ class TimingDaemon:
             dropped = self._designs.pop((netlist, clocks), None)
         return {"ok": True, "dropped": dropped is not None}
 
+    def _op_alerts(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Alert state: ``action`` list (default) or ack.
+
+        * ``list`` returns the full ``repro.alerts/1`` document;
+        * ``ack`` (with ``name``) acknowledges a firing alert so
+          dashboards can demote its banner without resolving it.
+        """
+        if self.alerts is None:
+            raise ValueError(
+                "telemetry is disabled on this daemon (no alert engine)"
+            )
+        action = str(request.get("action", "list"))
+        if action == "list":
+            return {"ok": True, **self.alerts.to_dict()}
+        if action == "ack":
+            name = str(request.get("name", ""))
+            if not name:
+                raise ValueError("ack needs an alert 'name'")
+            if not self.alerts.ack(name):
+                raise ValueError(f"alert {name!r} is not firing")
+            self._counter("service.alerts.acked")
+            return {"ok": True, "action": action, "name": name, "acked": True}
+        raise ValueError(
+            f"unknown alerts action {action!r} (use list or ack)"
+        )
+
+    def _op_flight(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The flight ring (``last`` trims to the newest N events)."""
+        if self.flight is None:
+            raise ValueError(
+                "flight recorder is disabled on this daemon"
+            )
+        last = request.get("last")
+        last = int(last) if last is not None else None
+        return {"ok": True, **self.flight.to_dict(last=last)}
+
+    def _op_crash_report(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The latest ``repro.crash/1`` report (``crash: null`` if none).
+
+        Spelled ``crash-report`` on the wire; ``?`` never errors --
+        "no crash" is a healthy answer, not a failure.
+        """
+        latest = self.crash.latest()
+        path = self.crash.latest_path()
+        return {
+            "ok": True,
+            "crash": latest,
+            "path": str(path) if path is not None else None,
+            "reports_written": self.crash.reports_written,
+        }
+
+    # -- fault injection (debug_ops only; CI's self-diagnosis smoke) ---
+    def _require_debug_ops(self) -> None:
+        if not self.debug_ops:
+            raise ValueError(
+                "debug ops are disabled on this daemon (start it with "
+                "REPRO_DEBUG_OPS=1 or debug_ops=True)"
+            )
+
+    def _op_fail(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Deliberately raise inside the handler (exercises the crash
+        path end to end: structured error response, flight event,
+        ``repro.crash/1`` report)."""
+        self._require_debug_ops()
+        raise RuntimeError(
+            str(request.get("message", "injected failure (debug op)"))
+        )
+
+    def _op_sleep(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Deliberately hold the handler in flight (exercises the stall
+        watchdog: ``daemon.stalled`` fires once ``seconds`` exceeds the
+        deadline)."""
+        self._require_debug_ops()
+        seconds = min(60.0, float(request.get("seconds", 1.0) or 0.0))
+        time.sleep(max(0.0, seconds))
+        return {"ok": True, "slept_s": seconds}
+
     def _op_shutdown(self, request: Dict[str, object]) -> Dict[str, object]:
         return {"ok": True, "stopping": True, "__shutdown__": True}
 
@@ -1160,6 +1577,18 @@ class DaemonClient:
 
     def buildinfo(self) -> Dict[str, object]:
         return self.request({"op": "buildinfo"})
+
+    def alerts(self, action: str = "list", **kw) -> Dict[str, object]:
+        return self.request({"op": "alerts", "action": action, **kw})
+
+    def flight(self, last: Optional[int] = None) -> Dict[str, object]:
+        request: Dict[str, object] = {"op": "flight"}
+        if last is not None:
+            request["last"] = last
+        return self.request(request)
+
+    def crash_report(self) -> Dict[str, object]:
+        return self.request({"op": "crash-report"})
 
     def shutdown(self) -> Dict[str, object]:
         return self.request({"op": "shutdown"})

@@ -20,7 +20,12 @@ The renderer derives everything from daemon telemetry:
 * cache hit rate, per-design warm/in-flight table, worker liveness,
 * trend sparklines from the daemon's metrics ring buffer (the
   ``history`` op / ``GET /metrics/history``): request rate and p95
-  latency over the retained window.
+  latency over the retained window,
+* alert banners from the in-daemon alert engine (the ``alerts`` op):
+  pending/firing rules render at the top of the frame, and a daemon
+  restart (new pid or uptime going backwards) gets an explicit
+  "daemon restarted (uptime reset)" notice instead of silently
+  negative deltas -- rates and trends clamp at zero across the reset.
 
 ``repro-sta top --json`` skips the renderer entirely and emits
 :func:`json_frame` -- one machine-readable JSON object per refresh with
@@ -67,6 +72,9 @@ def fetch_frame(client) -> Dict[str, object]:
         # Ring-buffer trends for the sparkline block; ok=False on old
         # daemons / telemetry-off, which the renderer degrades around.
         "history": client.history(last=60),
+        # Alert-engine rows for the banner block; same degradation
+        # contract (ok=False on daemons without an alert engine).
+        "alerts": client.alerts(),
     }
 
 
@@ -192,6 +200,43 @@ def _rate(
     return max(0.0, dreq / dt)
 
 
+def _restarted(
+    frame: Dict[str, object], previous: Optional[Dict[str, object]]
+) -> bool:
+    """Did the daemon restart between ``previous`` and ``frame``?
+
+    A new pid or an uptime that went *backwards* both mean the process
+    we were watching is gone; counters reset to zero, so naive deltas
+    would go negative (the rate/trend helpers already clamp at zero --
+    this just lets the renderer say *why*).
+    """
+    if not previous:
+        return False
+    try:
+        old_health = previous.get("health") or {}
+        new_health = frame.get("health") or {}
+        if "pid" in old_health and "pid" in new_health:
+            if int(old_health["pid"]) != int(new_health["pid"]):
+                return True
+        return float(new_health.get("uptime_s", 0.0)) < float(
+            old_health.get("uptime_s", 0.0)
+        )
+    except (TypeError, ValueError):
+        return False
+
+
+def _alert_rows(frame: Dict[str, object]) -> List[Dict[str, object]]:
+    """Pending/firing alert rows from the frame (empty when healthy)."""
+    doc = frame.get("alerts") or {}
+    if not doc.get("ok"):
+        return []
+    return [
+        row
+        for row in doc.get("alerts") or []
+        if isinstance(row, dict) and row.get("state") in ("firing", "pending")
+    ]
+
+
 def render_top(
     frame: Dict[str, object],
     previous: Optional[Dict[str, object]] = None,
@@ -210,6 +255,19 @@ def render_top(
         f"up {_fmt_uptime(health.get('uptime_s', 0.0))} | {clock}"
     )
     lines.append(rule)
+
+    # -- self-diagnosis banners ----------------------------------------
+    if _restarted(frame, previous):
+        lines.append("!! daemon restarted (uptime reset) -- rates rebased")
+    for row in _alert_rows(frame):
+        marker = "!!" if row.get("state") == "firing" else "??"
+        ack = " [acked]" if row.get("acked") else ""
+        message = str(row.get("message") or row.get("description") or "")
+        lines.append(
+            f"{marker} alert {row.get('state')} "
+            f"[{row.get('severity', '?')}] {row.get('name')}{ack}: "
+            f"{message}"[:width]
+        )
 
     rate = _rate(frame, previous)
     rate_text = f"{rate:6.2f} req/s" if rate is not None else "  --  req/s"
@@ -342,6 +400,7 @@ def json_frame(
                 key: round(value, 6) for key, value in q.items()
             }
     rate = _rate(frame, previous)
+    active = _alert_rows(frame)
     return {
         "schema": "repro.topframe/1",
         "ts": frame.get("ts"),
@@ -349,9 +408,14 @@ def json_frame(
         "stats": frame.get("stats"),
         "metrics": frame.get("metrics"),
         "history": frame.get("history"),
+        "alerts": frame.get("alerts"),
         "derived": {
             "rate_rps": round(rate, 4) if rate is not None else None,
             "latency": latency,
             "trends": _history_series(frame),
+            "restarted": _restarted(frame, previous),
+            "alerts_firing": sum(
+                1 for row in active if row.get("state") == "firing"
+            ),
         },
     }

@@ -25,7 +25,8 @@ Job spec (plain dict)::
       "profile": {"hz": 100},
       # fault-injection hooks (tests/CI only):
       "inject_crash_file": null,   # if this file exists: unlink + _exit
-      "inject_sleep_s": null       # sleep before analysing (timeouts)
+      "inject_sleep_s": null,      # sleep before analysing (timeouts)
+      "inject_raise": null         # raise ValueError(msg) in the worker
     }
 
 Result document (``ok=True``)::
@@ -50,8 +51,11 @@ back, so the parent can merge worker spans -- load, analyze, store --
 into one cross-process Chrome trace.
 
 Failures inside the worker are *reported*, not raised: an ``ok=False``
-document with ``error``/``error_type`` comes back so the scheduler can
-decide between retry and giving up.  (Crashes -- the worker process
+document with ``error``/``error_type``, structured ``repro.error/1``
+frames (``error_doc``) and a full ``repro.crash/1`` postmortem
+(``crash``: frames plus all-thread stacks) comes back so the scheduler
+can decide between retry and giving up -- and so a failed outcome in
+``repro.batchstats/1`` explains itself.  (Crashes -- the worker process
 dying -- surface as ``BrokenProcessPool`` on the parent side instead.)
 """
 
@@ -115,6 +119,11 @@ def _maybe_inject_faults(spec: Dict[str, object]) -> None:
     sleep_s = spec.get("inject_sleep_s")
     if sleep_s:
         time.sleep(float(sleep_s))
+    boom = spec.get("inject_raise")
+    if boom:
+        # An in-worker exception (as opposed to the hard exit above):
+        # exercises the structured-error + crash-report failure path.
+        raise ValueError(str(boom))
 
 
 def run_job(spec: Dict[str, object]) -> Dict[str, object]:
@@ -135,7 +144,6 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
         schedule_digest,
     )
 
-    _maybe_inject_faults(spec)
     ctx = spec.get("trace")
     traced = isinstance(ctx, dict) and bool(ctx.get("trace_id"))
     submitted_wall = spec.get("submitted_wall")
@@ -146,6 +154,7 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
     profiler = None
     profile_doc = None
     try:
+        _maybe_inject_faults(spec)
         with obs.recording(
             live.child_recorder(ctx) if traced else None
         ) as recorder:
@@ -264,9 +273,19 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
     except Exception as exc:  # noqa: BLE001 -- reported, not raised
         if profiler is not None and profiler.running:
             profiler.stop()
+        from repro.obs.flight import CrashHandler, error_document
+
+        # Ship a full worker postmortem -- structured frames plus
+        # all-thread stacks -- so the parent can merge it into the
+        # batch outcome (``repro.crash/1``, kind=worker_exception).
+        crash = CrashHandler().build(
+            exc, kind="worker_exception", op=str(spec.get("name", ""))
+        )
         return {
             "ok": False,
             "error": str(exc),
             "error_type": type(exc).__name__,
+            "error_doc": error_document(exc),
+            "crash": crash,
             "worker_pid": os.getpid(),
         }

@@ -7,7 +7,7 @@ import time
 import pytest
 
 from repro import obs
-from repro.obs.tsdb import HISTORY_SCHEMA, MetricsHistory
+from repro.obs.tsdb import HISTORY_SCHEMA, MetricsHistory, resolve_metric
 
 
 @pytest.fixture(autouse=True)
@@ -143,3 +143,97 @@ class TestBackgroundThread:
             finally:
                 history.stop()
         assert len(history) >= 3
+
+
+class TestSeriesEdgeCases:
+    """PR 7 satellite: the edge cases alerting leans on."""
+
+    def test_empty_window(self):
+        history = MetricsHistory(capacity=4)
+        # No points at all: every series is empty, not an error.
+        assert history.series("anything") == []
+        with obs.recording() as rec:
+            obs.counter("c", 1)
+            history.record(rec)
+        # An explicit zero-point window is empty too.
+        assert history.series("c", last=0) == []
+
+    def test_counter_reset_keeps_raw_values(self):
+        # A daemon restart resets counters; the history stores raw
+        # values (consumers -- rate sparklines, burn-rate rules --
+        # clamp deltas at zero themselves).
+        history = MetricsHistory(capacity=4)
+        with obs.recording() as rec:
+            obs.counter("requests", 5)
+            history.record(rec)
+        with obs.recording() as rec:  # fresh recorder = reset counter
+            obs.counter("requests", 2)
+            history.record(rec)
+        assert history.series("requests") == [5.0, 2.0]
+
+    def test_histogram_quantile_never_observed(self):
+        history = MetricsHistory(capacity=4)
+        with obs.recording() as rec:
+            obs.histogram("lat", 0.02)
+            history.record(rec)
+        # Only p50/p95/count are retained per point; an unexported
+        # quantile fills 0.0 in series() but is *absent* (None) to
+        # resolve_metric -- the distinction absence rules rely on.
+        assert history.series("lat.p99") == [0.0]
+        assert resolve_metric(history.points()[0], "lat.p99") is None
+        # A histogram that never observed at all behaves the same.
+        assert history.series("cold.p95") == [0.0]
+        assert resolve_metric(history.points()[0], "cold.p95") is None
+
+
+class TestResolveMetric:
+    def test_counter_wins_then_gauge_then_histogram(self):
+        point = {
+            "counters": {"x": 1.0},
+            "gauges": {"x": 2.0, "g": 7.0},
+            "histograms": {"lat": {"p50": 0.01, "p95": 0.02, "count": 3}},
+        }
+        assert resolve_metric(point, "x") == 1.0
+        assert resolve_metric(point, "g") == 7.0
+        assert resolve_metric(point, "lat.p95") == 0.02
+        assert resolve_metric(point, "lat.count") == 3.0
+        assert resolve_metric(point, "lat.p99") is None
+        assert resolve_metric(point, "nope") is None
+        assert resolve_metric({}, "nope") is None
+
+
+class TestStartHooks:
+    def test_before_and_on_point_hooks_run(self):
+        history = MetricsHistory(capacity=8, interval_s=30.0)
+        seen = []
+        with obs.recording() as rec:
+
+            def before():
+                obs.gauge("hooked", 42.0)
+
+            history.start(rec, before_point=before, on_point=seen.append)
+            try:
+                deadline = time.time() + 5.0
+                while not seen and time.time() < deadline:
+                    time.sleep(0.01)
+            finally:
+                history.stop()
+        assert seen and seen[0]["gauges"]["hooked"] == 42.0
+        # The boot point already carried the before_point gauge.
+        assert history.series("hooked")[0] == 42.0
+
+    def test_hook_exceptions_do_not_kill_the_loop(self):
+        history = MetricsHistory(capacity=8, interval_s=0.01)
+        with obs.recording() as rec:
+
+            def boom():
+                raise RuntimeError("hook failure")
+
+            history.start(rec, before_point=boom, on_point=lambda p: 1 / 0)
+            try:
+                deadline = time.time() + 5.0
+                while len(history) < 2 and time.time() < deadline:
+                    time.sleep(0.01)
+            finally:
+                history.stop()
+        assert len(history) >= 2

@@ -324,3 +324,49 @@ class TestBatchProfiling:
     def test_rejects_bad_profile_hz(self):
         with pytest.raises(ValueError):
             BatchEngine(profile_hz=0)
+
+
+class TestWorkerCrashForensics:
+    """PR 7: failed jobs carry a repro.crash/1 worker postmortem."""
+
+    def _failed_report(self, design_files):
+        netlist, clocks = design_files
+        return BatchEngine(serial=True).run(
+            [BatchJob("bad", netlist, clocks,
+                      inject=(("inject_raise", "synthetic fault"),))]
+        )
+
+    def test_outcome_carries_crash_document(self, design_files):
+        report = self._failed_report(design_files)
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed"
+        crash = outcome.crash
+        assert crash["schema"] == "repro.crash/1"
+        assert crash["kind"] == "worker_exception"
+        assert crash["op"] == "bad"
+        assert crash["error"]["error_type"] == "ValueError"
+        assert crash["error"]["frames"]
+        assert crash["threads"]
+
+    def test_crash_survives_to_dict_and_json(self, design_files):
+        report = self._failed_report(design_files)
+        doc = report.to_dict()
+        row = doc["outcomes"][0]
+        assert row["crash"]["kind"] == "worker_exception"
+        json.dumps(doc)  # the whole document stays serialisable
+
+    def test_render_text_shows_crash_site(self, design_files):
+        report = self._failed_report(design_files)
+        text = report.render_text()
+        # The innermost crash frame is shown inline for failed jobs.
+        assert "synthetic fault" in text
+        assert " in _maybe_inject_faults" in text
+        assert "workers.py:" in text
+
+    def test_successful_outcomes_have_no_crash(self, design_files):
+        netlist, clocks = design_files
+        report = BatchEngine(serial=True).run(
+            [BatchJob("good", netlist, clocks)]
+        )
+        assert report.outcomes[0].crash is None
+        assert report.to_dict()["outcomes"][0]["crash"] is None

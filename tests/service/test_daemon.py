@@ -187,3 +187,262 @@ class TestServing:
         answer = response["analysis"]
         # A rebuilt engine starts cold again but still answers.
         assert answer["ok"] and "worst_slack" in answer
+
+
+class TestSelfDiagnosis:
+    """PR 7: alert engine, flight recorder, crash reports, watchdog."""
+
+    @pytest.fixture
+    def diag(self, tmp_path):
+        sock = str(tmp_path / "diag.sock")
+        with TimingDaemon(
+            sock,
+            crash_dir=tmp_path / "crashes",
+            debug_ops=True,
+            stall_timeout_s=0.2,
+        ) as server:
+            with DaemonClient(sock, timeout=30.0) as c:
+                yield server, c
+
+    # -- alerts op -----------------------------------------------------
+    def test_alerts_list(self, diag):
+        server, c = diag
+        doc = c.alerts()
+        assert doc["ok"]
+        assert doc["schema"] == "repro.alerts/1"
+        assert doc["rules"] == len(server.alerts.rules)
+        names = {row["name"] for row in doc["alerts"]}
+        assert "daemon.stalled" in names
+
+    def test_alerts_ack_requires_firing(self, diag):
+        server, c = diag
+        response = c.alerts("ack", name="daemon.stalled")
+        assert response["ok"] is False
+        assert "not firing" in response["error"]
+        server.alerts.fire("daemon.stalled", message="test")
+        response = c.alerts("ack", name="daemon.stalled")
+        assert response["ok"] and response["acked"]
+        row = [
+            r for r in c.alerts()["alerts"] if r["name"] == "daemon.stalled"
+        ][0]
+        assert row["acked"] is True
+
+    def test_alerts_bad_action(self, diag):
+        __, c = diag
+        response = c.alerts("explode")
+        assert response["ok"] is False and "unknown" in response["error"]
+
+    def test_alerts_refused_without_telemetry(self, tmp_path):
+        sock = str(tmp_path / "notel.sock")
+        with TimingDaemon(sock, telemetry=False) as server:
+            assert server.alerts is None
+            with DaemonClient(sock) as c:
+                response = c.alerts()
+        assert response["ok"] is False
+
+    # -- structured errors (satellite 1) -------------------------------
+    def test_error_response_carries_frames(self, diag):
+        __, c = diag
+        response = c.request({"op": "analyze"})  # missing netlist
+        assert response["ok"] is False
+        doc = response["error_doc"]
+        assert doc["schema"] == "repro.error/1"
+        assert doc["error_type"] in ("ValueError", "KeyError")
+        assert doc["frames"] and "file" in doc["frames"][0]
+
+    def test_last_error_carries_frames(self, diag):
+        __, c = diag
+        c.request({"op": "analyze"})
+        last = c.health()["last_error"]
+        assert last["frames"]
+        assert last["error_type"] in ("ValueError", "KeyError")
+
+    def test_expected_errors_do_not_write_crash_reports(self, diag):
+        server, c = diag
+        c.request({"op": "analyze"})  # ValueError: bad request
+        assert c.crash_report()["crash"] is None
+        assert server.crash.reports_written == 0
+
+    def test_failed_request_logs_spans_regardless_of_threshold(
+        self, tmp_path
+    ):
+        sock = str(tmp_path / "log.sock")
+        log_path = tmp_path / "access.jsonl"
+        trace = {"trace_id": "0123456789abcdef", "span_id": "fedcba98"}
+        with TimingDaemon(
+            sock,
+            access_log=log_path,
+            slow_threshold_s=9999.0,  # nothing is "slow"
+            debug_ops=True,
+        ) as server:
+            with DaemonClient(sock) as c:
+                c.request({"op": "ping", "trace": trace})
+                c.request({"op": "fail", "trace": trace})
+            server.access_log.close()
+        entries = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        ok = [e for e in entries if e["status"] == "ok"]
+        failed = [e for e in entries if e["status"] == "error"]
+        # Identical snapshots either side: the ok line stays flat (not
+        # slow), the failed line gets its span tree force-attached.
+        assert ok and all("spans" not in e for e in ok)
+        assert failed and all("spans" in e for e in failed)
+        assert not any(e.get("slow") for e in entries)
+
+    # -- crash reports -------------------------------------------------
+    def test_fail_op_writes_crash_report(self, diag):
+        server, c = diag
+        response = c.request({"op": "fail", "message": "kapow"})
+        assert response["ok"] is False
+        assert response["error_type"] == "RuntimeError"
+        report = c.crash_report()
+        assert report["ok"]
+        crash = report["crash"]
+        assert crash["schema"] == "repro.crash/1"
+        assert crash["kind"] == "handler_exception"
+        assert crash["op"] == "fail"
+        assert crash["error"]["error"] == "kapow"
+        assert crash["threads"]
+        assert crash["flight"]["events"]
+        # Persisted to the crash dir as well.
+        import pathlib
+
+        path = pathlib.Path(report["path"])
+        assert path.is_file()
+        on_disk = json.loads(path.read_text())
+        assert on_disk["error"]["error"] == "kapow"
+
+    def test_crash_report_op_spelled_with_hyphen(self, diag):
+        __, c = diag
+        response = c.request({"op": "crash-report"})
+        assert response["ok"] and response["crash"] is None
+
+    def test_private_ops_still_rejected(self, diag):
+        __, c = diag
+        response = c.request({"op": "-op_ping"})
+        assert response["ok"] is False
+
+    # -- flight recorder -----------------------------------------------
+    def test_flight_op_records_requests_and_errors(self, diag):
+        __, c = diag
+        c.ping()
+        c.request({"op": "fail"})
+        doc = c.flight()
+        assert doc["ok"] and doc["schema"] == "repro.flight/1"
+        kinds = [e["kind"] for e in doc["events"]]
+        assert "request" in kinds and "error" in kinds and "log" in kinds
+        trimmed = c.flight(last=2)
+        assert len(trimmed["events"]) == 2
+
+    def test_flight_disabled_with_zero_capacity(self, tmp_path):
+        sock = str(tmp_path / "nofl.sock")
+        with TimingDaemon(sock, flight_capacity=0) as server:
+            assert server.flight is None
+            with DaemonClient(sock) as c:
+                response = c.flight()
+        assert response["ok"] is False
+
+    # -- debug ops gating ----------------------------------------------
+    def test_debug_ops_refused_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG_OPS", raising=False)
+        sock = str(tmp_path / "nodbg.sock")
+        with TimingDaemon(sock) as server:
+            assert server.debug_ops is False
+            with DaemonClient(sock) as c:
+                for op in ("fail", "sleep"):
+                    response = c.request({"op": op})
+                    assert response["ok"] is False
+                    assert "disabled" in response["error"]
+
+    def test_debug_ops_enabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG_OPS", "1")
+        sock = str(tmp_path / "envdbg.sock")
+        with TimingDaemon(sock) as server:
+            assert server.debug_ops is True
+
+    # -- stall watchdog ------------------------------------------------
+    def test_stall_fires_and_resolves(self, diag):
+        import threading
+        import time
+
+        server, c = diag
+        done = threading.Event()
+
+        def slow_request():
+            with DaemonClient(server.socket_path, timeout=30.0) as other:
+                other.request({"op": "sleep", "seconds": 0.8})
+            done.set()
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        try:
+            # The watchdog (deadline 0.2 s) must fire while the sleep
+            # op is still in flight.
+            deadline = time.time() + 10.0
+            fired = None
+            while time.time() < deadline:
+                rows = [
+                    r
+                    for r in c.alerts()["alerts"]
+                    if r["name"] == "daemon.stalled"
+                ]
+                if rows and rows[0]["state"] == "firing":
+                    fired = rows[0]
+                    break
+                time.sleep(0.02)
+            assert fired is not None, "daemon.stalled never fired"
+            assert "sleep" in fired["message"]
+        finally:
+            thread.join(timeout=30.0)
+        assert done.is_set()
+        # After the request finishes the alert resolves.
+        deadline = time.time() + 10.0
+        resolved = None
+        while time.time() < deadline:
+            rows = [
+                r
+                for r in c.alerts()["alerts"]
+                if r["name"] == "daemon.stalled"
+            ]
+            if rows and rows[0]["state"] == "resolved":
+                resolved = rows[0]
+                break
+            time.sleep(0.02)
+        assert resolved is not None, "daemon.stalled never resolved"
+        stalls = c.flight()["events"]
+        stall_events = [e for e in stalls if e["kind"] == "stall"]
+        statuses = {e["status"] for e in stall_events}
+        assert {"stalled", "resolved"} <= statuses
+        stuck = [e for e in stall_events if e["status"] == "stalled"][0]
+        assert stuck["op"] == "sleep"
+        assert stuck["stack"]  # the stuck thread's frames
+
+    def test_watchdog_disabled_with_none_timeout(self, tmp_path):
+        sock = str(tmp_path / "nowd.sock")
+        with TimingDaemon(sock, stall_timeout_s=None) as server:
+            assert server.watchdog is None
+            with DaemonClient(sock) as c:
+                assert c.ping()["pong"]
+
+    # -- buildinfo / gauges --------------------------------------------
+    def test_buildinfo_reports_diagnosis_config(self, diag):
+        server, c = diag
+        config = c.buildinfo()["config"]
+        assert config["alert_rules"] == len(server.alerts.rules)
+        assert config["flight_capacity"] == server.flight.capacity
+        assert config["crash_dir"].endswith("crashes")
+        assert config["stall_timeout_s"] == 0.2
+        assert config["debug_ops"] is True
+
+    def test_sync_gauges_exports_diagnosis_state(self, diag):
+        server, c = diag
+        c.request({"op": "fail"})
+        metrics = c.metrics()["metrics"]
+        gauges = metrics["gauges"]
+        assert "service.daemon.stalled" in gauges
+        assert gauges["service.flight.events"] >= 1
+        assert "service.alerts.firing" in gauges
+        counters = metrics["counters"]
+        assert counters["service.daemon.crash_reports"] == 1

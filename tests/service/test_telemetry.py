@@ -490,3 +490,77 @@ class TestDaemonAccessLog:
         ]
         errors = [l for l in lines if l["status"] == "error"]
         assert errors and errors[0]["error"]
+
+
+class TestSelfDiagnosisRoutes:
+    """PR 7: /alertz, /crashz, /flightz plus the shared route table."""
+
+    def _get(self, address, path):
+        host, port = address
+        with urllib.request.urlopen(
+            f"http://{host}:{port}{path}", timeout=5
+        ) as response:
+            return response.status, response.read().decode("utf-8")
+
+    def test_alertz_route(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            daemon.alerts.fire("daemon.stalled", message="unit test")
+            status, body = self._get(daemon.http_address, "/alertz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["schema"] == "repro.alerts/1"
+        assert doc["firing"] == 1
+        firing = [r for r in doc["alerts"] if r["state"] == "firing"]
+        assert firing[0]["name"] == "daemon.stalled"
+
+    def test_crashz_route_healthy_and_after_crash(
+        self, daemon_socket, tmp_path
+    ):
+        with TimingDaemon(
+            daemon_socket,
+            http_port=0,
+            crash_dir=tmp_path / "crashes",
+            debug_ops=True,
+        ) as daemon:
+            status, body = self._get(daemon.http_address, "/crashz")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["ok"] and doc["crash"] is None
+            with DaemonClient(daemon_socket) as client:
+                client.request({"op": "fail"})
+            status, body = self._get(daemon.http_address, "/crashz")
+            doc = json.loads(body)
+        assert doc["crash"]["kind"] == "handler_exception"
+        assert doc["path"].endswith(".json")
+        assert doc["reports_written"] == 1
+
+    def test_flightz_route_with_last_param(self, daemon_socket):
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            with DaemonClient(daemon_socket) as client:
+                for __ in range(3):
+                    client.ping()
+            status, body = self._get(daemon.http_address, "/flightz?last=2")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["schema"] == "repro.flight/1"
+            assert len(doc["events"]) == 2
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._get(daemon.http_address, "/flightz?last=banana")
+            assert err.value.code == 400
+
+    def test_404_lists_new_routes(self, daemon_socket):
+        """Satellite 3: the 404 listing stays in sync with HTTP_ROUTES."""
+        with TimingDaemon(daemon_socket, http_port=0) as daemon:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._get(daemon.http_address, "/nope")
+            payload = json.loads(err.value.read())
+        expected = sorted(path for path, __ in TimingDaemon.HTTP_ROUTES)
+        assert sorted(payload["routes"]) == expected
+        for path in ("/alertz", "/crashz", "/flightz"):
+            assert path in payload["routes"]
+
+    def test_route_table_handlers_exist(self):
+        """Every route in the table resolves to a real bound method."""
+        for path, attr in TimingDaemon.HTTP_ROUTES:
+            assert path.startswith("/")
+            assert callable(getattr(TimingDaemon, attr))

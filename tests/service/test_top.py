@@ -272,3 +272,122 @@ class TestTopAgainstLiveDaemon:
             main(
                 ["top", "--socket", str(tmp_path / "absent.sock"), "--once"]
             )
+
+
+def _alerts(rows):
+    return {
+        "ok": True,
+        "schema": "repro.alerts/1",
+        "rules": len(rows),
+        "firing": sum(1 for r in rows if r["state"] == "firing"),
+        "alerts": rows,
+    }
+
+
+class TestRestartNotice:
+    """PR 7 satellite: top survives a daemon restart."""
+
+    def test_pid_change_shows_notice(self):
+        previous = _frame(ts=1000.0, requests=500)
+        frame = _frame(ts=1002.0, requests=3, health={"pid": 9999})
+        text = render_top(frame, previous)
+        assert "daemon restarted (uptime reset)" in text
+
+    def test_uptime_going_backwards_shows_notice(self):
+        previous = _frame(ts=1000.0, health={"uptime_s": 500.0})
+        frame = _frame(ts=1002.0, health={"uptime_s": 1.5})
+        text = render_top(frame, previous)
+        assert "daemon restarted (uptime reset)" in text
+
+    def test_rates_clamp_at_zero_across_restart(self):
+        previous = _frame(ts=1000.0, requests=500)
+        frame = _frame(ts=1002.0, requests=3, health={"pid": 9999})
+        text = render_top(frame, previous)
+        assert "-" not in text.split("req/s")[0].rsplit("\n", 1)[-1]
+        doc = json_frame(frame, previous)
+        assert doc["derived"]["rate_rps"] == 0.0
+        assert doc["derived"]["restarted"] is True
+
+    def test_no_notice_on_steady_daemon(self):
+        previous = _frame(ts=1000.0, requests=10)
+        frame = _frame(ts=1002.0, requests=20)
+        text = render_top(frame, previous)
+        assert "restarted" not in text
+        assert json_frame(frame, previous)["derived"]["restarted"] is False
+
+    def test_first_frame_is_not_a_restart(self):
+        assert "restarted" not in render_top(_frame(), None)
+
+
+class TestAlertBanners:
+    def test_firing_and_pending_render(self):
+        frame = _frame()
+        frame["alerts"] = _alerts(
+            [
+                {
+                    "name": "daemon.error_burn",
+                    "state": "firing",
+                    "severity": "critical",
+                    "message": "errors / requests = 0.4",
+                    "acked": False,
+                },
+                {
+                    "name": "daemon.handle_p95_high",
+                    "state": "pending",
+                    "severity": "warning",
+                    "message": "p95 = 0.8",
+                    "acked": False,
+                },
+                {
+                    "name": "quiet.rule",
+                    "state": "ok",
+                    "severity": "info",
+                    "message": "",
+                    "acked": False,
+                },
+            ]
+        )
+        text = render_top(frame)
+        assert "!! alert firing [critical] daemon.error_burn" in text
+        assert "?? alert pending [warning] daemon.handle_p95_high" in text
+        assert "quiet.rule" not in text
+
+    def test_acked_alert_is_marked(self):
+        frame = _frame()
+        frame["alerts"] = _alerts(
+            [
+                {
+                    "name": "daemon.stalled",
+                    "state": "firing",
+                    "severity": "critical",
+                    "message": "op=sleep",
+                    "acked": True,
+                }
+            ]
+        )
+        assert "[acked]" in render_top(frame)
+
+    def test_degrades_without_alert_engine(self):
+        frame = _frame()
+        frame["alerts"] = {"ok": False, "error": "telemetry disabled"}
+        text = render_top(frame)
+        assert "alert" not in text.split("\n")[2]  # no banner line
+        doc = json_frame(frame)
+        assert doc["derived"]["alerts_firing"] == 0
+
+    def test_json_frame_passes_alerts_through(self):
+        frame = _frame()
+        frame["alerts"] = _alerts(
+            [
+                {
+                    "name": "a",
+                    "state": "firing",
+                    "severity": "critical",
+                    "message": "",
+                    "acked": False,
+                }
+            ]
+        )
+        doc = json_frame(frame)
+        assert doc["alerts"]["alerts"][0]["name"] == "a"
+        assert doc["derived"]["alerts_firing"] == 1
