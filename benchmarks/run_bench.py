@@ -49,7 +49,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: The PR this harness currently reports for; bump alongside new
 #: workloads so every PR leaves its own ``BENCH_PR<n>.json`` artifact.
-CURRENT_PR = 7
+CURRENT_PR = 8
 DEFAULT_OUTPUT = REPO_ROOT / f"BENCH_PR{CURRENT_PR}.json"
 
 from repro import obs  # noqa: E402
@@ -243,6 +243,138 @@ def bench_batch_throughput(quick: bool) -> Dict[str, object]:
         "failed": report.failed,
         "jobs_per_s": round(report.jobs / wall, 3) if wall else None,
         "iterations": report.total_iterations,
+    }
+
+
+def _fabric_corpus(directory: Path, quick: bool):
+    """A generator corpus with overlapping sub-circuits across designs.
+
+    Two-phase latch pipelines of increasing depth share every prefix
+    stage's cluster (the cluster digest is a function of the
+    sub-circuit's content, not the owning design), plus a couple of
+    random designs that share nothing -- realistic probe volume.
+    Returns ``(jobs, grown_job)`` where ``grown_job`` is one *deeper*
+    pipeline absent from the corpus: a guaranteed result-cache miss
+    whose clusters were all (but the tail) stored by *other* designs.
+    """
+    from repro.clocks.serialize import save_schedule
+    from repro.generators.pipelines import latch_pipeline
+    from repro.netlist.persistence import save_network
+    from repro.service import BatchJob
+
+    depths = range(3, 7 if quick else 9)
+    random_seeds = range(4000, 4002 if quick else 4003)
+
+    def _job(name, network, schedule):
+        netlist = directory / f"{name}.json"
+        clocks = directory / f"{name}.clocks.json"
+        save_network(network, netlist)
+        save_schedule(schedule, clocks)
+        return BatchJob(name, str(netlist), str(clocks))
+
+    jobs = []
+    for stages in depths:
+        network, schedule = latch_pipeline(
+            stages=stages, period=40.0, name=f"pipe{stages}"
+        )
+        jobs.append(_job(f"pipe{stages}", network, schedule))
+    for seed in random_seeds:
+        banks, gates = (2, 30) if quick else (3, 60)
+        network, schedule = random_design(
+            seed=seed, n_banks=banks, gates_per_bank=gates, bits=4,
+            style="latch",
+        )
+        jobs.append(_job(f"rand{seed}", network, schedule))
+    grown_stages = max(depths) + 1
+    network, schedule = latch_pipeline(
+        stages=grown_stages, period=40.0, name=f"pipe{grown_stages}"
+    )
+    grown = _job(f"pipe{grown_stages}", network, schedule)
+    return jobs, grown
+
+
+@bench("fabric_warm_scaling")
+def bench_fabric_warm_scaling(quick: bool) -> Dict[str, object]:
+    """The PR-8 headline: two cache-fabric peers turn separate "hosts"
+    into one warm cache.  Host A computes the corpus cold and pushes
+    every result + cluster artifact into the sharded fabric; host B
+    (fresh local caches, same peers) must serve >= 90% of its probes
+    remotely.  A *grown* design host A never saw then computes on host
+    B with a warm cluster tier: its prefix clusters were stored by
+    *different* designs -- the measured cross-design cluster hit rate
+    must be > 0."""
+    import tempfile
+
+    from repro.service import (
+        BatchEngine,
+        CacheServer,
+        RemoteCache,
+        ResultCache,
+        TieredCache,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        directory = Path(tmp)
+        servers = [
+            CacheServer(directory / f"peer{index}") for index in range(2)
+        ]
+        try:
+            peers = [
+                f"http://{host}:{port}"
+                for host, port in (srv.start() for srv in servers)
+            ]
+            jobs, grown = _fabric_corpus(directory, quick)
+
+            def _host(label: str):
+                remote = RemoteCache(peers, timeout_s=2.0)
+                engine = BatchEngine(
+                    cache=TieredCache(
+                        ResultCache(directory / label / "cache"), remote
+                    ),
+                    cluster_cache=str(directory / label / "clusters"),
+                    peers=peers,
+                    max_workers=2,
+                )
+                return engine, remote
+
+            # Host A: cold compute -- fills both fabric shards.
+            engine_a, remote_a = _host("host_a")
+            started = time.perf_counter()
+            cold = engine_a.run(jobs)
+            cold_s = time.perf_counter() - started
+
+            # Host B, fresh local caches: the same corpus must be
+            # served from the fabric, not recomputed.
+            engine_b, remote_b = _host("host_b")
+            started = time.perf_counter()
+            warm = engine_b.run(jobs)
+            warm_s = time.perf_counter() - started
+            warm_remote_hit_rate = remote_b.stats.hit_rate
+
+            # Host B then meets a design nobody ever analyzed: a
+            # result-cache miss whose prefix clusters are already in
+            # the fabric -- stored by *other* (shallower) designs.
+            grown_report = engine_b.run([grown])
+            outcome = grown_report.outcomes[0]
+            cluster_info = outcome.cluster_cache or {}
+        finally:
+            for srv in servers:
+                srv.stop()
+    return {
+        "jobs": cold.jobs,
+        "peers": len(peers),
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "warm_cached": warm.cached,
+        "warm_remote_hit_rate": round(warm_remote_hit_rate, 4),
+        "remote_stores": remote_a.stats.remote_stores,
+        "shard_objects": [srv.cache.stats.entries for srv in servers],
+        "grown_status": outcome.status,
+        "cross_design_cluster_hits": int(cluster_info.get("hits", 0)),
+        "cross_design_cluster_hit_rate": float(
+            cluster_info.get("hit_rate", 0.0)
+        ),
     }
 
 

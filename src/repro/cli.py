@@ -367,28 +367,61 @@ def cmd_waveforms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_remote(args: argparse.Namespace):
+    """Fabric client for ``--peers``, or ``None`` without peers."""
+    from repro.service import RemoteCache
+
+    peers = getattr(args, "peers", None)
+    if not peers:
+        return None
+    return RemoteCache(
+        peers, timeout_s=getattr(args, "peer_timeout", 2.0)
+    )
+
+
 def _make_cache(args: argparse.Namespace):
-    from repro.service import ResultCache
+    """Result cache; with ``--peers`` a TieredCache (local L1 in
+    front of the fabric's shared L2)."""
+    from repro.service import ResultCache, TieredCache
 
     if getattr(args, "no_cache", False):
         return None
-    return ResultCache(args.cache_dir, max_entries=args.cache_entries)
+    local = ResultCache(args.cache_dir, max_entries=args.cache_entries)
+    remote = _make_remote(args)
+    if remote is None:
+        return local
+    return TieredCache(local, remote)
 
 
 def _make_cluster_cache(args: argparse.Namespace):
     """Cluster-granular sub-key cache, conventionally placed next to
     the triple cache at ``<cache-dir>/clusters``.  Disabled alongside
     the triple cache (``--no-cache``) or on its own
-    (``--no-cluster-cache``)."""
-    from repro.service import ClusterCache
+    (``--no-cluster-cache``).  With ``--peers`` the store is tiered
+    over the fabric, so cluster artifacts computed on other hosts are
+    hits here too."""
+    from repro.service import ClusterCache, ResultCache, TieredCache
 
     if getattr(args, "no_cache", False):
         return None
     if getattr(args, "no_cluster_cache", False):
         return None
+    root = Path(args.cache_dir) / "clusters"
+    remote = _make_remote(args)
+    backend = None
+    if remote is not None:
+        backend = TieredCache(
+            ResultCache(
+                root,
+                max_entries=args.cluster_cache_entries,
+                counter_prefix="service.cluster_cache",
+            ),
+            remote,
+        )
     return ClusterCache(
-        Path(args.cache_dir) / "clusters",
+        root,
         max_entries=args.cluster_cache_entries,
+        backend=backend,
     )
 
 
@@ -410,6 +443,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         serial=args.serial,
         access_log=args.access_log,
         profile_hz=args.profile_hz if args.profile else None,
+        peers=args.peers,
+        peer_timeout_s=args.peer_timeout,
     )
     # ``--profile``: sample the parent alongside the per-job worker
     # profilers, then export one merged speedscope (one tab per pid).
@@ -467,10 +502,23 @@ def cmd_batch(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import TimingDaemon
 
+    cache_server = None
+    if getattr(args, "cache_listen", None) is not None:
+        from repro.service import CacheServer
+
+        # The fabric store is a separate namespace next to the triple
+        # cache: this daemon *serves* <cache-dir>/fabric to its peers,
+        # while its own probes go through the TieredCache built from
+        # --peers (which normally includes this very server).
+        cache_server = CacheServer(
+            Path(args.cache_dir) / "fabric",
+            port=args.cache_listen,
+        )
     daemon = TimingDaemon(
         args.socket,
         cache=_make_cache(args),
         cluster_cache=_make_cluster_cache(args),
+        cache_server=cache_server,
         slow_path_limit=args.limit,
         telemetry=not args.no_telemetry,
         http_port=args.http_port,
@@ -497,6 +545,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"telemetry http on 127.0.0.1:{args.http_port} "
             "(GET /healthz, /metrics, /metrics/history, /profile, "
             "/buildz, /alertz, /crashz, /flightz)",
+            file=sys.stderr,
+        )
+    if cache_server is not None:
+        # Bind now so the address is printable before serve_forever
+        # blocks (the daemon's start path skips an already-bound one).
+        host, port = cache_server.start()
+        print(
+            f"cache fabric store on {host}:{port} "
+            f"(GET/PUT/HEAD /objects/<key>, {Path(args.cache_dir) / 'fabric'})",
+            file=sys.stderr,
+        )
+    if args.peers:
+        print(
+            f"cache fabric peers: {', '.join(args.peers)}",
             file=sys.stderr,
         )
     if args.access_log:
@@ -902,6 +964,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="LRU bound on cached cluster artifacts "
             "(default: 4096)",
         )
+        fabric = parser.add_argument_group("cache fabric")
+        fabric.add_argument(
+            "--peers",
+            metavar="URL",
+            nargs="+",
+            default=None,
+            help="cache-fabric peer base URLs (e.g. "
+            "http://127.0.0.1:9400); keys shard over the list and "
+            "the local cache becomes an L1 in front of the fleet's "
+            "shared L2",
+        )
+        fabric.add_argument(
+            "--peer-timeout",
+            type=float,
+            default=2.0,
+            metavar="S",
+            help="per-request timeout against fabric peers "
+            "(default: 2.0s); a slow or dead peer degrades to "
+            "local-only, never fails a job",
+        )
 
     batch = sub.add_parser(
         "batch",
@@ -974,6 +1056,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="Unix-domain socket path to listen on",
     )
     serve.add_argument("--limit", type=int, default=50)
+    serve.add_argument(
+        "--cache-listen",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve this host's cache-fabric object store on "
+        "127.0.0.1:PORT (0 picks an ephemeral port); peers address "
+        "it via their --peers list",
+    )
     _cache_arguments(serve)
     telemetry = serve.add_argument_group("telemetry")
     telemetry.add_argument(

@@ -20,9 +20,15 @@ engine for repeated and concurrent timing queries:
   :class:`DaemonClient`, a long-lived engine behind a JSON-lines Unix
   socket that keeps parsed networks warm and answers
   analyze / what-if / report queries through the incremental engine,
-* :mod:`repro.service.httpmon` -- :class:`TelemetrySidecar`, the
-  localhost-only HTTP server behind ``repro-sta serve --http-port``
-  exposing ``/healthz`` and ``/metrics``,
+* :mod:`repro.service.httpmon` -- the shared localhost HTTP stack
+  (:class:`RouteTable` / :class:`RouteHTTPServer`) and
+  :class:`TelemetrySidecar`, the server behind ``repro-sta serve
+  --http-port`` exposing ``/healthz`` and ``/metrics``,
+* :mod:`repro.service.fabric` -- the distributed cache fabric:
+  :class:`CacheServer` (HTTP object store over a :class:`ResultCache`),
+  :class:`ShardRouter` (deterministic digest-prefix sharding),
+  :class:`RemoteCache` / :class:`TieredCache` (local L1 over the
+  fleet's shared L2, with graceful degradation),
 * :mod:`repro.service.top` -- frame fetch + pure renderer for the
   ``repro-sta top`` live daemon dashboard,
 * :mod:`repro.service.doctor` -- one-shot triage (``repro-sta
@@ -38,6 +44,7 @@ from repro.service.batch import (
     BatchJob,
     BatchReport,
     JobOutcome,
+    SourceMap,
     load_jobs,
 )
 from repro.service.cache import CacheStats, ResultCache
@@ -61,17 +68,34 @@ from repro.service.doctor import (
     fetch_doctor,
     render_doctor,
 )
-from repro.service.httpmon import TelemetrySidecar
+from repro.service.fabric import (
+    CacheServer,
+    RemoteCache,
+    ShardRouter,
+    TieredCache,
+)
+from repro.service.httpmon import (
+    RouteHTTPServer,
+    RouteTable,
+    TelemetrySidecar,
+)
 from repro.service.top import fetch_frame, render_top
 
 __all__ = [
     "BatchEngine",
     "BatchJob",
     "BatchReport",
+    "CacheServer",
     "CacheStats",
     "ClusterCache",
     "ClusterMap",
     "ClusterWarmup",
+    "RemoteCache",
+    "RouteHTTPServer",
+    "RouteTable",
+    "ShardRouter",
+    "SourceMap",
+    "TieredCache",
     "build_cluster_map",
     "cluster_digest",
     "DaemonClient",

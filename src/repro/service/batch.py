@@ -3,14 +3,22 @@
 The engine runs a *job set* -- (netlist, clocks, config) triples --
 through four phases:
 
-1. **Plan** -- every design is parsed once in the parent, its content
-   digests computed (:mod:`repro.service.digest`) and a cheap
-   structural fingerprint extracted: the clock-domain set
+1. **Plan** -- each job is digested.  On a *warm* run the parent
+   parses nothing: a :class:`SourceMap` persisted next to the result
+   cache maps the SHA-256 of the job's **raw source bytes** + config
+   (:func:`repro.service.digest.source_digest`) to the content address
+   and structural fingerprint observed the last time this exact source
+   ran, so planning is pure file I/O + hashing.  Unknown sources fall
+   back to the parse path: the design is parsed once in the parent,
+   its content digests computed (:mod:`repro.service.digest`) and a
+   cheap structural fingerprint extracted -- the clock-domain set
    (:func:`repro.core.domains.clock_domains`) and the cluster profile
-   (:func:`repro.core.clusters.extract_clusters`).  Jobs are grouped by
-   clock-domain *partition* and ordered largest-cluster-first inside
-   each partition (LPT), so heavy jobs start early and jobs that share
-   clocking structure land on the same worker wave.
+   (:func:`repro.core.clusters.extract_clusters`); workers report the
+   fingerprint back so the map learns it for next time.  Jobs are
+   grouped by clock-domain *partition* and ordered
+   largest-cluster-first inside each partition (LPT), so heavy jobs
+   start early and jobs that share clocking structure land on the same
+   worker wave.
 2. **Cache probe** -- each job's content address is looked up in the
    :class:`repro.service.cache.ResultCache`; hits are answered without
    touching a worker (zero Algorithm 1 iterations).
@@ -48,9 +56,11 @@ from repro.service.cluster_cache import ClusterCache
 from repro.service.digest import (
     analysis_config,
     cache_key,
+    canonical_json,
     config_digest,
     network_digest,
     schedule_digest,
+    source_digest,
 )
 from repro.service.workers import job_spec, run_job
 
@@ -61,15 +71,123 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "BATCH_SCHEMA",
+    "SOURCES_SCHEMA",
     "BatchEngine",
     "BatchJob",
     "BatchReport",
     "JobOutcome",
+    "SourceMap",
     "load_jobs",
 ]
 
 #: Schema identifier of a batch job-set file.
 BATCH_SCHEMA = "repro.batch/1"
+
+#: Schema identifier of the persisted source-digest planning map.
+SOURCES_SCHEMA = "repro.cache-sources/1"
+
+
+class SourceMap:
+    """``source_digest -> planning facts``: the warm-plan fast path.
+
+    :meth:`BatchEngine.plan` used to parse every design in the parent
+    just to digest it -- on a warm run, where every job is answered
+    from the cache, that parse was the whole batch cost.  This map
+    (persisted as ``sources.json`` next to the result cache) remembers,
+    per *raw-source* digest, the content address and structural
+    fingerprint (clock-domain partition, LPT weight) observed the last
+    time those exact bytes were planned.  A map hit plans a job with
+    zero parsing; a miss -- new source bytes, edited file, evicted map
+    entry -- falls back to the parse path, so the map can degrade but
+    never lie: the source digest covers the netlist bytes, the clock
+    bytes and the analysis config, exactly the inputs the parse-derived
+    key is a function of.
+
+    Entries are bounded (insertion-ordered, oldest dropped) and the
+    file is advisory: a corrupt or missing map is treated as empty.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], max_entries: int = 4096
+    ) -> None:
+        self.path = Path(path)
+        self.max_entries = max_entries
+        self._entries: Optional[Dict[str, Dict[str, object]]] = None
+        self._dirty = False
+
+    def _load(self) -> Dict[str, Dict[str, object]]:
+        if self._entries is None:
+            entries: Dict[str, Dict[str, object]] = {}
+            try:
+                data = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                data = None
+            if (
+                isinstance(data, dict)
+                and data.get("schema") == SOURCES_SCHEMA
+                and isinstance(data.get("sources"), dict)
+            ):
+                for source, row in data["sources"].items():
+                    if (
+                        isinstance(row, dict)
+                        and isinstance(row.get("key"), str)
+                        and isinstance(row.get("partition"), list)
+                    ):
+                        entries[str(source)] = {
+                            "key": row["key"],
+                            "partition": [
+                                str(d) for d in row["partition"]
+                            ],
+                            "weight": int(row.get("weight") or 0),
+                        }
+            self._entries = entries
+        return self._entries
+
+    def get(self, source: str) -> Optional[Dict[str, object]]:
+        return self._load().get(source)
+
+    def record(
+        self,
+        source: str,
+        key: str,
+        partition: Sequence[str],
+        weight: int,
+    ) -> None:
+        entries = self._load()
+        existing = entries.pop(source, None)
+        if (
+            not weight
+            and existing is not None
+            and existing.get("key") == key
+        ):
+            # Don't let a weightless probe-hit record (hits are never
+            # weighed) clobber a real weight learned from a worker.
+            weight = int(existing.get("weight") or 0)
+        entries[source] = {
+            "key": key,
+            "partition": [str(d) for d in partition],
+            "weight": int(weight),
+        }
+        while len(entries) > self.max_entries:
+            entries.pop(next(iter(entries)))
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Persist (atomic rename); advisory, so failures are silent."""
+        if not self._dirty or self._entries is None:
+            return
+        doc = {"schema": SOURCES_SCHEMA, "sources": self._entries}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".json.tmp")
+            tmp.write_text(canonical_json(doc))
+            tmp.replace(self.path)
+            self._dirty = False
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._load())
 
 
 @dataclass(frozen=True)
@@ -379,13 +497,20 @@ class _Plan:
     #: from the cache (dropped immediately after -- see
     #: :meth:`BatchEngine.run`).
     network: Optional[object] = field(default=None, repr=False)
+    #: Raw-source digest of this job (``None`` when the engine runs
+    #: without a cache and therefore without a :class:`SourceMap`).
+    source: Optional[str] = None
+    #: Weight remembered by the source map (fast-path plans only);
+    #: :meth:`weigh` falls back to it when there is no held network.
+    cached_weight: Optional[int] = None
 
     def weigh(self) -> None:
         """Compute the LPT weight from the held network, then drop it.
 
         Weighing parses the cluster structure, which costs as much as
         the digest itself -- so it is deferred until we know the job
-        actually misses the cache.
+        actually misses the cache.  A fast-path plan (no parsed
+        network) falls back to the weight the source map remembered.
         """
         from repro.core.clusters import extract_clusters
 
@@ -393,6 +518,8 @@ class _Plan:
             clusters = extract_clusters(self.network)
             self.weight = sum(len(c.cells) for c in clusters)
             self.network = None
+        elif not self.weight and self.cached_weight:
+            self.weight = self.cached_weight
 
 
 class BatchEngine:
@@ -430,6 +557,14 @@ class BatchEngine:
         per-job ``repro.profile/1`` documents come back on the
         :class:`JobOutcome` rows and merge via
         :meth:`BatchReport.merged_profile`.
+    peers:
+        Cache-fabric peer URLs (see :mod:`repro.service.fabric`),
+        forwarded to every worker so their cluster caches probe the
+        fabric too.  The *result* cache tier is the caller's choice:
+        pass a :class:`~repro.service.fabric.TieredCache` as ``cache``
+        (the CLI does) to make the probe phase fabric-aware.
+    peer_timeout_s:
+        Per-request timeout workers use against the fabric peers.
     """
 
     def __init__(
@@ -442,6 +577,8 @@ class BatchEngine:
         access_log: Union[AccessLog, str, Path, None] = None,
         cluster_cache: Union[ClusterCache, str, Path, None] = None,
         profile_hz: Optional[float] = None,
+        peers: Optional[Sequence[str]] = None,
+        peer_timeout_s: float = 2.0,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -465,6 +602,16 @@ class BatchEngine:
             self.cluster_cache: Optional[ClusterCache] = cluster_cache
         else:
             self.cluster_cache = ClusterCache(cluster_cache)
+        self.peers: Tuple[str, ...] = tuple(peers or ())
+        self.peer_timeout_s = float(peer_timeout_s)
+        # The warm-plan fast path persists next to the result cache;
+        # no cache, no map (and plan() always takes the parse path).
+        root = getattr(cache, "root", None)
+        self._sources: Optional[SourceMap] = (
+            SourceMap(Path(root) / "sources.json")
+            if root is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # planning
@@ -479,12 +626,24 @@ class BatchEngine:
         heuristic), so stragglers start early.  With ``weigh=False``
         the cluster weight is left for :meth:`_Plan.weigh` -- the
         warm-run fast path, where cache hits never need it.
+
+        When the engine has a cache (and therefore a
+        :class:`SourceMap`), jobs whose raw-source digest the map
+        already knows are planned **without parsing anything** -- the
+        planner output (key, partition, queue order) is identical to
+        what the parse path would produce, because the map only ever
+        stores what the parse path (or a worker) actually observed for
+        those exact bytes.
         """
         from repro.core.domains import clock_domains
 
         plans: List[_Plan] = []
         with obs.span("service.batch.plan", category="service"):
             for job in jobs:
+                fast = self._plan_from_source(job, weigh)
+                if fast is not None:
+                    plans.append(fast)
+                    continue
                 try:
                     network, schedule = _load_design(job)
                 except (OSError, ValueError, KeyError) as exc:
@@ -496,6 +655,7 @@ class BatchEngine:
                     )
                     plans.append(_Plan(job, "", (), 0, error=str(exc)))
                     continue
+                obs.counter("service.batch.plan_parsed")
                 config = analysis_config(
                     slow_path_limit=job.slow_path_limit,
                     tolerance=job.tolerance,
@@ -507,11 +667,54 @@ class BatchEngine:
                 )
                 partition = clock_domains(network)
                 plan = _Plan(job, key, partition, 0, network=network)
+                plan.source = self._source_of(job)
                 if weigh:
                     plan.weigh()
                 plans.append(plan)
         plans.sort(key=lambda p: (p.partition, -p.weight, p.job.name))
         return plans
+
+    @staticmethod
+    def _source_of(job: BatchJob) -> Optional[str]:
+        """Raw-bytes digest of one job's inputs (``None`` on I/O error)."""
+        try:
+            netlist_bytes = Path(job.netlist).read_bytes()
+            clocks_bytes = Path(job.clocks).read_bytes()
+        except OSError:
+            return None
+        return source_digest(
+            netlist_bytes,
+            clocks_bytes,
+            job.default_clock,
+            analysis_config(
+                slow_path_limit=job.slow_path_limit,
+                tolerance=job.tolerance,
+            ),
+        )
+
+    def _plan_from_source(
+        self, job: BatchJob, weigh: bool
+    ) -> Optional[_Plan]:
+        """Plan one job from the source map, or ``None`` to parse."""
+        if self._sources is None:
+            return None
+        source = self._source_of(job)
+        if source is None:
+            return None  # let the parse path report the I/O error
+        entry = self._sources.get(source)
+        if entry is None:
+            return None
+        obs.counter("service.batch.plan_fast")
+        weight = int(entry.get("weight") or 0)
+        plan = _Plan(
+            job,
+            str(entry["key"]),
+            tuple(entry["partition"]),  # type: ignore[arg-type]
+            weight if weigh else 0,
+        )
+        plan.source = source
+        plan.cached_weight = weight
+        return plan
 
     # ------------------------------------------------------------------
     # execution
@@ -541,6 +744,7 @@ class BatchEngine:
                 )
                 if hit is not None:
                     plan.network = None  # hits never need the weight
+                    self._record_source(plan, plan.weight)
                     outcomes[plan.job.name] = JobOutcome(
                         job=plan.job,
                         status="cached",
@@ -577,6 +781,8 @@ class BatchEngine:
             self.cache.flush()
         if self.cluster_cache is not None:
             self.cluster_cache.flush()
+        if self._sources is not None:
+            self._sources.flush()
         self._log_outcomes(report)
         return report
 
@@ -598,6 +804,11 @@ class BatchEngine:
                 "root": str(self.cluster_cache.root),
                 "max_entries": self.cluster_cache.max_entries,
             }
+            if self.peers:
+                spec["cluster_cache"]["peers"] = list(self.peers)
+                spec["cluster_cache"]["peer_timeout_s"] = (
+                    self.peer_timeout_s
+                )
         ctx = live.trace_context()
         if ctx is not None:
             spec["trace"] = ctx
@@ -845,8 +1056,23 @@ class BatchEngine:
                     payload,
                     manifest if isinstance(manifest, dict) else None,
                 )
+                fingerprint = document.get("fingerprint")
+                weight = plan.weight
+                if isinstance(fingerprint, dict):
+                    reported = fingerprint.get("weight")
+                    if isinstance(reported, int) and reported > 0:
+                        weight = reported
+                self._record_source(plan, weight)
             else:
                 obs.counter("service.cache.key_races")
+
+    def _record_source(self, plan: _Plan, weight: int) -> None:
+        """Teach the source map this plan's facts (raced files skip)."""
+        if self._sources is None or plan.source is None:
+            return
+        self._sources.record(
+            plan.source, plan.key, plan.partition, int(weight or 0)
+        )
 
 
 def _load_design(job: BatchJob):

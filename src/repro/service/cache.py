@@ -50,7 +50,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro import obs
 from repro.service.digest import canonical_json
@@ -114,6 +114,13 @@ class ResultCache:
         result cache uses the default ``service.cache``; the
         cluster-granular sub-key cache reuses this class under
         ``service.cluster_cache``.
+    protect:
+        Optional predicate ``key -> bool``; keys it answers True for
+        are skipped by LRU eviction (the cache-fabric
+        :class:`~repro.service.fabric.CacheServer` protects leased
+        entries this way).  Protected keys can push the store over
+        ``max_entries``; the bound is advisory under protection
+        pressure.  Explicit :meth:`evict` / :meth:`clear` ignore it.
     """
 
     def __init__(
@@ -121,6 +128,7 @@ class ResultCache:
         root: Union[str, Path],
         max_entries: Optional[int] = 256,
         counter_prefix: str = "service.cache",
+        protect: Optional[Callable[[str], bool]] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None)")
@@ -131,6 +139,7 @@ class ResultCache:
         self._index_path = self.root / "index.json"
         self._index: Optional[Dict[str, float]] = None
         self._prefix = counter_prefix
+        self._protect = protect
         #: True when the in-memory index has recency updates that have
         #: not been written to ``index.json`` yet (write-behind).
         self._dirty = False
@@ -316,13 +325,17 @@ class ResultCache:
         overflow = len(index) - self.max_entries
         if overflow <= 0:
             return
-        for key in sorted(index, key=lambda k: index.get(k, 0.0))[
-            :overflow
-        ]:
+        for key in sorted(index, key=lambda k: index.get(k, 0.0)):
+            if overflow <= 0:
+                break
+            if self._protect is not None and self._protect(key):
+                obs.counter(f"{self._prefix}.eviction_blocked")
+                continue
             if self._remove_entry(key):
                 self.stats.evictions += 1
                 obs.counter(f"{self._prefix}.evictions")
             index.pop(key, None)
+            overflow -= 1
 
     # -- index ---------------------------------------------------------
     @staticmethod

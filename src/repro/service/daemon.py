@@ -255,9 +255,25 @@ class TimingDaemon:
         stall_timeout_s: Optional[float] = 30.0,
         debug_ops: bool = False,
         install_crash_hooks: bool = False,
+        cache_server=None,
     ) -> None:
         self.socket_path = str(socket_path)
         self.cache = cache
+        #: Cache-fabric object store co-hosted with this daemon
+        #: (``serve --cache-listen``); started/stopped with the daemon.
+        self.cache_server = cache_server
+        #: Fabric client when ``cache`` is a
+        #: :class:`repro.service.fabric.TieredCache` -- probed on the
+        #: history cadence so the ``service.fabric.degraded`` gauge
+        #: (and the ``fabric.peer_down`` alert) track peer health even
+        #: while no cache traffic flows.
+        self._fabric = getattr(cache, "remote", None)
+        self._fabric_probe_at = 0.0
+        #: Seconds between active peer health probes (and the probe's
+        #: per-peer timeout is capped well under the history interval).
+        self.fabric_probe_interval_s = max(
+            5.0, float(history_interval_s)
+        )
         if cluster_cache is None or isinstance(
             cluster_cache, ClusterCache
         ):
@@ -465,9 +481,33 @@ class TimingDaemon:
                 # after (so alerting shares the history cadence).
                 self.history.start(
                     self.recorder,
-                    before_point=self._sync_gauges,
+                    before_point=self._history_tick,
                     on_point=self._evaluate_alerts,
                 )
+
+    def _history_tick(self) -> None:
+        """Per-snapshot work: probe the fabric, then refresh gauges.
+
+        Runs on the history thread just before each metrics point, so
+        the ``service.fabric.degraded`` value the alert engine sees was
+        measured in the same tick it evaluates.
+        """
+        self._probe_fabric()
+        self._sync_gauges()
+
+    def _probe_fabric(self) -> None:
+        if self._fabric is None:
+            return
+        now = time.monotonic()
+        if now - self._fabric_probe_at < self.fabric_probe_interval_s:
+            return
+        self._fabric_probe_at = now
+        try:
+            # Short per-peer timeout: N dead peers must not eat the
+            # history interval.
+            self._fabric.probe_peers(timeout_s=0.5)
+        except Exception:  # noqa: BLE001 -- telemetry must not die
+            pass
 
     def _start_self_diagnosis(self) -> None:
         if self.watchdog is not None and not self.watchdog.running:
@@ -678,6 +718,17 @@ class TimingDaemon:
                     self.watchdog.deadline_s if self.watchdog else None
                 ),
                 "debug_ops": self.debug_ops,
+                "cache_peers": (
+                    list(self._fabric.peers)
+                    if self._fabric is not None
+                    else []
+                ),
+                "cache_server": (
+                    list(self.cache_server.address)
+                    if self.cache_server is not None
+                    and self.cache_server.address is not None
+                    else None
+                ),
             },
         }
 
@@ -722,6 +773,18 @@ class TimingDaemon:
             self.recorder.gauge(
                 "service.alerts.firing", self.alerts.firing_count()
             )
+        if self._fabric is not None:
+            self.recorder.gauge(
+                "service.fabric.degraded",
+                float(len(self._fabric.down_peers())),
+            )
+            self.recorder.gauge(
+                "service.fabric.peers", float(len(self._fabric.peers))
+            )
+            self.recorder.gauge(
+                "service.fabric.remote_hit_rate",
+                self._fabric.stats.hit_rate,
+            )
         with self._profiler_lock:
             profiler = self._profiler
         if profiler is not None:
@@ -740,6 +803,7 @@ class TimingDaemon:
         if self._server is not None:
             raise RuntimeError("daemon already started")
         self._server = self._make_server()
+        self._start_cache_server()
         self._start_sidecar()
         self._start_history()
         self._start_self_diagnosis()
@@ -755,6 +819,7 @@ class TimingDaemon:
         if self._server is not None:
             raise RuntimeError("daemon already started")
         self._server = self._make_server()
+        self._start_cache_server()
         self._start_sidecar()
         self._start_history()
         self._start_self_diagnosis()
@@ -773,10 +838,19 @@ class TimingDaemon:
             self._thread = None
         self._cleanup()
 
+    def _start_cache_server(self) -> None:
+        if self.cache_server is not None and (
+            self.cache_server.address is None
+        ):
+            self.cache_server.start()
+
     def _cleanup(self) -> None:
         sidecar, self._sidecar = self._sidecar, None
         if sidecar is not None:
             sidecar.stop()
+        server, self.cache_server = self.cache_server, None
+        if server is not None:
+            server.stop()
         if self.history is not None:
             self.history.stop()
         if self.watchdog is not None:

@@ -33,6 +33,7 @@ __all__ = [
     "config_digest",
     "network_digest",
     "schedule_digest",
+    "source_digest",
 ]
 
 #: Version of the cached-result payload format; bumping it invalidates
@@ -263,6 +264,38 @@ def cluster_digest(cluster, schedule, delays, config_sha: str) -> str:
             _terminal_binding(t, schedule, delays)
             for t in sorted(cluster.captures, key=lambda t: t.full_name)
         ],
+    }
+    return _sha256(canonical_json(doc))
+
+
+def source_digest(
+    netlist_bytes: bytes,
+    clocks_bytes: Optional[bytes],
+    default_clock: Optional[str],
+    config: Mapping[str, object],
+) -> str:
+    """The content address of one job's *raw source files* + config.
+
+    Unlike :func:`network_digest`, which requires a parsed network,
+    this digests the netlist/clock file **bytes** directly -- cheap
+    enough for a batch planner to compute for hundreds of jobs without
+    parsing any of them.  It is *stricter* than the semantic digest
+    (reformatting a netlist file changes it even though the design is
+    unchanged), so it is only ever used as an index into previously
+    observed ``(source_digest -> cache_key)`` pairs, never as a cache
+    key itself: a source-digest change merely falls back to the parse
+    path, it can never alias two different designs.
+    """
+    doc = {
+        "netlist_sha256": hashlib.sha256(netlist_bytes).hexdigest(),
+        "clocks_sha256": (
+            hashlib.sha256(clocks_bytes).hexdigest()
+            if clocks_bytes is not None
+            else None
+        ),
+        "default_clock": default_clock,
+        "config": dict(config),
+        "payload_schema": PAYLOAD_SCHEMA_VERSION,
     }
     return _sha256(canonical_json(doc))
 

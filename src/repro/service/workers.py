@@ -17,9 +17,13 @@ Job spec (plain dict)::
       "slow_path_limit": 50,
       "tolerance": 0.0,
       # cluster-granular sub-key cache (optional; see
-      # repro.service.cluster_cache):
+      # repro.service.cluster_cache).  With "peers" the worker fronts
+      # the store with the cache fabric (repro.service.fabric), so
+      # cluster artifacts computed on other hosts are hits here too:
       "cluster_cache": {"root": ".repro-cache/clusters",
-                        "max_entries": 4096},
+                        "max_entries": 4096,
+                        "peers": ["http://127.0.0.1:9400"],
+                        "peer_timeout_s": 2.0},
       # per-job sampling profiler (optional; ships a repro.profile/1
       # document back under "profile" for the parent to merge):
       "profile": {"hz": 100},
@@ -80,6 +84,14 @@ REPORTED_COUNTERS = (
     "service.cluster_cache.seeded",
     "service.cluster_cache.recomputed",
     "service.cluster_cache.stores",
+    "service.fabric.remote_hits",
+    "service.fabric.remote_misses",
+    "service.fabric.remote_stores",
+    "service.fabric.errors",
+    "service.fabric.retries",
+    "service.fabric.peer_down",
+    "service.fabric.degraded_skips",
+    "service.fabric.integrity_failures",
 )
 
 
@@ -216,9 +228,46 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
                         "service.worker.cluster_warm", category="service"
                     ):
                         delays = estimate_delays(network)
+                        backend = None
+                        peers = cc_spec.get("peers")
+                        if peers:
+                            # Front the local store with the cache
+                            # fabric: cluster artifacts computed on
+                            # other hosts become hits here.  Fabric
+                            # construction failure (bad peer URL) is a
+                            # degradation, not a job failure.
+                            from repro.service.cache import ResultCache
+                            from repro.service.fabric import (
+                                RemoteCache,
+                                TieredCache,
+                            )
+
+                            try:
+                                backend = TieredCache(
+                                    ResultCache(
+                                        str(cc_spec["root"]),
+                                        max_entries=cc_spec.get(
+                                            "max_entries", 4096
+                                        ),
+                                        counter_prefix=(
+                                            "service.cluster_cache"
+                                        ),
+                                    ),
+                                    RemoteCache(
+                                        [str(p) for p in peers],
+                                        timeout_s=float(
+                                            cc_spec.get(
+                                                "peer_timeout_s", 2.0
+                                            )
+                                        ),
+                                    ),
+                                )
+                            except ValueError:
+                                backend = None
                         cluster_store = ClusterCache(
                             str(cc_spec["root"]),
                             max_entries=cc_spec.get("max_entries", 4096),
+                            backend=backend,
                         )
                         warmup = cluster_store.warm(
                             network,
@@ -247,6 +296,19 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
                 digests["key"] = cache_key(
                     digests["network"], digests["schedule"], digests["config"]
                 )
+                # Structural fingerprint the parent's SourceMap learns,
+                # so the next plan of these exact source bytes parses
+                # nothing.  The weight matches _Plan.weigh exactly: the
+                # model's clusters ARE extract_clusters(network).
+                from repro.core.domains import clock_domains
+
+                fingerprint = {
+                    "partition": list(clock_domains(network)),
+                    "weight": sum(
+                        len(c.cells)
+                        for c in analyzer.model.clusters
+                    ),
+                }
             if profiler is not None:
                 profile_doc = profiler.stop()
         document: Dict[str, object] = {
@@ -254,6 +316,7 @@ def run_job(spec: Dict[str, object]) -> Dict[str, object]:
             "payload": result.payload(),
             "manifest": manifest,
             "digests": digests,
+            "fingerprint": fingerprint,
             "worker_pid": os.getpid(),
             "counters": {
                 name: recorder.counters[name]

@@ -370,3 +370,117 @@ class TestWorkerCrashForensics:
         )
         assert report.outcomes[0].crash is None
         assert report.to_dict()["outcomes"][0]["crash"] is None
+
+
+class TestSourceMapPlanning:
+    """The warm-plan fast path: raw-bytes digests, zero parent parses."""
+
+    def _engine(self, tmp_path):
+        return BatchEngine(
+            cache=ResultCache(tmp_path / "cache", max_entries=32),
+            serial=True,
+        )
+
+    def test_warm_plan_parses_nothing(self, tmp_path, job, monkeypatch):
+        """After one run, planning the same bytes never parses."""
+        import repro.service.batch as batch_mod
+
+        engine = self._engine(tmp_path)
+        report = engine.run([job])
+        assert report.computed == 1
+
+        warm = self._engine(tmp_path)  # fresh engine, same cache dir
+
+        def explode(j):
+            raise AssertionError("warm plan must not parse designs")
+
+        monkeypatch.setattr(batch_mod, "_load_design", explode)
+        plans = warm.plan([job], weigh=False)
+        assert plans[0].error is None
+        report2 = warm.run([job])
+        assert report2.cached == 1
+        assert report2.failed == 0
+
+    def test_planner_output_identical_cold_vs_warm(self, tmp_path, job):
+        engine = self._engine(tmp_path)
+        cold = engine.plan([job], weigh=False)
+        engine.run([job])
+        warm_engine = self._engine(tmp_path)
+        warm = warm_engine.plan([job], weigh=False)
+        assert [(p.key, p.partition, p.weight) for p in warm] == [
+            (p.key, p.partition, p.weight) for p in cold
+        ]
+
+    def test_worker_fingerprint_teaches_the_map(self, tmp_path, job):
+        from repro.service.batch import SourceMap
+
+        engine = self._engine(tmp_path)
+        engine.run([job])
+        sources = SourceMap(tmp_path / "cache" / "sources.json")
+        assert len(sources) == 1
+        (entry,) = [sources.get(s) for s in sources._load()]
+        assert entry["partition"] == ["phi1", "phi2"]
+        assert entry["weight"] > 0
+
+    def test_map_weight_drives_lpt_on_cache_miss(self, tmp_path, job):
+        """A fast-path plan weighs from the map when the result cache
+        missed (e.g. evicted) -- no parse needed for LPT either."""
+        engine = self._engine(tmp_path)
+        engine.run([job])
+        warm = self._engine(tmp_path)
+        plans = warm.plan([job], weigh=True)
+        assert plans[0].weight > 0
+        assert plans[0].network is None  # no parse held
+
+    def test_edited_source_falls_back_to_parse(self, tmp_path, job):
+        from pathlib import Path
+
+        engine = self._engine(tmp_path)
+        engine.run([job])
+        # Touch the netlist bytes (whitespace only -- same design).
+        netlist = Path(job.netlist)
+        netlist.write_text(netlist.read_text() + "\n")
+        warm = self._engine(tmp_path)
+        plans = warm.plan([job], weigh=False)
+        # Parse path: semantic digest unchanged, so still a cache hit.
+        assert plans[0].error is None
+        report = warm.run([job])
+        assert report.cached == 1
+
+    def test_no_cache_means_no_map(self, tmp_path, job):
+        engine = BatchEngine(cache=None, serial=True)
+        assert engine._sources is None
+        plans = engine.plan([job])
+        assert plans[0].partition == ("phi1", "phi2")
+
+    def test_corrupt_map_is_empty(self, tmp_path):
+        from repro.service.batch import SourceMap
+
+        path = tmp_path / "sources.json"
+        path.write_text("{not json")
+        sources = SourceMap(path)
+        assert len(sources) == 0
+        sources.record("s1", "k1", ("phi1",), 4)
+        sources.flush()
+        reloaded = SourceMap(path)
+        assert reloaded.get("s1")["weight"] == 4
+
+    def test_record_keeps_learned_weight(self, tmp_path):
+        from repro.service.batch import SourceMap
+
+        sources = SourceMap(tmp_path / "sources.json")
+        sources.record("s1", "k1", ("phi1",), 7)
+        sources.record("s1", "k1", ("phi1",), 0)  # weightless probe hit
+        assert sources.get("s1")["weight"] == 7
+        sources.record("s1", "k2", ("phi1",), 0)  # new key: reset
+        assert sources.get("s1")["weight"] == 0
+
+    def test_map_is_bounded(self, tmp_path):
+        from repro.service.batch import SourceMap
+
+        sources = SourceMap(tmp_path / "sources.json", max_entries=3)
+        for i in range(5):
+            sources.record(f"s{i}", f"k{i}", ("phi1",), 1)
+        assert len(sources) == 3
+        assert sources.get("s0") is None
+        assert sources.get("s4") is not None
