@@ -49,7 +49,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: The PR this harness currently reports for; bump alongside new
 #: workloads so every PR leaves its own ``BENCH_PR<n>.json`` artifact.
-CURRENT_PR = 8
+CURRENT_PR = 9
 DEFAULT_OUTPUT = REPO_ROOT / f"BENCH_PR{CURRENT_PR}.json"
 
 from repro import obs  # noqa: E402
@@ -576,6 +576,104 @@ def bench_watchdog_overhead(quick: bool) -> Dict[str, object]:
         "warm_analyze_off_s": round(off_s, 6),
         "warm_analyze_on_s": round(on_s, 6),
         "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+@bench("collector_overhead")
+def bench_collector_overhead(quick: bool) -> Dict[str, object]:
+    """The PR-9 headline: the fleet observability plane -- the
+    tail-sampling trace store on the request tail plus an embedded
+    collector scraping the daemon's own sidecar every second -- must
+    cost <= 5% on warm analyze latency.
+
+    Two arms, same min-floor methodology as
+    ``service_telemetry_overhead`` (both arms keep telemetry and the
+    HTTP sidecar on, so only the PR-9 additions differ):
+
+    * ``off`` -- sidecar only, no trace store, no collector;
+    * ``on``  -- ``--trace-dir`` at the default 5%% sample rate and a
+      ``serve --collect``-style :class:`FleetCollector` whose peers
+      file points back at this daemon.
+
+    The arms are *interleaved* (off, on, off, on) and each arm keeps
+    the minimum across its passes: host-load drift between passes
+    otherwise swamps the tens-of-microseconds delta under test.
+    """
+    import os
+    import tempfile
+
+    from repro.service import DaemonClient, FleetCollector, TimingDaemon
+
+    rounds = 150 if quick else 400
+
+    def _warm_floor(tmp: Path, label: str, **kwargs: object) -> float:
+        from repro.clocks.serialize import save_schedule
+        from repro.netlist.persistence import save_network
+
+        network, schedule = _pipeline(quick)
+        netlist = tmp / f"design_{label}.json"
+        clocks = tmp / f"clocks_{label}.json"
+        save_network(network, netlist)
+        save_schedule(schedule, clocks)
+        socket_path = tmp / f"bench_{label}.sock"
+        samples = []
+        previous = obs.set_recorder(None)  # untraced requests only
+        try:
+            with TimingDaemon(
+                str(socket_path), http_port=0, **kwargs
+            ) as daemon:
+                collector = kwargs.get("collector")
+                if collector is not None:
+                    # Point the collector back at this daemon now that
+                    # the sidecar port is known; the next sweep reloads.
+                    host, port = daemon.http_address
+                    peers_file = Path(collector.peers_file)
+                    peers_file.write_text(f"http://{host}:{port}\n")
+                    stamp = peers_file.stat().st_mtime + 10
+                    os.utime(peers_file, (stamp, stamp))
+                with DaemonClient(str(socket_path)) as client:
+                    for __ in range(10):  # warm the incremental engine
+                        client.analyze(str(netlist), str(clocks))
+                    for __ in range(rounds):
+                        started = time.perf_counter()
+                        response = client.analyze(
+                            str(netlist), str(clocks)
+                        )
+                        samples.append(time.perf_counter() - started)
+                        assert response["ok"]
+        finally:
+            obs.set_recorder(previous)
+        return min(samples)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        directory = Path(tmp)
+        off_s = on_s = float("inf")
+        swept = 0
+        for arm in range(2):
+            off_s = min(off_s, _warm_floor(directory, f"off{arm}"))
+            peers_file = directory / f"peers{arm}.txt"
+            peers_file.write_text("")
+            collector = FleetCollector(
+                peers_file, interval_s=1.0, timeout_s=1.0,
+                http_port=None,
+            )
+            on_s = min(
+                on_s,
+                _warm_floor(
+                    directory,
+                    f"on{arm}",
+                    trace_dir=directory / f"traces{arm}",
+                    collector=collector,
+                ),
+            )
+            swept += collector.health()["sweeps"]
+    overhead_pct = ((on_s - off_s) / off_s * 100.0) if off_s else 0.0
+    return {
+        "rounds": rounds,
+        "warm_analyze_off_s": round(off_s, 6),
+        "warm_analyze_on_s": round(on_s, 6),
+        "overhead_pct": round(overhead_pct, 2),
+        "collector_sweeps": int(swept),
     }
 
 

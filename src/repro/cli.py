@@ -368,14 +368,31 @@ def cmd_waveforms(args: argparse.Namespace) -> int:
 
 
 def _make_remote(args: argparse.Namespace):
-    """Fabric client for ``--peers``, or ``None`` without peers."""
+    """Fabric client for ``--peers``/``--peers-file``, or ``None``.
+
+    A ``--peers-file`` fabric re-reads the file on mtime change (the
+    daemon checks on its history cadence), so peers can join or leave
+    without a restart.
+    """
     from repro.service import RemoteCache
 
-    peers = getattr(args, "peers", None)
+    peers = list(getattr(args, "peers", None) or ())
+    peers_file = getattr(args, "peers_file", None)
+    if peers_file:
+        from repro.obs.fleet import load_peers
+
+        try:
+            for url in load_peers(peers_file):
+                if url not in peers:
+                    peers.append(url)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read --peers-file: {exc}")
     if not peers:
         return None
     return RemoteCache(
-        peers, timeout_s=getattr(args, "peer_timeout", 2.0)
+        peers,
+        timeout_s=getattr(args, "peer_timeout", 2.0),
+        peers_file=peers_file,
     )
 
 
@@ -514,6 +531,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
             Path(args.cache_dir) / "fabric",
             port=args.cache_listen,
         )
+    access_log = args.access_log
+    if access_log and getattr(args, "access_log_max_bytes", None):
+        from repro.obs.accesslog import AccessLog
+
+        access_log = AccessLog(
+            access_log,
+            slow_threshold_s=args.slow_threshold,
+            max_bytes=args.access_log_max_bytes,
+            backups=args.access_log_backups,
+        )
+    collector = None
+    if getattr(args, "collect", False):
+        from repro.service import FleetCollector
+
+        if not getattr(args, "peers_file", None):
+            raise SystemExit("--collect needs --peers-file")
+        if args.http_port is None:
+            raise SystemExit(
+                "--collect needs --http-port (the fleet routes ride "
+                "the telemetry sidecar)"
+            )
+        collector = FleetCollector(
+            args.peers_file,
+            interval_s=args.collect_interval,
+            timeout_s=args.peer_timeout,
+            http_port=None,
+        )
     daemon = TimingDaemon(
         args.socket,
         cache=_make_cache(args),
@@ -522,10 +566,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         slow_path_limit=args.limit,
         telemetry=not args.no_telemetry,
         http_port=args.http_port,
-        access_log=args.access_log,
+        access_log=access_log,
         slow_threshold_s=args.slow_threshold,
         alert_rules=args.alert_rules,
         crash_dir=args.crash_dir,
+        trace_dir=args.trace_dir,
+        trace_max_bytes=args.trace_max_bytes,
+        trace_sample=args.trace_sample,
+        collector=collector,
         stall_timeout_s=(
             args.stall_timeout if args.stall_timeout > 0 else None
         ),
@@ -544,7 +592,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"telemetry http on 127.0.0.1:{args.http_port} "
             "(GET /healthz, /metrics, /metrics/history, /profile, "
-            "/buildz, /alertz, /crashz, /flightz)",
+            "/buildz, /alertz, /crashz, /flightz, /fabricz, /traces)",
+            file=sys.stderr,
+        )
+    if daemon.trace_store is not None:
+        stats = daemon.trace_store.stats()
+        print(
+            f"trace store: {stats['dir']} "
+            f"({stats['traces']} traces on disk, "
+            f"max {args.trace_max_bytes} bytes, "
+            f"sample {args.trace_sample:g})",
+            file=sys.stderr,
+        )
+    if collector is not None:
+        print(
+            f"fleet collector: {len(collector.peers)} peers from "
+            f"{args.peers_file} every {args.collect_interval:g}s "
+            "(GET /fleetz, /fleet/doctor, /fleet/metrics, "
+            "/fleet/history)",
             file=sys.stderr,
         )
     if cache_server is not None:
@@ -740,7 +805,46 @@ def cmd_alerts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_peers(args: argparse.Namespace) -> List[str]:
+    """Peer URLs for the fleet commands (``--peers`` + ``--peers-file``)."""
+    from repro.obs.fleet import load_peers
+
+    peers = list(getattr(args, "peers", None) or ())
+    if getattr(args, "peers_file", None):
+        try:
+            for url in load_peers(args.peers_file):
+                if url not in peers:
+                    peers.append(url)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read --peers-file: {exc}")
+    if not peers:
+        raise SystemExit("no peers: pass --peers and/or --peers-file")
+    return peers
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
+    if getattr(args, "fleet", False):
+        from repro.obs.fleet import (
+            build_fleet_doctor,
+            fleet_doctor_exit_code,
+            render_fleet_doctor,
+        )
+        from repro.service.collector import scrape_fleet
+
+        scrapes = scrape_fleet(
+            _fleet_peers(args), timeout_s=args.timeout
+        )
+        doc = build_fleet_doctor(scrapes)
+        if args.json:
+            print(
+                json.dumps(
+                    doc, indent=2, sort_keys=True, separators=(",", ": ")
+                )
+            )
+        else:
+            print(render_fleet_doctor(doc))
+        return fleet_doctor_exit_code(doc)
+
     from repro.service import DaemonClient
     from repro.service.doctor import (
         doctor_exit_code,
@@ -748,6 +852,8 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         render_doctor,
     )
 
+    if not args.socket:
+        raise SystemExit("doctor needs --socket (or --fleet with peers)")
     try:
         with DaemonClient(args.socket, timeout=args.timeout) as client:
             doc = fetch_doctor(client, flight_last=args.flight)
@@ -762,6 +868,138 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     else:
         print(render_doctor(doc))
     return doctor_exit_code(doc)
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    """Standalone fleet collector process (``repro-sta collect``)."""
+    import time as _time
+
+    from repro.service import FleetCollector
+
+    collector = FleetCollector(
+        args.peers_file,
+        interval_s=args.interval,
+        timeout_s=args.peer_timeout,
+        http_port=args.http_port,
+    )
+    host, port = collector.start()
+    print(
+        f"repro-sta collector on {host}:{port} "
+        f"(GET /fleetz, /fleet/doctor, /fleet/metrics, /fleet/history, "
+        f"/healthz); {len(collector.peers)} peers from {args.peers_file} "
+        f"every {args.interval:g}s",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            _time.sleep(3600.0)
+    except KeyboardInterrupt:
+        collector.stop()
+        print("collector stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Multi-peer dashboard (``repro-sta fleet``)."""
+    import time as _time
+
+    from repro.obs.fleet import build_fleet_doc, render_fleet
+    from repro.service.collector import scrape_fleet
+
+    peers = _fleet_peers(args)
+    iterations = 1 if args.once else args.iterations
+    rendered = 0
+    try:
+        while iterations is None or rendered < iterations:
+            doc = build_fleet_doc(
+                scrape_fleet(peers, timeout_s=args.timeout)
+            )
+            if args.json:
+                print(
+                    json.dumps(
+                        doc, sort_keys=True, separators=(",", ":")
+                    )
+                )
+                sys.stdout.flush()
+            else:
+                text = render_fleet(doc)
+                if args.once or args.iterations is not None:
+                    print(text)
+                else:
+                    sys.stdout.write("\x1b[H\x1b[2J" + text + "\n")
+                    sys.stdout.flush()
+            rendered += 1
+            if iterations is None or rendered < iterations:
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    """Browse the daemon's tail-sampled trace store."""
+    from repro.service import DaemonClient
+
+    try:
+        with DaemonClient(args.socket, timeout=args.timeout) as client:
+            if args.action == "show":
+                if not args.trace_id:
+                    raise SystemExit("traces show needs a <trace_id>")
+                response = client.traces("show", trace_id=args.trace_id)
+            elif args.action == "stats":
+                response = client.traces("stats")
+            else:
+                response = client.traces("list", last=args.last)
+    except (OSError, ConnectionError) as exc:
+        raise SystemExit(f"cannot reach daemon at {args.socket}: {exc}")
+    if not response.get("ok"):
+        print(
+            f"traces: {response.get('error', 'op failed')}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json or args.action == "show":
+        # A stored trace is a document, not a table -- emit it whole
+        # (jq-friendly, and the span tree nests arbitrarily deep).
+        print(
+            json.dumps(
+                response, indent=2, sort_keys=True, separators=(",", ": ")
+            )
+        )
+        return 0
+    if args.action == "stats":
+        stats = response.get("stats") or {}
+        print(
+            f"{stats.get('traces', 0)} traces, "
+            f"{stats.get('bytes', 0)}/{stats.get('max_bytes', 0)} bytes "
+            f"in {stats.get('dir', '?')}"
+        )
+        return 0
+    rows = response.get("traces") or []
+    stats = response.get("stats") or {}
+    print(
+        f"{len(rows)} of {stats.get('traces', len(rows))} stored traces "
+        f"({stats.get('bytes', 0)} bytes in {stats.get('dir', '?')})"
+    )
+    print(
+        f"{'TRACE':<34}{'OP':<10}{'DESIGN':<18}{'STATUS':<8}"
+        f"{'DUR':>9}  KEPT-AS"
+    )
+    for row in rows:
+        duration = row.get("duration_s")
+        duration_text = (
+            f"{float(duration) * 1000.0:8.1f}ms"
+            if isinstance(duration, (int, float))
+            else f"{'-':>9}"
+        )
+        print(
+            f"{str(row.get('trace_id', '?')):<34}"
+            f"{str(row.get('op') or '-'):<10}"
+            f"{str(row.get('design') or '-')[:17]:<18}"
+            f"{str(row.get('status', '?')):<8}"
+            f"{duration_text}  {row.get('sampling', '?')}"
+        )
+    return 0
 
 
 def cmd_perf_diff(args: argparse.Namespace) -> int:
@@ -976,6 +1214,14 @@ def build_parser() -> argparse.ArgumentParser:
             "shared L2",
         )
         fabric.add_argument(
+            "--peers-file",
+            metavar="FILE",
+            default=None,
+            help="read fabric peer URLs from FILE (one per line, or "
+            "JSON); the file is re-read when it changes, so peers "
+            "can join or leave without a restart",
+        )
+        fabric.add_argument(
             "--peer-timeout",
             type=float,
             default=2.0,
@@ -1081,6 +1327,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one repro.accesslog/1 JSON line per request to FILE",
     )
     telemetry.add_argument(
+        "--access-log-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the access log once it reaches N bytes "
+        "(FILE -> FILE.1 -> ... -> FILE.<backups>); default: never",
+    )
+    telemetry.add_argument(
+        "--access-log-backups",
+        type=int,
+        default=3,
+        metavar="N",
+        help="rotated access-log generations to keep (default: 3)",
+    )
+    telemetry.add_argument(
         "--slow-threshold",
         type=float,
         default=1.0,
@@ -1107,6 +1368,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=100.0,
         metavar="HZ",
         help="profiler sampling rate (default: 100)",
+    )
+    tracing = serve.add_argument_group("trace store")
+    tracing.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="keep tail-sampled repro.tracedoc/1 span trees under DIR "
+        "(errored + p95-slow requests always kept; their ids surface "
+        "as exemplars in /metrics and resolve via 'traces show')",
+    )
+    tracing.add_argument(
+        "--trace-max-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        metavar="N",
+        help="size bound on the trace directory; oldest traces are "
+        "evicted first (default: 64MiB)",
+    )
+    tracing.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.05,
+        metavar="RATE",
+        help="probability of keeping an unremarkable (ok, fast) "
+        "request's trace (default: 0.05)",
+    )
+    fleet_group = serve.add_argument_group("fleet collector")
+    fleet_group.add_argument(
+        "--collect",
+        action="store_true",
+        help="embed a fleet collector: scrape the sidecars listed in "
+        "--peers-file on the history cadence and serve /fleetz, "
+        "/fleet/doctor, /fleet/metrics and /fleet/history from this "
+        "daemon's --http-port",
+    )
+    fleet_group.add_argument(
+        "--collect-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="collector scrape cadence (default: 5.0, the metrics-"
+        "history cadence)",
     )
     diagnosis = serve.add_argument_group("self-diagnosis")
     diagnosis.add_argument(
@@ -1232,9 +1535,10 @@ def build_parser() -> argparse.ArgumentParser:
         "doctor",
         help="one-shot daemon triage: firing alerts, latest crash "
         "report, flight-recorder tail (exit 0 healthy / 1 alerts "
-        "firing / 2 crash report present)",
+        "firing / 2 crash report present); --fleet aggregates every "
+        "peer's verdict into one exit code",
     )
-    doctor.add_argument("--socket", required=True, metavar="PATH")
+    doctor.add_argument("--socket", metavar="PATH")
     doctor.add_argument(
         "--flight",
         type=int,
@@ -1246,9 +1550,151 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument(
         "--json",
         action="store_true",
-        help="emit the raw repro.doctor/1 document",
+        help="emit the raw repro.doctor/1 (or repro.fleetdoctor/1) "
+        "document",
+    )
+    doctor.add_argument(
+        "--fleet",
+        action="store_true",
+        help="triage every peer sidecar over HTTP instead of one "
+        "daemon's socket (exit code = worst peer; a down peer is at "
+        "least exit 1)",
+    )
+    doctor.add_argument(
+        "--peers",
+        metavar="URL",
+        nargs="+",
+        default=None,
+        help="peer sidecar base URLs for --fleet",
+    )
+    doctor.add_argument(
+        "--peers-file",
+        metavar="FILE",
+        default=None,
+        help="read peer sidecar URLs for --fleet from FILE",
     )
     doctor.set_defaults(func=cmd_doctor)
+
+    collect = sub.add_parser(
+        "collect",
+        help="run a standalone fleet collector: scrape every peer "
+        "sidecar on a cadence and serve the aggregated /fleetz view",
+    )
+    collect.add_argument(
+        "--peers-file",
+        required=True,
+        metavar="FILE",
+        help="peer sidecar base URLs (one per line or JSON; re-read "
+        "when the file changes)",
+    )
+    collect.add_argument(
+        "--http-port",
+        type=int,
+        required=True,
+        metavar="PORT",
+        help="serve GET /fleetz, /fleet/doctor, /fleet/metrics, "
+        "/fleet/history and /healthz on 127.0.0.1:PORT (0 picks an "
+        "ephemeral port)",
+    )
+    collect.add_argument(
+        "--interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="scrape cadence (default: 5.0, the metrics-history "
+        "cadence)",
+    )
+    collect.add_argument(
+        "--peer-timeout",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="per-endpoint scrape timeout (default: 2.0s)",
+    )
+    collect.set_defaults(func=cmd_collect)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-peer dashboard: one row per daemon with req/s, "
+        "latency quantiles, cache/fabric hit rates, firing alerts "
+        "and up/degraded/down state",
+    )
+    fleet.add_argument(
+        "--peers",
+        metavar="URL",
+        nargs="+",
+        default=None,
+        help="peer sidecar base URLs (e.g. http://127.0.0.1:9200)",
+    )
+    fleet.add_argument(
+        "--peers-file",
+        metavar="FILE",
+        default=None,
+        help="read peer sidecar URLs from FILE",
+    )
+    fleet.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll/redraw period (default: 2.0)",
+    )
+    fleet.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    fleet.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame to stdout and exit (no redraw)",
+    )
+    fleet.add_argument("--timeout", type=float, default=2.0)
+    fleet.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one repro.fleet/1 JSON document per refresh",
+    )
+    fleet.set_defaults(func=cmd_fleet)
+
+    traces = sub.add_parser(
+        "traces",
+        help="browse the daemon's tail-sampled trace store (list / "
+        "show <trace_id> / stats); exemplar trace_ids in /metrics "
+        "resolve here",
+    )
+    traces.add_argument("--socket", required=True, metavar="PATH")
+    traces.add_argument(
+        "action",
+        nargs="?",
+        default="list",
+        choices=("list", "show", "stats"),
+        help="list recent traces (default), show one by id, or "
+        "print store stats",
+    )
+    traces.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace id for 'show' (32-hex; from an exemplar in "
+        "/metrics, an access-log line or 'traces list')",
+    )
+    traces.add_argument(
+        "--last",
+        type=int,
+        default=50,
+        metavar="N",
+        help="traces to list (default: 50, newest first)",
+    )
+    traces.add_argument("--timeout", type=float, default=10.0)
+    traces.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw op response",
+    )
+    traces.set_defaults(func=cmd_traces)
 
     perf_diff = sub.add_parser(
         "perf-diff",

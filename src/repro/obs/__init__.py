@@ -16,7 +16,13 @@ pipeline.
   the metrics history (``repro.alerts/1``),
 * :mod:`repro.obs.flight` -- flight recorder ring, structured error /
   crash reports and the stall watchdog (``repro.flight/1``,
-  ``repro.error/1``, ``repro.crash/1``).
+  ``repro.error/1``, ``repro.crash/1``),
+* :mod:`repro.obs.tracestore` -- tail-sampled on-disk trace ring
+  (``repro.tracedoc/1``) whose kept ids surface as exemplars in the
+  Prometheus latency histograms,
+* :mod:`repro.obs.fleet` -- pure fleet-level aggregation of per-daemon
+  telemetry (``repro.fleet/1``, ``repro.fleetdoctor/1``) behind
+  ``repro-sta fleet`` / ``doctor --fleet`` and the collector.
 
 Recording is **disabled by default**: every instrumentation site in the
 analysis pipeline degrades to a single global read (see
@@ -102,6 +108,21 @@ from repro.obs.flight import (
     exception_frames,
     thread_stacks,
 )
+from repro.obs.tracestore import (
+    TRACE_DOC_SCHEMA,
+    TailSampler,
+    TraceStore,
+)
+from repro.obs.fleet import (
+    FLEET_DOCTOR_SCHEMA,
+    FLEET_SCHEMA,
+    build_fleet_doc,
+    build_fleet_doctor,
+    fleet_doctor_exit_code,
+    load_peers,
+    render_fleet,
+    render_fleet_doctor,
+)
 
 __all__ = [
     "Recorder",
@@ -162,4 +183,15 @@ __all__ = [
     "error_document",
     "exception_frames",
     "thread_stacks",
+    "TRACE_DOC_SCHEMA",
+    "TailSampler",
+    "TraceStore",
+    "FLEET_SCHEMA",
+    "FLEET_DOCTOR_SCHEMA",
+    "build_fleet_doc",
+    "build_fleet_doctor",
+    "fleet_doctor_exit_code",
+    "load_peers",
+    "render_fleet",
+    "render_fleet_doctor",
 ]

@@ -108,15 +108,30 @@ class AccessLog:
     slow_threshold_s:
         Entries at least this slow also carry their full ``spans`` tree
         (when the caller provides the request's recorder snapshot).
+    max_bytes:
+        Size-based rotation (``--access-log-max-bytes``): once the live
+        file reaches this many bytes it is renamed to ``<path>.1``
+        (older generations shifting to ``.2`` ... ``.<backups>``, the
+        oldest dropped) and a fresh file is opened.  ``None`` (the
+        default) never rotates.  Rotation failures are swallowed like
+        every other I/O error here -- the log keeps appending in place.
+    backups:
+        Rotated generations to keep (ignored without ``max_bytes``).
     """
 
     def __init__(
         self,
         path: Union[str, Path, IO[str]],
         slow_threshold_s: float = 1.0,
+        max_bytes: Optional[int] = None,
+        backups: int = 3,
     ) -> None:
         self.slow_threshold_s = float(slow_threshold_s)
+        self.max_bytes = int(max_bytes) if max_bytes else None
+        self.backups = max(1, int(backups))
+        self.rotations = 0
         self.lines_written = 0
+        self._bytes_written: Optional[int] = None
         self._lock = threading.Lock()
         if hasattr(path, "write"):
             self.path: Optional[Path] = None
@@ -130,7 +145,37 @@ class AccessLog:
             assert self.path is not None
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a", buffering=1)
+            try:
+                self._bytes_written = self._handle.tell()
+            except OSError:
+                self._bytes_written = 0
         return self._handle
+
+    def _maybe_rotate_locked(self, pending: int) -> None:
+        """Rotate ``path -> path.1 -> ... -> path.N`` when the next
+        write would cross ``max_bytes``.  File-object logs (tests) and
+        rotation failures leave the current handle in place."""
+        if (
+            self.max_bytes is None
+            or self.path is None
+            or self._bytes_written is None
+            or self._bytes_written == 0
+            or self._bytes_written + pending <= self.max_bytes
+        ):
+            return
+        try:
+            if self._handle is not None:
+                self._handle.close()
+            self._handle = None
+            for index in range(self.backups, 1, -1):
+                older = Path(f"{self.path}.{index - 1}")
+                if older.exists():
+                    older.replace(Path(f"{self.path}.{index}"))
+            self.path.replace(Path(f"{self.path}.1"))
+            self.rotations += 1
+        except OSError:
+            pass
+        self._bytes_written = None
 
     def record(
         self,
@@ -177,8 +222,11 @@ class AccessLog:
         line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
         try:
             with self._lock:
+                self._maybe_rotate_locked(len(line) + 1)
                 handle = self._file()
                 handle.write(line + "\n")
+                if self._bytes_written is not None:
+                    self._bytes_written += len(line) + 1
                 self.lines_written += 1
         except OSError:
             return entry

@@ -165,7 +165,15 @@ class HistogramStats:
     overflow bucket catches everything beyond the last bound.
     """
 
-    __slots__ = ("bounds", "counts", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "bounds",
+        "counts",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "exemplars",
+    )
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
         ordered = tuple(sorted(float(b) for b in bounds))
@@ -178,8 +186,14 @@ class HistogramStats:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        #: OpenMetrics-style exemplars: bucket index -> the most recent
+        #: labelled observation in that bucket, e.g.
+        #: ``{"trace_id": ..., "value": 0.41, "ts": 1700000000.0}``.
+        self.exemplars: Dict[int, Dict[str, object]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[Dict[str, object]] = None
+    ) -> None:
         index = bisect_left(self.bounds, value)
         self.counts[index] += 1
         self.count += 1
@@ -188,6 +202,8 @@ class HistogramStats:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if exemplar:
+            self.exemplars[index] = dict(exemplar, value=value)
 
     @property
     def mean(self) -> float:
@@ -227,6 +243,9 @@ class HistogramStats:
         if other.count:
             self.minimum = min(self.minimum, other.minimum)
             self.maximum = max(self.maximum, other.maximum)
+        if other.bounds == self.bounds:
+            for index, exemplar in other.exemplars.items():
+                self.exemplars[index] = dict(exemplar)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "HistogramStats":
@@ -241,6 +260,12 @@ class HistogramStats:
         if stats.count:
             stats.minimum = float(data.get("min", 0.0))
             stats.maximum = float(data.get("max", 0.0))
+        for key, exemplar in (data.get("exemplars") or {}).items():
+            if isinstance(exemplar, dict):
+                try:
+                    stats.exemplars[int(key)] = dict(exemplar)
+                except (TypeError, ValueError):
+                    continue
         return stats
 
     def cumulative(self) -> List[Tuple[str, int]]:
@@ -255,7 +280,7 @@ class HistogramStats:
         return rows
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "count": self.count,
@@ -264,3 +289,9 @@ class HistogramStats:
             "max": self.maximum if self.count else 0.0,
             "mean": self.mean,
         }
+        if self.exemplars:
+            doc["exemplars"] = {
+                str(index): dict(exemplar)
+                for index, exemplar in self.exemplars.items()
+            }
+        return doc

@@ -33,7 +33,11 @@ engine for repeated and concurrent timing queries:
   ``repro-sta top`` live daemon dashboard,
 * :mod:`repro.service.doctor` -- one-shot triage (``repro-sta
   doctor``): firing alerts, latest crash report and the flight-recorder
-  tail, with a CI-friendly exit code.
+  tail, with a CI-friendly exit code,
+* :mod:`repro.service.collector` -- the fleet observability plane:
+  :func:`scrape_peer` / :class:`FleetCollector` scrape every peer's
+  sidecar into one ``repro.fleet/1`` view (``GET /fleetz``,
+  ``repro-sta fleet``, ``repro-sta doctor --fleet``).
 
 See ``docs/service.md`` for the cache key scheme, batch semantics,
 the daemon protocol and the monitoring walkthrough.
@@ -53,6 +57,11 @@ from repro.service.cluster_cache import (
     ClusterMap,
     ClusterWarmup,
     build_cluster_map,
+)
+from repro.service.collector import (
+    FleetCollector,
+    scrape_fleet,
+    scrape_peer,
 )
 from repro.service.daemon import DaemonClient, TimingDaemon
 from repro.service.digest import (
@@ -99,6 +108,9 @@ __all__ = [
     "build_cluster_map",
     "cluster_digest",
     "DaemonClient",
+    "FleetCollector",
+    "scrape_fleet",
+    "scrape_peer",
     "JobOutcome",
     "ResultCache",
     "TelemetrySidecar",

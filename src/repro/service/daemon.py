@@ -85,6 +85,7 @@ from repro.obs.flight import (
 )
 from repro.obs.hist import LATENCY_BUCKETS
 from repro.obs.profile import SamplingProfiler
+from repro.obs.tracestore import TailSampler, TraceStore
 from repro.obs.tsdb import MetricsHistory
 from repro.service.cache import ResultCache
 from repro.service.cluster_cache import ClusterCache, ClusterMap
@@ -256,12 +257,34 @@ class TimingDaemon:
         debug_ops: bool = False,
         install_crash_hooks: bool = False,
         cache_server=None,
+        trace_dir: Union[None, str, "os.PathLike[str]"] = None,
+        trace_max_bytes: int = 64 * 1024 * 1024,
+        trace_sample: float = 0.05,
+        collector=None,
     ) -> None:
         self.socket_path = str(socket_path)
         self.cache = cache
         #: Cache-fabric object store co-hosted with this daemon
         #: (``serve --cache-listen``); started/stopped with the daemon.
         self.cache_server = cache_server
+        #: Tail-sampled on-disk trace ring (``serve --trace-dir``);
+        #: every request mints a trace id, the sampler keeps errored,
+        #: p95-slow and a deterministic fraction of the rest, and the
+        #: kept ids surface as exemplars on the ``/metrics`` latency
+        #: histogram (see docs/observability.md, "Fleet observability").
+        self.trace_store: Optional[TraceStore] = (
+            TraceStore(
+                trace_dir,
+                max_bytes=trace_max_bytes,
+                sampler=TailSampler(sample_rate=trace_sample),
+            )
+            if trace_dir is not None
+            else None
+        )
+        #: Embedded fleet collector (``serve --collect``): its
+        #: ``/fleetz``-family routes merge into this daemon's sidecar
+        #: and its scrape loop starts/stops with the daemon.
+        self.collector = collector
         #: Fabric client when ``cache`` is a
         #: :class:`repro.service.fabric.TieredCache` -- probed on the
         #: history cadence so the ``service.fabric.degraded`` gauge
@@ -395,10 +418,17 @@ class TimingDaemon:
             self.recorder.gauge(name, value)
         obs.gauge(name, value)
 
-    def _histogram(self, name: str, value: float) -> None:
+    def _histogram(
+        self,
+        name: str,
+        value: float,
+        exemplar: Optional[Dict[str, object]] = None,
+    ) -> None:
         if self.recorder is not None:
-            self.recorder.histogram(name, value, LATENCY_BUCKETS)
-        obs.histogram(name, value, LATENCY_BUCKETS)
+            self.recorder.histogram(
+                name, value, LATENCY_BUCKETS, exemplar=exemplar
+            )
+        obs.histogram(name, value, LATENCY_BUCKETS, exemplar=exemplar)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -454,6 +484,8 @@ class TimingDaemon:
         ("/alertz", "_http_alertz"),
         ("/crashz", "_http_crashz"),
         ("/flightz", "_http_flightz"),
+        ("/fabricz", "_http_fabricz"),
+        ("/traces", "_http_traces"),
     )
 
     def _start_sidecar(self) -> None:
@@ -461,15 +493,20 @@ class TimingDaemon:
             return
         from repro.service.httpmon import TelemetrySidecar
 
+        routes = {
+            path: getattr(self, attr) for path, attr in self.HTTP_ROUTES
+        }
+        if self.collector is not None:
+            # ``serve --collect``: the fleet routes ride the daemon's
+            # own sidecar instead of a separate collector port.
+            routes.update(self.collector.embedded_routes())
         self._sidecar = TelemetrySidecar(
-            routes={
-                path: getattr(self, attr)
-                for path, attr in self.HTTP_ROUTES
-            },
+            routes=routes,
             port=self.http_port,
             on_request=lambda path: self._counter(
                 "service.daemon.http_requests"
             ),
+            handlers={"/traces/<id>": self._http_trace_show},
         )
         self._sidecar.start()
 
@@ -498,6 +535,12 @@ class TimingDaemon:
     def _probe_fabric(self) -> None:
         if self._fabric is None:
             return
+        try:
+            # Dynamic membership: pick up peers-file edits on the same
+            # cadence as the health probes (cheap mtime check).
+            self._fabric.maybe_reload_peers()
+        except Exception:  # noqa: BLE001 -- telemetry must not die
+            pass
         now = time.monotonic()
         if now - self._fabric_probe_at < self.fabric_probe_interval_s:
             return
@@ -677,6 +720,88 @@ class TimingDaemon:
         )
         return "application/json", body + "\n"
 
+    def _http_fabricz(self, params: Dict[str, str]) -> Tuple[str, str]:
+        """Fabric client view from the daemon's sidecar (the cache
+        server's own ``/fabricz`` shows the server side)."""
+        if self._fabric is None:
+            raise RuntimeError("no cache fabric on this daemon")
+        doc: Dict[str, object] = {
+            "ok": True,
+            "peers": list(self._fabric.peers),
+            "down": self._fabric.down_peers(),
+            "degraded": self._fabric.degraded,
+            "stats": self._fabric.stats.to_dict(),
+            "hit_rate": self._fabric.stats.hit_rate,
+            "peers_file": (
+                str(self._fabric.peers_file)
+                if getattr(self._fabric, "peers_file", None) is not None
+                else None
+            ),
+        }
+        if self.cache_server is not None:
+            doc["cache_server"] = (
+                list(self.cache_server.address)
+                if self.cache_server.address is not None
+                else None
+            )
+        return "application/json", json.dumps(doc, sort_keys=True) + "\n"
+
+    def _http_traces(self, params: Dict[str, str]) -> Tuple[str, str]:
+        if self.trace_store is None:
+            raise RuntimeError(
+                "trace store disabled (start with --trace-dir)"
+            )
+        last = 50
+        if "last" in params:
+            try:
+                last = int(params["last"])
+            except ValueError:
+                raise ValueError(
+                    f"?last must be an integer, got {params['last']!r}"
+                ) from None
+        body = json.dumps(
+            {
+                "ok": True,
+                "traces": self.trace_store.list(last=last),
+                "stats": self.trace_store.stats(),
+            }
+        )
+        return "application/json", body + "\n"
+
+    def _http_trace_show(self, request) -> Tuple[int, str, str]:
+        """``GET /traces/<id>`` -- full ``Handler`` signature so the
+        trace id arrives as the route operand."""
+        if self.trace_store is None:
+            return (
+                500,
+                "application/json",
+                json.dumps(
+                    {
+                        "ok": False,
+                        "error": (
+                            "trace store disabled (start with --trace-dir)"
+                        ),
+                    }
+                )
+                + "\n",
+            )
+        trace_id = str(request.operand or "").strip()
+        document = self.trace_store.get(trace_id)
+        if document is None:
+            return (
+                404,
+                "application/json",
+                json.dumps(
+                    {
+                        "ok": False,
+                        "error": f"no stored trace {trace_id!r}",
+                    }
+                )
+                + "\n",
+            )
+        body = json.dumps({"ok": True, "trace": document})
+        return 200, "application/json", body + "\n"
+
     def _buildinfo(self) -> Dict[str, object]:
         """Build/runtime identity served by ``GET /buildz``."""
         import sys
@@ -729,6 +854,22 @@ class TimingDaemon:
                     and self.cache_server.address is not None
                     else None
                 ),
+                "trace_dir": (
+                    str(self.trace_store.root)
+                    if self.trace_store is not None
+                    else None
+                ),
+                "trace_max_bytes": (
+                    self.trace_store.max_bytes
+                    if self.trace_store is not None
+                    else None
+                ),
+                "trace_sample": (
+                    self.trace_store.sampler.sample_rate
+                    if self.trace_store is not None
+                    else None
+                ),
+                "collector": self.collector is not None,
             },
         }
 
@@ -773,6 +914,16 @@ class TimingDaemon:
             self.recorder.gauge(
                 "service.alerts.firing", self.alerts.firing_count()
             )
+        if self.trace_store is not None:
+            store_stats = self.trace_store.stats()
+            self.recorder.gauge(
+                "service.tracestore.traces",
+                float(store_stats["traces"]),
+            )
+            self.recorder.gauge(
+                "service.tracestore.bytes",
+                float(store_stats["bytes"]),
+            )
         if self._fabric is not None:
             self.recorder.gauge(
                 "service.fabric.degraded",
@@ -805,6 +956,7 @@ class TimingDaemon:
         self._server = self._make_server()
         self._start_cache_server()
         self._start_sidecar()
+        self._start_collector()
         self._start_history()
         self._start_self_diagnosis()
         self._thread = threading.Thread(
@@ -821,6 +973,7 @@ class TimingDaemon:
         self._server = self._make_server()
         self._start_cache_server()
         self._start_sidecar()
+        self._start_collector()
         self._start_history()
         self._start_self_diagnosis()
         try:
@@ -844,10 +997,19 @@ class TimingDaemon:
         ):
             self.cache_server.start()
 
+    def _start_collector(self) -> None:
+        if self.collector is not None and (
+            getattr(self.collector, "_thread", None) is None
+        ):
+            self.collector.start()
+
     def _cleanup(self) -> None:
         sidecar, self._sidecar = self._sidecar, None
         if sidecar is not None:
             sidecar.stop()
+        collector, self.collector = self.collector, None
+        if collector is not None:
+            collector.stop()
         server, self.cache_server = self.cache_server, None
         if server is not None:
             server.stop()
@@ -994,7 +1156,43 @@ class TimingDaemon:
         handle_s = (
             duration - queue_wait if queue_wait is not None else duration
         )
-        self._histogram("service.daemon.request_seconds", duration)
+        if snapshot_doc is None and req_rec is not None:
+            # A traced request that raised never reached the success
+            # path's snapshot; take it now so the failed access-log
+            # line still carries the spans leading up to the error.
+            try:
+                snapshot_doc = live.snapshot(req_rec)
+            except Exception:  # noqa: BLE001 -- forensics only
+                snapshot_doc = None
+        # Tail sampling: every request gets a trace id (the client's
+        # when traced, freshly minted otherwise); the store keeps the
+        # errored/slow/sampled ones, and only *kept* ids become
+        # exemplars on the latency histogram -- an exemplar in
+        # ``/metrics`` is always retrievable via ``traces show``.
+        exemplar: Optional[Dict[str, object]] = None
+        if self.trace_store is not None:
+            trace_id = (
+                req_rec.trace_id if req_rec is not None
+                else live.new_trace_id()
+            )
+            kept = self.trace_store.offer(
+                trace_id,
+                status=status,
+                duration_s=duration,
+                op=op or None,
+                design=getattr(local, "design", None),
+                error=(
+                    {"error": error, "error_type": error_type}
+                    if error is not None
+                    else None
+                ),
+                snapshot=snapshot_doc,
+            )
+            if kept is not None:
+                exemplar = {"trace_id": trace_id, "ts": time.time()}
+        self._histogram(
+            "service.daemon.request_seconds", duration, exemplar=exemplar
+        )
         self._histogram("service.daemon.handle_seconds", handle_s)
         if duration >= self.slow_threshold_s:
             self._counter("service.daemon.slow_requests")
@@ -1007,14 +1205,6 @@ class TimingDaemon:
                 engine=getattr(local, "engine", None),
                 error_type=error_type,
             )
-        if snapshot_doc is None and req_rec is not None:
-            # A traced request that raised never reached the success
-            # path's snapshot; take it now so the failed access-log
-            # line still carries the spans leading up to the error.
-            try:
-                snapshot_doc = live.snapshot(req_rec)
-            except Exception:  # noqa: BLE001 -- forensics only
-                snapshot_doc = None
         if self.access_log is not None:
             self.access_log.record(
                 "daemon",
@@ -1495,6 +1685,36 @@ class TimingDaemon:
         last = int(last) if last is not None else None
         return {"ok": True, **self.flight.to_dict(last=last)}
 
+    def _op_traces(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The tail-sampled trace store: ``action`` list (default),
+        show (with ``trace_id``) or stats."""
+        if self.trace_store is None:
+            raise ValueError(
+                "trace store is disabled on this daemon "
+                "(start it with --trace-dir)"
+            )
+        action = str(request.get("action", "list"))
+        if action == "list":
+            last = int(request.get("last", 50) or 0)
+            return {
+                "ok": True,
+                "traces": self.trace_store.list(last=last),
+                "stats": self.trace_store.stats(),
+            }
+        if action == "show":
+            trace_id = str(request.get("trace_id", ""))
+            if not trace_id:
+                raise ValueError("show needs a 'trace_id'")
+            document = self.trace_store.get(trace_id)
+            if document is None:
+                raise ValueError(f"no stored trace {trace_id!r}")
+            return {"ok": True, "trace": document}
+        if action == "stats":
+            return {"ok": True, "stats": self.trace_store.stats()}
+        raise ValueError(
+            f"unknown traces action {action!r} (use list, show or stats)"
+        )
+
     def _op_crash_report(self, request: Dict[str, object]) -> Dict[str, object]:
         """The latest ``repro.crash/1`` report (``crash: null`` if none).
 
@@ -1660,6 +1880,9 @@ class DaemonClient:
         if last is not None:
             request["last"] = last
         return self.request(request)
+
+    def traces(self, action: str = "list", **kw) -> Dict[str, object]:
+        return self.request({"op": "traces", "action": action, **kw})
 
     def crash_report(self) -> Dict[str, object]:
         return self.request({"op": "crash-report"})

@@ -390,6 +390,8 @@ class FabricStats:
     degraded_skips: int = 0
     #: Healthy -> down transitions observed.
     peer_down_events: int = 0
+    #: Peer-set rebuilds from a changed ``peers_file``.
+    peer_set_reloads: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -402,6 +404,7 @@ class FabricStats:
             "integrity_failures": self.integrity_failures,
             "degraded_skips": self.degraded_skips,
             "peer_down_events": self.peer_down_events,
+            "peer_set_reloads": self.peer_set_reloads,
         }
 
     @property
@@ -449,6 +452,12 @@ class RemoteCache:
         Optional hooks called with the peer URL on health transitions
         (the daemon fires/clears the ``fabric.peer_down`` alert here).
         Exceptions are swallowed.
+    peers_file:
+        Optional path the peer set was loaded from.  When set,
+        :meth:`maybe_reload_peers` re-reads it on mtime change and
+        rebuilds the shard router in place (counted as
+        ``service.fabric.peer_set_reloads``) -- dynamic membership
+        without a daemon restart.
     """
 
     def __init__(
@@ -461,6 +470,7 @@ class RemoteCache:
         lease_owner: Optional[str] = None,
         on_peer_down: Optional[Callable[[str], None]] = None,
         on_peer_up: Optional[Callable[[str], None]] = None,
+        peers_file: Union[None, str, "os.PathLike[str]"] = None,
     ) -> None:
         if timeout_s <= 0:
             raise ValueError("timeout_s must be > 0")
@@ -478,6 +488,68 @@ class RemoteCache:
         self._states = {
             url: _PeerState(url) for url in self.router.peers
         }
+        self.peers_file = (
+            Path(peers_file) if peers_file is not None else None
+        )
+        self._peers_mtime = self._peers_file_mtime()
+        self._reload_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def _peers_file_mtime(self) -> Optional[float]:
+        if self.peers_file is None:
+            return None
+        try:
+            return self.peers_file.stat().st_mtime
+        except OSError:
+            return None
+
+    def maybe_reload_peers(self) -> bool:
+        """Re-read ``peers_file`` when its mtime changed; True on a
+        peer-set change.
+
+        Rendezvous hashing makes the swap cheap: only the buckets whose
+        argmax changed move, so a new peer starts receiving exactly the
+        buckets it now wins.  Health state for retained peers is
+        preserved (a peer that was down stays down until it re-probes);
+        an unreadable or empty file leaves the current set untouched.
+        Never raises -- the daemon calls this from its history tick.
+        """
+        if self.peers_file is None:
+            return False
+        mtime = self._peers_file_mtime()
+        if mtime is None or mtime == self._peers_mtime:
+            return False
+        with self._reload_lock:
+            if mtime == self._peers_mtime:
+                return False
+            self._peers_mtime = mtime
+            try:
+                from repro.obs.fleet import load_peers
+
+                peers = load_peers(self.peers_file)
+                if not peers:
+                    return False
+                router = ShardRouter(peers)
+            except Exception:  # noqa: BLE001 -- keep the old set
+                return False
+            if router.peers == self.router.peers:
+                return False
+            states = {
+                url: self._states.get(url) or _PeerState(url)
+                for url in router.peers
+            }
+            self.router = router
+            self._states = states
+        self.stats.peer_set_reloads += 1
+        obs.counter(f"{COUNTER_PREFIX}.peer_set_reloads")
+        obs.event(
+            f"{COUNTER_PREFIX}.peer_set_reload",
+            peers=list(router.peers),
+        )
+        self._sync_degraded_gauge()
+        return True
 
     # ------------------------------------------------------------------
     # health

@@ -360,6 +360,11 @@ class TelemetrySidecar(RouteHTTPServer):
     on_request:
         Optional hook called with the request path (used by the daemon
         to count ``service.daemon.http_requests``).
+    handlers:
+        Mapping of pattern -> full :data:`Handler` for GET routes that
+        need the dispatch-level :class:`HttpRequest` (e.g. the operand
+        of a ``/traces/<id>`` prefix route, which the simple ``routes``
+        signature cannot see).
     """
 
     def __init__(
@@ -368,6 +373,7 @@ class TelemetrySidecar(RouteHTTPServer):
         port: int = 0,
         host: str = "127.0.0.1",
         on_request: Optional[Callable[[str], None]] = None,
+        handlers: Optional[Dict[str, Handler]] = None,
     ) -> None:
         super().__init__(
             table=RouteTable(),
@@ -376,6 +382,7 @@ class TelemetrySidecar(RouteHTTPServer):
             on_request=on_request,
         )
         self.routes = dict(routes)
+        self.handlers = dict(handlers or {})
 
     def start(self) -> Tuple[str, int]:
         # Rebuild the table from ``self.routes`` at start so routes
@@ -383,6 +390,8 @@ class TelemetrySidecar(RouteHTTPServer):
         self.table = RouteTable()
         for path, route in self.routes.items():
             self.table.add_simple(path, route)
+        for pattern, handler in self.handlers.items():
+            self.table.add("GET", pattern, handler)
         return super().start()
 
     def __enter__(self) -> "TelemetrySidecar":

@@ -25,7 +25,10 @@ The renderer derives everything from daemon telemetry:
   pending/firing rules render at the top of the frame, and a daemon
   restart (new pid or uptime going backwards) gets an explicit
   "daemon restarted (uptime reset)" notice instead of silently
-  negative deltas -- rates and trends clamp at zero across the reset.
+  negative deltas -- rates and trends *rebase* across the reset: the
+  post-restart counter value is itself the delta since the restart,
+  so the dashboard shows the true restart-window rate instead of a
+  misleading zero.
 
 ``repro-sta top --json`` skips the renderer entirely and emits
 :func:`json_frame` -- one machine-readable JSON object per refresh with
@@ -107,7 +110,9 @@ def _history_series(
     """Derived trend series from the frame's history sub-document.
 
     * ``rate``: per-interval deltas of ``service.daemon.requests``
-      (clamped at zero across daemon restarts),
+      (rebased across daemon restarts: a backwards step means the
+      counter reset, so the new absolute value *is* the delta since
+      the restart),
     * ``p95``: ``service.daemon.request_seconds`` p95 per snapshot.
 
     Returns ``None`` when the daemon served no usable history.
@@ -131,7 +136,7 @@ def _history_series(
         for p in points
     ]
     rate = [
-        max(0.0, later - earlier)
+        later - earlier if later >= earlier else later
         for earlier, later in zip(requests, requests[1:])
     ]
     return {"rate": rate, "p95": p95[1:]}
@@ -185,18 +190,24 @@ def _quantiles(histogram: Dict[str, object]) -> Dict[str, float]:
 def _rate(
     frame: Dict[str, object], previous: Optional[Dict[str, object]]
 ) -> Optional[float]:
-    """Requests per second between two frames (``None`` on frame 1)."""
+    """Requests per second between two frames (``None`` on frame 1).
+
+    A backwards count means the daemon restarted mid-window; the new
+    absolute count is then the delta since the restart (rebase), so a
+    restarted-but-busy daemon shows its real rate, not a stale zero.
+    """
     if not previous:
         return None
     try:
         dt = float(frame["ts"]) - float(previous["ts"])
-        dreq = int(frame["health"]["requests"]) - int(
-            previous["health"]["requests"]
-        )
+        now = int(frame["health"]["requests"])
+        dreq = now - int(previous["health"]["requests"])
     except (KeyError, TypeError, ValueError):
         return None
     if dt <= 0.0:
         return None
+    if dreq < 0:
+        dreq = now
     return max(0.0, dreq / dt)
 
 

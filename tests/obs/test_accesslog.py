@@ -1,0 +1,101 @@
+"""Access-log size rotation (``--access-log-max-bytes``)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.accesslog import ACCESS_LOG_SCHEMA, AccessLog
+
+
+def _record(log, n, **facts):
+    for i in range(n):
+        entry = log.record(
+            "daemon", "analyze", f"design-{i}", "ok", 0.001, **facts
+        )
+        assert entry["schema"] == ACCESS_LOG_SCHEMA
+
+
+def _lines(path):
+    return [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+    ]
+
+
+class TestAccessLogRotation:
+    def test_no_rotation_by_default(self, tmp_path):
+        path = tmp_path / "access.log"
+        with AccessLog(path) as log:
+            _record(log, 50)
+        assert len(_lines(path)) == 50
+        assert not (tmp_path / "access.log.1").exists()
+        assert log.rotations == 0
+
+    def test_rotates_at_max_bytes(self, tmp_path):
+        path = tmp_path / "access.log"
+        with AccessLog(path, max_bytes=2000, backups=3) as log:
+            _record(log, 60)
+        assert log.rotations >= 1
+        assert (tmp_path / "access.log.1").exists()
+        # The live file stays under the cap; every line everywhere is
+        # still valid JSON (rotation never tears a line).
+        assert path.stat().st_size <= 2000
+        assert log.lines_written == 60
+        live = _lines(path)
+        assert live[-1]["design"] == "design-59"  # newest stays live
+        total = len(live)
+        for i in range(1, log.backups + 1):
+            rotated = tmp_path / f"access.log.{i}"
+            if rotated.exists():
+                assert rotated.stat().st_size <= 2000
+                total += len(_lines(rotated))
+        # Generations beyond ``backups`` are dropped, nothing else is.
+        assert 0 < total <= 60
+        if log.rotations <= log.backups:
+            assert total == 60
+
+    def test_backups_cap_generations(self, tmp_path):
+        path = tmp_path / "access.log"
+        with AccessLog(path, max_bytes=400, backups=2) as log:
+            _record(log, 80)
+        assert log.rotations > 2
+        assert (tmp_path / "access.log.1").exists()
+        assert (tmp_path / "access.log.2").exists()
+        assert not (tmp_path / "access.log.3").exists()
+
+    def test_oversized_single_line_still_written(self, tmp_path):
+        # A single entry larger than max_bytes must not loop or drop:
+        # it rotates once (when the file has content) and appends.
+        path = tmp_path / "access.log"
+        with AccessLog(path, max_bytes=200, backups=2) as log:
+            log.record("daemon", "analyze", "d", "ok", 0.001)
+            log.record(
+                "daemon", "analyze", "d", "ok", 0.001, note="x" * 500
+            )
+        assert log.lines_written == 2
+        found = _lines(path)
+        if (tmp_path / "access.log.1").exists():
+            found += _lines(tmp_path / "access.log.1")
+        assert len(found) == 2
+
+    def test_file_object_sink_never_rotates(self):
+        import io
+
+        buffer = io.StringIO()
+        log = AccessLog(buffer, max_bytes=10, backups=2)
+        _record(log, 5)
+        assert log.rotations == 0
+        assert len(buffer.getvalue().splitlines()) == 5
+
+    def test_reopened_log_counts_existing_bytes(self, tmp_path):
+        path = tmp_path / "access.log"
+        with AccessLog(path, max_bytes=2000) as log:
+            _record(log, 8)
+        size = path.stat().st_size
+        # A restarted daemon appends to the same file and rotates based
+        # on the real on-disk size, not a fresh zero.
+        with AccessLog(path, max_bytes=size + 50) as log:
+            _record(log, 20)
+        assert log.rotations >= 1
+        assert (tmp_path / "access.log.1").exists()

@@ -428,3 +428,77 @@ class TestBatchOverFabric:
         assert report.failed == 0
         assert report.computed == 1
         assert cache.remote.degraded
+
+
+class TestDynamicPeerMembership:
+    """``--peers-file`` reloads: a new peer starts receiving the
+    buckets it wins, without restarting the clients (PR 9)."""
+
+    def _write_peers(self, path, peers):
+        path.write_text("".join(f"{p}\n" for p in peers))
+
+    def _touch(self, path, offset=10):
+        import os
+
+        stamp = path.stat().st_mtime + offset
+        os.utime(path, (stamp, stamp))
+
+    def test_new_peer_receives_its_buckets(self, tmp_path):
+        with CacheServer(tmp_path / "sa") as srv_a, CacheServer(
+            tmp_path / "sb"
+        ) as srv_b:
+            base_a, base_b = _base(srv_a), _base(srv_b)
+            peers_file = tmp_path / "peers.txt"
+            self._write_peers(peers_file, [base_a])
+            remote = RemoteCache([base_a], peers_file=peers_file)
+            assert remote.peers == (base_a,)
+
+            # Unchanged file: no reload.
+            assert remote.maybe_reload_peers() is False
+            assert remote.stats.peer_set_reloads == 0
+
+            # Grow the fleet; the next reload picks up the new peer.
+            self._write_peers(peers_file, [base_a, base_b])
+            self._touch(peers_file)
+            assert remote.maybe_reload_peers() is True
+            assert remote.stats.peer_set_reloads == 1
+            assert set(remote.peers) == {base_a, base_b}
+            mapping = remote.router.mapping()
+            won = [b for b, url in mapping.items() if url == base_b]
+            assert won, "new peer won no buckets"
+
+            # A put routed to one of the won buckets lands on B.
+            key = next(
+                _key(i)
+                for i in range(256)
+                if remote.router.peer_for(_key(i)) == base_b
+            )
+            assert remote.put(key, {"v": 1}) is True
+            with urllib.request.urlopen(
+                f"{base_b}/objects/{key}", timeout=5
+            ) as response:
+                assert response.status == 200
+            # ... and is readable back through the fabric client.
+            entry = remote.get(key)
+            assert entry is not None
+            assert entry["payload"] == {"v": 1}
+
+    def test_bad_or_empty_file_keeps_current_set(self, tmp_path):
+        with CacheServer(tmp_path / "sa") as srv:
+            base = _base(srv)
+            peers_file = tmp_path / "peers.txt"
+            self._write_peers(peers_file, [base])
+            remote = RemoteCache([base], peers_file=peers_file)
+            peers_file.write_text("")  # empty: would leave no peers
+            self._touch(peers_file)
+            assert remote.maybe_reload_peers() is False
+            assert remote.peers == (base,)
+            peers_file.write_text('{"peers": 42}')
+            self._touch(peers_file, offset=20)
+            assert remote.maybe_reload_peers() is False
+            assert remote.peers == (base,)
+            assert remote.stats.peer_set_reloads == 0
+
+    def test_no_peers_file_is_inert(self):
+        remote = RemoteCache(PEERS)
+        assert remote.maybe_reload_peers() is False

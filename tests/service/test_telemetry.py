@@ -554,9 +554,12 @@ class TestSelfDiagnosisRoutes:
             with pytest.raises(urllib.error.HTTPError) as err:
                 self._get(daemon.http_address, "/nope")
             payload = json.loads(err.value.read())
-        expected = sorted(path for path, __ in TimingDaemon.HTTP_ROUTES)
+        expected = sorted(
+            [path for path, __ in TimingDaemon.HTTP_ROUTES]
+            + ["/traces/<id>"]  # the trace-show handler route (PR 9)
+        )
         assert sorted(payload["routes"]) == expected
-        for path in ("/alertz", "/crashz", "/flightz"):
+        for path in ("/alertz", "/crashz", "/flightz", "/fabricz"):
             assert path in payload["routes"]
 
     def test_route_table_handlers_exist(self):

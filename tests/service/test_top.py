@@ -299,14 +299,28 @@ class TestRestartNotice:
         text = render_top(frame, previous)
         assert "daemon restarted (uptime reset)" in text
 
-    def test_rates_clamp_at_zero_across_restart(self):
+    def test_rates_rebase_across_restart(self):
+        # PR 9 satellite: a peer restarting mid-window used to clamp
+        # the rate to a stale 0.0; the post-restart count *is* the
+        # delta since the restart, so 3 requests / 2s = 1.5 req/s.
         previous = _frame(ts=1000.0, requests=500)
         frame = _frame(ts=1002.0, requests=3, health={"pid": 9999})
         text = render_top(frame, previous)
         assert "-" not in text.split("req/s")[0].rsplit("\n", 1)[-1]
+        assert "1.50 req/s" in text
         doc = json_frame(frame, previous)
-        assert doc["derived"]["rate_rps"] == 0.0
+        assert doc["derived"]["rate_rps"] == pytest.approx(1.5)
         assert doc["derived"]["restarted"] is True
+
+    def test_history_trend_rebases_across_restart(self):
+        # Counter ring: 10 -> 25 -> 4 (restart) -> 9.  The restart
+        # interval contributes its absolute count (4), not a negative
+        # or clamped-zero delta, and the following interval is normal.
+        history = _history(
+            requests=(10, 25, 4, 9), p95=(0.01, 0.02, 0.01, 0.02)
+        )
+        doc = json_frame(_frame(history=history))
+        assert doc["derived"]["trends"]["rate"] == [15.0, 4.0, 5.0]
 
     def test_no_notice_on_steady_daemon(self):
         previous = _frame(ts=1000.0, requests=10)
