@@ -49,7 +49,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: The PR this harness currently reports for; bump alongside new
 #: workloads so every PR leaves its own ``BENCH_PR<n>.json`` artifact.
-CURRENT_PR = 9
+CURRENT_PR = 10
 DEFAULT_OUTPUT = REPO_ROOT / f"BENCH_PR{CURRENT_PR}.json"
 
 from repro import obs  # noqa: E402
@@ -450,6 +450,200 @@ def bench_service_telemetry_overhead(quick: bool) -> Dict[str, object]:
         "warm_analyze_accesslog_s": round(log_s, 6),
         "overhead_pct": round(overhead_pct, 2),
         "accesslog_overhead_pct": round(log_pct, 2),
+    }
+
+
+@bench("snapshot_read_concurrency")
+def bench_snapshot_read_concurrency(quick: bool) -> Dict[str, object]:
+    """The PR-10 headline: copy-on-write snapshot reads must collapse
+    read-path queue-wait under concurrency without changing a single
+    answer.
+
+    A 90% read / 10% mutate mixed workload with 8 concurrent clients
+    (7 reader threads + 1 mutator thread driving ``handle_line``
+    directly) runs twice against the same design: once with
+    ``snapshot_reads=False`` (every analyze queues on the per-design
+    lock -- the pre-PR-10 behaviour) and once with the lock-free
+    snapshot path on.  Queue waits are exact per-request samples read
+    back from the daemon's handler-thread state, not histogram
+    interpolations.  A serial reference run of the identical mutation
+    sequence supplies the complete set of legal answers: every
+    snapshot-arm response ``manifest_digest`` must be a member
+    (snapshot reads -- lock-free hits and double-checked misses alike
+    -- republish published responses byte-for-byte), while the locked
+    arm is held to ``timing_digest`` membership (its warm re-analyses
+    converge in fewer Algorithm 1 iterations than the reference
+    analyses, so their manifests hash differently even though the
+    answer is identical -- which is exactly why the snapshot path's
+    byte-identity is worth paying for).  Both arms' quiesced final
+    answers must equal the serial final answer.
+
+    Gate (asserted by CI, reported here): ``queue_wait_p95_collapse_x``
+    >= 5 and ``digests_identical`` is true.
+    """
+    import random
+    import tempfile
+    import threading
+
+    from repro.clocks.serialize import save_schedule
+    from repro.netlist.persistence import save_network
+    from repro.service import TimingDaemon
+
+    readers = 7
+    reads_per_thread = 30 if quick else 80
+    total_reads = readers * reads_per_thread
+    # ~10% of total traffic is mutations: m / (reads + m) ~= 0.1.
+    n_mutations = max(2, round(total_reads / 9))
+
+    def _mutation_requests(netlist: str, clocks: str) -> List[Dict]:
+        rng = random.Random(1989)
+        cells = ["s0_i0", "s0_i5", "s1_i0", "s2_i0", "s3_i0"]
+        return [
+            {
+                "op": "mutate",
+                "netlist": netlist,
+                "clocks": clocks,
+                "action": "scale_cell",
+                "cell": rng.choice(cells),
+                "factor": round(rng.uniform(1.01, 1.15), 3),
+                "analyze": True,
+            }
+            for __ in range(n_mutations)
+        ]
+
+    def _send(daemon: "TimingDaemon", request: Dict) -> Dict:
+        response = daemon.handle_line(
+            json.dumps(request).encode("utf-8")
+        )
+        assert response.get("ok"), response.get("error")
+        return response
+
+    def _p95(samples: List[float]) -> float:
+        ordered = sorted(samples)
+        return ordered[int(0.95 * (len(ordered) - 1))]
+
+    def _arm(
+        tmp: Path,
+        label: str,
+        snapshot_reads: bool,
+        netlist: str,
+        clocks: str,
+        mutation_list: List[Dict],
+    ) -> Dict[str, object]:
+        daemon = TimingDaemon(
+            str(tmp / f"{label}.sock"), snapshot_reads=snapshot_reads
+        )
+        analyze_req = {"op": "analyze", "netlist": netlist, "clocks": clocks}
+        _send(daemon, dict(analyze_req))  # warm load + first publish
+        waits: List[List[float]] = [[] for __ in range(readers)]
+        manifests: List[List[str]] = [[] for __ in range(readers + 1)]
+        timings: List[List[str]] = [[] for __ in range(readers + 1)]
+        failures: List[BaseException] = []
+
+        def reader(slot: int) -> None:
+            try:
+                for __ in range(reads_per_thread):
+                    response = _send(daemon, dict(analyze_req))
+                    manifests[slot].append(response["manifest_digest"])
+                    timings[slot].append(response["timing_digest"])
+                    # Exact per-request queue wait: handle_line stores it
+                    # thread-locally, and this thread ran the handler.
+                    wait = getattr(daemon._local, "queue_wait", None)
+                    if wait is not None:
+                        waits[slot].append(wait)
+            except BaseException as exc:  # noqa: BLE001 -- report, not hang
+                failures.append(exc)
+
+        def mutator() -> None:
+            try:
+                for mutation in mutation_list:
+                    analysis = _send(daemon, dict(mutation))["analysis"]
+                    manifests[readers].append(analysis["manifest_digest"])
+                    timings[readers].append(analysis["timing_digest"])
+                    time.sleep(0.002)  # spread edits across the read phase
+            except BaseException as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(slot,))
+            for slot in range(readers)
+        ]
+        threads.append(threading.Thread(target=mutator))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300.0)
+        assert not failures, failures
+        final = _send(daemon, dict(analyze_req))
+        read_waits = [w for rows in waits for w in rows]
+        return {
+            "p95_s": _p95(read_waits),
+            "manifests": {d for rows in manifests for d in rows},
+            "timings": {d for rows in timings for d in rows},
+            "final_manifest": final["manifest_digest"],
+            "final_timing": final["timing_digest"],
+            "snapshot_hits": daemon.recorder.counters.get(
+                "service.daemon.snapshot_hits", 0
+            ),
+        }
+
+    previous = obs.set_recorder(None)  # untraced requests only
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            directory = Path(tmp)
+            network, schedule = _pipeline(quick)
+            netlist = str(directory / "design.json")
+            clocks = str(directory / "clocks.json")
+            save_network(network, netlist)
+            save_schedule(schedule, clocks)
+            mutation_list = _mutation_requests(netlist, clocks)
+
+            # Serial reference: the same ops, one thread.  The digest
+            # after the initial load plus after each mutation is the
+            # complete set of answers the design may legally give.
+            serial = TimingDaemon(str(directory / "serial.sock"))
+            first = _send(
+                serial,
+                {"op": "analyze", "netlist": netlist, "clocks": clocks},
+            )
+            ref_manifests = [first["manifest_digest"]]
+            ref_timings = [first["timing_digest"]]
+            for mutation in mutation_list:
+                analysis = _send(serial, dict(mutation))["analysis"]
+                ref_manifests.append(analysis["manifest_digest"])
+                ref_timings.append(analysis["timing_digest"])
+            legal_manifests = set(ref_manifests)
+            legal_timings = set(ref_timings)
+
+            locked = _arm(
+                directory, "locked", False, netlist, clocks, mutation_list
+            )
+            snap = _arm(
+                directory, "snapshot", True, netlist, clocks, mutation_list
+            )
+    finally:
+        obs.set_recorder(previous)
+
+    digests_identical = (
+        snap["manifests"] <= legal_manifests
+        and snap["final_manifest"] == ref_manifests[-1]
+    )
+    locked_answers_match = (
+        locked["timings"] <= legal_timings
+        and locked["final_timing"] == ref_timings[-1]
+    )
+    collapse = locked["p95_s"] / max(snap["p95_s"], 1e-9)
+    return {
+        "clients": readers + 1,
+        "reads": total_reads,
+        "mutations": n_mutations,
+        "queue_wait_p95_locked_s": round(locked["p95_s"], 6),
+        "queue_wait_p95_snapshot_s": round(snap["p95_s"], 9),
+        "queue_wait_p95_collapse_x": round(collapse, 1),
+        "digests_identical": digests_identical,
+        "locked_answers_match": locked_answers_match,
+        "snapshot_hits": snap["snapshot_hits"],
+        "legal_digests": len(legal_manifests),
     }
 
 

@@ -574,6 +574,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         trace_max_bytes=args.trace_max_bytes,
         trace_sample=args.trace_sample,
         collector=collector,
+        workers=args.workers,
+        snapshot_reads=not args.no_snapshot_reads,
         stall_timeout_s=(
             args.stall_timeout if args.stall_timeout > 0 else None
         ),
@@ -1302,6 +1304,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="Unix-domain socket path to listen on",
     )
     serve.add_argument("--limit", type=int, default=50)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        metavar="N",
+        help="request-dispatch thread-pool size; connections pipeline "
+        "onto it so a slow cold analysis cannot head-of-line-block "
+        "other designs (0 dispatches inline per connection; default: 8)",
+    )
+    serve.add_argument(
+        "--no-snapshot-reads",
+        action="store_true",
+        help="disable the lock-free analyze read path (every analyze "
+        "queues on the per-design lock; the measured baseline for the "
+        "snapshot_read_concurrency bench)",
+    )
     serve.add_argument(
         "--cache-listen",
         type=int,

@@ -55,6 +55,11 @@ class IncrementalAnalyzer:
         #: on every adjacent cluster's boundary).  Survives the model
         #: rebuild a control-cone edit triggers.
         self.last_touched_cluster: Optional[str] = None
+        #: Mutation epoch: bumped by every delay change.  Snapshot
+        #: layers (the daemon's copy-on-write read path) compare epochs
+        #: to decide whether a cached result still describes this
+        #: engine -- defense in depth under their own epoch tracking.
+        self.epoch = 0
         self._build()
 
     def _build(self) -> None:
@@ -103,6 +108,7 @@ class IncrementalAnalyzer:
         # the service layer can drop exactly that cluster's cache
         # sub-entry (see repro.service.cluster_cache).
         self.last_touched_cluster = self.cluster_of(cell_name)
+        self.epoch += 1
         self._delays = self._delays.with_scaled_cell(cell_name, factor)
         if cell_name in self._control_cells:
             # Control-path delays shape O_ac; rebuild the instances.
@@ -128,6 +134,7 @@ class IncrementalAnalyzer:
 
     def set_delays(self, delays: DelayMap) -> None:
         """Replace the whole delay map (conservatively rebuilds)."""
+        self.epoch += 1
         self._delays = delays
         self.rebuilds += 1
         obs.counter("incremental.rebuilds")

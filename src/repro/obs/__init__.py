@@ -75,6 +75,8 @@ from repro.obs.recorder import (
     SpanRecord,
     SpanStats,
     active,
+    bind_recorder,
+    bound,
     counter,
     event,
     gauge,
@@ -142,6 +144,8 @@ __all__ = [
     "ACCESS_LOG_SCHEMA",
     "NULL_SPAN",
     "active",
+    "bind_recorder",
+    "bound",
     "set_recorder",
     "recording",
     "span",

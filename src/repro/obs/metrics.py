@@ -83,6 +83,10 @@ WELL_KNOWN_COUNTERS = (
     "service.daemon.designs_loaded",
     "service.daemon.mutations",
     "service.daemon.incremental_hits",
+    # Lock-free snapshot read path (PR 10; docs/service.md).
+    "service.daemon.snapshot_hits",
+    "service.daemon.snapshot_misses",
+    "service.daemon.epoch_bumps",
     # Service-level telemetry (PR 4; docs/observability.md).
     "service.daemon.http_requests",
     "service.daemon.slow_requests",

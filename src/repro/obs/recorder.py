@@ -46,6 +46,8 @@ __all__ = [
     "NULL_SPAN",
     "active",
     "set_recorder",
+    "bind_recorder",
+    "bound",
     "recording",
     "span",
     "counter",
@@ -375,13 +377,30 @@ NULL_SPAN = _NullSpan()
 #: The process-wide recorder; ``None`` means "disabled" (the default).
 _recorder: Optional[Recorder] = None
 
+#: Per-thread recorder override.  A thread with a binding records into
+#: its own recorder regardless of the process-wide one; every other
+#: thread is untouched.  This is what lets a daemon handle many traced
+#: requests concurrently -- each handler thread binds its per-request
+#: recorder for the duration of the request instead of swapping the
+#: process-wide recorder behind a global lock.
+_bindings = threading.local()
+
+#: Sentinel distinguishing "no thread-local binding" from "explicitly
+#: bound to None" (a thread may opt *out* of an ambient recorder).
+_UNBOUND = object()
+
 
 def active() -> Optional[Recorder]:
-    """The process-wide recorder, or ``None`` when recording is disabled.
+    """The recorder this thread records into, or ``None`` when disabled.
 
-    Hot loops should fetch this once (``rec = obs.active()``) and guard
-    their instrumentation on ``rec is not None``.
+    A thread-local binding (:func:`bind_recorder` / :func:`bound`) wins
+    over the process-wide recorder.  Hot loops should fetch this once
+    (``rec = obs.active()``) and guard their instrumentation on
+    ``rec is not None``.
     """
+    bound_rec = getattr(_bindings, "recorder", _UNBOUND)
+    if bound_rec is not _UNBOUND:
+        return bound_rec
     return _recorder
 
 
@@ -394,6 +413,47 @@ def set_recorder(recorder: Optional[Recorder]) -> Optional[Recorder]:
     previous = _recorder
     _recorder = recorder
     return previous
+
+
+def bind_recorder(recorder) -> object:
+    """Bind ``recorder`` as *this thread's* recorder.
+
+    Only the calling thread is affected; other threads keep recording
+    into the process-wide recorder (or their own bindings).  Pass the
+    returned token back to restore the previous state -- including the
+    "no binding" state, which an explicit ``bind_recorder(None)``
+    (record nothing on this thread) is distinct from.
+
+    Prefer the :func:`bound` context manager; this low-level pair
+    exists for frameworks that cannot use a ``with`` block.
+    """
+    previous = getattr(_bindings, "recorder", _UNBOUND)
+    if recorder is _UNBOUND:
+        # Restoring the "no binding" token: drop the attribute so the
+        # process-wide recorder shows through again.
+        try:
+            del _bindings.recorder
+        except AttributeError:
+            pass
+    else:
+        _bindings.recorder = recorder
+    return previous
+
+
+@contextmanager
+def bound(recorder: Optional[Recorder]) -> Iterator[Optional[Recorder]]:
+    """Bind ``recorder`` to the calling thread for the ``with`` block.
+
+    The thread-scoped sibling of :func:`recording`: spans, counters and
+    events emitted by *this thread* land in ``recorder`` while every
+    other thread keeps its own recorder.  ``bound(None)`` silences the
+    calling thread even when a process-wide recorder is installed.
+    """
+    token = bind_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        bind_recorder(token)
 
 
 @contextmanager
@@ -414,31 +474,32 @@ def recording(
 
 
 def span(name: str, category: str = "repro", **args: object):
-    """A timing span against the process-wide recorder (no-op when
-    recording is disabled)."""
-    rec = _recorder
+    """A timing span against the active recorder (no-op when recording
+    is disabled on this thread)."""
+    rec = active()
     if rec is None:
         return NULL_SPAN
     return Span(rec, name, category, args or None)
 
 
 def counter(name: str, value: float = 1.0) -> None:
-    """Increment a process-wide counter (no-op when disabled)."""
-    rec = _recorder
+    """Increment a counter on the active recorder (no-op when disabled)."""
+    rec = active()
     if rec is not None:
         rec.counter(name, value)
 
 
 def gauge(name: str, value: float) -> None:
-    """Set a process-wide gauge (no-op when disabled)."""
-    rec = _recorder
+    """Set a gauge on the active recorder (no-op when disabled)."""
+    rec = active()
     if rec is not None:
         rec.gauge(name, value)
 
 
 def event(name: str, **args: object) -> None:
-    """Record a process-wide instant event (no-op when disabled)."""
-    rec = _recorder
+    """Record an instant event on the active recorder (no-op when
+    disabled)."""
+    rec = active()
     if rec is not None:
         rec.event(name, **args)
 
@@ -449,7 +510,8 @@ def histogram(
     buckets: Sequence[float] = DEFAULT_BUCKETS,
     exemplar: Optional[Dict[str, object]] = None,
 ) -> None:
-    """Observe into a process-wide histogram (no-op when disabled)."""
-    rec = _recorder
+    """Observe into a histogram on the active recorder (no-op when
+    disabled)."""
+    rec = active()
     if rec is not None:
         rec.histogram(name, value, buckets, exemplar=exemplar)

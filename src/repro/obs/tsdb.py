@@ -91,6 +91,17 @@ class MetricsHistory:
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.snapshots = 0
+        # Monotonic-anchored timestamps: wall clock sampled once at
+        # construction, advanced by the monotonic clock.  A wall-clock
+        # step (NTP slew, operator date change) between two points would
+        # corrupt every rate delta computed from ``ts`` -- ``top``
+        # sparklines and burn-rate alert rules divide by ts deltas.
+        self._epoch_wall = time.time()
+        self._epoch_mono = time.monotonic()
+
+    def _now(self) -> float:
+        """Wall-clock-looking timestamp immune to wall-clock steps."""
+        return self._epoch_wall + (time.monotonic() - self._epoch_mono)
 
     def __len__(self) -> int:
         with self._lock:
@@ -118,7 +129,7 @@ class MetricsHistory:
                 for name, stats in recorder.histograms.items()
             }
         point: Dict[str, object] = {
-            "ts": time.time(),
+            "ts": self._now(),
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,

@@ -60,6 +60,15 @@ thread's stack); and a :class:`repro.obs.flight.CrashHandler` dumps
 ``repro.crash/1`` reports -- structured frames, all-thread stacks, the
 flight ring, active alerts, buildinfo -- for unexpected handler
 exceptions (``crash-report`` op, ``GET /crashz``, ``repro-sta doctor``).
+
+**Concurrency** (PR 10; see docs/service.md "Concurrency model"):
+request dispatch runs on a bounded thread pool (``--workers``) with
+per-connection pipelining, analysis results publish as immutable
+copy-on-write :class:`AnalysisSnapshot` objects versioned by a
+per-design mutation epoch -- a repeat ``analyze`` with no intervening
+mutation answers lock-free straight from the snapshot (``"engine":
+"snapshot"``) -- and traced requests bind their per-request recorder
+thread-locally, so they no longer serialise daemon-wide.
 """
 
 from __future__ import annotations
@@ -71,6 +80,7 @@ import socket
 import socketserver
 import threading
 import time
+from contextlib import contextmanager
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro import obs
@@ -112,6 +122,32 @@ def _json_num(value) -> object:
     if isinstance(value, float) and math.isinf(value):
         return "inf" if value > 0 else "-inf"
     return value
+
+
+class AnalysisSnapshot:
+    """An immutable published analysis result for one design.
+
+    ``responses`` maps an analysis-parameter key (``slow_path_limit``,
+    ``tolerance``, ``label``) to the *pristine* response dict built by
+    the locked analyze path.  Instances are never mutated after
+    publication: a new analysis under the design lock builds a fresh
+    ``responses`` dict (copy-on-write) and installs a brand-new
+    ``AnalysisSnapshot`` on the state with one reference assignment --
+    atomic under the GIL, so lock-free readers either see the old
+    snapshot or the new one, never a half-written dict.
+
+    ``epoch`` is the design's mutation epoch at publication time; a
+    reader only trusts the snapshot while ``snap.epoch ==
+    state.epoch``.  The epoch is bumped (under the design lock) *before*
+    a mutation touches the engine, so a reader racing a mutation fails
+    the check and falls back to queueing on the lock.
+    """
+
+    __slots__ = ("epoch", "responses")
+
+    def __init__(self, epoch: int, responses: Dict[tuple, Dict[str, object]]):
+        self.epoch = epoch
+        self.responses = responses
 
 
 class _DesignState:
@@ -156,6 +192,14 @@ class _DesignState:
         #: Has the *current* engine answered at least once?  Reset on a
         #: full rebuild (clock edits), kept across delay mutations.
         self.served = False
+        #: Mutation epoch: bumped under the design lock before every
+        #: mutation touches the engine.  Monotonic; read lock-free.
+        self.epoch = 0
+        #: Last published :class:`AnalysisSnapshot` (``None`` until the
+        #: first analyze).  Replaced wholesale, never mutated in place.
+        self.snapshot: Optional[AnalysisSnapshot] = None
+        #: Analyzes answered from the snapshot without the lock.
+        self.snapshot_hits = 0
 
     @property
     def warm(self) -> bool:
@@ -234,6 +278,18 @@ class TimingDaemon:
         :mod:`faulthandler` process-wide (``repro-sta serve`` turns
         this on; embedded/test daemons leave the process hooks alone --
         request-handler crashes are reported either way).
+    workers:
+        Size of the bounded request-dispatch thread pool.  Connections
+        pipeline onto it (responses still stream back in request
+        order), so one slow cold analysis no longer head-of-line-blocks
+        requests for unrelated designs on other connections.  ``0``
+        dispatches inline on the connection thread (PR-3 behaviour).
+    snapshot_reads:
+        Enable the lock-free analyze read path: repeat ``analyze``
+        requests with no intervening mutation answer straight from the
+        design's published :class:`AnalysisSnapshot` without taking the
+        per-design lock.  ``False`` forces every analyze through the
+        lock (the measured baseline for the concurrency bench).
     """
 
     def __init__(
@@ -261,6 +317,8 @@ class TimingDaemon:
         trace_max_bytes: int = 64 * 1024 * 1024,
         trace_sample: float = 0.05,
         collector=None,
+        workers: int = 8,
+        snapshot_reads: bool = True,
     ) -> None:
         self.socket_path = str(socket_path)
         self.cache = cache
@@ -396,11 +454,17 @@ class TimingDaemon:
         self._designs: Dict[Tuple[str, str], _DesignState] = {}
         self._designs_lock = threading.Lock()
         self._state_lock = threading.Lock()  # requests/errors/in_flight
-        #: Serialises *traced* requests: handling one means temporarily
-        #: installing its per-request recorder process-wide, so two
-        #: concurrent traces would interleave their pipeline spans.
-        self._trace_lock = threading.Lock()
         self._local = threading.local()
+        #: Request-dispatch pool size (``0`` dispatches inline on the
+        #: connection thread, PR-3 style).  Connections pipeline: the
+        #: reader submits every parsed line to the pool and a writer
+        #: thread streams responses back in request order.
+        self.workers = max(0, int(workers))
+        #: Lock-free snapshot read path enabled?  ``False`` forces every
+        #: analyze through the per-design lock (the locked baseline the
+        #: ``snapshot_read_concurrency`` bench compares against).
+        self.snapshot_reads = bool(snapshot_reads)
+        self._pool = None
         self._server: Optional[socketserver.ThreadingUnixStreamServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -440,7 +504,26 @@ class TimingDaemon:
         daemon = self
 
         class Handler(socketserver.StreamRequestHandler):
-            def handle(self) -> None:  # one connection, many requests
+            def _write(self, response: Dict[str, object]) -> bool:
+                """One response line out; ``False`` ends the session."""
+                self.wfile.write(
+                    json.dumps(
+                        response, sort_keys=True,
+                        separators=(",", ":"),
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+                self.wfile.flush()
+                if response.get("__shutdown__"):
+                    # Shut the server down from a helper thread so
+                    # this handler can finish its response first.
+                    threading.Thread(
+                        target=daemon.stop, daemon=True
+                    ).start()
+                    return False
+                return True
+
+            def _handle_inline(self) -> None:  # workers=0: PR-3 loop
                 while True:
                     line = self.rfile.readline()
                     if not line:
@@ -448,22 +531,57 @@ class TimingDaemon:
                     line = line.strip()
                     if not line:
                         continue
-                    response = daemon.handle_line(line)
-                    self.wfile.write(
-                        json.dumps(
-                            response, sort_keys=True,
-                            separators=(",", ":"),
-                        ).encode("utf-8")
-                        + b"\n"
-                    )
-                    self.wfile.flush()
-                    if response.get("__shutdown__"):
-                        # Shut the server down from a helper thread so
-                        # this handler can finish its response first.
-                        threading.Thread(
-                            target=daemon.stop, daemon=True
-                        ).start()
+                    if not self._write(daemon.handle_line(line)):
                         return
+
+            def handle(self) -> None:  # one connection, many requests
+                pool = daemon._pool
+                if pool is None:
+                    self._handle_inline()
+                    return
+                # Pipelined dispatch: the connection thread reads and
+                # submits, a writer thread streams completed responses
+                # back in request order.  The bounded queue is the
+                # back-pressure: a client blasting requests faster than
+                # the pool drains them stalls in ``put``, not in RAM.
+                import queue as queue_mod
+
+                pending: "queue_mod.Queue" = queue_mod.Queue(
+                    maxsize=max(2, daemon.workers * 2)
+                )
+                done = threading.Event()
+
+                def write_loop() -> None:
+                    while True:
+                        future = pending.get()
+                        if future is None:
+                            return
+                        if done.is_set():
+                            continue  # drain without writing
+                        try:
+                            if not self._write(future.result()):
+                                done.set()
+                        except Exception:  # noqa: BLE001 -- peer gone
+                            done.set()
+
+                writer = threading.Thread(target=write_loop, daemon=True)
+                writer.start()
+                try:
+                    while not done.is_set():
+                        line = self.rfile.readline()
+                        if not line:
+                            break
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            pending.put(pool.submit(daemon.handle_line, line))
+                        except RuntimeError:
+                            # Pool shut down mid-session (daemon stop).
+                            break
+                finally:
+                    pending.put(None)
+                    writer.join()
 
         server = socketserver.ThreadingUnixStreamServer(
             self.socket_path, Handler
@@ -843,6 +961,8 @@ class TimingDaemon:
                     self.watchdog.deadline_s if self.watchdog else None
                 ),
                 "debug_ops": self.debug_ops,
+                "workers": self.workers,
+                "snapshot_reads": self.snapshot_reads,
                 "cache_peers": (
                     list(self._fabric.peers)
                     if self._fabric is not None
@@ -886,8 +1006,11 @@ class TimingDaemon:
             return
         with self._designs_lock:
             designs_loaded = len(self._designs)
+            epoch_sum = sum(s.epoch for s in self._designs.values())
         self.recorder.gauge("service.daemon.in_flight", self.in_flight)
         self.recorder.gauge("service.daemon.designs", designs_loaded)
+        self.recorder.gauge("service.daemon.epoch", epoch_sum)
+        self.recorder.gauge("service.daemon.workers", self.workers)
         self.recorder.gauge(
             "service.daemon.uptime_seconds",
             time.time() - self.started_at,
@@ -949,11 +1072,21 @@ class TimingDaemon:
                 profiler.dropped_ticks,
             )
 
+    def _start_pool(self) -> None:
+        if self.workers > 0 and self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-daemon",
+            )
+
     def start(self) -> None:
         """Serve in a background thread (returns once listening)."""
         if self._server is not None:
             raise RuntimeError("daemon already started")
         self._server = self._make_server()
+        self._start_pool()
         self._start_cache_server()
         self._start_sidecar()
         self._start_collector()
@@ -971,6 +1104,7 @@ class TimingDaemon:
         if self._server is not None:
             raise RuntimeError("daemon already started")
         self._server = self._make_server()
+        self._start_pool()
         self._start_cache_server()
         self._start_sidecar()
         self._start_collector()
@@ -1004,6 +1138,11 @@ class TimingDaemon:
             self.collector.start()
 
     def _cleanup(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # In-flight requests finish and their writer threads flush;
+            # new submissions fail fast with RuntimeError.
+            pool.shutdown(wait=True)
         sidecar, self._sidecar = self._sidecar, None
         if sidecar is not None:
             sidecar.stop()
@@ -1053,8 +1192,9 @@ class TimingDaemon:
         ``service.daemon.handle_seconds`` -- the split the ROADMAP's
         daemon-concurrency work needs.  A request carrying a
         ``repro.trace/1`` context runs under a per-request recorder
-        (traced requests serialise on an internal lock) and ships the
-        recorder snapshot back under ``"trace"``.
+        bound to this thread only (:func:`repro.obs.bound`), so traced
+        requests run fully concurrently, and ships the recorder
+        snapshot back under ``"trace"``.
         """
         arrival = time.perf_counter()
         local = self._local
@@ -1089,17 +1229,15 @@ class TimingDaemon:
             ctx = request.get("trace")
             if isinstance(ctx, dict) and ctx.get("trace_id"):
                 req_rec = live.child_recorder(ctx)
-                with self._trace_lock:
-                    previous = obs.set_recorder(req_rec)
-                    try:
-                        with req_rec.span(
-                            "service.daemon.request",
-                            category="service",
-                            op=op,
-                        ):
-                            response = handler(request)
-                    finally:
-                        obs.set_recorder(previous)
+                # Thread-local binding: concurrent traced requests each
+                # see only their own recorder -- no daemon-wide lock.
+                with obs.bound(req_rec):
+                    with req_rec.span(
+                        "service.daemon.request",
+                        category="service",
+                        op=op,
+                    ):
+                        response = handler(request)
                 snapshot_doc = live.snapshot(req_rec)
                 response["trace"] = snapshot_doc
             else:
@@ -1227,25 +1365,45 @@ class TimingDaemon:
             )
         return response
 
-    def _acquire_design(self, state: _DesignState) -> None:
-        """Acquire the per-design lock, recording the queue wait.
+    @contextmanager
+    def _locked_design(self, state: _DesignState):
+        """Hold the per-design lock, recording the queue wait.
 
         The wait from the request's arrival at the lock to acquiring it
         *is* the per-design-lock contention -- the number the ROADMAP
-        "daemon concurrency" item needs data for.
+        "daemon concurrency" item needs data for.  It lands in both
+        ``service.daemon.queue_wait_seconds`` (all analyze-path waits,
+        including the near-zero snapshot hits) and
+        ``service.daemon.lock_wait_seconds`` (locked path only), so the
+        two histograms split lock-free from locked traffic.
+
+        A context manager rather than an acquire/release pair: a
+        handler exception between the two can never leak
+        ``state.in_flight`` or keep the design locked forever.
         """
         waited_from = time.perf_counter()
         with self._state_lock:
             state.in_flight += 1
-        state.lock.acquire()
-        queue_wait = time.perf_counter() - waited_from
-        self._local.queue_wait = queue_wait
-        self._histogram("service.daemon.queue_wait_seconds", queue_wait)
-
-    def _release_design(self, state: _DesignState) -> None:
-        with self._state_lock:
-            state.in_flight -= 1
-        state.lock.release()
+        try:
+            state.lock.acquire()
+        except BaseException:
+            with self._state_lock:
+                state.in_flight -= 1
+            raise
+        try:
+            queue_wait = time.perf_counter() - waited_from
+            self._local.queue_wait = queue_wait
+            self._histogram(
+                "service.daemon.queue_wait_seconds", queue_wait
+            )
+            self._histogram(
+                "service.daemon.lock_wait_seconds", queue_wait
+            )
+            yield state
+        finally:
+            state.lock.release()
+            with self._state_lock:
+                state.in_flight -= 1
 
     # ------------------------------------------------------------------
     # state helpers
@@ -1285,7 +1443,8 @@ class TimingDaemon:
         result = state.analyzer.timing_result(
             warm=True, slow_path_limit=limit, tolerance=tolerance
         )
-        state.analyses += 1
+        with self._state_lock:
+            state.analyses += 1
         state.served = True
         manifest = result.manifest(
             netlist_path=state.netlist,
@@ -1333,7 +1492,36 @@ class TimingDaemon:
         }
         if cluster_info is not None:
             response["cluster_cache"] = cluster_info
+        self._publish_snapshot(
+            state, (limit, tolerance, request.get("label")), response
+        )
         return response
+
+    def _publish_snapshot(
+        self,
+        state: _DesignState,
+        key: tuple,
+        response: Dict[str, object],
+    ) -> None:
+        """Publish ``response`` for lock-free repeat reads.
+
+        The caller holds the design lock.  Copy-on-write: carry over
+        the current epoch's other parameter variants, add this one, and
+        install a brand-new :class:`AnalysisSnapshot` with a single
+        reference assignment.  The stored dict is a pristine shallow
+        copy -- :meth:`handle_line` decorates the *returned* response
+        with ``"trace"``/``"id"`` and must never bleed into the cache.
+        """
+        if not self.snapshot_reads:
+            return
+        old = state.snapshot
+        responses = (
+            dict(old.responses)
+            if old is not None and old.epoch == state.epoch
+            else {}
+        )
+        responses[key] = dict(response)
+        state.snapshot = AnalysisSnapshot(state.epoch, responses)
 
     # ------------------------------------------------------------------
     # operations
@@ -1472,20 +1660,86 @@ class TimingDaemon:
         """The same identity document ``GET /buildz`` serves."""
         return {"ok": True, **self._buildinfo()}
 
+    def _snapshot_answer(
+        self,
+        state: _DesignState,
+        key: tuple,
+        arrival: Optional[float] = None,
+    ) -> Optional[Dict[str, object]]:
+        """Serve ``key`` from the current snapshot, or ``None``.
+
+        The snapshot reference and the epoch are each a single
+        attribute read (atomic under the GIL), and a published
+        snapshot's ``responses`` dict is never mutated in place, so
+        this is safe both lock-free (``arrival`` given: the wait is
+        recorded here) and under the design lock (``arrival`` is
+        ``None``: :meth:`_locked_design` already recorded it).
+        """
+        snap = state.snapshot
+        if snap is None or snap.epoch != state.epoch:
+            return None
+        cached = snap.responses.get(key)
+        if cached is None:
+            return None
+        if arrival is not None:
+            queue_wait = time.perf_counter() - arrival
+            self._local.queue_wait = queue_wait
+            self._histogram(
+                "service.daemon.queue_wait_seconds", queue_wait
+            )
+        self._local.engine = "snapshot"
+        self._counter("service.daemon.snapshot_hits")
+        with self._state_lock:
+            state.analyses += 1
+            state.snapshot_hits += 1
+        # Shallow copy: handle_line decorates the response in place;
+        # the cached original must stay pristine.
+        response = dict(cached)
+        response["engine"] = "snapshot"
+        return response
+
     def _op_analyze(self, request: Dict[str, object]) -> Dict[str, object]:
         state = self._design(request)
-        self._acquire_design(state)
-        try:
+        key = None
+        if self.snapshot_reads:
+            arrival = time.perf_counter()
+            limit = request.get("slow_path_limit", self.slow_path_limit)
+            tolerance = float(request.get("tolerance", 0.0) or 0.0)
+            key = (limit, tolerance, request.get("label"))
+            # Lock-free read path.  The epoch is bumped under the
+            # design lock *before* a mutation touches the engine, so a
+            # reader racing a mutation either sees the bumped epoch
+            # (miss -> queues on the lock) or linearises before the
+            # mutation (the cached answer was the design's published
+            # truth at read time).
+            response = self._snapshot_answer(state, key, arrival)
+            if response is not None:
+                return response
+            self._counter("service.daemon.snapshot_misses")
+        with self._locked_design(state):
+            if key is not None:
+                # Double-checked read: a miss that queued behind a
+                # mutation usually finds the mutation's inline analysis
+                # already republished the snapshot by the time the lock
+                # is acquired.  Serving that copy -- not re-analysing --
+                # keeps every read byte-identical to the published
+                # answer (a warm no-change re-analysis would converge
+                # in fewer iterations and hash differently).
+                response = self._snapshot_answer(state, key)
+                if response is not None:
+                    return response
             with obs.span("service.daemon.analyze", category="service"):
                 return self._analyze_state(state, request)
-        finally:
-            self._release_design(state)
 
     def _op_mutate(self, request: Dict[str, object]) -> Dict[str, object]:
         state = self._design(request)
         action = str(request.get("action", ""))
-        self._acquire_design(state)
-        try:
+        with self._locked_design(state):
+            # Invalidate lock-free readers *before* the engine is
+            # touched: any analyze that read the old snapshot after
+            # this bump fails the epoch check and queues on the lock.
+            state.epoch += 1
+            self._counter("service.daemon.epoch_bumps")
             # The map built at the last analyze addresses the
             # *pre-mutation* artifacts -- exactly the sub-entries that
             # are about to go stale.  Build it on demand if a mutation
@@ -1554,8 +1808,6 @@ class TimingDaemon:
             if request.get("analyze", True):
                 response["analysis"] = self._analyze_state(state, request)
             return response
-        finally:
-            self._release_design(state)
 
     def _ensure_cluster_map(
         self, state: _DesignState, request: Dict[str, object]
@@ -1596,8 +1848,7 @@ class TimingDaemon:
         endpoint = request.get("endpoint")
         if not endpoint:
             raise ValueError("report needs an 'endpoint'")
-        self._acquire_design(state)
-        try:
+        with self._locked_design(state):
             result = state.analyzer.timing_result(warm=True)
             forensics = result.path_forensics()
             explained = forensics.explain(str(endpoint))
@@ -1607,8 +1858,6 @@ class TimingDaemon:
                 "text": forensics.render_text(explained),
                 "report": json.loads(forensics.to_json([explained])),
             }
-        finally:
-            self._release_design(state)
 
     def _op_stats(self, request: Dict[str, object]) -> Dict[str, object]:
         with self._designs_lock:
@@ -1622,6 +1871,9 @@ class TimingDaemon:
                     "rebuilds": state.analyzer.rebuilds,
                     "swaps": state.analyzer.swaps,
                     "in_flight": state.in_flight,
+                    "epoch": state.epoch,
+                    "snapshot_hits": state.snapshot_hits,
+                    "snapshot_published": state.snapshot is not None,
                 }
                 for state in self._designs.values()
             }

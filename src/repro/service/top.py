@@ -56,6 +56,9 @@ _LATENCY_ROWS = (
     ("request", "service.daemon.request_seconds"),
     ("handle", "service.daemon.handle_seconds"),
     ("queue-wait", "service.daemon.queue_wait_seconds"),
+    # Locked analyze/mutate/report path only; the gap between this row
+    # and queue-wait is the traffic the snapshot read path absorbed.
+    ("lock-wait", "service.daemon.lock_wait_seconds"),
 )
 
 
@@ -314,6 +317,7 @@ def render_top(
         counters = (metrics_doc.get("metrics") or {}).get("counters") or {}
         lines.append(
             f"warm hits {int(counters.get('service.daemon.incremental_hits', 0))}"
+            f" | snap hits {int(counters.get('service.daemon.snapshot_hits', 0))}"
             f" | mutations {int(counters.get('service.daemon.mutations', 0))}"
             f" | slow {int(counters.get('service.daemon.slow_requests', 0))}"
             f" | http {int(counters.get('service.daemon.http_requests', 0))}"

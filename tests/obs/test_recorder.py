@@ -202,3 +202,73 @@ class TestPhaseTree:
         with obs.recording() as rec:
             pass
         assert "no spans" in obs.render_phase_tree(rec)
+
+
+class TestThreadLocalBinding:
+    """PR 10: per-thread recorder binding (`obs.bound`) -- the daemon
+    traces concurrent requests without a process-wide lock."""
+
+    def test_bound_overrides_within_thread(self):
+        with obs.recording() as ambient:
+            private = obs.Recorder()
+            with obs.bound(private):
+                assert obs.active() is private
+                obs.counter("inner")
+                with obs.span("inner_span"):
+                    pass
+            assert obs.active() is ambient
+            obs.counter("outer")
+        assert private.counters.get("inner") == 1
+        assert [s.name for s in private.spans] == ["inner_span"]
+        assert "inner" not in ambient.counters
+        assert ambient.counters.get("outer") == 1
+
+    def test_bound_none_silences_a_thread(self):
+        with obs.recording() as ambient:
+            with obs.bound(None):
+                assert obs.active() is None
+                obs.counter("dropped")  # no-op: bound to None
+            obs.counter("kept")
+        assert "dropped" not in ambient.counters
+        assert ambient.counters.get("kept") == 1
+
+    def test_other_threads_see_the_ambient_recorder(self):
+        import threading
+
+        seen = {}
+        gate = threading.Event()
+        release = threading.Event()
+
+        def other():
+            gate.wait(timeout=10.0)
+            seen["recorder"] = obs.active()
+            obs.counter("from_other_thread")
+            release.set()
+
+        with obs.recording() as ambient:
+            private = obs.Recorder()
+            thread = threading.Thread(target=other)
+            thread.start()
+            with obs.bound(private):
+                gate.set()  # the other thread samples while we're bound
+                assert release.wait(timeout=10.0)
+            thread.join(timeout=10.0)
+            assert seen["recorder"] is ambient
+        assert ambient.counters.get("from_other_thread") == 1
+        assert "from_other_thread" not in private.counters
+
+    def test_bound_restores_on_exception(self):
+        with obs.recording() as ambient:
+            private = obs.Recorder()
+            with pytest.raises(RuntimeError):
+                with obs.bound(private):
+                    raise RuntimeError("boom")
+            assert obs.active() is ambient
+
+    def test_bindings_nest(self):
+        with obs.recording():
+            first, second = obs.Recorder(), obs.Recorder()
+            with obs.bound(first):
+                with obs.bound(second):
+                    assert obs.active() is second
+                assert obs.active() is first

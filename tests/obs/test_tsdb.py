@@ -31,8 +31,31 @@ class TestRecord:
         hist = point["histograms"]["service.daemon.request_seconds"]
         assert hist["count"] == 2
         assert hist["p50"] > 0 and hist["p95"] >= hist["p50"]
-        assert point["ts"] <= time.time()
+        # Monotonic-anchored, but still wall-clock-shaped (close to
+        # time.time() when nobody steps the wall clock).
+        assert abs(point["ts"] - time.time()) < 1.0
         assert len(history) == 1
+
+    def test_timestamps_immune_to_wall_clock_steps(self, monkeypatch):
+        """A wall-clock step (NTP) between points must not corrupt the
+        ts axis rate-deltas divide by -- the counter-reset analogue for
+        time itself."""
+        import repro.obs.tsdb as tsdb_mod
+
+        history = MetricsHistory(capacity=8)
+        with obs.recording() as rec:
+            obs.counter("ticks")
+            first = history.record(rec)
+            # Step the wall clock an hour *backwards*.  The anchored
+            # timestamp keeps advancing off the monotonic clock.
+            real_time = time.time
+            monkeypatch.setattr(
+                tsdb_mod.time, "time", lambda: real_time() - 3600.0
+            )
+            obs.counter("ticks")
+            second = history.record(rec)
+        assert second["ts"] >= first["ts"]
+        assert second["ts"] - first["ts"] < 10.0  # and by a sane amount
 
     def test_capacity_evicts_oldest(self):
         history = MetricsHistory(capacity=3)

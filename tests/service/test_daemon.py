@@ -88,10 +88,13 @@ class TestServing:
         first = client.analyze(netlist, clocks)
         assert first["ok"] and first["engine"] == "cold"
         assert first["intended"] is True
+        # A repeat with no intervening mutation answers lock-free from
+        # the published snapshot (PR 10).
         second = client.analyze(netlist, clocks)
-        assert second["engine"] == "incremental-warm"
+        assert second["engine"] == "snapshot"
         # Same fixed point, same answer.
         assert second["timing_digest"] == first["timing_digest"]
+        assert second["manifest_digest"] == first["manifest_digest"]
 
     def test_cold_manifest_matches_one_shot_cli_run(
         self, client, design_files

@@ -471,7 +471,7 @@ class TestDaemonAccessLog:
         analyze = by_op["analyze"]
         assert analyze["kind"] == "daemon"
         assert analyze["design"] is not None
-        assert analyze["engine"] in ("cold", "incremental-warm")
+        assert analyze["engine"] in ("cold", "incremental-warm", "snapshot")
         assert analyze["queue_wait_s"] >= 0.0
         assert analyze["handle_s"] >= 0.0
         # slow_threshold 0.0: the traced request carries its span tree.
